@@ -1,0 +1,79 @@
+"""RWA — the intro's motivating workload: dynamic provisioning blocking.
+
+The paper motivates semilightpaths with on-line circuit switching where
+"a single optical wavelength may not be available … because some of the
+resources are already occupied".  This benchmark renders that motivation
+quantitatively: blocking probability vs offered load on NSFNET for
+
+* the optimal-semilightpath provisioner (this paper's router), and
+* fixed shortest-path + first-fit wavelength, no conversion (the classic
+  baseline),
+
+on identical traffic traces.  Expected shape: the semilightpath policy
+blocks no more at every load, with the gap widening in the mid-load
+region where conversion rescues fragmented wavelengths.
+"""
+
+from __future__ import annotations
+
+from repro.topology.reference import nsfnet_network
+from repro.wdm.first_fit import FirstFitProvisioner
+from repro.wdm.provisioning import SemilightpathProvisioner
+from repro.wdm.simulation import DynamicSimulation
+from repro.wdm.traffic import TrafficGenerator
+
+LOADS = [10.0, 20.0, 40.0, 60.0]
+REQUESTS = 400
+
+
+def _blocking(provisioner_factory, load, seed=23):
+    net = nsfnet_network(num_wavelengths=4)
+    trace = TrafficGenerator(net.nodes(), load, 1.0, seed=seed).generate(REQUESTS)
+    stats = DynamicSimulation(provisioner_factory(net)).run(trace)
+    return stats
+
+
+def test_blocking_curve(benchmark, report):
+    rows = []
+    for load in LOADS:
+        semilight = _blocking(SemilightpathProvisioner, load)
+        first_fit = _blocking(FirstFitProvisioner, load)
+        rows.append((load, semilight, first_fit))
+        assert semilight.blocked <= first_fit.blocked, (
+            f"optimal routing blocked more at load {load}"
+        )
+    table = "\n".join(
+        f"load={load:5.1f}E  semilightpath={s.blocking_probability:6.3f} "
+        f"(conv/conn={s.mean_conversions:4.2f})  "
+        f"first-fit={f.blocking_probability:6.3f}"
+        for load, s, f in rows
+    )
+    report("RWA: blocking probability vs offered load (NSFNET, k=4)", table)
+    # Blocking must be monotone-ish in load for both policies.
+    semis = [s.blocking_probability for _, s, _f in rows]
+    assert semis[-1] >= semis[0]
+
+    benchmark.extra_info["curve"] = [
+        {
+            "load": load,
+            "semilightpath": s.blocking_probability,
+            "first_fit": f.blocking_probability,
+        }
+        for load, s, f in rows
+    ]
+    net = nsfnet_network(num_wavelengths=4)
+    trace = TrafficGenerator(net.nodes(), 40.0, 1.0, seed=23).generate(100)
+    benchmark(lambda: DynamicSimulation(SemilightpathProvisioner(net)).run(trace))
+
+
+def test_conversion_usage_rises_with_load(benchmark, report):
+    """Under contention the router should lean on conversion more."""
+    low = _blocking(SemilightpathProvisioner, 5.0)
+    high = _blocking(SemilightpathProvisioner, 60.0)
+    report(
+        "RWA: conversions per admitted connection",
+        f"load  5E: {low.mean_conversions:.3f}\n"
+        f"load 60E: {high.mean_conversions:.3f}",
+    )
+    assert high.mean_conversions >= low.mean_conversions
+    benchmark(lambda: _blocking(SemilightpathProvisioner, 30.0))

@@ -1,0 +1,84 @@
+"""ABL-Q — ablation: the conversion-budget knob.
+
+Extension experiment (not a paper table): sweep the per-path conversion
+budget ``q`` from 0 (pure lightpath) upward and measure (a) the optimal
+cost profile, (b) feasibility, and (c) the product-graph overhead of the
+bounded router vs the unconstrained one.  The paper's Section IV argues
+converters are the scarce resource; this quantifies what each additional
+converter buys on a k₀-bounded WAN, where conversion is frequently
+mandatory.
+"""
+
+from __future__ import annotations
+
+from repro.core.bounded import BoundedConversionRouter, conversion_cost_profile
+from repro.core.routing import LiangShenRouter
+from repro.exceptions import NoPathError
+from benchmarks.conftest import restricted_wan
+
+
+def _routable_pair(net):
+    nodes = net.nodes()
+    router = LiangShenRouter(net)
+    for t in reversed(nodes):
+        if t == nodes[0]:
+            continue
+        try:
+            router.route(nodes[0], t)
+            return nodes[0], t
+        except NoPathError:
+            continue
+    raise AssertionError("generator produced an unroutable network")
+
+
+def test_cost_vs_budget_profile(benchmark, report):
+    net = restricted_wan(64, k=16, k0=2, seed=24)
+    s, t = _routable_pair(net)
+    profile = conversion_cost_profile(net, s, t)
+    unconstrained = LiangShenRouter(net).route(s, t).cost
+    lines = [f"q={q}: cost={cost:g}" for q, cost in profile]
+    lines.append(f"unconstrained optimum: {unconstrained:g}")
+    report("ABL-Q: optimal cost vs conversion budget (n=64, k=16, k0=2)", "\n".join(lines))
+    # The profile is non-increasing and ends at the unconstrained optimum.
+    costs = [c for _q, c in profile]
+    assert all(a >= b - 1e-12 for a, b in zip(costs, costs[1:]))
+    assert costs[-1] == unconstrained
+
+    router = BoundedConversionRouter(net)
+    budget = profile[-1][0]
+    result = benchmark(lambda: router.route(s, t, max_conversions=budget))
+    benchmark.extra_info["profile"] = [[q, c] for q, c in profile]
+    assert result.path.num_conversions <= budget
+
+
+def test_bounded_router_overhead(benchmark, report):
+    """The product construction costs ~(q+1)x the base query."""
+    import time
+
+    net = restricted_wan(96, k=8, k0=3, seed=25)
+    s, t = _routable_pair(net)
+    unconstrained = LiangShenRouter(net)
+    bounded = BoundedConversionRouter(net)
+
+    start = time.perf_counter()
+    for _ in range(3):
+        unconstrained.route(s, t)
+    base = (time.perf_counter() - start) / 3
+
+    rows = []
+    for q in (0, 2, 4, 8):
+        start = time.perf_counter()
+        try:
+            bounded.route(s, t, max_conversions=q)
+        except NoPathError:
+            continue
+        rows.append((q, time.perf_counter() - start))
+    table = "\n".join(
+        f"q={q}: {t_q * 1e3:7.2f} ms ({t_q / base:4.1f}x unconstrained)"
+        for q, t_q in rows
+    )
+    report(f"ABL-Q: bounded-router overhead (unconstrained {base * 1e3:.2f} ms)", table)
+    # Overhead grows with q but stays within a generous linear envelope.
+    assert rows[-1][1] <= 30 * base * (rows[-1][0] + 1)
+
+    benchmark(lambda: bounded.route(s, t, max_conversions=4))

@@ -1,0 +1,58 @@
+"""OBS15 — Observation 3's construction cost and Observations 1-5 sizes.
+
+Claim: ``G'`` is built in ``O(k²n + km)`` time and space.  We time the
+construction across an ``n`` sweep and emit the measured-vs-bound size
+table for a batch of generators.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.complexity import fit_power_law, growth_table
+from repro.analysis.counting import measure_sizes
+from repro.core.auxiliary import build_layered_graph, build_routing_graph
+from benchmarks.conftest import sparse_wan
+
+
+def test_construction_scaling(benchmark, report):
+    ns = [64, 128, 256, 512]
+    times = []
+    for n in ns:
+        net = sparse_wan(n, seed=4)
+        start = time.perf_counter()
+        build_layered_graph(net)
+        times.append(time.perf_counter() - start)
+    fit = fit_power_law(ns, times)
+    report(
+        "OBS15: G' construction time vs n (k = log2 n)",
+        growth_table(ns, {"seconds": times}),
+    )
+    # O(k^2 n + km) with k = log n is n polylog n: comfortably subquadratic.
+    assert fit.exponent < 1.8
+
+    net = sparse_wan(256, seed=4)
+    graph = benchmark(lambda: build_layered_graph(net))
+    benchmark.extra_info["fit_exponent"] = fit.exponent
+    assert graph.sizes.within_bounds()
+
+
+def test_size_bounds_table(benchmark, report):
+    """Emit the Observations 1-5 table for the benchmark topology."""
+    net = sparse_wan(256, seed=5)
+    srep = measure_sizes(net)
+    report("OBS15: measured sizes vs paper bounds (n=256)", srep.format())
+    assert srep.all_within
+    result = benchmark(lambda: measure_sizes(net))
+    assert result.all_within
+
+
+def test_routing_graph_construction(benchmark):
+    """G_{s,t} adds only 2 nodes and O(k) edges on top of G'."""
+    net = sparse_wan(256, seed=6)
+    nodes = net.nodes()
+    base = build_layered_graph(net)
+    aux = benchmark(lambda: build_routing_graph(net, nodes[0], nodes[-1]))
+    assert aux.graph.num_nodes == base.graph.num_nodes + 2
+    extra_edges = aux.graph.num_edges - base.graph.num_edges
+    assert extra_edges <= 2 * net.num_wavelengths

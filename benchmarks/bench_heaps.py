@@ -1,0 +1,63 @@
+"""HEAP — ablation of the priority queue inside the router.
+
+Theorem 1 cites Fibonacci heaps for the ``O(m' + n' log n')`` bound.  In
+CPython the constant factors invert the theory: the binary heap usually
+wins, the Fibonacci heap pays for its pointer structure.  This benchmark
+records all three on identical workloads — the honest engineering note
+that accompanies the asymptotic claim.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.routing import LiangShenRouter
+from repro.shortestpath.dijkstra import dijkstra
+from benchmarks.conftest import sparse_wan
+
+HEAPS = ["binary", "pairing", "fibonacci"]
+
+
+@pytest.mark.parametrize("heap", HEAPS)
+def test_router_heap_ablation(benchmark, heap):
+    net = sparse_wan(256, seed=18)
+    nodes = net.nodes()
+    router = LiangShenRouter(net, heap=heap)
+    result = benchmark(lambda: router.route(nodes[0], nodes[-1]))
+    benchmark.extra_info["heap"] = heap
+    benchmark.extra_info["decrease_keys"] = result.stats.heap.get("decreases", 0)
+    assert result.cost > 0
+
+
+def test_heaps_agree_and_report(benchmark, report):
+    """One table: time per heap on the same batch of queries."""
+    net = sparse_wan(384, seed=19)
+    nodes = net.nodes()
+    pairs = [(nodes[i], nodes[-(i + 1)]) for i in range(4)]
+    lines = []
+    costs = set()
+    for heap in HEAPS:
+        router = LiangShenRouter(net, heap=heap)
+        start = time.perf_counter()
+        total = sum(router.route(s, t).cost for s, t in pairs)
+        elapsed = time.perf_counter() - start
+        costs.add(round(total, 9))
+        lines.append(f"{heap:10s} {elapsed * 1e3:9.2f} ms")
+    report("HEAP: router time by priority queue (n=384, 4 queries)", "\n".join(lines))
+    assert len(costs) == 1, "heaps disagreed on optima"
+    router = LiangShenRouter(net, heap="binary")
+    benchmark(lambda: router.route(*pairs[0]))
+
+
+@pytest.mark.parametrize("heap", HEAPS)
+def test_raw_dijkstra_heap_ablation(benchmark, heap):
+    """The same ablation on a raw auxiliary graph, without decode overhead."""
+    from repro.core.auxiliary import build_routing_graph
+
+    net = sparse_wan(384, seed=20)
+    nodes = net.nodes()
+    aux = build_routing_graph(net, nodes[0], nodes[-1])
+    run = benchmark(lambda: dijkstra(aux.graph, aux.source_id, heap=heap))
+    assert run.settled > 0

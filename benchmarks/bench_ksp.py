@@ -1,0 +1,51 @@
+"""KSP — K-shortest semilightpath enumeration cost.
+
+Extension experiment: Yen's algorithm on ``G_{s,t}`` runs one
+shortest-path query per spur node per accepted path — time should grow
+roughly linearly in K for fixed topology.  Measured here with the decode
+and dedup overhead included.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.complexity import fit_power_law, growth_table
+from repro.core.ksp import k_shortest_semilightpaths
+from benchmarks.conftest import sparse_wan
+
+
+def test_time_vs_k(benchmark, report):
+    net = sparse_wan(48, seed=160)
+    nodes = net.nodes()
+    s, t = nodes[0], nodes[-1]
+    ks = [1, 2, 4, 8]
+    times = []
+    for k in ks:
+        start = time.perf_counter()
+        paths = k_shortest_semilightpaths(net, s, t, k=k)
+        times.append(time.perf_counter() - start)
+        assert len(paths) >= 1
+    fit = fit_power_law(ks, times)
+    report(
+        "KSP: enumeration time vs K (n=48)",
+        growth_table(ks, {"seconds": times}, x_name="K"),
+    )
+    # Roughly linear in K (spur work per accepted path); cap at quadratic.
+    assert fit.exponent < 2.0
+
+    result = benchmark(lambda: k_shortest_semilightpaths(net, s, t, k=4))
+    benchmark.extra_info["fit_exponent"] = fit.exponent
+    assert [p.total_cost for p in result] == sorted(p.total_cost for p in result)
+
+
+@pytest.mark.parametrize("k", [1, 4])
+def test_ksp_datapoints(benchmark, k):
+    net = sparse_wan(32, seed=161)
+    nodes = net.nodes()
+    paths = benchmark(
+        lambda: k_shortest_semilightpaths(net, nodes[0], nodes[-1], k=k)
+    )
+    assert paths[0].total_cost <= paths[-1].total_cost

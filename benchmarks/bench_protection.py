@@ -1,0 +1,88 @@
+"""PROT — protection routing: APF heuristic vs optimal min-cost-flow pairs.
+
+Extension experiment: on randomized sparse WANs, measure (a) how often
+active-path-first fails to find a channel-disjoint pair that the
+jointly-optimal flow formulation finds (trap rate), (b) the cost penalty
+of APF when both succeed, and (c) the runtime ratio.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.exceptions import NoPathError
+from repro.wdm.optimal_protection import route_optimal_channel_disjoint_pair
+from repro.wdm.protection import route_disjoint_pair
+from benchmarks.conftest import sparse_wan
+
+
+def test_trap_rate_and_cost_gap(benchmark, report):
+    trials = 40
+    apf_fail_opt_ok = 0
+    both_ok = 0
+    cost_gap_total = 0.0
+    neither = 0
+    for seed in range(trials):
+        net = sparse_wan(24, seed=100 + seed, availability=0.45)
+        nodes = net.nodes()
+        s, t = nodes[0], nodes[-1]
+        try:
+            apf = route_disjoint_pair(net, s, t, disjointness="channel")
+        except NoPathError:
+            apf = None
+        try:
+            opt = route_optimal_channel_disjoint_pair(net, s, t)
+        except NoPathError:
+            opt = None
+        if opt is None:
+            assert apf is None, "APF found a pair the optimal solver missed"
+            neither += 1
+            continue
+        if apf is None:
+            apf_fail_opt_ok += 1
+            continue
+        both_ok += 1
+        assert opt.total_cost <= apf.total_cost + 1e-9
+        cost_gap_total += apf.total_cost / opt.total_cost - 1.0
+    mean_gap = (cost_gap_total / both_ok) if both_ok else 0.0
+    report(
+        "PROT: APF vs optimal channel-disjoint pairs (40 random WANs)",
+        f"both found a pair : {both_ok}\n"
+        f"APF trapped       : {apf_fail_opt_ok}  (optimal succeeded)\n"
+        f"no pair exists    : {neither}\n"
+        f"mean APF cost gap : {mean_gap * 100:.1f}% when both succeed",
+    )
+    benchmark.extra_info["trap_rate"] = apf_fail_opt_ok / trials
+    benchmark.extra_info["mean_cost_gap"] = mean_gap
+
+    net = sparse_wan(24, seed=100, availability=0.45)
+    nodes = net.nodes()
+    benchmark(lambda: route_optimal_channel_disjoint_pair(net, nodes[0], nodes[-1]))
+
+
+def test_runtime_ratio(benchmark, report):
+    net = sparse_wan(64, seed=150)
+    nodes = net.nodes()
+    s, t = nodes[0], nodes[-1]
+
+    start = time.perf_counter()
+    for _ in range(3):
+        route_disjoint_pair(net, s, t, disjointness="channel")
+    apf_time = (time.perf_counter() - start) / 3
+
+    start = time.perf_counter()
+    for _ in range(3):
+        route_optimal_channel_disjoint_pair(net, s, t)
+    opt_time = (time.perf_counter() - start) / 3
+
+    report(
+        "PROT: runtime (n=64)",
+        f"APF heuristic : {apf_time * 1e3:7.2f} ms\n"
+        f"optimal (MCF) : {opt_time * 1e3:7.2f} ms "
+        f"({opt_time / apf_time:.1f}x)",
+    )
+    # The optimal solver runs two Dijkstra-like augmentations plus graph
+    # build; it must stay within a small factor of two APF routes.
+    assert opt_time < 20 * apf_time
+
+    benchmark(lambda: route_disjoint_pair(net, s, t, disjointness="channel"))

@@ -1,0 +1,85 @@
+"""THM1 — Theorem 1's single-pair complexity, measured.
+
+Claim: ``O(k²n + km + kn·log(kn))`` per query.  In the sparse regime
+(``m = O(n)``, ``k = O(log n)``) that is near-linear in ``n`` (up to log²
+factors) and near-quadratic in ``k`` for fixed ``n``.  We sweep each
+parameter, time full queries (construction + Dijkstra, exactly the
+theorem's accounting), and fit power-law exponents.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.complexity import fit_power_law, growth_table
+from repro.core.routing import LiangShenRouter
+from benchmarks.conftest import sparse_wan
+
+
+def _time_queries(network, pairs, repeats: int = 3) -> float:
+    router = LiangShenRouter(network)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for s, t in pairs:
+            router.route(s, t)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_scaling_in_n(benchmark, report):
+    """Time vs n with k = ceil(log2 n): fitted exponent must stay well
+    below quadratic (the CFZ regime) — near-linear modulo log factors."""
+    ns = [64, 128, 256, 512]
+    times = []
+    for n in ns:
+        net = sparse_wan(n, seed=1)
+        nodes = net.nodes()
+        pairs = [(nodes[0], nodes[n // 2]), (nodes[1], nodes[-1])]
+        times.append(_time_queries(net, pairs))
+    fit = fit_power_law(ns, times)
+    table = growth_table(ns, {"seconds": times})
+    report("THM1: single-pair time vs n (k = log2 n, m = O(n))", table)
+    assert fit.exponent < 1.8, f"scaling in n looks superquadratic: {fit.exponent:.2f}"
+
+    net = sparse_wan(256, seed=1)
+    nodes = net.nodes()
+    result = benchmark(lambda: LiangShenRouter(net).route(nodes[0], nodes[-1]))
+    benchmark.extra_info["fit_exponent_n"] = fit.exponent
+    benchmark.extra_info["times_vs_n"] = dict(zip(map(str, ns), times))
+    assert result.cost > 0
+
+
+def test_scaling_in_k(benchmark, report):
+    """Time vs k at fixed n: the k²n term dominates for large k, so the
+    fitted exponent should land near (or below) 2 and far from cubic."""
+    n = 96
+    ks = [2, 4, 8, 16]
+    times = []
+    for k in ks:
+        net = sparse_wan(n, k=k, seed=2, availability=1.0)
+        nodes = net.nodes()
+        pairs = [(nodes[0], nodes[-1])]
+        times.append(_time_queries(net, pairs))
+    fit = fit_power_law(ks, times)
+    table = growth_table(ks, {"seconds": times}, x_name="k")
+    report(f"THM1: single-pair time vs k (n = {n})", table)
+    assert fit.exponent < 2.6, f"scaling in k looks worse than k^2: {fit.exponent:.2f}"
+
+    net = sparse_wan(n, k=8, seed=2, availability=1.0)
+    nodes = net.nodes()
+    result = benchmark(lambda: LiangShenRouter(net).route(nodes[0], nodes[-1]))
+    benchmark.extra_info["fit_exponent_k"] = fit.exponent
+    assert result.cost > 0
+
+
+def test_work_counters_track_graph_size(benchmark):
+    """Heap operations are bounded by auxiliary-graph size: pops <= |V'|+2,
+    relaxations <= |E'| + terminal edges — the constants behind Theorem 1."""
+    net = sparse_wan(128, seed=3)
+    nodes = net.nodes()
+    router = LiangShenRouter(net)
+    result = benchmark(lambda: router.route(nodes[0], nodes[-1]))
+    sizes = result.stats.sizes
+    assert result.stats.heap["pops"] <= sizes.num_layer_nodes + 2
+    assert result.stats.relaxations <= sizes.num_layer_edges + 2 * sizes.k + 2

@@ -1,0 +1,81 @@
+"""SEC3C — the paper's comparison against Chlamtac–Faragó–Zhang.
+
+Claims (Section III-C):
+
+* both algorithms find the same optimum (they solve the same problem),
+* in the sparse regime (``m = O(n)``, ``k = O(log n)``) ours beats CFZ by
+  a factor growing like ``Ω(n / max{k, d, log n})`` — i.e. the speedup
+  *increases with n* and the CFZ time fits ~quadratic in ``n`` while ours
+  fits near-linear,
+* with ``k = Ω(n)`` on dense networks the two have the same worst-case
+  complexity (no asymptotic win — the honest flip side).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.comparison import run_comparison
+from repro.analysis.complexity import fit_power_law, growth_table
+from repro.baseline.cfz import CFZRouter
+from repro.core.routing import LiangShenRouter
+from benchmarks.conftest import sparse_wan
+
+
+def test_sparse_regime_speedup_grows(benchmark, report):
+    ns = [64, 128, 256, 512]
+    rows = run_comparison(ns, queries_per_n=2, repeats=2, seed=7)
+    ls_times = [r.liang_shen_seconds for r in rows]
+    cfz_times = [r.cfz_seconds for r in rows]
+    speedups = [r.speedup for r in rows]
+    table = growth_table(
+        ns,
+        {"liang_shen_s": ls_times, "cfz_dense_s": cfz_times, "speedup": speedups},
+    )
+    report("SEC3C: ours vs CFZ (dense scan), k = log2 n, m = O(n)", table)
+
+    assert all(r.costs_agree for r in rows), "the two algorithms disagree on optima"
+    # The headline: speedup grows with n and CFZ is the asymptotic loser.
+    assert speedups[-1] > speedups[0], "speedup did not grow with n"
+    assert speedups[-1] > 1.0, "no win even at the largest n"
+    ls_fit = fit_power_law(ns, ls_times)
+    cfz_fit = fit_power_law(ns, cfz_times)
+    assert cfz_fit.exponent > ls_fit.exponent + 0.4, (
+        f"CFZ exponent {cfz_fit.exponent:.2f} not clearly above "
+        f"ours {ls_fit.exponent:.2f}"
+    )
+
+    net = sparse_wan(256, seed=7)
+    nodes = net.nodes()
+    result = benchmark(lambda: LiangShenRouter(net).route(nodes[0], nodes[-1]))
+    benchmark.extra_info["speedups"] = dict(zip(map(str, ns), speedups))
+    benchmark.extra_info["ls_exponent"] = ls_fit.exponent
+    benchmark.extra_info["cfz_exponent"] = cfz_fit.exponent
+    assert result.cost > 0
+
+
+def test_heap_engine_comparison(benchmark, report):
+    """A stronger baseline: CFZ on the same WG but with a heap.  Isolates
+    the contribution of the smaller auxiliary graph from the queue."""
+    rows = run_comparison([128, 256], queries_per_n=2, repeats=2, seed=8, cfz_engine="heap")
+    table = "\n".join(
+        f"n={r.n:5d}  ls={r.liang_shen_seconds * 1e3:8.2f}ms  "
+        f"cfz_heap={r.cfz_seconds * 1e3:8.2f}ms  ratio={r.speedup:5.2f}"
+        for r in rows
+    )
+    report("SEC3C (ablation): CFZ with a heap instead of the dense scan", table)
+    assert all(r.costs_agree for r in rows)
+
+    net = sparse_wan(256, seed=8)
+    nodes = net.nodes()
+    cfz = CFZRouter(net, engine="heap")
+    result = benchmark(lambda: cfz.route(nodes[0], nodes[-1]))
+    assert result.cost > 0
+
+
+def test_cfz_single_query_baseline(benchmark):
+    """Plain pytest-benchmark datapoint for the CFZ dense engine (the
+    number the speedup table divides by)."""
+    net = sparse_wan(256, seed=7)
+    nodes = net.nodes()
+    cfz = CFZRouter(net, engine="dense")
+    result = benchmark(lambda: cfz.route(nodes[0], nodes[-1]))
+    assert result.cost > 0

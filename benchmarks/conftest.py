@@ -1,0 +1,60 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark module regenerates one experiment from DESIGN.md's index
+(THM1, SEC3C, THM4, ...).  Benchmarks assert the *shape* of the paper's
+claims (who wins, fitted exponents, flatness in ``k``) and attach the
+measured tables to ``benchmark.extra_info`` so a
+``pytest benchmarks/ --benchmark-only --benchmark-json=out.json`` run
+leaves machine-readable results behind.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.conversion import FixedCostConversion
+from repro.topology.generators import degree_bounded_network
+from repro.topology.wavelength_assign import (
+    bounded_random_wavelengths,
+    random_wavelengths,
+)
+
+
+def sparse_wan(n: int, k: int | None = None, seed: int = 0, availability: float = 0.6):
+    """The paper's regime: m = O(n), d <= 4, k = ceil(log2 n) by default."""
+    if k is None:
+        k = max(1, math.ceil(math.log2(n)))
+    return degree_bounded_network(
+        n,
+        k,
+        max_degree=4,
+        seed=seed,
+        wavelength_policy=random_wavelengths(k, availability=availability),
+        conversion=FixedCostConversion(0.5),
+    )
+
+
+def restricted_wan(n: int, k: int, k0: int, seed: int = 0):
+    """Section IV regime: huge universe k, at most k0 wavelengths per link."""
+    return degree_bounded_network(
+        n,
+        k,
+        max_degree=4,
+        seed=seed,
+        wavelength_policy=bounded_random_wavelengths(k, k0),
+        conversion=FixedCostConversion(0.5),
+    )
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a table so it survives pytest's capture when -s is passed."""
+
+    def _print(title: str, text: str) -> None:
+        with capsys.disabled():
+            print(f"\n=== {title} ===")
+            print(text)
+
+    return _print

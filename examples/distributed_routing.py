@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Distributed routing: Theorem 3's protocol on a simulated control network.
+
+Each physical node simulates its bipartite fragment G_v of the auxiliary
+graph G_{s,t}; distance proposals travel only over physical links (the
+E_org edges), and conversion-edge relaxations are free local computation.
+The example runs the protocol on the ARPANET-like WAN, checks the answer
+against the centralized router, and prints the message/round counts next
+to Theorem 3's O(km) / O(kn) budgets.
+
+Run:  python examples/distributed_routing.py
+"""
+
+from repro import LiangShenRouter
+from repro.distributed import DistributedSemilightpathRouter
+from repro.topology.reference import arpanet_network
+
+
+def main() -> None:
+    network = arpanet_network(num_wavelengths=6)
+    n, m, k = network.num_nodes, network.num_links, network.num_wavelengths
+    print(f"ARPANET-like WAN: n={n}, m={m}, k={k}\n")
+
+    central = LiangShenRouter(network)
+    distributed = DistributedSemilightpathRouter(network)
+
+    header = (
+        f"{'pair':>10s} {'cost':>7s} {'match':>6s} {'messages':>9s} "
+        f"{'km':>6s} {'rounds':>7s} {'kn':>5s} {'max link load':>14s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for source, target in [(0, 19), (0, 10), (5, 16), (19, 0), (12, 3)]:
+        result = distributed.route(source, target)
+        reference = central.route(source, target)
+        stats = result.stats
+        match = "yes" if abs(result.cost - reference.cost) < 1e-9 else "NO!"
+        print(
+            f"{source:>4d}->{target:<4d} {result.cost:7.2f} {match:>6s} "
+            f"{stats.total_messages:9d} {k * m:6d} {stats.rounds:7d} "
+            f"{k * n:5d} {stats.max_link_load:14d}"
+        )
+
+    print(
+        "\nEvery query matches the centralized optimum; messages stay within"
+        "\na small constant of Theorem 3's km budget and rounds within kn."
+    )
+
+
+if __name__ == "__main__":
+    main()

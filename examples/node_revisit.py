@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""The Figures 5-6 phenomenon: an optimal semilightpath revisiting a node.
+
+The paper stresses (end of Section II, Figs. 5-6) that a semilightpath may
+legally pass through a node more than once on different wavelengths, and
+that Restrictions 1-2 (Theorem 2) are exactly what rules this out.  This
+example constructs a minimal network where the unique optimum revisits
+node 'w', shows the routers finding it, then applies the restrictions and
+shows the optimum become node-simple.
+
+Run:  python examples/node_revisit.py
+"""
+
+from repro import LiangShenRouter
+from repro.core.conversion import FixedCostConversion, MatrixConversion
+from repro.core.network import WDMNetwork
+from repro.core.restrictions import check_restriction1, check_restriction2
+from repro.core.wavelengths import wavelength_name
+
+
+def build_network() -> WDMNetwork:
+    """s --λ1--> w --λ1--> a --λ2--> w --λ2--> t, plus a costly s->t link.
+
+    Node w cannot convert at all, node a converts λ1->λ2 cheaply: the only
+    cheap route threads through w twice.
+    """
+    net = WDMNetwork(num_wavelengths=2, default_conversion=MatrixConversion({}))
+    for node in ("s", "w", "a", "t"):
+        net.add_node(node)
+    net.set_conversion("a", MatrixConversion({(0, 1): 0.1}))
+    net.add_link("s", "w", {0: 1.0})
+    net.add_link("w", "a", {0: 1.0})
+    net.add_link("a", "w", {1: 1.0})
+    net.add_link("w", "t", {1: 1.0})
+    net.add_link("s", "t", {0: 100.0})
+    return net
+
+
+def show(path) -> None:
+    route = " -> ".join(
+        f"{h.tail}[{wavelength_name(h.wavelength)}]" for h in path.hops
+    ) + f" -> {path.target}"
+    print(f"  route: {route}")
+    print(f"  cost:  {path.total_cost:g}")
+    print(f"  node-simple: {path.is_node_simple}")
+    visits = {}
+    for node in path.nodes():
+        visits[node] = visits.get(node, 0) + 1
+    repeats = {node: c for node, c in visits.items() if c > 1}
+    if repeats:
+        print(f"  revisited nodes: {repeats}")
+
+
+def main() -> None:
+    net = build_network()
+    print("Unrestricted cost structure (node w cannot convert):")
+    violations = check_restriction1(net)
+    print(f"  Restriction 1 violations: {violations}")
+    result = LiangShenRouter(net).route("s", "t")
+    show(result.path)
+
+    print("\nNow grant every node cheap full conversion (Restrictions 1-2 hold):")
+    for node in net.nodes():
+        net.set_conversion(node, FixedCostConversion(0.1))
+    assert check_restriction1(net) == []
+    holds, max_conv, min_link = check_restriction2(net)
+    print(f"  Restriction 2: max conversion {max_conv} < min link {min_link}: {holds}")
+    result = LiangShenRouter(net).route("s", "t")
+    show(result.path)
+    print("\nTheorem 2 in action: with the restrictions satisfied the optimum")
+    print("is node-simple (s -> w -> t with one converter setting at w).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""WAN provisioning: dynamic circuit switching on NSFNET.
+
+The paper's motivating scenario: connection requests arrive on-line, each
+needs wavelengths reserved end-to-end, and occupied channels fragment the
+spectrum so pure lightpaths start blocking.  This example drives Poisson
+traffic over the 14-node NSFNET backbone and compares
+
+* the optimal-semilightpath provisioner (this paper's router on the
+  residual network), against
+* classic fixed-shortest-path + first-fit wavelength (no conversion),
+
+on identical traffic traces across an offered-load sweep.
+
+Run:  python examples/wan_provisioning.py
+"""
+
+from repro.topology.reference import nsfnet_network
+from repro.wdm import (
+    DynamicSimulation,
+    FirstFitProvisioner,
+    SemilightpathProvisioner,
+    TrafficGenerator,
+)
+
+WAVELENGTHS = 4
+REQUESTS = 600
+LOADS = [10.0, 20.0, 30.0, 45.0, 60.0]
+
+
+def main() -> None:
+    network = nsfnet_network(num_wavelengths=WAVELENGTHS)
+    print(
+        f"NSFNET: {network.num_nodes} nodes, {network.num_links} directed "
+        f"links, k = {WAVELENGTHS} wavelengths, "
+        f"{network.total_link_wavelengths} channels total\n"
+    )
+    header = (
+        f"{'load (E)':>9s} {'policy':>14s} {'blocked':>8s} {'P_block':>8s} "
+        f"{'hops/conn':>10s} {'conv/conn':>10s} {'peak act.':>10s}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for load in LOADS:
+        trace = TrafficGenerator(
+            network.nodes(), arrival_rate=load, mean_holding=1.0, seed=1234
+        ).generate(REQUESTS)
+        for name, factory in [
+            ("semilightpath", SemilightpathProvisioner),
+            ("first-fit", FirstFitProvisioner),
+        ]:
+            stats = DynamicSimulation(factory(network)).run(trace)
+            print(
+                f"{load:9.1f} {name:>14s} {stats.blocked:8d} "
+                f"{stats.blocking_probability:8.3f} {stats.mean_hops:10.2f} "
+                f"{stats.mean_conversions:10.2f} {stats.peak_active:10d}"
+            )
+        print()
+
+    print(
+        "Reading: the semilightpath policy admits everything first-fit\n"
+        "admits and converts wavelengths mid-route when the spectrum is\n"
+        "fragmented -- its blocking probability is never higher, and its\n"
+        "conversions-per-connection rise with load."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Small argument-validation helpers shared across the package.
+
+These are deliberately tiny and explicit: each helper raises a precise
+exception type from :mod:`repro.exceptions` (or a builtin) with a message
+naming the offending argument, so call sites stay one-liners.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = [
+    "check_nonnegative",
+    "check_positive_int",
+    "check_nonnegative_int",
+    "check_probability",
+    "check_finite",
+    "require",
+]
+
+
+def check_nonnegative(value: float, name: str) -> float:
+    """Return *value* if it is a nonnegative real number, else raise."""
+    if not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if math.isnan(value):
+        raise ValueError(f"{name} must not be NaN")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return float(value)
+
+
+def check_finite(value: float, name: str) -> float:
+    """Return *value* if it is a finite real number, else raise."""
+    value = check_nonnegative(value, name)
+    if math.isinf(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Return *value* if it is a positive integer, else raise."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be >= 1, got {value!r}")
+    return value
+
+
+def check_nonnegative_int(value: int, name: str) -> int:
+    """Return *value* if it is a nonnegative integer, else raise."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Return *value* if it lies in the closed interval [0, 1], else raise."""
+    value = check_nonnegative(value, name)
+    if value > 1:
+        raise ValueError(f"{name} must be <= 1, got {value!r}")
+    return value
+
+
+def require(condition: bool, message: str, exc: type[Exception] = ValueError) -> None:
+    """Raise *exc* with *message* unless *condition* holds."""
+    if not condition:
+        raise exc(message)
+
+
+def unique(items: Iterable[object], name: str) -> None:
+    """Raise ``ValueError`` if *items* contains duplicates."""
+    seen = set()
+    for item in items:
+        if item in seen:
+            raise ValueError(f"duplicate {name}: {item!r}")
+        seen.add(item)

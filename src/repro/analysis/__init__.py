@@ -1,0 +1,34 @@
+"""Measurement and analysis utilities for the reproduction experiments.
+
+* :mod:`~repro.analysis.counting` — auxiliary-graph size measurement
+  against the paper's Observations 1-5 bounds,
+* :mod:`~repro.analysis.complexity` — empirical growth-rate estimation
+  (log-log least-squares exponents) for the scaling benchmarks,
+* :mod:`~repro.analysis.comparison` — the Section III-C ours-vs-CFZ
+  comparison harness.
+"""
+
+from repro.analysis.complexity import fit_power_law, growth_table
+from repro.analysis.comparison import ComparisonRow, run_comparison
+from repro.analysis.counting import SizeReport, measure_sizes
+from repro.analysis.criticality import (
+    Criticality,
+    channel_criticality,
+    fiber_criticality,
+)
+from repro.analysis.fairness import blocking_concentration, gini, worst_pairs
+
+__all__ = [
+    "measure_sizes",
+    "SizeReport",
+    "fit_power_law",
+    "growth_table",
+    "run_comparison",
+    "ComparisonRow",
+    "Criticality",
+    "channel_criticality",
+    "fiber_criticality",
+    "gini",
+    "worst_pairs",
+    "blocking_concentration",
+]

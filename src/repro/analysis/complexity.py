@@ -1,0 +1,84 @@
+"""Empirical growth-rate estimation for the scaling benchmarks.
+
+The paper's claims are asymptotic; the benchmarks verify their *shape* by
+sweeping a size parameter and fitting a power law ``y = c·xᵇ`` to the
+measurements (ordinary least squares in log-log space).  A Theorem 1 sweep
+over ``n`` with ``k = O(log n)``, ``m = O(n)`` should fit an exponent near
+1 (up to log factors); the CFZ baseline should fit near 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["PowerLawFit", "fit_power_law", "growth_table"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of ``y = coefficient * x ** exponent``."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Model prediction at *x*."""
+        return self.coefficient * x**self.exponent
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit ``y = c·xᵇ`` through log-log least squares.
+
+    Requires at least two strictly positive points; raises ``ValueError``
+    otherwise.
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} xs vs {len(ys)} ys")
+    points = [(x, y) for x, y in zip(xs, ys) if x > 0 and y > 0]
+    if len(points) < 2:
+        raise ValueError("need at least two positive (x, y) points")
+    lx = [math.log(x) for x, _ in points]
+    ly = [math.log(y) for _, y in points]
+    n = len(points)
+    mean_x = sum(lx) / n
+    mean_y = sum(ly) / n
+    sxx = sum((v - mean_x) ** 2 for v in lx)
+    sxy = sum((a - mean_x) * (b - mean_y) for a, b in zip(lx, ly))
+    if sxx == 0:
+        raise ValueError("all x values identical; exponent is undefined")
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    # Coefficient of determination in log space.
+    ss_res = sum((b - (slope * a + intercept)) ** 2 for a, b in zip(lx, ly))
+    ss_tot = sum((b - mean_y) ** 2 for b in ly)
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return PowerLawFit(exponent=slope, coefficient=math.exp(intercept), r_squared=r2)
+
+
+def growth_table(
+    xs: Sequence[float], series: dict[str, Sequence[float]], x_name: str = "n"
+) -> str:
+    """Fixed-width table of several measurement series over one sweep.
+
+    Appends a fitted exponent per series — the number the scaling
+    benchmarks compare against the paper's bounds.
+    """
+    header = f"{x_name:>10s}" + "".join(f" {name:>14s}" for name in series)
+    lines = [header]
+    for i, x in enumerate(xs):
+        row = f"{x:10g}"
+        for values in series.values():
+            row += f" {values[i]:14.6g}"
+        lines.append(row)
+    fits = []
+    for name, values in series.items():
+        try:
+            fit = fit_power_law(xs, values)
+            fits.append(f"{name}: x^{fit.exponent:.2f} (R²={fit.r_squared:.3f})")
+        except ValueError:
+            fits.append(f"{name}: (not fittable)")
+    lines.append("fitted: " + ", ".join(fits))
+    return "\n".join(lines)

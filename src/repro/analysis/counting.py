@@ -1,0 +1,77 @@
+"""Auxiliary-graph size measurement against the paper's bounds.
+
+:func:`measure_sizes` builds the layered graph for a network and reports
+every quantity in Observations 1-5 next to its proven bound, as a
+:class:`SizeReport` whose :meth:`SizeReport.rows` render the per-quantity
+comparison (used directly by ``benchmarks/bench_construction.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.auxiliary import AuxiliarySizes, build_layered_graph
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.network import WDMNetwork
+
+__all__ = ["SizeReport", "measure_sizes"]
+
+
+@dataclass(frozen=True)
+class SizeReport:
+    """Measured sizes plus bound comparisons for one network."""
+
+    sizes: AuxiliarySizes
+
+    def rows(self) -> list[tuple[str, int, int, bool]]:
+        """``(quantity, measured, bound, within)`` rows for all bounds.
+
+        General-regime bounds (Observations 1-2) and restricted-regime
+        bounds (Observations 4-5, with the corrected ``2mk₀`` node bound)
+        are both included — the restricted bounds hold for *every* network
+        since ``k₀`` is measured.
+        """
+        s = self.sizes
+        checks = [
+            ("|V'| <= 2kn", s.num_layer_nodes, s.bound_layer_nodes),
+            ("|E'| <= k^2 n + km", s.num_layer_edges, s.bound_layer_edges),
+            ("max |X_v|+|Y_v| <= 2k", s.max_bipartite_nodes, s.bound_bipartite_nodes),
+            ("max |E_v| <= k^2", s.max_bipartite_edges, s.bound_bipartite_edges),
+            ("|E_org| <= km", s.num_org_edges, s.bound_org_edges),
+            ("|V'| <= 2mk0 (restricted)", s.num_layer_nodes, s.bound_layer_nodes_restricted),
+            (
+                "|E'| <= d^2 n k0^2 + mk0 (restricted)",
+                s.num_layer_edges,
+                s.bound_layer_edges_restricted,
+            ),
+            (
+                "max |X_v|+|Y_v| <= 2dk0 (restricted)",
+                s.max_bipartite_nodes,
+                s.bound_bipartite_nodes_restricted,
+            ),
+            (
+                "max |E_v| <= d^2 k0^2 (restricted)",
+                s.max_bipartite_edges,
+                s.bound_bipartite_edges_restricted,
+            ),
+        ]
+        return [(name, measured, bound, measured <= bound) for name, measured, bound in checks]
+
+    @property
+    def all_within(self) -> bool:
+        """True when every measured size respects its bound."""
+        return all(within for _, _, _, within in self.rows())
+
+    def format(self) -> str:
+        """Fixed-width text table of the bound comparison."""
+        lines = [f"{'quantity':42s} {'measured':>10s} {'bound':>10s}  ok"]
+        for name, measured, bound, within in self.rows():
+            lines.append(f"{name:42s} {measured:10d} {bound:10d}  {'yes' if within else 'NO'}")
+        return "\n".join(lines)
+
+
+def measure_sizes(network: "WDMNetwork") -> SizeReport:
+    """Build ``G'`` for *network* and report sizes vs bounds."""
+    return SizeReport(sizes=build_layered_graph(network).sizes)

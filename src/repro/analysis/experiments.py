@@ -1,0 +1,185 @@
+"""One-command regeneration of every EXPERIMENTS.md table.
+
+:func:`run_all` executes each experiment from DESIGN.md's index at a
+configurable scale and returns a JSON-serializable report; the CLI
+subcommand ``python -m repro experiments`` prints it (and optionally
+writes ``results.json``).  The benchmark suite asserts the *shapes*; this
+module is the convenience driver that produces the raw numbers cited in
+EXPERIMENTS.md without going through pytest.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Callable
+
+from repro.analysis.comparison import run_comparison
+from repro.analysis.complexity import fit_power_law
+from repro.analysis.counting import measure_sizes
+from repro.core.conversion import FixedCostConversion
+from repro.core.routing import LiangShenRouter
+from repro.distributed.semilightpath_dist import DistributedSemilightpathRouter
+from repro.exceptions import NoPathError
+from repro.topology.generators import degree_bounded_network
+from repro.topology.reference import nsfnet_network, paper_figure1_network
+from repro.topology.wavelength_assign import (
+    bounded_random_wavelengths,
+    random_wavelengths,
+)
+from repro.wdm.first_fit import FirstFitProvisioner
+from repro.wdm.provisioning import SemilightpathProvisioner
+from repro.wdm.simulation import DynamicSimulation
+from repro.wdm.traffic import TrafficGenerator
+
+__all__ = ["run_all", "EXPERIMENTS"]
+
+
+def _sparse(n: int, seed: int = 0):
+    k = max(1, math.ceil(math.log2(n)))
+    return degree_bounded_network(
+        n, k, max_degree=4, seed=seed,
+        wavelength_policy=random_wavelengths(k, availability=0.6),
+        conversion=FixedCostConversion(0.5),
+    )
+
+
+def _exp_fig_example(scale: int) -> dict[str, Any]:
+    net = paper_figure1_network()
+    router = LiangShenRouter(net)
+    result = router.route(1, 7)
+    sizes = measure_sizes(net).sizes
+    return {
+        "m1": net.total_link_wavelengths,
+        "layer_nodes": sizes.num_layer_nodes,
+        "layer_edges": sizes.num_layer_edges,
+        "route_1_7_cost": result.cost,
+        "bounds_ok": sizes.within_bounds(),
+    }
+
+
+def _exp_thm1(scale: int) -> dict[str, Any]:
+    ns = [64 * 2**i for i in range(scale + 2)]
+    times = []
+    for n in ns:
+        net = _sparse(n, seed=1)
+        nodes = net.nodes()
+        router = LiangShenRouter(net)
+        start = time.perf_counter()
+        router.route(nodes[0], nodes[-1])
+        router.route(nodes[1], nodes[n // 2])
+        times.append(time.perf_counter() - start)
+    fit = fit_power_law(ns, times)
+    return {"ns": ns, "seconds": times, "exponent": fit.exponent}
+
+
+def _exp_sec3c(scale: int) -> dict[str, Any]:
+    ns = [64 * 2**i for i in range(scale + 2)]
+    rows = run_comparison(ns, queries_per_n=2, repeats=1, seed=7)
+    return {
+        "rows": [
+            {
+                "n": r.n, "m": r.m, "k": r.k,
+                "liang_shen_s": r.liang_shen_seconds,
+                "cfz_s": r.cfz_seconds,
+                "speedup": r.speedup,
+                "agree": r.costs_agree,
+            }
+            for r in rows
+        ]
+    }
+
+
+def _exp_thm4(scale: int) -> dict[str, Any]:
+    n, k0 = 64 * scale, 3
+    ks = [8, 64, 512]
+    times = []
+    for k in ks:
+        net = degree_bounded_network(
+            n, k, max_degree=4, seed=9,
+            wavelength_policy=bounded_random_wavelengths(k, k0),
+            conversion=FixedCostConversion(0.5),
+        )
+        nodes = net.nodes()
+        router = LiangShenRouter(net)
+        start = time.perf_counter()
+        for t in (nodes[-1], nodes[n // 2]):
+            try:
+                router.route(nodes[0], t)
+            except NoPathError:
+                pass
+        times.append(time.perf_counter() - start)
+    return {"n": n, "k0": k0, "ks": ks, "seconds": times}
+
+
+def _exp_thm3(scale: int) -> dict[str, Any]:
+    rows = []
+    for n in [32 * 2**i for i in range(scale + 1)]:
+        net = _sparse(n, seed=14)
+        nodes = net.nodes()
+        try:
+            result = DistributedSemilightpathRouter(net).route(nodes[0], nodes[-1])
+        except NoPathError:
+            continue
+        rows.append(
+            {
+                "n": n,
+                "k": net.num_wavelengths,
+                "m": net.num_links,
+                "messages": result.stats.total_messages,
+                "km": net.num_wavelengths * net.num_links,
+                "rounds": result.stats.rounds,
+                "kn": net.num_wavelengths * n,
+            }
+        )
+    return {"rows": rows}
+
+
+def _exp_rwa(scale: int) -> dict[str, Any]:
+    net = nsfnet_network(num_wavelengths=4)
+    requests = 200 * scale
+    curve = []
+    for load in (10.0, 20.0, 40.0, 60.0):
+        trace = TrafficGenerator(net.nodes(), load, 1.0, seed=23).generate(requests)
+        semi = DynamicSimulation(SemilightpathProvisioner(net)).run(trace)
+        ff = DynamicSimulation(FirstFitProvisioner(net)).run(trace)
+        curve.append(
+            {
+                "load": load,
+                "semilightpath": semi.blocking_probability,
+                "first_fit": ff.blocking_probability,
+                "conversions_per_conn": semi.mean_conversions,
+            }
+        )
+    return {"requests": requests, "curve": curve}
+
+
+#: Experiment registry: id -> callable(scale) -> result dict.
+EXPERIMENTS: dict[str, Callable[[int], dict[str, Any]]] = {
+    "FIG1-4": _exp_fig_example,
+    "THM1": _exp_thm1,
+    "SEC3C": _exp_sec3c,
+    "THM3": _exp_thm3,
+    "THM4": _exp_thm4,
+    "RWA": _exp_rwa,
+}
+
+
+def run_all(scale: int = 1, only: list[str] | None = None) -> dict[str, Any]:
+    """Run the experiment suite at *scale* (1 = quick, 2 = fuller sweeps).
+
+    *only* restricts to a subset of experiment ids.  Returns a
+    JSON-serializable mapping id -> results, with per-experiment wall time.
+    """
+    if scale < 1:
+        raise ValueError(f"scale must be >= 1, got {scale}")
+    selected = EXPERIMENTS if only is None else {
+        key: EXPERIMENTS[key] for key in only
+    }
+    report: dict[str, Any] = {}
+    for name, fn in selected.items():
+        start = time.perf_counter()
+        result = fn(scale)
+        result["elapsed_seconds"] = time.perf_counter() - start
+        report[name] = result
+    return report

@@ -1,0 +1,66 @@
+"""Fairness analysis of blocking outcomes.
+
+Aggregate blocking probability hides *who* gets blocked: under load, long
+or poorly-connected pairs can absorb nearly all the rejections.  This
+module quantifies that skew from
+:class:`~repro.wdm.simulation.BlockingStats`:
+
+* :func:`per_pair_blocking` — blocked counts per (source, target),
+* :func:`gini` — Gini coefficient of the blocked-count distribution
+  (0 = evenly spread, → 1 = concentrated on few pairs),
+* :func:`worst_pairs` — the most-blocked pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.wdm.simulation import BlockingStats
+
+__all__ = ["gini", "per_pair_blocking", "worst_pairs"]
+
+NodeId = Hashable
+
+
+def per_pair_blocking(stats: BlockingStats) -> dict[tuple[NodeId, NodeId], int]:
+    """Blocked request count per ordered pair (pairs with zero omitted)."""
+    return dict(stats.per_pair_blocked)
+
+
+def gini(values: Sequence[float]) -> float:
+    """Gini coefficient of a nonnegative distribution.
+
+    Returns 0.0 for empty input, all-zero input, or a single value.
+    """
+    items = sorted(float(v) for v in values)
+    if any(v < 0 for v in items):
+        raise ValueError("gini is defined for nonnegative values")
+    n = len(items)
+    total = sum(items)
+    if n < 2 or total == 0:
+        return 0.0
+    # Standard formula over sorted values.
+    weighted = sum((i + 1) * v for i, v in enumerate(items))
+    return (2 * weighted) / (n * total) - (n + 1) / n
+
+
+def worst_pairs(
+    stats: BlockingStats, top: int = 5
+) -> list[tuple[tuple[NodeId, NodeId], int]]:
+    """The *top* most-blocked pairs, descending."""
+    if top < 1:
+        raise ValueError(f"top must be >= 1, got {top}")
+    ranked = sorted(
+        stats.per_pair_blocked.items(), key=lambda kv: (-kv[1], repr(kv[0]))
+    )
+    return ranked[:top]
+
+
+def blocking_concentration(stats: BlockingStats) -> float:
+    """Gini coefficient of blocked counts across the pairs that blocked.
+
+    0.0 when no request blocked.
+    """
+    if not stats.per_pair_blocked:
+        return 0.0
+    return gini(list(stats.per_pair_blocked.values()))

@@ -1,0 +1,24 @@
+"""Baselines: the CFZ wavelength-graph algorithm and a brute-force oracle.
+
+* :mod:`~repro.baseline.wavelength_graph` /
+  :mod:`~repro.baseline.cfz` — the earlier Chlamtac–Faragó–Zhang
+  algorithm the paper improves on: a shortest path in the *wavelength
+  graph* ``WG`` with ``kn`` nodes ``(v, λ)``.  Implemented both with the
+  dense ``O(N²)`` Dijkstra scan its published bound assumes and with a
+  heap, so the Section III-C comparison is fair.
+* :mod:`~repro.baseline.brute_force` — an exhaustive label-correcting
+  search over ``(node, wavelength)`` states used as a correctness oracle
+  on small networks.
+"""
+
+from repro.baseline.brute_force import brute_force_route, brute_force_route_bounded
+from repro.baseline.cfz import CFZRouter
+from repro.baseline.wavelength_graph import WavelengthGraph, build_wavelength_graph
+
+__all__ = [
+    "CFZRouter",
+    "WavelengthGraph",
+    "build_wavelength_graph",
+    "brute_force_route",
+    "brute_force_route_bounded",
+]

@@ -1,0 +1,185 @@
+"""A code-independent exact oracle for the optimal semilightpath problem.
+
+:func:`brute_force_route` performs plain label-correcting relaxation over
+``(node, incoming-wavelength)`` states with an explicit FIFO worklist — no
+heaps, no auxiliary-graph machinery, no code shared with the routers under
+test.  Eq. (1) is Markovian in that state (the cost of extending a walk
+depends only on the current node and the wavelength the walk arrived on),
+so the fixed point of the relaxation is exactly the optimal semilightpath
+cost, including walks that revisit nodes.
+
+Intended strictly as a test oracle: complexity is fine for the small
+networks property-based tests generate, not for benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import TYPE_CHECKING, Hashable
+
+from repro.core.semilightpath import Hop, Semilightpath
+from repro.exceptions import NoPathError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.network import WDMNetwork
+
+__all__ = ["brute_force_route", "brute_force_route_bounded"]
+
+NodeId = Hashable
+INF = math.inf
+
+
+def brute_force_route(
+    network: "WDMNetwork", source: NodeId, target: NodeId
+) -> Semilightpath:
+    """Exact optimal semilightpath by label-correcting over states.
+
+    Raises :class:`~repro.exceptions.NoPathError` when *target* cannot be
+    reached by any semilightpath.
+    """
+    if source == target:
+        raise ValueError("source and target must differ")
+    network.node_index(source)  # raises UnknownNodeError if absent
+    network.node_index(target)
+
+    # State: (node, wavelength the walk arrived on).
+    dist: dict[tuple[NodeId, int], float] = {}
+    parent: dict[tuple[NodeId, int], tuple[NodeId, int] | None] = {}
+    worklist: deque[tuple[NodeId, int]] = deque()
+
+    # Seed: first hop out of the source (no conversion before the first link).
+    for link in network.out_links(source):
+        for wavelength, weight in link.costs.items():
+            state = (link.head, wavelength)
+            if weight < dist.get(state, INF):
+                dist[state] = weight
+                parent[state] = None
+                # Record which link started the walk via a sentinel parent
+                # keyed by the state itself; the seed hop is (source, head).
+                worklist.append(state)
+
+    # Relax to fixpoint.  States at the target are extended too: a walk may
+    # pass through the target and return to it more cheaply on another
+    # wavelength.  Termination: improvements are strict and costs >= 0.
+    while worklist:
+        node, arrived_on = worklist.popleft()
+        base = dist[(node, arrived_on)]
+        model = network.conversion(node)
+        for link in network.out_links(node):
+            for wavelength, weight in link.costs.items():
+                conv = model.cost(arrived_on, wavelength)
+                if conv == INF:
+                    continue
+                alt = base + conv + weight
+                state = (link.head, wavelength)
+                if alt < dist.get(state, INF):
+                    dist[state] = alt
+                    parent[state] = (node, arrived_on)
+                    worklist.append(state)
+
+    # Best terminal state.
+    best_state: tuple[NodeId, int] | None = None
+    best_cost = INF
+    for (node, wavelength), cost in dist.items():
+        if node == target and cost < best_cost:
+            best_cost = cost
+            best_state = (node, wavelength)
+    if best_state is None:
+        raise NoPathError(source, target)
+
+    # Reconstruct the hop sequence by walking parents back to a seed state.
+    # A fuel counter guards against a corrupted parent chain (cannot occur
+    # with strict improvements, but a hang would be a terrible failure mode
+    # for an oracle).
+    hops_reversed: list[Hop] = []
+    state: tuple[NodeId, int] | None = best_state
+    fuel = len(dist) + 1
+    while state is not None:
+        fuel -= 1
+        if fuel < 0:
+            raise RuntimeError("parent chain longer than the state space")
+        node, wavelength = state
+        prev = parent[state]
+        tail = source if prev is None else prev[0]
+        hops_reversed.append(Hop(tail=tail, head=node, wavelength=wavelength))
+        state = prev
+    hops = tuple(reversed(hops_reversed))
+    return Semilightpath(hops=hops, total_cost=best_cost)
+
+
+def brute_force_route_bounded(
+    network: "WDMNetwork",
+    source: NodeId,
+    target: NodeId,
+    max_conversions: int,
+) -> Semilightpath:
+    """Exact optimum under a conversion budget (oracle for ``core.bounded``).
+
+    Same label-correcting scheme over the richer state
+    ``(node, arrival wavelength, conversions used)``.  Exponential-free but
+    ``(q + 1)``× the state space; strictly a test oracle.
+    """
+    if source == target:
+        raise ValueError("source and target must differ")
+    if max_conversions < 0:
+        raise ValueError(f"max_conversions must be >= 0, got {max_conversions}")
+    network.node_index(source)
+    network.node_index(target)
+
+    State = tuple  # (node, wavelength, conversions_used)
+    dist: dict[State, float] = {}
+    parent: dict[State, State | None] = {}
+    worklist: deque[State] = deque()
+
+    for link in network.out_links(source):
+        for wavelength, weight in link.costs.items():
+            state = (link.head, wavelength, 0)
+            if weight < dist.get(state, INF):
+                dist[state] = weight
+                parent[state] = None
+                worklist.append(state)
+
+    while worklist:
+        node, arrived_on, used = worklist.popleft()
+        base = dist[(node, arrived_on, used)]
+        model = network.conversion(node)
+        for link in network.out_links(node):
+            for wavelength, weight in link.costs.items():
+                conv = model.cost(arrived_on, wavelength)
+                if conv == INF:
+                    continue
+                next_used = used + (1 if wavelength != arrived_on else 0)
+                if next_used > max_conversions:
+                    continue
+                alt = base + conv + weight
+                state = (link.head, wavelength, next_used)
+                if alt < dist.get(state, INF):
+                    dist[state] = alt
+                    parent[state] = (node, arrived_on, used)
+                    worklist.append(state)
+
+    best_state: State | None = None
+    best_cost = INF
+    for (node, _wavelength, _used), cost in dist.items():
+        if node == target and cost < best_cost:
+            best_cost = cost
+            best_state = (node, _wavelength, _used)
+    if best_state is None:
+        raise NoPathError(source, target)
+
+    hops_reversed: list[Hop] = []
+    state = best_state
+    fuel = len(dist) + 1
+    while state is not None:
+        fuel -= 1
+        if fuel < 0:
+            raise RuntimeError("parent chain longer than the state space")
+        node, wavelength, _used = state
+        prev = parent[state]
+        tail = source if prev is None else prev[0]
+        hops_reversed.append(Hop(tail=tail, head=node, wavelength=wavelength))
+        state = prev
+    return Semilightpath(
+        hops=tuple(reversed(hops_reversed)), total_cost=best_cost
+    )

@@ -1,0 +1,135 @@
+"""The Chlamtac–Faragó–Zhang wavelength graph ``WG``.
+
+CFZ (IEEE JSAC 1996) reduce semilightpath routing to a shortest path in a
+*wavelength graph*: one node ``(v, λ)`` per physical node per wavelength in
+the full universe ``Λ`` (``kn`` nodes total), with
+
+* a **link edge** ``(u, λ) → (v, λ)`` of weight ``w(⟨u,v⟩, λ)`` for every
+  physical link and every ``λ ∈ Λ(⟨u,v⟩)``, and
+* a **conversion edge** ``(v, λ_p) → (v, λ_q)`` of weight ``c_v(λ_p, λ_q)``
+  for every node and supported pair.
+
+This is the construction the present paper improves on: ``WG`` ignores the
+physical topology when laying out conversion edges (every node gets up to
+``k²`` of them, wavelengths incident or not), which is where the
+``O(k²n + kn²)`` total comes from.  Note the paper's correction: ``WG``
+must be stored as adjacency lists — an adjacency matrix would already cost
+``O(k²n²)`` to initialize.
+
+Modeling note: a ``WG`` path may *chain* conversion edges at one node
+(``λ_a → λ_b → λ_c``), which Eq. (1) does not price — it charges the single
+direct conversion per wavelength switch.  ``WG``'s optimum therefore equals
+Eq. (1)'s exactly when the conversion model is **chain-free**: a chain
+never costs less than the direct edge (cost triangle inequality) *and*
+never reaches a pair the direct edge cannot (transitive support).
+:class:`~repro.core.conversion.FullConversion` /
+:class:`~repro.core.conversion.FixedCostConversion` and
+:class:`~repro.core.conversion.NoConversion` are chain-free;
+:class:`~repro.core.conversion.RangeLimitedConversion` is *not* (its costs
+are additive but chains out-reach the range limit), and adversarial
+:class:`~repro.core.conversion.MatrixConversion` tables may violate the
+cost side too.  Callers comparing against the Liang–Shen router must use
+chain-free conversion costs (the comparison benchmarks and tests do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable
+
+from repro.shortestpath.structures import GraphBuilder, StaticGraph
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.network import WDMNetwork
+
+__all__ = ["WavelengthGraph", "build_wavelength_graph"]
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class WavelengthGraph:
+    """``WG`` plus its virtual terminals and decode information.
+
+    Wavelength-graph node ids are ``node_index * k + wavelength``; the two
+    extra ids are the virtual source (``kn``) and sink (``kn + 1``),
+    re-targeted per query by zero-weight edges (the graph is rebuilt per
+    query, as in the original algorithm's accounting).
+    """
+
+    network: "WDMNetwork"
+    graph: StaticGraph
+    source: NodeId
+    target: NodeId
+    source_id: int
+    sink_id: int
+    num_link_edges: int
+    num_conversion_edges: int
+
+    def state_id(self, node: NodeId, wavelength: int) -> int:
+        """Id of the ``(node, wavelength)`` state."""
+        return self.network.node_index(node) * self.network.num_wavelengths + wavelength
+
+    def decode_state(self, state: int) -> tuple[NodeId, int]:
+        """Inverse of :meth:`state_id` (virtual terminals not allowed)."""
+        k = self.network.num_wavelengths
+        if state >= self.network.num_nodes * k:
+            raise ValueError(f"state {state} is a virtual terminal")
+        return self.network.node_label(state // k), state % k
+
+
+def build_wavelength_graph(
+    network: "WDMNetwork", source: NodeId, target: NodeId
+) -> WavelengthGraph:
+    """Construct ``WG`` for one ``(source, target)`` query.
+
+    The virtual source has zero-weight edges to every ``(source, λ)``; the
+    virtual sink has zero-weight edges from every ``(target, λ)``.  Total
+    size: ``kn + 2`` nodes and ``O(k²n + Σ_e |Λ(e)| + 2k)`` edges.
+    """
+    if source == target:
+        raise ValueError("source and target must differ")
+    k = network.num_wavelengths
+    n = network.num_nodes
+    builder = GraphBuilder(n * k + 2)
+    source_id = n * k
+    sink_id = n * k + 1
+
+    # Conversion edges at every node, over the full universe Λ — this is
+    # exactly CFZ's topology-oblivious layout.
+    universe = range(k)
+    num_conversion_edges = 0
+    for v in network.nodes():
+        base = network.node_index(v) * k
+        model = network.conversion(v)
+        for p, q, cost in model.finite_pairs(universe, universe):
+            if p != q:
+                builder.add_edge(base + p, base + q, cost)
+                num_conversion_edges += 1
+
+    # Link edges per available wavelength.
+    num_link_edges = 0
+    for link in network.links():
+        u_base = network.node_index(link.tail) * k
+        v_base = network.node_index(link.head) * k
+        for wavelength, cost in sorted(link.costs.items()):
+            builder.add_edge(u_base + wavelength, v_base + wavelength, cost)
+            num_link_edges += 1
+
+    # Virtual terminals.
+    s_base = network.node_index(source) * k
+    t_base = network.node_index(target) * k
+    for wavelength in universe:
+        builder.add_edge(source_id, s_base + wavelength, 0.0)
+        builder.add_edge(t_base + wavelength, sink_id, 0.0)
+
+    return WavelengthGraph(
+        network=network,
+        graph=builder.build(),
+        source=source,
+        target=target,
+        source_id=source_id,
+        sink_id=sink_id,
+        num_link_edges=num_link_edges,
+        num_conversion_edges=num_conversion_edges,
+    )

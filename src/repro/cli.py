@@ -1,0 +1,362 @@
+"""Command-line interface.
+
+```
+python -m repro generate ring --nodes 12 --wavelengths 4 -o net.json
+python -m repro route net.json 0 6
+python -m repro route net.json 0 6 --max-conversions 1 --alternatives 3
+python -m repro sizes net.json
+python -m repro provision net.json --load 30 --requests 500 --policy first-fit
+python -m repro dot net.json --figure fig3 --node 3
+```
+
+Every subcommand reads/writes the JSON documents of
+:mod:`repro.io.serialization`, so pipelines compose: generate a topology,
+inspect its auxiliary-graph sizes, route on it, replay traffic over it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.counting import measure_sizes
+from repro.core.bounded import BoundedConversionRouter
+from repro.core.ksp import k_shortest_semilightpaths
+from repro.core.network import WDMNetwork
+from repro.core.routing import LiangShenRouter
+from repro.core.wavelengths import wavelength_name
+from repro.exceptions import NoPathError, SemilightError
+from repro.io.dot import (
+    bipartite_to_dot,
+    multigraph_to_dot,
+    network_to_dot,
+    routing_graph_to_dot,
+)
+from repro.io.serialization import network_from_json, network_to_json, path_to_json
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_node(raw: str):
+    """CLI node ids: integers when they look like integers, else strings."""
+    try:
+        return int(raw)
+    except ValueError:
+        return raw
+
+
+def _load_network(path: str) -> WDMNetwork:
+    return network_from_json(Path(path).read_text())
+
+
+def _format_path(path) -> str:
+    hops = " -> ".join(
+        f"{hop.tail}[{wavelength_name(hop.wavelength)}]{hop.head}"
+        for hop in path.hops
+    )
+    conversions = "; ".join(
+        f"{c.node}: {wavelength_name(c.from_wavelength)}->"
+        f"{wavelength_name(c.to_wavelength)}"
+        for c in path.conversions()
+    )
+    lines = [f"cost {path.total_cost:g}  hops {path.num_hops}  {hops}"]
+    if conversions:
+        lines.append(f"converter settings: {conversions}")
+    else:
+        lines.append("lightpath: no conversion needed")
+    return "\n".join(lines)
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    network = _load_network(args.network)
+    source = _parse_node(args.source)
+    target = _parse_node(args.target)
+    try:
+        if args.alternatives > 1:
+            paths = k_shortest_semilightpaths(
+                network, source, target, k=args.alternatives
+            )
+        elif args.max_conversions is not None:
+            router = BoundedConversionRouter(network)
+            paths = [router.route(source, target, args.max_conversions).path]
+        else:
+            paths = [LiangShenRouter(network).route(source, target).path]
+    except NoPathError:
+        print(f"no semilightpath from {source!r} to {target!r}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps([json.loads(path_to_json(p)) for p in paths], indent=2))
+    else:
+        for rank, path in enumerate(paths, 1):
+            prefix = f"#{rank}: " if len(paths) > 1 else ""
+            print(prefix + _format_path(path))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.topology.generators import (
+        degree_bounded_network,
+        grid_network,
+        ring_network,
+        waxman_network,
+    )
+    from repro.topology.reference import (
+        arpanet_network,
+        nsfnet_network,
+        paper_figure1_network,
+    )
+
+    k = args.wavelengths
+    kind = args.kind
+    if kind == "ring":
+        net = ring_network(args.nodes, k, seed=args.seed)
+    elif kind == "grid":
+        side = max(2, int(args.nodes**0.5))
+        mesh = grid_network(side, side, k, seed=args.seed)
+        # Grid labels are (row, col) tuples, which JSON cannot carry;
+        # relabel to "row.col" strings for the serialized document.
+        net = WDMNetwork(k, mesh.conversion(mesh.nodes()[0]))
+        rename = {node: f"{node[0]}.{node[1]}" for node in mesh.nodes()}
+        for node in mesh.nodes():
+            net.add_node(rename[node], mesh.conversion(node))
+        for link in mesh.links():
+            net.add_link(rename[link.tail], rename[link.head], dict(link.costs))
+    elif kind == "waxman":
+        net = waxman_network(args.nodes, k, seed=args.seed)
+    elif kind == "degree-bounded":
+        net = degree_bounded_network(args.nodes, k, seed=args.seed)
+    elif kind == "nsfnet":
+        net = nsfnet_network(num_wavelengths=k, seed=args.seed)
+    elif kind == "arpanet":
+        net = arpanet_network(num_wavelengths=k, seed=args.seed)
+    elif kind == "paper-fig1":
+        net = paper_figure1_network()
+    else:  # pragma: no cover - argparse choices prevent this
+        raise ValueError(kind)
+    text = network_to_json(net, indent=2)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {net!r} to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_sizes(args: argparse.Namespace) -> int:
+    network = _load_network(args.network)
+    report = measure_sizes(network)
+    print(report.format())
+    return 0 if report.all_within else 2
+
+
+def _cmd_provision(args: argparse.Namespace) -> int:
+    from repro.wdm.first_fit import FirstFitProvisioner
+    from repro.wdm.provisioning import SemilightpathProvisioner
+    from repro.wdm.simulation import DynamicSimulation
+    from repro.wdm.traffic import TrafficGenerator
+
+    network = _load_network(args.network)
+    factory = (
+        FirstFitProvisioner if args.policy == "first-fit" else SemilightpathProvisioner
+    )
+    trace = TrafficGenerator(
+        network.nodes(), args.load, args.holding, seed=args.seed
+    ).generate(args.requests)
+    stats = DynamicSimulation(factory(network)).run(trace)
+    print(
+        f"policy={args.policy} load={args.load}E requests={stats.offered} "
+        f"blocked={stats.blocked} P_block={stats.blocking_probability:.4f} "
+        f"hops/conn={stats.mean_hops:.2f} conv/conn={stats.mean_conversions:.2f}"
+    )
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.topology.traffic_matrices import gravity_demands, uniform_demands
+    from repro.wdm.planner import Demand, StaticPlanner
+
+    network = _load_network(args.network)
+    if args.demands:
+        document = json.loads(Path(args.demands).read_text())
+        demands = [
+            Demand(d["source"], d["target"], int(d.get("count", 1)))
+            for d in document
+        ]
+    elif args.gravity:
+        demands = gravity_demands(network.nodes(), args.gravity, seed=args.seed)
+    else:
+        demands = uniform_demands(network.nodes(), probability=0.3, seed=args.seed)
+    plan = StaticPlanner(
+        network, ordering=args.ordering, restarts=args.restarts, seed=args.seed
+    ).plan(demands)
+    print(
+        f"carried {plan.circuits_carried}/{plan.circuits_requested} circuits "
+        f"({plan.acceptance_ratio:.0%}) at total cost {plan.total_cost:g}"
+    )
+    for demand in plan.rejected:
+        print(f"  rejected: {demand.source!r} -> {demand.target!r} x{demand.count}")
+    return 0 if not plan.rejected else 3
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import EXPERIMENTS, run_all
+
+    if args.only:
+        unknown = [name for name in args.only if name not in EXPERIMENTS]
+        if unknown:
+            print(
+                f"unknown experiments: {unknown}; "
+                f"available: {sorted(EXPERIMENTS)}",
+                file=sys.stderr,
+            )
+            return 1
+    report = run_all(scale=args.scale, only=args.only)
+    if args.markdown:
+        from repro.analysis.reporting import render_markdown
+
+        text = render_markdown(report)
+    else:
+        text = json.dumps(report, indent=2)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {len(report)} experiment results to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    network = _load_network(args.network)
+    figure = args.figure
+    if figure == "fig1":
+        print(network_to_dot(network))
+    elif figure == "fig2":
+        print(multigraph_to_dot(network))
+    elif figure == "fig3":
+        if args.node is None:
+            print("--node is required for fig3", file=sys.stderr)
+            return 1
+        print(bipartite_to_dot(network, _parse_node(args.node)))
+    elif figure == "gst":
+        if args.source is None or args.target is None:
+            print("--source and --target are required for gst", file=sys.stderr)
+            return 1
+        print(
+            routing_graph_to_dot(
+                network, _parse_node(args.source), _parse_node(args.target)
+            )
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Optimal lightpath/semilightpath routing (Liang & Shen, ICDCS 1998)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_route = sub.add_parser("route", help="find an optimal semilightpath")
+    p_route.add_argument("network", help="network JSON file")
+    p_route.add_argument("source")
+    p_route.add_argument("target")
+    p_route.add_argument(
+        "--max-conversions", type=int, default=None, help="conversion budget"
+    )
+    p_route.add_argument(
+        "--alternatives", type=int, default=1, help="K shortest alternatives"
+    )
+    p_route.add_argument("--json", action="store_true", help="machine-readable output")
+    p_route.set_defaults(fn=_cmd_route)
+
+    p_gen = sub.add_parser("generate", help="generate a network JSON document")
+    p_gen.add_argument(
+        "kind",
+        choices=[
+            "ring", "grid", "waxman", "degree-bounded",
+            "nsfnet", "arpanet", "paper-fig1",
+        ],
+    )
+    p_gen.add_argument("--nodes", type=int, default=16)
+    p_gen.add_argument("--wavelengths", type=int, default=4)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("-o", "--output", default=None)
+    p_gen.set_defaults(fn=_cmd_generate)
+
+    p_sizes = sub.add_parser(
+        "sizes", help="auxiliary-graph sizes vs the paper's Observation bounds"
+    )
+    p_sizes.add_argument("network")
+    p_sizes.set_defaults(fn=_cmd_sizes)
+
+    p_prov = sub.add_parser("provision", help="dynamic-traffic blocking run")
+    p_prov.add_argument("network")
+    p_prov.add_argument("--load", type=float, default=20.0, help="Erlang load")
+    p_prov.add_argument("--holding", type=float, default=1.0)
+    p_prov.add_argument("--requests", type=int, default=300)
+    p_prov.add_argument("--seed", type=int, default=0)
+    p_prov.add_argument(
+        "--policy", choices=["semilightpath", "first-fit"], default="semilightpath"
+    )
+    p_prov.set_defaults(fn=_cmd_provision)
+
+    p_plan = sub.add_parser("plan", help="static RWA planning over a demand matrix")
+    p_plan.add_argument("network")
+    p_plan.add_argument(
+        "--demands", default=None,
+        help="JSON file: [{source, target, count}, ...]; default: uniform matrix",
+    )
+    p_plan.add_argument(
+        "--gravity", type=int, default=None, metavar="CIRCUITS",
+        help="generate a gravity-model matrix with ~CIRCUITS total circuits",
+    )
+    p_plan.add_argument(
+        "--ordering",
+        choices=["shortest-first", "longest-first", "given", "random"],
+        default="longest-first",
+    )
+    p_plan.add_argument("--restarts", type=int, default=1)
+    p_plan.add_argument("--seed", type=int, default=0)
+    p_plan.set_defaults(fn=_cmd_plan)
+
+    p_exp = sub.add_parser(
+        "experiments", help="regenerate the EXPERIMENTS.md measurements"
+    )
+    p_exp.add_argument("--scale", type=int, default=1, help="1 = quick, 2 = fuller")
+    p_exp.add_argument(
+        "--only", nargs="*", default=None, help="subset of experiment ids"
+    )
+    p_exp.add_argument("-o", "--output", default=None, help="write JSON here")
+    p_exp.add_argument(
+        "--markdown", action="store_true", help="render tables instead of JSON"
+    )
+    p_exp.set_defaults(fn=_cmd_experiments)
+
+    p_dot = sub.add_parser("dot", help="Graphviz DOT export (paper figures)")
+    p_dot.add_argument("network")
+    p_dot.add_argument(
+        "--figure", choices=["fig1", "fig2", "fig3", "gst"], default="fig1"
+    )
+    p_dot.add_argument("--node", default=None, help="node for fig3")
+    p_dot.add_argument("--source", default=None, help="source for gst")
+    p_dot.add_argument("--target", default=None, help="target for gst")
+    p_dot.set_defaults(fn=_cmd_dot)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except SemilightError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

@@ -1,0 +1,80 @@
+"""Batch routing over one shared ``G_all``.
+
+:class:`LiangShenRouter` rebuilds its auxiliary graph per query — the
+accounting both papers use, and the right default when the network's
+costs change between queries (the dynamic provisioner's situation).  When
+the network is *static* and many queries arrive (planning studies,
+all-to-one analyses, repeated lookups), the Corollary 1 graph ``G_all``
+can be built once and reused: each query is then a single Dijkstra run,
+and full trees are cached per source.
+
+:class:`BatchRouter` is that amortization.  It is read-only with respect
+to the network; if the network changes, build a new instance (documented
+contract — there is deliberately no invalidation machinery).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+from repro.core.auxiliary import build_all_pairs_graph
+from repro.core.routing import LiangShenRouter
+from repro.core.semilightpath import Semilightpath
+from repro.exceptions import NoPathError
+
+__all__ = ["BatchRouter"]
+
+NodeId = Hashable
+
+
+class BatchRouter:
+    """Amortized routing: one ``G_all`` build, per-source tree caching.
+
+    Example
+    -------
+    >>> from repro.topology.reference import paper_figure1_network
+    >>> router = BatchRouter(paper_figure1_network())
+    >>> router.route(1, 7).total_cost
+    2.0
+    >>> router.cost(1, 6)
+    3.5
+    """
+
+    def __init__(self, network, heap: str = "binary") -> None:
+        self.network = network
+        self._inner = LiangShenRouter(network, heap=heap)
+        self._aux = build_all_pairs_graph(network)
+        self._trees: dict[NodeId, dict[NodeId, Semilightpath]] = {}
+
+    @property
+    def cached_sources(self) -> int:
+        """Number of sources whose full tree is cached."""
+        return len(self._trees)
+
+    def _tree(self, source: NodeId) -> dict[NodeId, Semilightpath]:
+        if source not in self._trees:
+            tree, _run = self._inner._tree_from(self._aux, source)
+            self._trees[source] = tree
+        return self._trees[source]
+
+    def route(self, source: NodeId, target: NodeId) -> Semilightpath:
+        """Optimal semilightpath (raises :class:`NoPathError` if none)."""
+        if source == target:
+            raise ValueError("source and target must differ")
+        tree = self._tree(source)
+        path = tree.get(target)
+        if path is None:
+            raise NoPathError(source, target)
+        return path
+
+    def cost(self, source: NodeId, target: NodeId) -> float:
+        """Optimal cost, ``math.inf`` when unreachable."""
+        if source == target:
+            return 0.0
+        path = self._tree(source).get(target)
+        return math.inf if path is None else path.total_cost
+
+    def tree(self, source: NodeId) -> dict[NodeId, Semilightpath]:
+        """The full shortest-path tree from *source* (cached)."""
+        return dict(self._tree(source))

@@ -1,0 +1,271 @@
+"""Wavelength-conversion cost models ``c_v(λ_p, λ_q)``.
+
+The paper models conversion capability at node ``v`` as a cost function:
+``c_v(λ_p, λ_q)`` is the cost of switching an incoming signal on ``λ_p`` to
+an outgoing ``λ_q``; ``c_v(λ, λ) = 0`` always, and an unsupported pair has
+infinite cost.  In the auxiliary graphs an infinite cost simply means *no
+edge* between the corresponding bipartite nodes.
+
+This module provides a small hierarchy of models covering the situations the
+WDM literature actually uses:
+
+================================  ==================================================
+model                             semantics
+================================  ==================================================
+:class:`FullConversion`           every pair convertible at a (possibly
+                                  wavelength-dependent) cost
+:class:`NoConversion`             only ``λ → λ`` possible (pure lightpaths)
+:class:`FixedCostConversion`      alias of full conversion at one flat cost
+:class:`RangeLimitedConversion`   convertible iff ``|p - q| <= range_limit``
+                                  (models limited-range optoelectronic converters)
+:class:`MatrixConversion`         explicit per-pair cost table (sparse dict)
+:class:`CallableConversion`       arbitrary user function
+================================  ==================================================
+
+All models are immutable and shareable across nodes.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro._validation import check_nonnegative
+
+__all__ = [
+    "ConversionModel",
+    "FullConversion",
+    "NoConversion",
+    "FixedCostConversion",
+    "RangeLimitedConversion",
+    "MatrixConversion",
+    "CallableConversion",
+]
+
+INF = math.inf
+
+
+class ConversionModel(ABC):
+    """Abstract conversion cost function for one node.
+
+    Subclasses implement :meth:`_convert_cost` for ``p != q``; the base class
+    enforces the paper's invariant ``c_v(λ, λ) = 0``.
+    """
+
+    def cost(self, from_wavelength: int, to_wavelength: int) -> float:
+        """Cost of converting ``from_wavelength`` to ``to_wavelength``.
+
+        Returns ``math.inf`` when the conversion is not supported.  Equal
+        wavelengths always cost 0, regardless of the subclass.
+        """
+        if from_wavelength == to_wavelength:
+            return 0.0
+        return self._convert_cost(from_wavelength, to_wavelength)
+
+    @abstractmethod
+    def _convert_cost(self, from_wavelength: int, to_wavelength: int) -> float:
+        """Cost for a *distinct* pair; ``math.inf`` when unsupported."""
+
+    def supports(self, from_wavelength: int, to_wavelength: int) -> bool:
+        """True when the conversion has finite cost."""
+        return self.cost(from_wavelength, to_wavelength) < INF
+
+    def finite_pairs(
+        self, in_wavelengths: Iterable[int], out_wavelengths: Iterable[int]
+    ) -> Iterator[tuple[int, int, float]]:
+        """Yield ``(λ_in, λ_out, cost)`` for every supported pair.
+
+        This is the enumeration the bipartite graph ``G_v`` construction
+        performs; subclasses with structure (e.g. :class:`NoConversion`)
+        override it to skip the quadratic scan.
+        """
+        outs = list(out_wavelengths)
+        for p in in_wavelengths:
+            for q in outs:
+                c = self.cost(p, q)
+                if c < INF:
+                    yield p, q, c
+
+    def max_finite_cost(self, wavelengths: Iterable[int]) -> float:
+        """Largest finite conversion cost over pairs drawn from *wavelengths*.
+
+        Used by the Restriction 2 checker.  Returns ``0.0`` when no distinct
+        pair is convertible.
+        """
+        ws = list(wavelengths)
+        best = 0.0
+        for p in ws:
+            for q in ws:
+                c = self.cost(p, q)
+                if c < INF and c > best:
+                    best = c
+        return best
+
+
+class FullConversion(ConversionModel):
+    """Any-to-any conversion at a per-pair cost from a callable or constant.
+
+    Parameters
+    ----------
+    cost:
+        Either a nonnegative float applied to every distinct pair, or a
+        callable ``(from_wavelength, to_wavelength) -> float`` returning a
+        nonnegative finite cost.
+    """
+
+    def __init__(self, cost: float | Callable[[int, int], float] = 1.0) -> None:
+        if callable(cost):
+            self._fn: Callable[[int, int], float] | None = cost
+            self._flat = 0.0
+        else:
+            self._fn = None
+            self._flat = check_nonnegative(cost, "cost")
+
+    def _convert_cost(self, from_wavelength: int, to_wavelength: int) -> float:
+        if self._fn is not None:
+            return check_nonnegative(
+                self._fn(from_wavelength, to_wavelength), "conversion cost"
+            )
+        return self._flat
+
+    def __repr__(self) -> str:
+        inner = "<callable>" if self._fn is not None else repr(self._flat)
+        return f"FullConversion({inner})"
+
+
+class FixedCostConversion(FullConversion):
+    """Full conversion at one flat cost (a named convenience subclass)."""
+
+    def __init__(self, cost: float) -> None:
+        super().__init__(check_nonnegative(cost, "cost"))
+
+
+class NoConversion(ConversionModel):
+    """Wavelength continuity: only ``λ → λ`` is possible.
+
+    A network where every node uses this model can only route *lightpaths*
+    (the special case the paper mentions where the number of conversions is
+    zero).
+    """
+
+    def _convert_cost(self, from_wavelength: int, to_wavelength: int) -> float:
+        return INF
+
+    def finite_pairs(
+        self, in_wavelengths: Iterable[int], out_wavelengths: Iterable[int]
+    ) -> Iterator[tuple[int, int, float]]:
+        outs = set(out_wavelengths)
+        for p in in_wavelengths:
+            if p in outs:
+                yield p, p, 0.0
+
+    def max_finite_cost(self, wavelengths: Iterable[int]) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:
+        return "NoConversion()"
+
+
+class RangeLimitedConversion(ConversionModel):
+    """Conversion possible only between nearby wavelengths.
+
+    Models limited-range converters: ``λ_p → λ_q`` is supported iff
+    ``|p - q| <= range_limit``, at a cost that may depend on the distance.
+
+    Parameters
+    ----------
+    range_limit:
+        Maximum index distance convertible (``>= 0``).
+    cost_per_step:
+        Cost is ``cost_per_step * |p - q|`` (so adjacent conversions are
+        cheapest).  Defaults to 1.0.
+    """
+
+    def __init__(self, range_limit: int, cost_per_step: float = 1.0) -> None:
+        if range_limit < 0:
+            raise ValueError(f"range_limit must be >= 0, got {range_limit}")
+        self.range_limit = int(range_limit)
+        self.cost_per_step = check_nonnegative(cost_per_step, "cost_per_step")
+
+    def _convert_cost(self, from_wavelength: int, to_wavelength: int) -> float:
+        distance = abs(from_wavelength - to_wavelength)
+        if distance > self.range_limit:
+            return INF
+        return self.cost_per_step * distance
+
+    def __repr__(self) -> str:
+        return (
+            f"RangeLimitedConversion(range_limit={self.range_limit}, "
+            f"cost_per_step={self.cost_per_step})"
+        )
+
+
+class MatrixConversion(ConversionModel):
+    """Explicit sparse per-pair cost table.
+
+    Parameters
+    ----------
+    costs:
+        Mapping ``(from_wavelength, to_wavelength) -> cost``.  Pairs absent
+        from the mapping are unsupported (infinite).  Diagonal entries, if
+        present, must be 0.
+    """
+
+    def __init__(self, costs: Mapping[tuple[int, int], float]) -> None:
+        table: dict[tuple[int, int], float] = {}
+        for (p, q), c in costs.items():
+            if p == q and c != 0:
+                raise ValueError(
+                    f"c(λ, λ) must be 0, got {c!r} for wavelength {p}"
+                )
+            if math.isinf(c):
+                continue  # infinite == absent
+            table[(p, q)] = check_nonnegative(c, f"cost of ({p}, {q})")
+        self._table = table
+
+    def _convert_cost(self, from_wavelength: int, to_wavelength: int) -> float:
+        return self._table.get((from_wavelength, to_wavelength), INF)
+
+    def finite_pairs(
+        self, in_wavelengths: Iterable[int], out_wavelengths: Iterable[int]
+    ) -> Iterator[tuple[int, int, float]]:
+        ins = set(in_wavelengths)
+        outs = set(out_wavelengths)
+        # Same-wavelength pass-through is always free.
+        for p in ins & outs:
+            yield p, p, 0.0
+        for (p, q), c in self._table.items():
+            if p != q and p in ins and q in outs:
+                yield p, q, c
+
+    def pairs(self) -> Iterator[tuple[int, int, float]]:
+        """Yield every finite off-diagonal entry ``(from, to, cost)``."""
+        for (p, q), c in self._table.items():
+            if p != q:
+                yield p, q, c
+
+    def __repr__(self) -> str:
+        return f"MatrixConversion({len(self._table)} finite pairs)"
+
+
+class CallableConversion(ConversionModel):
+    """Adapter turning an arbitrary function into a conversion model.
+
+    The function must return a nonnegative cost or ``math.inf``; it is never
+    consulted for equal wavelengths.
+    """
+
+    def __init__(self, fn: Callable[[int, int], float]) -> None:
+        if not callable(fn):
+            raise TypeError(f"fn must be callable, got {type(fn).__name__}")
+        self._fn = fn
+
+    def _convert_cost(self, from_wavelength: int, to_wavelength: int) -> float:
+        c = self._fn(from_wavelength, to_wavelength)
+        if c < 0 or c != c:
+            raise ValueError(f"conversion cost must be >= 0, got {c!r}")
+        return c
+
+    def __repr__(self) -> str:
+        return f"CallableConversion({self._fn!r})"

@@ -1,0 +1,42 @@
+"""Operation counters reported by the routers.
+
+Complexity claims are about *work*, not wall-clock; the benchmark harness
+therefore records, for every routing query, the auxiliary-graph sizes and
+the heap/relaxation counts of the underlying shortest-path run.  Wall-clock
+is measured separately by pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.auxiliary import AuxiliarySizes
+
+__all__ = ["QueryStats"]
+
+
+@dataclass(frozen=True)
+class QueryStats:
+    """Work accounting for one routing query.
+
+    Attributes
+    ----------
+    sizes:
+        Sizes of the auxiliary graph the query ran on (Observations 1-5).
+    settled:
+        Nodes extracted with final distance from the priority queue.
+    relaxations:
+        Edge relaxations attempted.
+    heap:
+        Raw heap operation counts (``pushes`` / ``pops`` / ``decreases``).
+    """
+
+    sizes: AuxiliarySizes
+    settled: int = 0
+    relaxations: int = 0
+    heap: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_heap_ops(self) -> int:
+        """Sum of all heap operations."""
+        return sum(self.heap.values())

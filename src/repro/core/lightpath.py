@@ -1,0 +1,120 @@
+"""Pure-lightpath routing: per-wavelength shortest paths.
+
+The paper's introduction frames lightpaths (no conversion anywhere) as the
+special case of semilightpaths with zero switches.  For that case the
+layered machinery is overkill: the wavelength-continuity constraint
+decomposes the problem into ``k`` independent shortest-path queries, one
+per wavelength subgraph, in ``O(k·(m + n log n))`` total — asymptotically
+the same as Theorem 1 with the ``k²n`` conversion term deleted.
+
+:class:`LightpathRouter` implements that decomposition.  It returns the
+same answers as :class:`~repro.core.routing.LiangShenRouter` on networks
+whose nodes all use :class:`~repro.core.conversion.NoConversion`, and the
+same answer as :class:`~repro.core.bounded.BoundedConversionRouter` with
+``max_conversions=0`` on *any* network — both equalities are tested.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Hashable
+
+from repro.core.instrumentation import QueryStats
+from repro.core.routing import RouteResult
+from repro.core.semilightpath import Hop, Semilightpath
+from repro.core.auxiliary import build_layered_graph
+from repro.exceptions import NoPathError
+from repro.shortestpath.dijkstra import dijkstra
+from repro.shortestpath.paths import reconstruct_path
+from repro.shortestpath.structures import GraphBuilder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.network import WDMNetwork
+
+__all__ = ["LightpathRouter"]
+
+NodeId = Hashable
+
+
+class LightpathRouter:
+    """Optimal *lightpath* (conversion-free) routing.
+
+    Example
+    -------
+    >>> from repro.topology.reference import paper_figure1_network
+    >>> router = LightpathRouter(paper_figure1_network())
+    >>> result = router.route(1, 7)
+    >>> result.path.is_lightpath
+    True
+    """
+
+    def __init__(self, network: "WDMNetwork", heap: str = "binary") -> None:
+        self.network = network
+        self.heap = heap
+        # The per-wavelength subgraphs are query-independent: build once.
+        self._subgraphs: list = []
+        n = network.num_nodes
+        for wavelength in range(network.num_wavelengths):
+            builder = GraphBuilder(n)
+            present = False
+            for link in network.links():
+                cost = link.costs.get(wavelength)
+                if cost is not None:
+                    builder.add_edge(
+                        network.node_index(link.tail),
+                        network.node_index(link.head),
+                        cost,
+                    )
+                    present = True
+            self._subgraphs.append(builder.build() if present else None)
+        # Size accounting for QueryStats is also query-independent.
+        self._sizes = build_layered_graph(network).sizes
+
+    def route(self, source: NodeId, target: NodeId) -> RouteResult:
+        """Cheapest single-wavelength path from *source* to *target*.
+
+        Raises :class:`NoPathError` when no wavelength offers a continuous
+        path.
+        """
+        best = self.route_per_wavelength(source, target)
+        finite = [(w, p) for w, p in best.items() if p is not None]
+        if not finite:
+            raise NoPathError(source, target)
+        wavelength, path = min(finite, key=lambda item: item[1].total_cost)
+        stats = QueryStats(sizes=self._sizes)
+        return RouteResult(path=path, stats=stats)
+
+    def route_per_wavelength(
+        self, source: NodeId, target: NodeId
+    ) -> dict[int, Semilightpath | None]:
+        """The best lightpath on *each* wavelength (None if disconnected).
+
+        Useful for wavelength-assignment policies: the caller sees the
+        whole per-λ cost landscape, not just the global winner.
+        """
+        if source == target:
+            raise ValueError("source and target must differ")
+        network = self.network
+        source_index = network.node_index(source)
+        target_index = network.node_index(target)
+        results: dict[int, Semilightpath | None] = {}
+        for wavelength, subgraph in enumerate(self._subgraphs):
+            if subgraph is None:
+                results[wavelength] = None
+                continue
+            run = dijkstra(
+                subgraph, source_index, target=target_index, heap=self.heap
+            )
+            if run.dist[target_index] == math.inf:
+                results[wavelength] = None
+                continue
+            indices = reconstruct_path(run.parent, target_index)
+            labels = [network.node_label(i) for i in indices]
+            hops = tuple(
+                Hop(tail=labels[i], head=labels[i + 1], wavelength=wavelength)
+                for i in range(len(labels) - 1)
+            )
+            results[wavelength] = Semilightpath(
+                hops=hops, total_cost=run.dist[target_index]
+            )
+        return results

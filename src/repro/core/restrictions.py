@@ -1,0 +1,103 @@
+"""Restrictions 1-2 and the Theorem 2 node-simplicity guarantee.
+
+The paper's model allows an optimal semilightpath to revisit a node on
+different wavelengths (Figs. 5-6).  Two cost-structure restrictions rule
+this out:
+
+* **Restriction 1** — for any ``λ_p ∈ Λ_in(G, v)`` and
+  ``λ_q ∈ Λ_out(G, v)``, the conversion ``c_v(λ_p, λ_q)`` is well defined
+  (finite): a node that can receive on ``λ_p`` and transmit on ``λ_q`` can
+  convert between them.
+* **Restriction 2** — the largest conversion cost anywhere is strictly
+  less than the smallest link cost anywhere (Eq. 2).
+
+**Theorem 2**: under both restrictions, the optimal semilightpath visits
+each node at most once.  :func:`enforce_restrictions` raises when the
+network violates either restriction; :func:`is_node_simple` is the property
+the theorem guarantees (re-exported from the path object for convenience).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.core.semilightpath import Semilightpath
+from repro.exceptions import RestrictionViolation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.network import WDMNetwork
+
+__all__ = [
+    "check_restriction1",
+    "check_restriction2",
+    "enforce_restrictions",
+    "is_node_simple",
+]
+
+
+def check_restriction1(network: "WDMNetwork") -> list[tuple[object, int, int]]:
+    """Return every Restriction 1 violation as ``(node, λ_p, λ_q)``.
+
+    Empty list means the restriction holds: at every node, any wavelength
+    receivable on an incoming link can be converted to any wavelength
+    transmittable on an outgoing link.
+    """
+    violations: list[tuple[object, int, int]] = []
+    for v in network.nodes():
+        lam_in = network.lambda_in(v)
+        lam_out = network.lambda_out(v)
+        model = network.conversion(v)
+        for p in sorted(lam_in):
+            for q in sorted(lam_out):
+                if not model.supports(p, q):
+                    violations.append((v, p, q))
+    return violations
+
+
+def check_restriction2(network: "WDMNetwork") -> tuple[bool, float, float]:
+    """Check Eq. (2): ``max conversion cost < min link cost``.
+
+    Returns ``(holds, max_conversion_cost, min_link_cost)``.  Only
+    conversions between wavelengths actually receivable/transmittable at
+    each node are considered, matching the quantifiers in Eq. (2).  A
+    network with no links vacuously satisfies the restriction.
+    """
+    min_link = network.min_link_cost()
+    max_conv = 0.0
+    for v in network.nodes():
+        lam_in = network.lambda_in(v)
+        lam_out = network.lambda_out(v)
+        model = network.conversion(v)
+        for p in sorted(lam_in):
+            for q in sorted(lam_out):
+                c = model.cost(p, q)
+                if c < math.inf and c > max_conv:
+                    max_conv = c
+    return max_conv < min_link, max_conv, min_link
+
+
+def enforce_restrictions(network: "WDMNetwork") -> None:
+    """Raise :class:`RestrictionViolation` unless Restrictions 1-2 hold."""
+    violations = check_restriction1(network)
+    if violations:
+        v, p, q = violations[0]
+        raise RestrictionViolation(
+            f"Restriction 1 violated at node {v!r}: cannot convert "
+            f"λ{p + 1} -> λ{q + 1} (and {len(violations) - 1} more violations)"
+        )
+    holds, max_conv, min_link = check_restriction2(network)
+    if not holds:
+        raise RestrictionViolation(
+            f"Restriction 2 violated: max conversion cost {max_conv!r} is "
+            f"not < min link cost {min_link!r}"
+        )
+
+
+def is_node_simple(path: Semilightpath) -> bool:
+    """True when the semilightpath visits every node at most once.
+
+    This is the property Theorem 2 guarantees for optimal semilightpaths on
+    networks satisfying Restrictions 1-2.
+    """
+    return path.is_node_simple

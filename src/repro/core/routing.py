@@ -1,0 +1,205 @@
+"""The Liang–Shen optimal-semilightpath router (Theorem 1, Corollary 1).
+
+:class:`LiangShenRouter` answers three kinds of query:
+
+* :meth:`~LiangShenRouter.route` — single pair ``(s, t)``: build
+  ``G_{s,t}``, run Dijkstra from ``s'`` with early stop at ``t''``, decode
+  the auxiliary path into a :class:`~repro.core.semilightpath.Semilightpath`
+  (Theorem 1's ``O(k²n + km + kn·log(kn))`` procedure).
+* :meth:`~LiangShenRouter.route_tree` — one source to all targets: build
+  ``G_all`` and run a full shortest-path tree from ``v'`` (the building
+  block of Corollary 1).
+* :meth:`~LiangShenRouter.route_all_pairs` — all pairs: one tree per node
+  over a single shared ``G_all``.
+
+The decode step relies on the structure of ``G_{s,t}`` paths: they
+alternate between *conversion* edges (inside one node's ``G_v``, from an
+``X_v`` node to a ``Y_v`` node) and *original* edges (``Y_u → X_v``, one
+per ``G_M`` link), book-ended by the zero-weight virtual edges at ``s'``
+and ``t''``.  Each original edge contributes a hop; conversion edges carry
+no hop but determine the wavelength switches, which the
+:class:`Semilightpath` recovers from consecutive hop wavelengths.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Hashable
+
+from repro.core.auxiliary import (
+    KIND_IN,
+    KIND_OUT,
+    AllPairsGraph,
+    AuxNode,
+    build_all_pairs_graph,
+    build_routing_graph,
+)
+from repro.core.instrumentation import QueryStats
+from repro.core.semilightpath import Hop, Semilightpath
+from repro.exceptions import NoPathError
+from repro.shortestpath.dijkstra import DijkstraResult, dijkstra
+from repro.shortestpath.heaps import AddressableHeap
+from repro.shortestpath.paths import reconstruct_path
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.network import WDMNetwork
+
+__all__ = ["RouteResult", "AllPairsResult", "LiangShenRouter"]
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """A routed semilightpath plus the work it took to find it."""
+
+    path: Semilightpath
+    stats: QueryStats
+
+    @property
+    def cost(self) -> float:
+        """Total cost of the routed semilightpath (Eq. 1)."""
+        return self.path.total_cost
+
+
+@dataclass(frozen=True)
+class AllPairsResult:
+    """Optimal semilightpaths for every ordered reachable pair.
+
+    ``paths[(s, t)]`` holds the optimal semilightpath; unreachable pairs are
+    absent.  ``stats`` aggregates the per-tree work.
+    """
+
+    paths: dict[tuple[NodeId, NodeId], Semilightpath]
+    stats: QueryStats
+
+    def cost(self, source: NodeId, target: NodeId) -> float:
+        """Optimal cost for the pair, ``math.inf`` when unreachable."""
+        path = self.paths.get((source, target))
+        return math.inf if path is None else path.total_cost
+
+
+class LiangShenRouter:
+    """Optimal semilightpath routing via the layered-graph reduction.
+
+    Parameters
+    ----------
+    network:
+        The :class:`~repro.core.network.WDMNetwork` to route on.
+    heap:
+        Priority-queue implementation for the Dijkstra core: ``"binary"``
+        (default — fastest in CPython), ``"pairing"``, ``"fibonacci"``
+        (the structure Theorem 1's bound cites), or a factory callable.
+
+    Example
+    -------
+    >>> from repro.topology.reference import paper_figure1_network
+    >>> net = paper_figure1_network()
+    >>> router = LiangShenRouter(net)
+    >>> result = router.route(1, 7)
+    >>> result.path.source, result.path.target
+    (1, 7)
+    """
+
+    def __init__(
+        self,
+        network: "WDMNetwork",
+        heap: str | Callable[[], AddressableHeap] = "binary",
+    ) -> None:
+        self.network = network
+        self.heap = heap
+
+    # -- single pair (Theorem 1) ---------------------------------------------
+
+    def route(self, source: NodeId, target: NodeId) -> RouteResult:
+        """Find an optimal semilightpath from *source* to *target*.
+
+        Raises :class:`~repro.exceptions.NoPathError` when no semilightpath
+        exists (including when the endpoints have no usable wavelengths).
+        """
+        aux = build_routing_graph(self.network, source, target)
+        run = dijkstra(aux.graph, aux.source_id, target=aux.sink_id, heap=self.heap)
+        if run.dist[aux.sink_id] == math.inf:
+            raise NoPathError(source, target)
+        aux_path = reconstruct_path(run.parent, aux.sink_id)
+        path = _decode(aux.decode, aux_path, run.dist[aux.sink_id])
+        return RouteResult(path=path, stats=_stats(aux.sizes, run))
+
+    # -- one-to-all / all pairs (Corollary 1) -----------------------------------
+
+    def route_tree(self, source: NodeId) -> dict[NodeId, Semilightpath]:
+        """Optimal semilightpaths from *source* to every reachable node.
+
+        Builds ``G_all`` and runs a single full Dijkstra from ``source'``;
+        this is one iteration of Corollary 1.
+        """
+        aux = build_all_pairs_graph(self.network)
+        return self._tree_from(aux, source)[0]
+
+    def route_all_pairs(self) -> AllPairsResult:
+        """Corollary 1: optimal semilightpaths for all ordered pairs.
+
+        One shared ``G_all`` build plus ``n`` shortest-path-tree runs:
+        ``O(k²n² + kmn + kn²·log(kn))`` total.
+        """
+        aux = build_all_pairs_graph(self.network)
+        paths: dict[tuple[NodeId, NodeId], Semilightpath] = {}
+        settled = 0
+        relaxations = 0
+        heap_totals: dict[str, int] = {}
+        for source in self.network.nodes():
+            tree, run = self._tree_from(aux, source)
+            for target, path in tree.items():
+                paths[(source, target)] = path
+            settled += run.settled
+            relaxations += run.relaxations
+            for key, value in run.heap_stats.items():
+                heap_totals[key] = heap_totals.get(key, 0) + value
+        stats = QueryStats(
+            sizes=aux.sizes,
+            settled=settled,
+            relaxations=relaxations,
+            heap=heap_totals,
+        )
+        return AllPairsResult(paths=paths, stats=stats)
+
+    def _tree_from(
+        self, aux: AllPairsGraph, source: NodeId
+    ) -> tuple[dict[NodeId, Semilightpath], DijkstraResult]:
+        source_id = aux.source_ids[source]
+        run = dijkstra(aux.graph, source_id, heap=self.heap)
+        tree: dict[NodeId, Semilightpath] = {}
+        for target, sink_id in aux.sink_ids.items():
+            if target == source or run.dist[sink_id] == math.inf:
+                continue
+            aux_path = reconstruct_path(run.parent, sink_id)
+            tree[target] = _decode(aux.decode, aux_path, run.dist[sink_id])
+        return tree, run
+
+
+def _stats(sizes, run: DijkstraResult) -> QueryStats:
+    return QueryStats(
+        sizes=sizes,
+        settled=run.settled,
+        relaxations=run.relaxations,
+        heap=dict(run.heap_stats),
+    )
+
+
+def _decode(decode: list[AuxNode], aux_path: list[int], total: float) -> Semilightpath:
+    """Map an auxiliary-graph path back to a semilightpath.
+
+    Every ``Y_u(λ) → X_v(λ)`` step is an ``E_org`` edge, i.e. one hop of the
+    semilightpath on wavelength ``λ``; all other steps are virtual or
+    conversion edges and contribute no hop.
+    """
+    hops: list[Hop] = []
+    for i in range(len(aux_path) - 1):
+        a = decode[aux_path[i]]
+        b = decode[aux_path[i + 1]]
+        if a.kind == KIND_OUT and b.kind == KIND_IN:
+            # By construction E_org edges preserve the wavelength.
+            assert a.wavelength == b.wavelength, "corrupt E_org edge"
+            hops.append(Hop(tail=a.node, head=b.node, wavelength=a.wavelength))
+    return Semilightpath(hops=tuple(hops), total_cost=total)

@@ -1,0 +1,52 @@
+"""Wavelength representation.
+
+Wavelengths are plain 0-based integer indices into the network's universe
+``Λ = {λ₁, …, λ_k}``: wavelength ``i`` models the paper's ``λ_{i+1}``.
+Keeping them as ints (rather than wrapper objects) keeps the hot loops of
+the auxiliary-graph construction allocation-free; this module centralizes
+the few conveniences the rest of the code needs on top of that.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.exceptions import WavelengthError
+
+__all__ = ["wavelength_name", "check_wavelength", "normalize_wavelengths"]
+
+
+def wavelength_name(wavelength: int) -> str:
+    """Human-readable name matching the paper's notation.
+
+    >>> wavelength_name(0)
+    'λ1'
+    """
+    return f"λ{wavelength + 1}"
+
+
+def check_wavelength(wavelength: int, num_wavelengths: int) -> int:
+    """Validate that *wavelength* is an index into a size-``k`` universe."""
+    if isinstance(wavelength, bool) or not isinstance(wavelength, int):
+        raise WavelengthError(
+            f"wavelength must be an int index, got {type(wavelength).__name__}"
+        )
+    if not 0 <= wavelength < num_wavelengths:
+        raise WavelengthError(
+            f"wavelength {wavelength} out of range [0, {num_wavelengths})"
+        )
+    return wavelength
+
+
+def normalize_wavelengths(
+    wavelengths: Iterable[int], num_wavelengths: int
+) -> frozenset[int]:
+    """Return *wavelengths* as a validated frozenset of indices.
+
+    Duplicates are tolerated (sets collapse them); out-of-range entries
+    raise :class:`~repro.exceptions.WavelengthError`.
+    """
+    result = frozenset(wavelengths)
+    for w in result:
+        check_wavelength(w, num_wavelengths)
+    return result

@@ -1,0 +1,51 @@
+"""Distributed message-passing substrate and the distributed router.
+
+The paper's Theorems 3 and 5 claim a distributed implementation of the
+semilightpath algorithm with ``O(km)`` messages and ``O(kn)`` time (resp.
+``O(mk₀)`` / ``O(nk₀)`` in the restricted regime).  This subpackage builds
+the machinery to *measure* those claims:
+
+* :mod:`~repro.distributed.simulator` — a synchronous-round and an
+  asynchronous event-driven message-passing simulator over an arbitrary
+  directed topology, with exact per-link message accounting,
+* :mod:`~repro.distributed.bellman_ford_dist` — classic synchronous
+  distributed Bellman–Ford SSSP (the textbook distributed shortest-path
+  building block),
+* :mod:`~repro.distributed.chandy_misra` — the asynchronous
+  Chandy–Misra-style diffusing-computation SSSP the paper cites,
+* :mod:`~repro.distributed.semilightpath_dist` — the distributed
+  Liang–Shen router: every physical node simulates its fragment of
+  ``G_{s,t}`` (its bipartite ``G_v``), so only ``E_org`` edges cost
+  messages — exactly the accounting in Theorem 3's proof.
+"""
+
+from repro.distributed.all_pairs_dist import AllPairsDistResult, DistributedAllPairs
+from repro.distributed.bellman_ford_dist import DistributedBellmanFord
+from repro.distributed.chandy_misra import ChandyMisraSSSP
+from repro.distributed.messages import MessageStats
+from repro.distributed.semilightpath_async import AsyncSemilightpathRouter
+from repro.distributed.semilightpath_dist import (
+    DistributedRouteResult,
+    DistributedSemilightpathRouter,
+)
+from repro.distributed.simulator import (
+    AsyncSimulator,
+    Process,
+    SyncContext,
+    SyncSimulator,
+)
+
+__all__ = [
+    "Process",
+    "SyncContext",
+    "SyncSimulator",
+    "AsyncSimulator",
+    "MessageStats",
+    "DistributedBellmanFord",
+    "ChandyMisraSSSP",
+    "DistributedSemilightpathRouter",
+    "DistributedRouteResult",
+    "AsyncSemilightpathRouter",
+    "DistributedAllPairs",
+    "AllPairsDistResult",
+]

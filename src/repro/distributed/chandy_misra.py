@@ -1,0 +1,156 @@
+"""Chandy–Misra asynchronous SSSP with diffusing-computation termination.
+
+Chandy & Misra (CACM 1982) — the distributed shortest-path algorithm the
+paper's Theorem 3 cites.  It is a diffusing computation in the style of
+Dijkstra–Scholten:
+
+* The source starts the computation by proposing distances to neighbors.
+* A node receiving a shorter distance adopts it, re-proposes downstream,
+  and tracks an *engagement* edge to the first unacknowledged proposer.
+* Every proposal is eventually acknowledged; a node acknowledges its
+  engagement parent once all its own proposals are acknowledged.  When the
+  source collects all its acks, distances are final everywhere.
+
+The implementation runs under the asynchronous simulator (arbitrary
+per-link delays), so the termination protocol is actually load-bearing —
+under asynchrony a node cannot otherwise know whether a better distance is
+still in flight.
+
+Message types (2-tuples): ``("dist", value)`` and ``("ack",)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Hashable, Mapping
+
+from repro.distributed.messages import MessageStats
+from repro.distributed.simulator import AsyncSimulator, Process, SyncContext
+from repro.exceptions import SimulationError
+
+__all__ = ["ChandyMisraSSSP"]
+
+NodeId = Hashable
+INF = math.inf
+
+
+class _CMProcess(Process):
+    def __init__(self, node: NodeId, is_source: bool, weights: Mapping[NodeId, float]) -> None:
+        self.node = node
+        self.is_source = is_source
+        self.weights = weights
+        self.dist = 0.0 if is_source else INF
+        self.parent: NodeId | None = None
+        self.pending_acks = 0
+        self.engaged_to: NodeId | None = None  # unacknowledged proposer
+        self.finished = False  # source only: termination observed
+
+    def on_start(self, ctx: SyncContext) -> None:
+        if self.is_source:
+            self._propose(ctx)
+            if self.pending_acks == 0:
+                self.finished = True
+
+    def on_message(self, ctx: SyncContext, sender: NodeId, payload: object) -> None:
+        kind = payload[0]  # type: ignore[index]
+        if kind == "ack":
+            self.pending_acks -= 1
+            self._maybe_release(ctx)
+        elif kind == "dist":
+            candidate = float(payload[1])  # type: ignore[index]
+            if candidate < self.dist:
+                self.dist = candidate
+                self.parent = sender
+                # Classic Dijkstra–Scholten: only a proposal finding this
+                # node *idle* defers its ack (the node joins the tree under
+                # the sender); anything else is acked after processing.
+                # Re-engaging to later senders can create engagement
+                # cycles and deadlock the termination detection.
+                idle = self.engaged_to is None and self.pending_acks == 0
+                deferred = idle and not self.is_source
+                if deferred:
+                    self.engaged_to = sender
+                self._propose(ctx)
+                if not deferred:
+                    ctx.send(sender, ("ack",))
+                self._maybe_release(ctx)
+            else:
+                ctx.send(sender, ("ack",))
+        else:  # pragma: no cover - protocol violation
+            raise SimulationError(f"unknown message kind {kind!r}")
+
+    def _propose(self, ctx: SyncContext) -> None:
+        # Proposals go only to weighted out-neighbors; the remaining
+        # channels are reverse (ack) channels.
+        for neighbor, weight in self.weights.items():
+            ctx.send(neighbor, ("dist", self.dist + weight))
+            self.pending_acks += 1
+
+    def _maybe_release(self, ctx: SyncContext) -> None:
+        if self.pending_acks == 0:
+            if self.engaged_to is not None:
+                ctx.send(self.engaged_to, ("ack",))
+                self.engaged_to = None
+            elif self.is_source:
+                self.finished = True
+
+
+class ChandyMisraSSSP:
+    """Asynchronous SSSP with termination detection.
+
+    Parameters mirror
+    :class:`~repro.distributed.bellman_ford_dist.DistributedBellmanFord`;
+    *delay* / *seed* control the asynchronous schedule.
+
+    Example
+    -------
+    >>> cm = ChandyMisraSSSP([0, 1, 2], [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)])
+    >>> dist, stats = cm.run(0)
+    >>> dist[2]
+    2.0
+    """
+
+    def __init__(
+        self,
+        nodes: list[NodeId],
+        weighted_links: list[tuple[NodeId, NodeId, float]],
+        delay: Callable[[NodeId, NodeId], float] | None = None,
+        seed: int = 0,
+    ) -> None:
+        for tail, head, weight in weighted_links:
+            if weight < 0:
+                raise ValueError(f"negative weight {weight!r} on {tail!r}->{head!r}")
+        self.nodes = list(nodes)
+        self.weighted_links = list(weighted_links)
+        self.delay = delay
+        self.seed = seed
+
+    def run(self, source: NodeId) -> tuple[dict[NodeId, float], MessageStats]:
+        """Compute exact distances from *source* under asynchrony."""
+        out_weights: dict[NodeId, dict[NodeId, float]] = {v: {} for v in self.nodes}
+        for tail, head, weight in self.weighted_links:
+            previous = out_weights[tail].get(head)
+            if previous is None or weight < previous:
+                out_weights[tail][head] = weight
+        # Proposals follow link direction; acks flow back, so the
+        # communication topology includes the reverse channel of every link
+        # (control channels are bidirectional in practice).
+        channels = {(t, h) for t, heads in out_weights.items() for h in heads}
+        channels |= {(h, t) for (t, h) in channels}
+        links = sorted(channels, key=repr)
+
+        processes: dict[NodeId, _CMProcess] = {
+            v: _CMProcess(v, v == source, out_weights[v]) for v in self.nodes
+        }
+        sim = AsyncSimulator(
+            self.nodes, links, processes, delay=self.delay, seed=self.seed
+        )
+        stats = sim.run()
+        if not processes[source].finished:
+            raise SimulationError(
+                "Chandy-Misra terminated without the source observing "
+                "completion (termination-detection bug)"
+            )
+        dist = {v: processes[v].dist for v in self.nodes}
+        self.parents = {v: processes[v].parent for v in self.nodes}
+        return dist, stats

@@ -1,0 +1,44 @@
+"""Message accounting for the distributed simulators.
+
+Theorems 3 and 5 are statements about *message* and *round* counts;
+:class:`MessageStats` is the ledger both simulators write and the
+benchmarks read.  Messages are attributed to the directed physical link
+they traverse — computation local to a node is free, matching the paper's
+distributed computational model ("the communication costs on these
+[virtual intra-node] links are negligible").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Hashable
+
+__all__ = ["MessageStats"]
+
+NodeId = Hashable
+
+
+@dataclass
+class MessageStats:
+    """Ledger of messages and rounds for one distributed execution."""
+
+    total_messages: int = 0
+    rounds: int = 0
+    per_link: Counter = field(default_factory=Counter)
+
+    def record(self, tail: NodeId, head: NodeId, count: int = 1) -> None:
+        """Record *count* messages sent over the link ``tail -> head``."""
+        self.total_messages += count
+        self.per_link[(tail, head)] += count
+
+    @property
+    def max_link_load(self) -> int:
+        """Largest number of messages carried by any single link."""
+        return max(self.per_link.values(), default=0)
+
+    def merge(self, other: "MessageStats") -> None:
+        """Fold *other*'s counts into this ledger (rounds are summed)."""
+        self.total_messages += other.total_messages
+        self.rounds += other.rounds
+        self.per_link.update(other.per_link)

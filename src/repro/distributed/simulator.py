@@ -1,0 +1,240 @@
+"""Message-passing simulators: synchronous rounds and asynchronous events.
+
+Both simulators execute a set of :class:`Process` objects placed on the
+nodes of a directed topology.  Processes communicate only along topology
+links; every send is accounted in a
+:class:`~repro.distributed.messages.MessageStats` ledger.
+
+**Synchronous model** (:class:`SyncSimulator`) — execution proceeds in
+rounds: messages sent in round ``r`` are delivered at the start of round
+``r + 1``; a run ends when no messages are in flight.  This is the model
+under which "time complexity" in Theorems 3/5 is measured (time == number
+of rounds).
+
+**Asynchronous model** (:class:`AsyncSimulator`) — an event queue with
+per-link delivery delays (deterministic or seeded-random).  Used by the
+Chandy–Misra router, whose termination detection is only meaningful under
+asynchrony.
+
+Processes are written once and run under either model: the context object
+passed to the callbacks exposes the same ``send`` API.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from abc import ABC
+from typing import Callable, Hashable, Iterable
+
+from repro.distributed.messages import MessageStats
+from repro.exceptions import SimulationError
+
+__all__ = ["Process", "SyncContext", "SyncSimulator", "AsyncSimulator"]
+
+NodeId = Hashable
+Payload = object
+
+
+class Process(ABC):
+    """A protocol participant placed on one topology node.
+
+    Subclasses override :meth:`on_start` (called once before any message
+    flows) and :meth:`on_message` (called once per delivered message).
+    ``on_round_end`` is optional and only invoked by the synchronous
+    simulator, after all of a round's deliveries.
+    """
+
+    def on_start(self, ctx: "SyncContext") -> None:  # noqa: B027 - optional hook
+        """Called once at simulation start."""
+
+    def on_message(self, ctx: "SyncContext", sender: NodeId, payload: Payload) -> None:  # noqa: B027
+        """Called for each message delivered to this process."""
+
+    def on_round_end(self, ctx: "SyncContext") -> None:  # noqa: B027 - optional hook
+        """Synchronous model only: called after each round's deliveries."""
+
+
+class SyncContext:
+    """Capabilities handed to a process during a callback."""
+
+    def __init__(
+        self,
+        node: NodeId,
+        out_neighbors: tuple[NodeId, ...],
+        outbox: list[tuple[NodeId, NodeId, Payload]],
+        stats: MessageStats,
+    ) -> None:
+        self.node = node
+        self.out_neighbors = out_neighbors
+        self._outbox = outbox
+        self._stats = stats
+        self.round_index = 0
+        self.time = 0.0
+
+    def send(self, neighbor: NodeId, payload: Payload) -> None:
+        """Send *payload* along the link to *neighbor* (must be adjacent)."""
+        if neighbor not in self.out_neighbors:
+            raise SimulationError(
+                f"{self.node!r} has no link to {neighbor!r}; "
+                f"out-neighbors: {self.out_neighbors!r}"
+            )
+        self._stats.record(self.node, neighbor)
+        self._outbox.append((self.node, neighbor, payload))
+
+    def broadcast(self, payload: Payload) -> None:
+        """Send *payload* to every out-neighbor."""
+        for neighbor in self.out_neighbors:
+            self.send(neighbor, payload)
+
+
+class _TopologyMixin:
+    def _index_topology(
+        self, nodes: Iterable[NodeId], links: Iterable[tuple[NodeId, NodeId]]
+    ) -> None:
+        self.nodes = list(nodes)
+        node_set = set(self.nodes)
+        if len(node_set) != len(self.nodes):
+            raise SimulationError("duplicate nodes in topology")
+        out: dict[NodeId, list[NodeId]] = {v: [] for v in self.nodes}
+        for tail, head in links:
+            if tail not in node_set or head not in node_set:
+                raise SimulationError(f"link {tail!r}->{head!r} references unknown node")
+            out[tail].append(head)
+        self.out_neighbors = {v: tuple(ns) for v, ns in out.items()}
+
+
+class SyncSimulator(_TopologyMixin):
+    """Synchronous-round message-passing execution.
+
+    Parameters
+    ----------
+    nodes, links:
+        The directed topology processes may communicate over.
+    processes:
+        Mapping node -> :class:`Process`.
+    max_rounds:
+        Safety valve; exceeded runs raise :class:`SimulationError`
+        (a distributed algorithm that fails to quiesce is a bug).
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[NodeId],
+        links: Iterable[tuple[NodeId, NodeId]],
+        processes: dict[NodeId, Process],
+        max_rounds: int = 1_000_000,
+        fault: Callable[[int, list], list] | None = None,
+    ) -> None:
+        self._index_topology(nodes, links)
+        missing = [v for v in self.nodes if v not in processes]
+        if missing:
+            raise SimulationError(f"no process for nodes: {missing!r}")
+        self.processes = processes
+        self.max_rounds = max_rounds
+        self.stats = MessageStats()
+        #: Fault-injection hook: called once per round with
+        #: ``(round_index, in_flight_messages)`` and may drop, duplicate,
+        #: or reorder entries before delivery.  Used by the failure-mode
+        #: tests; None means a reliable network.
+        self.fault = fault
+
+    def run(self) -> MessageStats:
+        """Execute to quiescence; returns the message/round ledger."""
+        outbox: list[tuple[NodeId, NodeId, Payload]] = []
+        contexts = {
+            v: SyncContext(v, self.out_neighbors[v], outbox, self.stats)
+            for v in self.nodes
+        }
+        for v in self.nodes:
+            self.processes[v].on_start(contexts[v])
+
+        round_index = 0
+        while outbox:
+            round_index += 1
+            if round_index > self.max_rounds:
+                raise SimulationError(
+                    f"no quiescence after {self.max_rounds} rounds "
+                    f"({len(outbox)} messages still in flight)"
+                )
+            in_flight, outbox = outbox, []
+            if self.fault is not None:
+                in_flight = self.fault(round_index, in_flight)
+            # Rebind every context's outbox to the new round's buffer.
+            for ctx in contexts.values():
+                ctx._outbox = outbox
+                ctx.round_index = round_index
+            for sender, receiver, payload in in_flight:
+                self.processes[receiver].on_message(contexts[receiver], sender, payload)
+            for v in self.nodes:
+                self.processes[v].on_round_end(contexts[v])
+        self.stats.rounds = round_index
+        return self.stats
+
+
+class AsyncSimulator(_TopologyMixin):
+    """Asynchronous event-driven execution with per-link delays.
+
+    Each send is delivered after ``delay(tail, head)`` time units (default:
+    uniform random in ``(0.5, 1.5]`` from a seeded RNG, so executions are
+    reproducible but interleavings are nontrivial).  ``rounds`` in the
+    resulting ledger holds the number of delivered events; the final
+    virtual clock is available as :attr:`end_time`.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[NodeId],
+        links: Iterable[tuple[NodeId, NodeId]],
+        processes: dict[NodeId, Process],
+        delay: Callable[[NodeId, NodeId], float] | None = None,
+        seed: int = 0,
+        max_events: int = 10_000_000,
+    ) -> None:
+        self._index_topology(nodes, links)
+        missing = [v for v in self.nodes if v not in processes]
+        if missing:
+            raise SimulationError(f"no process for nodes: {missing!r}")
+        self.processes = processes
+        self.max_events = max_events
+        self.stats = MessageStats()
+        rng = random.Random(seed)
+        self._delay = delay if delay is not None else (
+            lambda tail, head: 0.5 + rng.random()
+        )
+        self.end_time = 0.0
+
+    def run(self) -> MessageStats:
+        """Execute until the event queue drains."""
+        counter = itertools.count()  # tie-breaker for deterministic order
+        queue: list[tuple[float, int, NodeId, NodeId, Payload]] = []
+        outbox: list[tuple[NodeId, NodeId, Payload]] = []
+        contexts = {
+            v: SyncContext(v, self.out_neighbors[v], outbox, self.stats)
+            for v in self.nodes
+        }
+
+        def flush(now: float) -> None:
+            while outbox:
+                sender, receiver, payload = outbox.pop()
+                at = now + self._delay(sender, receiver)
+                heapq.heappush(queue, (at, next(counter), sender, receiver, payload))
+
+        for v in self.nodes:
+            self.processes[v].on_start(contexts[v])
+        flush(0.0)
+
+        delivered = 0
+        while queue:
+            at, _seq, sender, receiver, payload = heapq.heappop(queue)
+            delivered += 1
+            if delivered > self.max_events:
+                raise SimulationError(f"no quiescence after {self.max_events} events")
+            ctx = contexts[receiver]
+            ctx.time = at
+            self.processes[receiver].on_message(ctx, sender, payload)
+            flush(at)
+            self.end_time = at
+        self.stats.rounds = delivered
+        return self.stats

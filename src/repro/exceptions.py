@@ -1,0 +1,107 @@
+"""Exception hierarchy for the semilightpath routing library.
+
+All library-raised exceptions derive from :class:`SemilightError` so callers
+can catch everything from this package with a single ``except`` clause while
+still being able to discriminate the failure mode.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SemilightError",
+    "NetworkStructureError",
+    "UnknownNodeError",
+    "UnknownLinkError",
+    "WavelengthError",
+    "WavelengthUnavailableError",
+    "ConversionError",
+    "NoPathError",
+    "InvalidPathError",
+    "RestrictionViolation",
+    "ReservationError",
+    "SimulationError",
+    "SerializationError",
+]
+
+
+class SemilightError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class NetworkStructureError(SemilightError):
+    """The network definition is malformed (duplicate links, bad ids, ...)."""
+
+
+class UnknownNodeError(NetworkStructureError, KeyError):
+    """A node id was referenced that is not part of the network."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"unknown node: {node!r}")
+        self.node = node
+
+
+class UnknownLinkError(NetworkStructureError, KeyError):
+    """A link (tail, head) was referenced that is not part of the network."""
+
+    def __init__(self, tail: object, head: object) -> None:
+        super().__init__(f"unknown link: {tail!r} -> {head!r}")
+        self.tail = tail
+        self.head = head
+
+
+class WavelengthError(SemilightError):
+    """A wavelength index is out of range or otherwise invalid."""
+
+
+class WavelengthUnavailableError(WavelengthError):
+    """A wavelength was used on a link whose ``Λ(e)`` does not contain it."""
+
+    def __init__(self, tail: object, head: object, wavelength: object) -> None:
+        super().__init__(
+            f"wavelength {wavelength!r} is not available on link "
+            f"{tail!r} -> {head!r}"
+        )
+        self.tail = tail
+        self.head = head
+        self.wavelength = wavelength
+
+
+class ConversionError(SemilightError):
+    """A wavelength conversion was requested that the node cannot perform."""
+
+    def __init__(self, node: object, from_wavelength: object, to_wavelength: object) -> None:
+        super().__init__(
+            f"node {node!r} cannot convert {from_wavelength!r} -> {to_wavelength!r}"
+        )
+        self.node = node
+        self.from_wavelength = from_wavelength
+        self.to_wavelength = to_wavelength
+
+
+class NoPathError(SemilightError):
+    """No semilightpath exists between the requested endpoints."""
+
+    def __init__(self, source: object, target: object) -> None:
+        super().__init__(f"no semilightpath from {source!r} to {target!r}")
+        self.source = source
+        self.target = target
+
+
+class InvalidPathError(SemilightError):
+    """A semilightpath object violates its structural invariants."""
+
+
+class RestrictionViolation(SemilightError):
+    """The network fails Restriction 1 or Restriction 2 from the paper."""
+
+
+class ReservationError(SemilightError):
+    """A wavelength reservation conflict in the provisioning layer."""
+
+
+class SimulationError(SemilightError):
+    """The distributed or dynamic-traffic simulator reached a bad state."""
+
+
+class SerializationError(SemilightError):
+    """A network or result document could not be (de)serialized."""

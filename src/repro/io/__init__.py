@@ -1,0 +1,33 @@
+"""Serialization (JSON) and visualization (Graphviz DOT) for networks.
+
+* :mod:`~repro.io.serialization` — lossless JSON round-trip for networks
+  (including conversion models) and semilightpaths,
+* :mod:`~repro.io.dot` — DOT export of the physical network, the
+  multigraph ``G_M``, a node's bipartite ``G_v``, and the routing graph
+  ``G_{s,t}`` — the machine-readable regeneration of the paper's
+  Figures 1-4.
+"""
+
+from repro.io.dot import (
+    bipartite_to_dot,
+    multigraph_to_dot,
+    network_to_dot,
+    routing_graph_to_dot,
+)
+from repro.io.serialization import (
+    network_from_json,
+    network_to_json,
+    path_from_json,
+    path_to_json,
+)
+
+__all__ = [
+    "network_to_json",
+    "network_from_json",
+    "path_to_json",
+    "path_from_json",
+    "network_to_dot",
+    "multigraph_to_dot",
+    "bipartite_to_dot",
+    "routing_graph_to_dot",
+]

@@ -1,0 +1,138 @@
+"""Graphviz DOT export — machine-readable regeneration of Figures 1-4.
+
+Each function returns DOT source text; render with ``dot -Tpdf`` or any
+Graphviz toolchain.  The four exports correspond to the paper's figures:
+
+* :func:`network_to_dot` — Figure 1 (the physical network ``G`` with each
+  link annotated by its ``Λ(e)``),
+* :func:`multigraph_to_dot` — Figure 2 (``G_M`` with one parallel edge per
+  available wavelength),
+* :func:`bipartite_to_dot` — Figure 3 (one node's ``G_v``; conversion
+  edges only),
+* :func:`routing_graph_to_dot` — Figure 4 generalized (the full ``G_{s,t}``
+  with its virtual terminals; restrict to two physical nodes to get the
+  exact Figure 4 subgraph).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable
+
+from repro.core.auxiliary import (
+    KIND_IN,
+    KIND_OUT,
+    RoutingGraph,
+    build_routing_graph,
+    multigraph_edges,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.network import WDMNetwork
+
+__all__ = [
+    "network_to_dot",
+    "multigraph_to_dot",
+    "bipartite_to_dot",
+    "routing_graph_to_dot",
+]
+
+NodeId = Hashable
+
+
+def _quote(value: object) -> str:
+    return '"' + str(value).replace('"', r"\"") + '"'
+
+
+def _lambda_label(wavelengths: frozenset[int]) -> str:
+    return "{" + ",".join(f"λ{w + 1}" for w in sorted(wavelengths)) + "}"
+
+
+def network_to_dot(network: "WDMNetwork", name: str = "G") -> str:
+    """Figure 1: the physical network with per-link ``Λ(e)`` labels."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;", "  node [shape=circle];"]
+    for node in network.nodes():
+        lines.append(f"  {_quote(node)};")
+    for link in network.links():
+        label = _lambda_label(link.wavelengths)
+        lines.append(
+            f"  {_quote(link.tail)} -> {_quote(link.head)} "
+            f"[label={_quote(label)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def multigraph_to_dot(network: "WDMNetwork", name: str = "G_M") -> str:
+    """Figure 2: the multigraph ``G_M`` — one edge per (link, wavelength)."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;", "  node [shape=circle];"]
+    for node in network.nodes():
+        lines.append(f"  {_quote(node)};")
+    for tail, head, wavelength, weight in multigraph_edges(network):
+        lines.append(
+            f"  {_quote(tail)} -> {_quote(head)} "
+            f'[label="λ{wavelength + 1}:{weight:g}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def bipartite_to_dot(network: "WDMNetwork", node: NodeId, name: str = "G_v") -> str:
+    """Figure 3: one node's bipartite graph ``G_v`` with conversion edges."""
+    lam_in = sorted(network.lambda_in(node))
+    lam_out = sorted(network.lambda_out(node))
+    model = network.conversion(node)
+    lines = [f"digraph {name} {{", "  rankdir=LR;", "  node [shape=box];"]
+    lines.append("  subgraph cluster_x { label=" + _quote(f"X_{node}") + ";")
+    for lam in lam_in:
+        lines.append(f"    {_quote(f'({node},λ{lam + 1}):X')};")
+    lines.append("  }")
+    lines.append("  subgraph cluster_y { label=" + _quote(f"Y_{node}") + ";")
+    for lam in lam_out:
+        lines.append(f"    {_quote(f'({node},λ{lam + 1}):Y')};")
+    lines.append("  }")
+    for p, q, cost in model.finite_pairs(lam_in, lam_out):
+        lines.append(
+            f"  {_quote(f'({node},λ{p + 1}):X')} -> "
+            f"{_quote(f'({node},λ{q + 1}):Y')} [label=\"{cost:g}\"];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def routing_graph_to_dot(
+    network: "WDMNetwork",
+    source: NodeId,
+    target: NodeId,
+    restrict_to: set[NodeId] | None = None,
+    name: str = "G_st",
+) -> str:
+    """``G_{s,t}`` (generalizes Figure 4) as DOT.
+
+    With *restrict_to* = a set of physical nodes, only the auxiliary nodes
+    of those physical nodes (plus incident edges) are emitted — e.g.
+    ``restrict_to={1, 3}`` on the paper example reproduces Figure 4's
+    subgraph of ``G'`` induced by ``G_1`` and ``G_3``.
+    """
+    aux: RoutingGraph = build_routing_graph(network, source, target)
+    keep = (
+        set(range(len(aux.decode)))
+        if restrict_to is None
+        else {
+            aux_id
+            for aux_id, descriptor in enumerate(aux.decode)
+            if descriptor.node in restrict_to
+        }
+    )
+    lines = [f"digraph {name} {{", "  rankdir=LR;", "  node [shape=box];"]
+    for aux_id in sorted(keep):
+        descriptor = aux.decode[aux_id]
+        shape = "circle" if descriptor.kind not in (KIND_IN, KIND_OUT) else "box"
+        lines.append(f"  {_quote(descriptor.label())} [shape={shape}];")
+    for tail, head, weight, _tag in aux.graph.edges():
+        if tail in keep and head in keep:
+            lines.append(
+                f"  {_quote(aux.decode[tail].label())} -> "
+                f"{_quote(aux.decode[head].label())} [label=\"{weight:g}\"];"
+            )
+    lines.append("}")
+    return "\n".join(lines)

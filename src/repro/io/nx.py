@@ -1,0 +1,114 @@
+"""NetworkX interoperability.
+
+Exports the library's graphs into :mod:`networkx` structures (and imports
+physical topologies back), so users can lean on the networkx ecosystem for
+analysis, drawing, and cross-checking:
+
+* :func:`network_to_networkx` — the physical network as a ``DiGraph``
+  whose edges carry ``wavelengths`` (the ``Λ(e)`` cost dict),
+* :func:`multigraph_to_networkx` — ``G_M`` as a ``MultiDiGraph`` with one
+  keyed edge per (link, wavelength),
+* :func:`routing_graph_to_networkx` — ``G_{s,t}`` as a weighted
+  ``DiGraph`` over :class:`~repro.core.auxiliary.AuxNode` labels; running
+  ``networkx.dijkstra_path_length`` on it reproduces the router's optimum
+  (property-tested),
+* :func:`network_from_networkx` — build a :class:`WDMNetwork` from any
+  digraph whose edges carry a ``wavelengths`` cost dict.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable
+
+import networkx as nx
+
+from repro.core.auxiliary import build_routing_graph, multigraph_edges
+from repro.core.conversion import ConversionModel
+from repro.core.network import WDMNetwork
+from repro.exceptions import SerializationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+__all__ = [
+    "network_to_networkx",
+    "multigraph_to_networkx",
+    "routing_graph_to_networkx",
+    "network_from_networkx",
+]
+
+NodeId = Hashable
+
+
+def network_to_networkx(network: WDMNetwork) -> "nx.DiGraph":
+    """The physical digraph; edge attribute ``wavelengths`` maps λ -> cost."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(network.nodes())
+    for link in network.links():
+        graph.add_edge(link.tail, link.head, wavelengths=dict(link.costs))
+    return graph
+
+
+def multigraph_to_networkx(network: WDMNetwork) -> "nx.MultiDiGraph":
+    """``G_M``: one keyed edge per available (link, wavelength)."""
+    graph = nx.MultiDiGraph()
+    graph.add_nodes_from(network.nodes())
+    for tail, head, wavelength, weight in multigraph_edges(network):
+        graph.add_edge(tail, head, key=wavelength, wavelength=wavelength, weight=weight)
+    return graph
+
+
+def routing_graph_to_networkx(
+    network: WDMNetwork, source: NodeId, target: NodeId
+) -> tuple["nx.DiGraph", "object", "object"]:
+    """``G_{s,t}`` as a weighted DiGraph over AuxNode labels.
+
+    Returns ``(graph, source_label, sink_label)`` so callers can run any
+    networkx shortest-path routine directly:
+
+    >>> import networkx as nx
+    >>> from repro.topology.reference import paper_figure1_network
+    >>> g, s, t = routing_graph_to_networkx(paper_figure1_network(), 1, 7)
+    >>> nx.dijkstra_path_length(g, s, t)
+    2.0
+    """
+    aux = build_routing_graph(network, source, target)
+    graph = nx.DiGraph()
+    for aux_id, descriptor in enumerate(aux.decode):
+        graph.add_node(descriptor, aux_id=aux_id)
+    for tail, head, weight, _tag in aux.graph.edges():
+        a, b = aux.decode[tail], aux.decode[head]
+        # G_{s,t} has no parallel edges; a plain DiGraph is lossless.
+        graph.add_edge(a, b, weight=weight)
+    return graph, aux.decode[aux.source_id], aux.decode[aux.sink_id]
+
+
+def network_from_networkx(
+    graph: "nx.DiGraph",
+    num_wavelengths: int,
+    default_conversion: ConversionModel | None = None,
+) -> WDMNetwork:
+    """Build a :class:`WDMNetwork` from a digraph with ``wavelengths`` attrs.
+
+    Each edge must carry a ``wavelengths`` attribute mapping wavelength
+    index -> cost (the inverse of :func:`network_to_networkx`).  Node-level
+    ``conversion`` attributes, when present, must be
+    :class:`~repro.core.conversion.ConversionModel` instances.
+    """
+    if graph.is_multigraph():
+        raise SerializationError(
+            "use a plain DiGraph with per-edge 'wavelengths' dicts "
+            "(MultiDiGraph G_M form is an export-only view)"
+        )
+    network = WDMNetwork(num_wavelengths, default_conversion)
+    for node, data in graph.nodes(data=True):
+        network.add_node(node, conversion=data.get("conversion"))
+    for tail, head, data in graph.edges(data=True):
+        try:
+            costs = data["wavelengths"]
+        except KeyError:
+            raise SerializationError(
+                f"edge {tail!r}->{head!r} lacks a 'wavelengths' attribute"
+            ) from None
+        network.add_link(tail, head, costs)
+    return network

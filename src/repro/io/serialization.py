@@ -1,0 +1,185 @@
+"""JSON round-trip for networks and semilightpaths.
+
+The document schema is plain JSON (no pickle — documents are safe to share
+and diff):
+
+```json
+{
+  "num_wavelengths": 4,
+  "default_conversion": {"type": "full", "cost": 0.5},
+  "nodes": [{"id": 1, "conversion": {"type": "matrix", "pairs": [[0, 1, 0.5]]}}],
+  "links": [{"tail": 1, "head": 2, "costs": {"0": 1.0, "2": 1.0}}]
+}
+```
+
+Node ids must be JSON-representable (str/int/float/bool); richer hashables
+(tuples) are rejected with :class:`~repro.exceptions.SerializationError`
+rather than silently stringified.  Conversion models serialize by type;
+:class:`~repro.core.conversion.CallableConversion` and callable-cost
+:class:`~repro.core.conversion.FullConversion` cannot round-trip and raise.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+from repro.core.conversion import (
+    ConversionModel,
+    FixedCostConversion,
+    FullConversion,
+    MatrixConversion,
+    NoConversion,
+    RangeLimitedConversion,
+)
+from repro.core.network import WDMNetwork
+from repro.core.semilightpath import Hop, Semilightpath
+from repro.exceptions import SerializationError
+
+__all__ = [
+    "network_to_json",
+    "network_from_json",
+    "path_to_json",
+    "path_from_json",
+    "conversion_to_dict",
+    "conversion_from_dict",
+]
+
+_JSON_SCALARS = (str, int, float, bool)
+
+
+def _check_node_id(node: object) -> object:
+    if not isinstance(node, _JSON_SCALARS):
+        raise SerializationError(
+            f"node id {node!r} is not JSON-representable "
+            f"(use str/int/float/bool ids for serializable networks)"
+        )
+    return node
+
+
+def conversion_to_dict(model: ConversionModel) -> dict[str, Any]:
+    """Serialize a conversion model to a JSON-compatible dict."""
+    if isinstance(model, NoConversion):
+        return {"type": "none"}
+    if isinstance(model, RangeLimitedConversion):
+        return {
+            "type": "range",
+            "range_limit": model.range_limit,
+            "cost_per_step": model.cost_per_step,
+        }
+    if isinstance(model, MatrixConversion):
+        return {"type": "matrix", "pairs": [[p, q, c] for p, q, c in model.pairs()]}
+    if isinstance(model, FullConversion):  # covers FixedCostConversion too
+        if model._fn is not None:
+            raise SerializationError(
+                "FullConversion with a callable cost cannot be serialized"
+            )
+        return {"type": "full", "cost": model._flat}
+    raise SerializationError(f"cannot serialize conversion model {model!r}")
+
+
+def conversion_from_dict(data: dict[str, Any]) -> ConversionModel:
+    """Inverse of :func:`conversion_to_dict`."""
+    kind = data.get("type")
+    if kind == "none":
+        return NoConversion()
+    if kind == "range":
+        return RangeLimitedConversion(
+            range_limit=int(data["range_limit"]),
+            cost_per_step=float(data["cost_per_step"]),
+        )
+    if kind == "matrix":
+        return MatrixConversion({(int(p), int(q)): float(c) for p, q, c in data["pairs"]})
+    if kind == "full":
+        return FixedCostConversion(float(data["cost"]))
+    raise SerializationError(f"unknown conversion model type {kind!r}")
+
+
+def network_to_json(network: WDMNetwork, indent: int | None = None) -> str:
+    """Serialize *network* to a JSON string."""
+    nodes = []
+    default = network._default_conversion
+    for node in network.nodes():
+        entry: dict[str, Any] = {"id": _check_node_id(node)}
+        model = network.conversion(node)
+        if model is not default:
+            entry["conversion"] = conversion_to_dict(model)
+        nodes.append(entry)
+    links = []
+    for link in network.links():
+        links.append(
+            {
+                "tail": link.tail,
+                "head": link.head,
+                "costs": {str(w): c for w, c in sorted(link.costs.items())},
+            }
+        )
+    document = {
+        "num_wavelengths": network.num_wavelengths,
+        "default_conversion": conversion_to_dict(default),
+        "nodes": nodes,
+        "links": links,
+    }
+    return json.dumps(document, indent=indent)
+
+
+def network_from_json(text: str) -> WDMNetwork:
+    """Parse a network from :func:`network_to_json` output."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    try:
+        network = WDMNetwork(
+            num_wavelengths=int(document["num_wavelengths"]),
+            default_conversion=conversion_from_dict(document["default_conversion"]),
+        )
+        for entry in document["nodes"]:
+            model = (
+                conversion_from_dict(entry["conversion"])
+                if "conversion" in entry
+                else None
+            )
+            network.add_node(entry["id"], conversion=model)
+        for entry in document["links"]:
+            costs = {int(w): float(c) for w, c in entry["costs"].items()}
+            network.add_link(entry["tail"], entry["head"], costs)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed network document: {exc}") from exc
+    return network
+
+
+def path_to_json(path: Semilightpath, indent: int | None = None) -> str:
+    """Serialize a semilightpath to a JSON string."""
+    document = {
+        "total_cost": None if math.isnan(path.total_cost) else path.total_cost,
+        "hops": [
+            {
+                "tail": _check_node_id(h.tail),
+                "head": _check_node_id(h.head),
+                "wavelength": h.wavelength,
+            }
+            for h in path.hops
+        ],
+    }
+    return json.dumps(document, indent=indent)
+
+
+def path_from_json(text: str) -> Semilightpath:
+    """Parse a semilightpath from :func:`path_to_json` output."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    try:
+        hops = tuple(
+            Hop(tail=h["tail"], head=h["head"], wavelength=int(h["wavelength"]))
+            for h in document["hops"]
+        )
+        total = document.get("total_cost")
+        return Semilightpath(
+            hops=hops, total_cost=math.nan if total is None else float(total)
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed path document: {exc}") from exc

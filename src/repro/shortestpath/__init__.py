@@ -1,0 +1,36 @@
+"""Shortest-path substrate: graphs, addressable heaps, and SSSP algorithms.
+
+This subpackage is the algorithmic foundation beneath the semilightpath
+routers.  It provides:
+
+* :class:`~repro.shortestpath.structures.StaticGraph` — a compact
+  adjacency-list (CSR) digraph over dense integer node ids,
+* three addressable priority queues with ``decrease_key`` —
+  :class:`~repro.shortestpath.heaps.BinaryHeap`,
+  :class:`~repro.shortestpath.heaps.PairingHeap`, and
+  :class:`~repro.shortestpath.fibonacci.FibonacciHeap` (the structure
+  Theorem 1 of the paper cites for its ``O(m' + n' log n')`` bound),
+* Dijkstra with a pluggable heap and early target stop, and
+* Bellman–Ford (both classic synchronous rounds and SPFA queue forms).
+"""
+
+from repro.shortestpath.bellman_ford import bellman_ford, spfa
+from repro.shortestpath.dijkstra import DijkstraResult, dijkstra
+from repro.shortestpath.fibonacci import FibonacciHeap
+from repro.shortestpath.heaps import BinaryHeap, PairingHeap
+from repro.shortestpath.paths import ShortestPathTree, reconstruct_path
+from repro.shortestpath.structures import GraphBuilder, StaticGraph
+
+__all__ = [
+    "BinaryHeap",
+    "PairingHeap",
+    "FibonacciHeap",
+    "StaticGraph",
+    "GraphBuilder",
+    "dijkstra",
+    "DijkstraResult",
+    "bellman_ford",
+    "spfa",
+    "reconstruct_path",
+    "ShortestPathTree",
+]

@@ -1,0 +1,152 @@
+"""Bellman–Ford single-source shortest paths.
+
+Two variants are provided:
+
+* :func:`bellman_ford` — the classic synchronous-rounds formulation.  Its
+  round structure mirrors the *distributed* Bellman–Ford of
+  :mod:`repro.distributed.bellman_ford_dist`, which makes it the natural
+  centralized oracle for the distributed tests.
+* :func:`spfa` — the queue-based "shortest path faster algorithm"
+  (label-correcting); usually far fewer relaxations in practice.
+
+Both detect negative cycles (the WDM cost model is nonnegative, but the
+substrate is general and the detection is exercised by tests).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from repro.shortestpath.structures import StaticGraph
+
+__all__ = ["BellmanFordResult", "bellman_ford", "spfa"]
+
+INF = math.inf
+
+
+@dataclass(frozen=True)
+class BellmanFordResult:
+    """Outcome of a Bellman–Ford run.
+
+    ``rounds`` is the number of full synchronous passes performed (for
+    :func:`spfa` it counts queue pops instead).  ``has_negative_cycle`` is
+    True when a cycle with negative total weight is reachable from the
+    source, in which case distances of affected nodes are meaningless.
+    """
+
+    source: int
+    dist: list[float]
+    parent: list[int]
+    parent_tag: list[int]
+    rounds: int
+    relaxations: int
+    has_negative_cycle: bool
+
+
+def bellman_ford(graph: StaticGraph, source: int) -> BellmanFordResult:
+    """Classic Bellman–Ford with early exit when a round changes nothing.
+
+    Runs at most ``n`` rounds; a change in round ``n`` proves a reachable
+    negative cycle.
+    """
+    n = graph.num_nodes
+    if not 0 <= source < n:
+        raise IndexError(f"source {source} out of range [0, {n})")
+    dist = [INF] * n
+    parent = [-1] * n
+    parent_tag = [-1] * n
+    dist[source] = 0.0
+
+    edges = list(graph.edges())
+    relaxations = 0
+    rounds = 0
+    negative = False
+    for round_index in range(n):
+        rounds += 1
+        changed = False
+        for tail, head, weight, tag in edges:
+            if dist[tail] == INF:
+                continue
+            relaxations += 1
+            alt = dist[tail] + weight
+            if alt < dist[head]:
+                dist[head] = alt
+                parent[head] = tail
+                parent_tag[head] = tag
+                changed = True
+        if not changed:
+            break
+    else:
+        # All n rounds ran and the last one may have changed something;
+        # probe once more to detect a negative cycle.
+        for tail, head, weight, _tag in edges:
+            if dist[tail] != INF and dist[tail] + weight < dist[head]:
+                negative = True
+                break
+
+    return BellmanFordResult(
+        source=source,
+        dist=dist,
+        parent=parent,
+        parent_tag=parent_tag,
+        rounds=rounds,
+        relaxations=relaxations,
+        has_negative_cycle=negative,
+    )
+
+
+def spfa(graph: StaticGraph, source: int) -> BellmanFordResult:
+    """Queue-based Bellman–Ford (SPFA).
+
+    Nodes are re-enqueued when their distance improves.  A node dequeued
+    more than ``n`` times proves a reachable negative cycle.
+    """
+    n = graph.num_nodes
+    if not 0 <= source < n:
+        raise IndexError(f"source {source} out of range [0, {n})")
+    dist = [INF] * n
+    parent = [-1] * n
+    parent_tag = [-1] * n
+    dist[source] = 0.0
+
+    in_queue = [False] * n
+    dequeue_count = [0] * n
+    queue: deque[int] = deque([source])
+    in_queue[source] = True
+    relaxations = 0
+    pops = 0
+    negative = False
+
+    while queue:
+        u = queue.popleft()
+        pops += 1
+        in_queue[u] = False
+        dequeue_count[u] += 1
+        if dequeue_count[u] > n:
+            negative = True
+            break
+        du = dist[u]
+        slots, heads, weights, tags = graph.neighbor_slices(u)
+        for i in slots:
+            relaxations += 1
+            v = heads[i]
+            alt = du + weights[i]
+            if alt < dist[v]:
+                dist[v] = alt
+                parent[v] = u
+                parent_tag[v] = tags[i]
+                if not in_queue[v]:
+                    queue.append(v)
+                    in_queue[v] = True
+
+    return BellmanFordResult(
+        source=source,
+        dist=dist,
+        parent=parent,
+        parent_tag=parent_tag,
+        rounds=pops,
+        relaxations=relaxations,
+        has_negative_cycle=negative,
+    )

@@ -1,0 +1,164 @@
+"""Dijkstra's algorithm with a pluggable addressable heap.
+
+This is the engine behind Theorem 1: a single-source shortest-path run over
+the auxiliary graph ``G_{s,t}`` with a Fibonacci heap yields the paper's
+``O(k²n + km + kn·log(kn))`` bound.  The implementation:
+
+* works on :class:`~repro.shortestpath.structures.StaticGraph`,
+* accepts any heap satisfying the addressable protocol (``binary``,
+  ``pairing``, ``fibonacci`` by name, or a factory),
+* can stop early when a target settles (single-pair queries), and
+* records predecessor node **and edge tag**, so routers can decode which
+  parallel auxiliary edge the path used.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.shortestpath.heaps import HEAP_FACTORIES, AddressableHeap
+from repro.shortestpath.structures import StaticGraph
+
+__all__ = ["DijkstraResult", "dijkstra"]
+
+INF = math.inf
+
+
+@dataclass(frozen=True)
+class DijkstraResult:
+    """Outcome of one Dijkstra run.
+
+    Attributes
+    ----------
+    source:
+        The source node id (or several, for virtual multi-source runs).
+    dist:
+        ``dist[v]`` is the shortest-path distance from the source set to
+        ``v`` (``math.inf`` if unreachable).
+    parent:
+        ``parent[v]`` is the predecessor of ``v`` on a shortest path, or
+        ``-1`` for the source / unreachable nodes.
+    parent_tag:
+        The tag of the edge ``parent[v] -> v`` used by the shortest path
+        (``-1`` where undefined).  Tags let callers map auxiliary-graph
+        edges back to wavelengths and conversions.
+    settled:
+        Number of nodes popped from the heap (== nodes with final distance).
+    relaxations:
+        Number of edge relaxations attempted.
+    """
+
+    source: tuple[int, ...]
+    dist: list[float]
+    parent: list[int]
+    parent_tag: list[int]
+    settled: int
+    relaxations: int
+    heap_stats: dict[str, int] = field(default_factory=dict)
+
+    def reachable(self, node: int) -> bool:
+        """True if *node* has a finite distance."""
+        return self.dist[node] < INF
+
+
+def dijkstra(
+    graph: StaticGraph,
+    sources: int | Iterable[int],
+    target: int | None = None,
+    heap: str | Callable[[], AddressableHeap] = "binary",
+) -> DijkstraResult:
+    """Single-source (or multi-source) shortest paths on *graph*.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`StaticGraph` with nonnegative edge weights.
+    sources:
+        One node id, or an iterable of node ids all given distance 0 (a
+        virtual super-source, used by ``G_{s,t}``'s zero-cost fan-out).
+    target:
+        If given, the search stops as soon as *target* is settled; distances
+        of nodes not yet settled are then upper bounds or ``inf``.
+    heap:
+        Heap name (``"binary"``, ``"pairing"``, ``"fibonacci"``) or a
+        zero-argument factory returning an addressable heap.
+
+    Returns
+    -------
+    DijkstraResult
+
+    Raises
+    ------
+    KeyError
+        If *heap* names an unknown heap implementation.
+    IndexError
+        If a source or target id is out of range.
+    """
+    if isinstance(sources, int):
+        source_tuple: tuple[int, ...] = (sources,)
+    else:
+        source_tuple = tuple(sources)
+    if not source_tuple:
+        raise ValueError("at least one source is required")
+    for s in source_tuple:
+        if not 0 <= s < graph.num_nodes:
+            raise IndexError(f"source {s} out of range [0, {graph.num_nodes})")
+    if target is not None and not 0 <= target < graph.num_nodes:
+        raise IndexError(f"target {target} out of range [0, {graph.num_nodes})")
+
+    factory = HEAP_FACTORIES[heap] if isinstance(heap, str) else heap
+    queue = factory()
+
+    n = graph.num_nodes
+    dist = [INF] * n
+    parent = [-1] * n
+    parent_tag = [-1] * n
+    settled = 0
+    relaxations = 0
+
+    for s in source_tuple:
+        if dist[s] != 0.0:
+            dist[s] = 0.0
+            queue.push(s, 0.0)
+
+    done = [False] * n
+    while len(queue):
+        u, du = queue.pop()
+        if done[u]:
+            continue
+        done[u] = True
+        settled += 1
+        if target is not None and u == target:
+            break
+        slots, heads, weights, tags = graph.neighbor_slices(u)
+        for i in slots:
+            v = heads[i]
+            if done[v]:
+                continue
+            relaxations += 1
+            alt = du + weights[i]
+            if alt < dist[v]:
+                if dist[v] == INF:
+                    queue.push(v, alt)
+                else:
+                    queue.decrease_key(v, alt)
+                dist[v] = alt
+                parent[v] = u
+                parent_tag[v] = tags[i]
+
+    stats = {
+        "pushes": getattr(queue, "pushes", 0),
+        "pops": getattr(queue, "pops", 0),
+        "decreases": getattr(queue, "decreases", 0),
+    }
+    return DijkstraResult(
+        source=source_tuple,
+        dist=dist,
+        parent=parent,
+        parent_tag=parent_tag,
+        settled=settled,
+        relaxations=relaxations,
+        heap_stats=stats,
+    )

@@ -1,0 +1,229 @@
+"""Fibonacci heap (Fredman & Tarjan 1987).
+
+This is the priority queue the paper's Theorem 1 cites to reach the
+``O(m' + n' log n')`` shortest-path bound: ``O(1)`` amortized ``push`` and
+``decrease_key``, ``O(log n)`` amortized ``pop``.
+
+The implementation follows CLRS: a circular doubly-linked root list, lazy
+melding, consolidation by degree on ``pop``, and cascading cuts on
+``decrease_key``.  It exposes the same addressable-heap protocol as
+:class:`~repro.shortestpath.heaps.BinaryHeap`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+__all__ = ["FibonacciHeap"]
+
+
+class _FibNode:
+    __slots__ = ("item", "key", "degree", "mark", "parent", "child", "left", "right")
+
+    def __init__(self, item: Hashable, key: float) -> None:
+        self.item = item
+        self.key = key
+        self.degree = 0
+        self.mark = False
+        self.parent: _FibNode | None = None
+        self.child: _FibNode | None = None
+        self.left: _FibNode = self
+        self.right: _FibNode = self
+
+
+class FibonacciHeap:
+    """Min Fibonacci heap with decrease-key, addressable by item.
+
+    >>> h = FibonacciHeap()
+    >>> for item, key in [("a", 5.0), ("b", 3.0), ("c", 9.0)]:
+    ...     h.push(item, key)
+    >>> h.decrease_key("c", 1.0)
+    >>> h.pop()
+    ('c', 1.0)
+    >>> len(h)
+    2
+    """
+
+    def __init__(self) -> None:
+        self._min: _FibNode | None = None
+        self._nodes: dict[Hashable, _FibNode] = {}
+        self.pushes = 0
+        self.pops = 0
+        self.decreases = 0
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._nodes
+
+    def key_of(self, item: Hashable) -> float:
+        """Current key of *item* (KeyError if absent)."""
+        return self._nodes[item].key
+
+    def push(self, item: Hashable, key: float) -> None:
+        if item in self._nodes:
+            raise KeyError(f"item already in heap: {item!r}")
+        self.pushes += 1
+        node = _FibNode(item, key)
+        self._nodes[item] = node
+        self._add_to_root_list(node)
+        if self._min is None or key < self._min.key:
+            self._min = node
+
+    def pop(self) -> tuple[Hashable, float]:
+        z = self._min
+        if z is None:
+            raise IndexError("pop from empty heap")
+        self.pops += 1
+        # Promote z's children to the root list.
+        child = z.child
+        if child is not None:
+            children = []
+            c = child
+            while True:
+                children.append(c)
+                c = c.right
+                if c is child:
+                    break
+            for c in children:
+                c.parent = None
+                self._add_to_root_list(c)
+            z.child = None
+        # Remove z from the root list (capture its successor first, since
+        # unlinking resets z's own pointers).
+        successor = z.right
+        was_only_root = successor is z
+        self._remove_from_list(z)
+        del self._nodes[z.item]
+        if was_only_root:
+            self._min = None
+        else:
+            self._min = successor
+            self._consolidate()
+        return z.item, z.key
+
+    def decrease_key(self, item: Hashable, key: float) -> None:
+        node = self._nodes[item]
+        if key > node.key:
+            raise ValueError(
+                f"decrease_key would increase key of {item!r}: "
+                f"{node.key!r} -> {key!r}"
+            )
+        self.decreases += 1
+        node.key = key
+        parent = node.parent
+        if parent is not None and node.key < parent.key:
+            self._cut(node, parent)
+            self._cascading_cut(parent)
+        assert self._min is not None
+        if node.key < self._min.key:
+            self._min = node
+
+    # -- internal linked-list plumbing ------------------------------------
+
+    def _add_to_root_list(self, node: _FibNode) -> None:
+        if self._min is None:
+            node.left = node
+            node.right = node
+        else:
+            node.left = self._min
+            node.right = self._min.right
+            self._min.right.left = node
+            self._min.right = node
+
+    @staticmethod
+    def _remove_from_list(node: _FibNode) -> None:
+        node.left.right = node.right
+        node.right.left = node.left
+        node.left = node
+        node.right = node
+
+    def _consolidate(self) -> None:
+        # Upper bound on degree: floor(log_phi(n)) + 1.
+        import math
+
+        n = len(self._nodes)
+        max_degree = int(math.log(n, 1.618)) + 2 if n > 1 else 2
+        slots: list[_FibNode | None] = [None] * (max_degree + 2)
+        # Snapshot the root list (it mutates during linking).
+        roots: list[_FibNode] = []
+        start = self._min
+        assert start is not None
+        node = start
+        while True:
+            roots.append(node)
+            node = node.right
+            if node is start:
+                break
+        for w in roots:
+            x = w
+            d = x.degree
+            while d < len(slots) and slots[d] is not None:
+                y = slots[d]
+                assert y is not None
+                if y.key < x.key:
+                    x, y = y, x
+                self._link(y, x)
+                slots[d] = None
+                d += 1
+            while d >= len(slots):
+                slots.append(None)
+            slots[d] = x
+        # Rebuild root list and find the new minimum.
+        self._min = None
+        for node in slots:
+            if node is None:
+                continue
+            node.left = node
+            node.right = node
+            node.parent = None
+            if self._min is None:
+                self._min = node
+            else:
+                self._splice_into_root(node)
+                if node.key < self._min.key:
+                    self._min = node
+
+    def _splice_into_root(self, node: _FibNode) -> None:
+        assert self._min is not None
+        node.left = self._min
+        node.right = self._min.right
+        self._min.right.left = node
+        self._min.right = node
+
+    def _link(self, child: _FibNode, parent: _FibNode) -> None:
+        """Make *child* (larger key) a child of *parent*."""
+        self._remove_from_list(child)
+        child.parent = parent
+        if parent.child is None:
+            parent.child = child
+            child.left = child
+            child.right = child
+        else:
+            child.left = parent.child
+            child.right = parent.child.right
+            parent.child.right.left = child
+            parent.child.right = child
+        parent.degree += 1
+        child.mark = False
+
+    def _cut(self, node: _FibNode, parent: _FibNode) -> None:
+        if parent.child is node:
+            parent.child = node.right if node.right is not node else None
+        self._remove_from_list(node)
+        parent.degree -= 1
+        node.parent = None
+        node.mark = False
+        self._add_to_root_list(node)
+
+    def _cascading_cut(self, node: _FibNode) -> None:
+        while True:
+            parent = node.parent
+            if parent is None:
+                return
+            if not node.mark:
+                node.mark = True
+                return
+            self._cut(node, parent)
+            node = parent

@@ -1,0 +1,293 @@
+"""Addressable priority queues with ``decrease_key``.
+
+Dijkstra over the auxiliary graph needs a min-priority queue keyed by
+tentative distance that supports decreasing a node's key in place.  Three
+implementations share the same protocol (duck-typed; see
+:class:`AddressableHeap` for the interface contract):
+
+* :class:`BinaryHeap` — array-based binary heap with a position index;
+  ``O(log n)`` for every operation.  In practice the fastest in CPython for
+  the graph sizes this library handles.
+* :class:`PairingHeap` — pointer-based pairing heap; amortized ``o(log n)``
+  decrease-key, simple two-pass merge on pop.
+* :class:`~repro.shortestpath.fibonacci.FibonacciHeap` — the structure the
+  paper's Theorem 1 cites (Fredman & Tarjan), with ``O(1)`` amortized
+  decrease-key.
+
+All three track operation counts (pushes, pops, decrease-keys) so the
+benchmark harness can report work done, not just wall time.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Protocol
+
+__all__ = ["AddressableHeap", "BinaryHeap", "PairingHeap", "HEAP_FACTORIES"]
+
+
+class AddressableHeap(Protocol):
+    """Protocol implemented by every heap in this package."""
+
+    def push(self, item: Hashable, key: float) -> None:
+        """Insert *item* with priority *key*. *item* must not be present."""
+
+    def pop(self) -> tuple[Hashable, float]:
+        """Remove and return the ``(item, key)`` pair with minimum key."""
+
+    def decrease_key(self, item: Hashable, key: float) -> None:
+        """Lower *item*'s key to *key* (must not exceed the current key)."""
+
+    def __contains__(self, item: Hashable) -> bool: ...
+
+    def __len__(self) -> int: ...
+
+
+class BinaryHeap:
+    """Array-based binary min-heap with an item -> slot index.
+
+    >>> h = BinaryHeap()
+    >>> h.push("a", 3.0); h.push("b", 1.0); h.push("c", 2.0)
+    >>> h.decrease_key("a", 0.5)
+    >>> h.pop()
+    ('a', 0.5)
+    >>> h.pop()
+    ('b', 1.0)
+    """
+
+    def __init__(self) -> None:
+        self._keys: list[float] = []
+        self._items: list[Hashable] = []
+        self._pos: dict[Hashable, int] = {}
+        self.pushes = 0
+        self.pops = 0
+        self.decreases = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._pos
+
+    def key_of(self, item: Hashable) -> float:
+        """Current key of *item* (KeyError if absent)."""
+        return self._keys[self._pos[item]]
+
+    def push(self, item: Hashable, key: float) -> None:
+        if item in self._pos:
+            raise KeyError(f"item already in heap: {item!r}")
+        self.pushes += 1
+        slot = len(self._items)
+        self._items.append(item)
+        self._keys.append(key)
+        self._pos[item] = slot
+        self._sift_up(slot)
+
+    def pop(self) -> tuple[Hashable, float]:
+        if not self._items:
+            raise IndexError("pop from empty heap")
+        self.pops += 1
+        top_item = self._items[0]
+        top_key = self._keys[0]
+        last_item = self._items.pop()
+        last_key = self._keys.pop()
+        del self._pos[top_item]
+        if self._items:
+            self._items[0] = last_item
+            self._keys[0] = last_key
+            self._pos[last_item] = 0
+            self._sift_down(0)
+        return top_item, top_key
+
+    def decrease_key(self, item: Hashable, key: float) -> None:
+        slot = self._pos[item]
+        if key > self._keys[slot]:
+            raise ValueError(
+                f"decrease_key would increase key of {item!r}: "
+                f"{self._keys[slot]!r} -> {key!r}"
+            )
+        self.decreases += 1
+        self._keys[slot] = key
+        self._sift_up(slot)
+
+    def _sift_up(self, slot: int) -> None:
+        keys = self._keys
+        items = self._items
+        pos = self._pos
+        key = keys[slot]
+        item = items[slot]
+        while slot > 0:
+            parent = (slot - 1) >> 1
+            if keys[parent] <= key:
+                break
+            keys[slot] = keys[parent]
+            items[slot] = items[parent]
+            pos[items[slot]] = slot
+            slot = parent
+        keys[slot] = key
+        items[slot] = item
+        pos[item] = slot
+
+    def _sift_down(self, slot: int) -> None:
+        keys = self._keys
+        items = self._items
+        pos = self._pos
+        size = len(keys)
+        key = keys[slot]
+        item = items[slot]
+        while True:
+            child = 2 * slot + 1
+            if child >= size:
+                break
+            right = child + 1
+            if right < size and keys[right] < keys[child]:
+                child = right
+            if keys[child] >= key:
+                break
+            keys[slot] = keys[child]
+            items[slot] = items[child]
+            pos[items[slot]] = slot
+            slot = child
+        keys[slot] = key
+        items[slot] = item
+        pos[item] = slot
+
+
+class _PairingNode:
+    __slots__ = ("item", "key", "child", "sibling", "prev")
+
+    def __init__(self, item: Hashable, key: float) -> None:
+        self.item = item
+        self.key = key
+        self.child: _PairingNode | None = None
+        self.sibling: _PairingNode | None = None
+        self.prev: _PairingNode | None = None  # parent or left sibling
+
+
+class PairingHeap:
+    """Pointer-based pairing heap with decrease-key.
+
+    Uses the standard cut-and-merge decrease-key and two-pass pairing on
+    ``pop``.  Amortized bounds: ``O(1)`` push/meld, ``O(log n)`` pop,
+    conjectured ``o(log n)`` decrease-key.
+    """
+
+    def __init__(self) -> None:
+        self._root: _PairingNode | None = None
+        self._nodes: dict[Hashable, _PairingNode] = {}
+        self.pushes = 0
+        self.pops = 0
+        self.decreases = 0
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._nodes
+
+    def key_of(self, item: Hashable) -> float:
+        """Current key of *item* (KeyError if absent)."""
+        return self._nodes[item].key
+
+    def push(self, item: Hashable, key: float) -> None:
+        if item in self._nodes:
+            raise KeyError(f"item already in heap: {item!r}")
+        self.pushes += 1
+        node = _PairingNode(item, key)
+        self._nodes[item] = node
+        self._root = node if self._root is None else self._meld(self._root, node)
+
+    def pop(self) -> tuple[Hashable, float]:
+        root = self._root
+        if root is None:
+            raise IndexError("pop from empty heap")
+        self.pops += 1
+        del self._nodes[root.item]
+        self._root = self._merge_pairs(root.child)
+        if self._root is not None:
+            self._root.prev = None
+            self._root.sibling = None
+        return root.item, root.key
+
+    def decrease_key(self, item: Hashable, key: float) -> None:
+        node = self._nodes[item]
+        if key > node.key:
+            raise ValueError(
+                f"decrease_key would increase key of {item!r}: "
+                f"{node.key!r} -> {key!r}"
+            )
+        self.decreases += 1
+        node.key = key
+        if node is self._root:
+            return
+        # Detach node from its sibling list.
+        prev = node.prev
+        assert prev is not None
+        if prev.child is node:
+            prev.child = node.sibling
+        else:
+            prev.sibling = node.sibling
+        if node.sibling is not None:
+            node.sibling.prev = prev
+        node.sibling = None
+        node.prev = None
+        self._root = self._meld(self._root, node)  # type: ignore[arg-type]
+
+    @staticmethod
+    def _meld(a: _PairingNode, b: _PairingNode) -> _PairingNode:
+        if b.key < a.key:
+            a, b = b, a
+        # b becomes a's first child.
+        b.prev = a
+        b.sibling = a.child
+        if a.child is not None:
+            a.child.prev = b
+        a.child = b
+        a.sibling = None
+        a.prev = None
+        return a
+
+    def _merge_pairs(self, first: _PairingNode | None) -> _PairingNode | None:
+        # Two-pass pairing, iterative to avoid recursion depth limits.
+        pairs: list[_PairingNode] = []
+        node = first
+        while node is not None:
+            nxt = node.sibling
+            node.sibling = None
+            node.prev = None
+            if nxt is not None:
+                following = nxt.sibling
+                nxt.sibling = None
+                nxt.prev = None
+                pairs.append(self._meld(node, nxt))
+                node = following
+            else:
+                pairs.append(node)
+                node = None
+        if not pairs:
+            return None
+        result = pairs.pop()
+        while pairs:
+            result = self._meld(pairs.pop(), result)
+        return result
+
+
+def _make_binary() -> BinaryHeap:
+    return BinaryHeap()
+
+
+def _make_pairing() -> PairingHeap:
+    return PairingHeap()
+
+
+def _make_fibonacci():
+    from repro.shortestpath.fibonacci import FibonacciHeap
+
+    return FibonacciHeap()
+
+
+#: Named factories for heap selection in the routers and benchmarks.
+HEAP_FACTORIES = {
+    "binary": _make_binary,
+    "pairing": _make_pairing,
+    "fibonacci": _make_fibonacci,
+}

@@ -1,0 +1,80 @@
+"""Path reconstruction helpers over predecessor arrays.
+
+Every SSSP routine in this package reports ``parent`` / ``parent_tag``
+arrays; these helpers turn them into explicit node sequences, edge-tag
+sequences, and a :class:`ShortestPathTree` convenience wrapper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["reconstruct_path", "reconstruct_tags", "ShortestPathTree"]
+
+
+def reconstruct_path(parent: Sequence[int], target: int) -> list[int]:
+    """Return the node sequence from the tree root to *target*.
+
+    *parent* maps each node to its predecessor (``-1`` at roots).  Raises
+    ``ValueError`` if the chain does not terminate (which would indicate a
+    corrupted predecessor array).
+    """
+    path = [target]
+    seen = {target}
+    node = target
+    while parent[node] != -1:
+        node = parent[node]
+        if node in seen:
+            raise ValueError(f"cycle in parent array at node {node}")
+        seen.add(node)
+        path.append(node)
+    path.reverse()
+    return path
+
+
+def reconstruct_tags(
+    parent: Sequence[int], parent_tag: Sequence[int], target: int
+) -> list[int]:
+    """Return the edge tags along the tree path ending at *target*.
+
+    The list has one entry per edge, in path order; an entry is ``-1`` when
+    the edge carried no tag.
+    """
+    nodes = reconstruct_path(parent, target)
+    return [parent_tag[v] for v in nodes[1:]]
+
+
+@dataclass(frozen=True)
+class ShortestPathTree:
+    """A rooted shortest-path tree (distances + predecessors).
+
+    Produced by running any SSSP routine to completion; offers convenient
+    per-target queries.
+    """
+
+    root: int
+    dist: Sequence[float]
+    parent: Sequence[int]
+    parent_tag: Sequence[int]
+
+    def distance(self, target: int) -> float:
+        """Distance from the root to *target* (``inf`` if unreachable)."""
+        return self.dist[target]
+
+    def reachable(self, target: int) -> bool:
+        """True when *target* is reachable from the root."""
+        return self.dist[target] < math.inf
+
+    def path(self, target: int) -> list[int]:
+        """Node sequence root -> *target*; raises if unreachable."""
+        if not self.reachable(target):
+            raise ValueError(f"node {target} is unreachable from root {self.root}")
+        return reconstruct_path(self.parent, target)
+
+    def tags(self, target: int) -> list[int]:
+        """Edge tags along the root -> *target* path."""
+        if not self.reachable(target):
+            raise ValueError(f"node {target} is unreachable from root {self.root}")
+        return reconstruct_tags(self.parent, self.parent_tag, target)

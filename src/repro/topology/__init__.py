@@ -1,0 +1,70 @@
+"""Network topology and workload generators.
+
+Everything the benchmarks and tests route over is generated here:
+
+* :mod:`~repro.topology.generators` — parametric topologies (ring, line,
+  grid, torus, degree-bounded random, Waxman, Erdős–Rényi, complete),
+* :mod:`~repro.topology.reference` — fixed reference networks: the paper's
+  Figure 1 example (exact ``Λ(e)`` table), NSFNET, an ARPANET-like WAN,
+* :mod:`~repro.topology.wavelength_assign` — ``Λ(e)`` assignment policies
+  (all wavelengths, random subsets, ``k₀``-bounded subsets for Section IV),
+* :mod:`~repro.topology.cost_models` — ``w(e, λ)`` cost policies and
+  conversion-model factories, including generators that satisfy or violate
+  Restrictions 1-2.
+"""
+
+from repro.topology.converters import place_converters, sparse_conversion_network
+from repro.topology.traffic_matrices import gravity_demands, uniform_demands
+from repro.topology.cost_models import (
+    distance_scaled_costs,
+    restriction2_conversion,
+    uniform_costs,
+    wavelength_dependent_costs,
+)
+from repro.topology.generators import (
+    complete_network,
+    degree_bounded_network,
+    grid_network,
+    line_network,
+    random_sparse_network,
+    ring_network,
+    torus_network,
+    waxman_network,
+)
+from repro.topology.reference import (
+    arpanet_network,
+    cost239_network,
+    nsfnet_network,
+    paper_figure1_network,
+)
+from repro.topology.wavelength_assign import (
+    all_wavelengths,
+    bounded_random_wavelengths,
+    random_wavelengths,
+)
+
+__all__ = [
+    "ring_network",
+    "line_network",
+    "grid_network",
+    "torus_network",
+    "degree_bounded_network",
+    "random_sparse_network",
+    "waxman_network",
+    "complete_network",
+    "paper_figure1_network",
+    "nsfnet_network",
+    "cost239_network",
+    "arpanet_network",
+    "all_wavelengths",
+    "random_wavelengths",
+    "bounded_random_wavelengths",
+    "uniform_costs",
+    "distance_scaled_costs",
+    "wavelength_dependent_costs",
+    "restriction2_conversion",
+    "place_converters",
+    "sparse_conversion_network",
+    "gravity_demands",
+    "uniform_demands",
+]

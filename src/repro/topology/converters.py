@@ -1,0 +1,64 @@
+"""Sparse converter placement.
+
+Full wavelength conversion at every node is the expensive ideal; real
+deployments place converters at a *subset* of nodes (sparse conversion).
+These helpers reconfigure a network's per-node conversion models so the
+converter-density ablation (``benchmarks/bench_converter_density.py``)
+can sweep from "no conversion anywhere" (pure lightpath routing) to "full
+conversion everywhere" (the paper's default example setting).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Sequence
+
+from repro._validation import check_probability
+from repro.core.conversion import ConversionModel, NoConversion
+from repro.core.network import WDMNetwork
+
+__all__ = ["place_converters", "sparse_conversion_network"]
+
+NodeId = Hashable
+
+
+def place_converters(
+    network: WDMNetwork,
+    converter_nodes: Sequence[NodeId],
+    model: ConversionModel,
+) -> None:
+    """Give *converter_nodes* the conversion *model*; all others get none.
+
+    Mutates *network* in place.  Nodes not in *converter_nodes* are set to
+    :class:`~repro.core.conversion.NoConversion` (pass-through only).
+    """
+    converter_set = set(converter_nodes)
+    unknown = [v for v in converter_set if not network.has_node(v)]
+    if unknown:
+        raise ValueError(f"unknown converter nodes: {unknown!r}")
+    none = NoConversion()
+    for node in network.nodes():
+        network.set_conversion(node, model if node in converter_set else none)
+
+
+def sparse_conversion_network(
+    network: WDMNetwork,
+    density: float,
+    model: ConversionModel,
+    seed: int = 0,
+) -> WDMNetwork:
+    """A copy of *network* with converters at a random *density* of nodes.
+
+    ``density = 0`` yields a conversion-free network (lightpath routing
+    only); ``density = 1`` puts *model* everywhere.  The draw is seeded
+    and the node count rounds to ``round(density * n)`` so sweeps are
+    smooth.
+    """
+    check_probability(density, "density")
+    clone = network.copy()
+    nodes = clone.nodes()
+    count = round(density * len(nodes))
+    rng = random.Random(seed)
+    chosen = rng.sample(nodes, count) if count else []
+    place_converters(clone, chosen, model)
+    return clone

@@ -1,0 +1,142 @@
+"""Cost models: ``w(e, λ)`` policies and conversion-model factories.
+
+Link-cost policies are callables ``(rng, tail, head, wavelength) -> float``
+invoked per available (link, wavelength) pair during generation.  The
+conversion factories build :class:`~repro.core.conversion.ConversionModel`
+instances, including :func:`restriction2_conversion`, which constructs a
+conversion model guaranteed (together with a link-cost floor) to satisfy
+the paper's Restriction 2.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Hashable
+
+from repro._validation import check_finite, check_nonnegative
+from repro.core.conversion import (
+    ConversionModel,
+    FixedCostConversion,
+    FullConversion,
+    MatrixConversion,
+    NoConversion,
+    RangeLimitedConversion,
+)
+
+__all__ = [
+    "LinkCostPolicy",
+    "uniform_costs",
+    "random_costs",
+    "distance_scaled_costs",
+    "wavelength_dependent_costs",
+    "restriction2_conversion",
+    "random_matrix_conversion",
+]
+
+NodeId = Hashable
+LinkCostPolicy = Callable[[random.Random, NodeId, NodeId, int], float]
+
+
+def uniform_costs(cost: float = 1.0) -> LinkCostPolicy:
+    """Every (link, wavelength) costs the same."""
+    c = check_finite(cost, "cost")
+
+    def policy(rng: random.Random, tail: NodeId, head: NodeId, wavelength: int) -> float:
+        return c
+
+    return policy
+
+
+def random_costs(low: float = 1.0, high: float = 10.0) -> LinkCostPolicy:
+    """Cost drawn uniformly from ``[low, high]`` per (link, wavelength)."""
+    lo = check_finite(low, "low")
+    hi = check_finite(high, "high")
+    if hi < lo:
+        raise ValueError(f"high ({high}) must be >= low ({low})")
+
+    def policy(rng: random.Random, tail: NodeId, head: NodeId, wavelength: int) -> float:
+        return rng.uniform(lo, hi)
+
+    return policy
+
+
+def distance_scaled_costs(
+    positions: dict[NodeId, tuple[float, float]], scale: float = 1.0
+) -> LinkCostPolicy:
+    """Cost proportional to Euclidean distance between link endpoints.
+
+    Natural for WAN topologies with geographic embeddings (Waxman, NSFNET):
+    longer fiber costs more to traverse regardless of wavelength.
+    """
+    s = check_finite(scale, "scale")
+
+    def policy(rng: random.Random, tail: NodeId, head: NodeId, wavelength: int) -> float:
+        (x1, y1), (x2, y2) = positions[tail], positions[head]
+        return s * ((x1 - x2) ** 2 + (y1 - y2) ** 2) ** 0.5
+
+    return policy
+
+
+def wavelength_dependent_costs(
+    base: float = 1.0, per_wavelength: float = 0.1
+) -> LinkCostPolicy:
+    """Cost grows linearly with the wavelength index.
+
+    Models systems where higher-index channels are less desirable (e.g.
+    worse amplifier gain flatness); gives the optimizer a reason to prefer
+    low channels and convert when they are unavailable.
+    """
+    b = check_finite(base, "base")
+    step = check_nonnegative(per_wavelength, "per_wavelength")
+
+    def policy(rng: random.Random, tail: NodeId, head: NodeId, wavelength: int) -> float:
+        return b + step * wavelength
+
+    return policy
+
+
+def restriction2_conversion(min_link_cost: float, fraction: float = 0.5) -> ConversionModel:
+    """A full-conversion model guaranteed to satisfy Restriction 2.
+
+    Restriction 2 requires every conversion cost to be strictly below every
+    link cost; this returns :class:`FixedCostConversion` at
+    ``fraction * min_link_cost`` (with ``0 < fraction < 1``), so any network
+    whose link costs are all ``>= min_link_cost`` satisfies Eq. (2).
+    """
+    floor = check_finite(min_link_cost, "min_link_cost")
+    if not 0 < fraction < 1:
+        raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+    if floor <= 0:
+        raise ValueError("min_link_cost must be > 0 for Restriction 2 to be satisfiable")
+    return FixedCostConversion(fraction * floor)
+
+
+def random_matrix_conversion(
+    rng: random.Random,
+    num_wavelengths: int,
+    support_probability: float = 0.7,
+    low: float = 0.1,
+    high: float = 1.0,
+) -> MatrixConversion:
+    """A random sparse conversion table.
+
+    Each ordered distinct pair is supported independently with
+    *support_probability* at a cost uniform in ``[low, high]``.  Useful for
+    adversarial tests where Restriction 1 does not hold.
+    """
+    table: dict[tuple[int, int], float] = {}
+    for p in range(num_wavelengths):
+        for q in range(num_wavelengths):
+            if p != q and rng.random() < support_probability:
+                table[(p, q)] = rng.uniform(low, high)
+    return MatrixConversion(table)
+
+
+# Re-exported for convenience so generator call sites can name models
+# without importing repro.core.conversion directly.
+CONVERSION_MODELS = {
+    "full": FullConversion,
+    "none": NoConversion,
+    "fixed": FixedCostConversion,
+    "range": RangeLimitedConversion,
+}

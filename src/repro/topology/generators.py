@@ -1,0 +1,322 @@
+"""Parametric topology generators.
+
+Each generator returns a fully populated
+:class:`~repro.core.network.WDMNetwork`: topology, per-link ``Λ(e)`` (from a
+wavelength policy), per-(link, wavelength) costs (from a cost policy), and a
+conversion model shared by all nodes.  All randomness flows through one
+seeded :class:`random.Random`, so every generated network is reproducible.
+
+The defaults match the paper's "large sparse WAN" assumptions: undirected
+physical fibers are modeled as two oppositely directed links (Section II),
+``m = O(n)``, bounded degree.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Hashable, Iterable
+
+from repro._validation import check_positive_int, check_probability
+from repro.core.conversion import ConversionModel, FullConversion
+from repro.core.network import WDMNetwork
+from repro.topology.cost_models import LinkCostPolicy, uniform_costs
+from repro.topology.wavelength_assign import WavelengthPolicy, all_wavelengths
+
+__all__ = [
+    "ring_network",
+    "line_network",
+    "grid_network",
+    "torus_network",
+    "degree_bounded_network",
+    "random_sparse_network",
+    "waxman_network",
+    "complete_network",
+    "dumbbell_network",
+    "build_network",
+]
+
+NodeId = Hashable
+
+
+def build_network(
+    nodes: Iterable[NodeId],
+    arcs: Iterable[tuple[NodeId, NodeId]],
+    num_wavelengths: int,
+    wavelength_policy: WavelengthPolicy | None = None,
+    cost_policy: LinkCostPolicy | None = None,
+    conversion: ConversionModel | None = None,
+    seed: int = 0,
+) -> WDMNetwork:
+    """Assemble a :class:`WDMNetwork` from explicit nodes and directed arcs.
+
+    This is the shared back end of every generator; it is public because
+    callers with bespoke topologies (e.g. traces) want the same policy
+    plumbing.
+
+    Parameters
+    ----------
+    nodes, arcs:
+        The topology.  Arcs are directed; duplicates raise.
+    num_wavelengths:
+        Universe size ``k``.
+    wavelength_policy:
+        ``Λ(e)`` policy; defaults to all wavelengths on every link.
+    cost_policy:
+        ``w(e, λ)`` policy; defaults to uniform cost 1.
+    conversion:
+        Conversion model shared by all nodes; defaults to
+        :class:`FullConversion` with cost 0.5 (satisfies Restriction 2
+        under the default unit link costs).
+    seed:
+        Seed for the policy RNG.
+    """
+    k = check_positive_int(num_wavelengths, "num_wavelengths")
+    rng = random.Random(seed)
+    wl_policy = wavelength_policy if wavelength_policy is not None else all_wavelengths(k)
+    c_policy = cost_policy if cost_policy is not None else uniform_costs(1.0)
+    model = conversion if conversion is not None else FullConversion(0.5)
+
+    network = WDMNetwork(num_wavelengths=k, default_conversion=model)
+    for node in nodes:
+        network.add_node(node)
+    for tail, head in arcs:
+        wavelengths = wl_policy(rng, tail, head)
+        costs = {w: c_policy(rng, tail, head, w) for w in sorted(wavelengths)}
+        network.add_link(tail, head, costs)
+    return network
+
+
+def _bidirect(edges: Iterable[tuple[NodeId, NodeId]]) -> list[tuple[NodeId, NodeId]]:
+    """Expand undirected fibers into two directed links each."""
+    arcs: list[tuple[NodeId, NodeId]] = []
+    for u, v in edges:
+        arcs.append((u, v))
+        arcs.append((v, u))
+    return arcs
+
+
+def ring_network(num_nodes: int, num_wavelengths: int, bidirectional: bool = True, **kw) -> WDMNetwork:
+    """A ring of *num_nodes* nodes (``m = O(n)``, ``d <= 2``).
+
+    Extra keyword arguments are forwarded to :func:`build_network`.
+    """
+    n = check_positive_int(num_nodes, "num_nodes")
+    if n < 2:
+        raise ValueError("a ring needs at least 2 nodes")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    arcs = _bidirect(edges) if bidirectional else list(edges)
+    return build_network(range(n), arcs, num_wavelengths, **kw)
+
+
+def line_network(num_nodes: int, num_wavelengths: int, bidirectional: bool = True, **kw) -> WDMNetwork:
+    """A simple path topology (useful for hand-checkable tests)."""
+    n = check_positive_int(num_nodes, "num_nodes")
+    if n < 2:
+        raise ValueError("a line needs at least 2 nodes")
+    edges = [(i, i + 1) for i in range(n - 1)]
+    arcs = _bidirect(edges) if bidirectional else list(edges)
+    return build_network(range(n), arcs, num_wavelengths, **kw)
+
+
+def grid_network(rows: int, cols: int, num_wavelengths: int, **kw) -> WDMNetwork:
+    """A ``rows x cols`` 4-neighbor mesh — planar, ``d <= 4``.
+
+    Nodes are labeled ``(r, c)`` tuples.
+    """
+    check_positive_int(rows, "rows")
+    check_positive_int(cols, "cols")
+    nodes = [(r, c) for r in range(rows) for c in range(cols)]
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append(((r, c), (r, c + 1)))
+            if r + 1 < rows:
+                edges.append(((r, c), (r + 1, c)))
+    return build_network(nodes, _bidirect(edges), num_wavelengths, **kw)
+
+
+def torus_network(rows: int, cols: int, num_wavelengths: int, **kw) -> WDMNetwork:
+    """A wrap-around mesh (regular degree 4 when ``rows, cols >= 3``)."""
+    check_positive_int(rows, "rows")
+    check_positive_int(cols, "cols")
+    nodes = [(r, c) for r in range(rows) for c in range(cols)]
+    edges = set()
+    for r in range(rows):
+        for c in range(cols):
+            right = (r, (c + 1) % cols)
+            down = ((r + 1) % rows, c)
+            if right != (r, c):
+                edges.add(tuple(sorted([(r, c), right])))
+            if down != (r, c):
+                edges.add(tuple(sorted([(r, c), down])))
+    return build_network(nodes, _bidirect(sorted(edges)), num_wavelengths, **kw)
+
+
+def degree_bounded_network(
+    num_nodes: int,
+    num_wavelengths: int,
+    max_degree: int = 4,
+    seed: int = 0,
+    **kw,
+) -> WDMNetwork:
+    """Connected random topology with degree at most *max_degree*.
+
+    Built as a random spanning tree (guaranteeing strong connectivity once
+    bidirected) plus random chords that respect the degree bound.  The
+    result matches the paper's sparse-WAN regime: ``m = O(n)`` and constant
+    ``d``.
+    """
+    n = check_positive_int(num_nodes, "num_nodes")
+    d_max = check_positive_int(max_degree, "max_degree")
+    if n >= 2 and d_max < 2:
+        raise ValueError("max_degree must be >= 2 to connect more than one node")
+    rng = random.Random(seed)
+    order = list(range(n))
+    rng.shuffle(order)
+    degree = [0] * n
+    edges: set[tuple[int, int]] = set()
+    # Random tree: attach each node to a random earlier node with spare degree.
+    for i in range(1, n):
+        candidates = [order[j] for j in range(i) if degree[order[j]] < d_max]
+        if not candidates:
+            # All earlier nodes saturated; fall back to the previous tree node
+            # (its degree grows past d_max only in this degenerate case).
+            candidates = [order[i - 1]]
+        parent = rng.choice(candidates)
+        child = order[i]
+        edges.add((min(parent, child), max(parent, child)))
+        degree[parent] += 1
+        degree[child] += 1
+    # Random chords up to the degree budget: try n extra times.
+    for _ in range(n):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in edges:
+            continue
+        if degree[u] < d_max and degree[v] < d_max:
+            edges.add(key)
+            degree[u] += 1
+            degree[v] += 1
+    kw.setdefault("seed", seed)
+    return build_network(range(n), _bidirect(sorted(edges)), num_wavelengths, **kw)
+
+
+def random_sparse_network(
+    num_nodes: int,
+    num_wavelengths: int,
+    average_degree: float = 3.0,
+    seed: int = 0,
+    **kw,
+) -> WDMNetwork:
+    """Erdős–Rényi-style sparse digraph over a connectivity backbone.
+
+    A random ring backbone guarantees strong connectivity; additional
+    directed arcs are sampled to reach ``m ≈ average_degree * n``.
+    """
+    n = check_positive_int(num_nodes, "num_nodes")
+    if n < 2:
+        raise ValueError("need at least 2 nodes")
+    if average_degree < 2:
+        raise ValueError("average_degree must be >= 2 (ring backbone)")
+    rng = random.Random(seed)
+    order = list(range(n))
+    rng.shuffle(order)
+    arcs: set[tuple[int, int]] = set()
+    for i in range(n):
+        arcs.add((order[i], order[(i + 1) % n]))
+    target_m = int(average_degree * n)
+    attempts = 0
+    while len(arcs) < target_m and attempts < 20 * target_m:
+        attempts += 1
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            arcs.add((u, v))
+    kw.setdefault("seed", seed)
+    return build_network(range(n), sorted(arcs), num_wavelengths, **kw)
+
+
+def waxman_network(
+    num_nodes: int,
+    num_wavelengths: int,
+    alpha: float = 0.4,
+    beta: float = 0.2,
+    domain: float = 1.0,
+    seed: int = 0,
+    connect: bool = True,
+    **kw,
+) -> WDMNetwork:
+    """Waxman random WAN: geometric nodes, distance-decaying link probability.
+
+    Nodes are placed uniformly in a ``domain x domain`` square; an
+    undirected fiber joins ``u, v`` with probability
+    ``alpha * exp(-dist / (beta * L))`` where ``L`` is the domain diagonal —
+    the classic model for wide-area optical network studies.  With
+    *connect*, a random spanning tree is added so the network is strongly
+    connected.
+
+    The node positions are stored on the returned network as
+    ``network.positions`` for distance-scaled cost policies.
+    """
+    n = check_positive_int(num_nodes, "num_nodes")
+    check_probability(alpha, "alpha")
+    if beta <= 0:
+        raise ValueError(f"beta must be > 0, got {beta}")
+    rng = random.Random(seed)
+    positions = {i: (rng.uniform(0, domain), rng.uniform(0, domain)) for i in range(n)}
+    diagonal = domain * math.sqrt(2.0)
+    edges: set[tuple[int, int]] = set()
+    for u in range(n):
+        for v in range(u + 1, n):
+            (x1, y1), (x2, y2) = positions[u], positions[v]
+            dist = math.hypot(x1 - x2, y1 - y2)
+            if rng.random() < alpha * math.exp(-dist / (beta * diagonal)):
+                edges.add((u, v))
+    if connect and n > 1:
+        order = list(range(n))
+        rng.shuffle(order)
+        for i in range(1, n):
+            a, b = order[i - 1], order[i]
+            edges.add((min(a, b), max(a, b)))
+    kw.setdefault("seed", seed)
+    network = build_network(range(n), _bidirect(sorted(edges)), num_wavelengths, **kw)
+    network.positions = positions  # type: ignore[attr-defined]
+    return network
+
+
+def complete_network(num_nodes: int, num_wavelengths: int, **kw) -> WDMNetwork:
+    """Complete digraph — the dense regime where CFZ's bound is tight."""
+    n = check_positive_int(num_nodes, "num_nodes")
+    arcs = [(u, v) for u in range(n) for v in range(n) if u != v]
+    return build_network(range(n), arcs, num_wavelengths, **kw)
+
+
+def dumbbell_network(
+    cluster_size: int, num_wavelengths: int, bridge_length: int = 1, **kw
+) -> WDMNetwork:
+    """Two complete clusters joined by a path of bottleneck fibers.
+
+    The canonical stress topology for blocking and fairness studies: all
+    inter-cluster traffic funnels through the bridge, so contention (and
+    per-pair unfairness) concentrates there by construction.  Left-cluster
+    nodes are ``("L", i)``-style ints ``0 .. cluster_size-1``, right are
+    ``cluster_size+bridge .. end``; bridge nodes sit between.
+    """
+    s = check_positive_int(cluster_size, "cluster_size")
+    b = check_positive_int(bridge_length, "bridge_length")
+    left = list(range(s))
+    bridge = list(range(s, s + b))
+    right = list(range(s + b, 2 * s + b))
+    nodes = left + bridge + right
+    edges: list[tuple[int, int]] = []
+    for cluster in (left, right):
+        for i, u in enumerate(cluster):
+            for v in cluster[i + 1 :]:
+                edges.append((u, v))
+    chain = [left[-1]] + bridge + [right[0]]
+    for a, c in zip(chain, chain[1:]):
+        edges.append((a, c))
+    return build_network(nodes, _bidirect(edges), num_wavelengths, **kw)

@@ -1,0 +1,190 @@
+"""Fixed reference networks.
+
+* :func:`paper_figure1_network` — the worked example of the paper's
+  Section III-A (Figs. 1-4), with the exact per-link availability table
+  ``Λ(e)`` transcribed from the text and the ``λ₂ → λ₃`` conversion at
+  node 3 disabled (visible in Fig. 3).
+* :func:`nsfnet_network` — the classic 14-node NSFNET T1 backbone used
+  throughout the WDM literature.
+* :func:`arpanet_network` — a 20-node ARPANET-like WAN.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.conversion import ConversionModel, FullConversion, MatrixConversion
+from repro.core.network import WDMNetwork
+from repro.topology.generators import build_network
+
+__all__ = [
+    "paper_figure1_network",
+    "PAPER_LAMBDA_TABLE",
+    "nsfnet_network",
+    "NSFNET_FIBERS",
+    "cost239_network",
+    "COST239_FIBERS",
+    "arpanet_network",
+]
+
+
+#: The exact availability table from Section III-A (0-based wavelength
+#: indices; the paper's λ_j is index j-1).
+PAPER_LAMBDA_TABLE: Mapping[tuple[int, int], frozenset[int]] = {
+    (1, 2): frozenset({0, 2}),
+    (1, 4): frozenset({0, 1, 3}),
+    (2, 3): frozenset({0, 3}),
+    (2, 7): frozenset({0, 1, 2}),
+    (3, 1): frozenset({1, 2}),
+    (3, 7): frozenset({2, 3}),
+    (4, 5): frozenset({2}),
+    (5, 3): frozenset({1, 3}),
+    (5, 6): frozenset({0, 2}),
+    (6, 4): frozenset({1, 2}),
+    (6, 7): frozenset({1, 2, 3}),
+}
+
+
+def paper_figure1_network(
+    link_cost: float = 1.0,
+    conversion_cost: float = 0.5,
+    forbid_node3_l2_to_l3: bool = True,
+) -> WDMNetwork:
+    """The 7-node, 11-link, ``k = 4`` example of Figs. 1-4.
+
+    The paper gives ``Λ(e)`` exactly but no numeric costs; uniform costs
+    are used (``w(e, λ) = link_cost`` and full conversion at
+    *conversion_cost*), keeping Restriction 2 satisfied at the defaults.
+    Figure 3 shows that node 3 cannot convert ``λ₂ → λ₃``; that single
+    exclusion is reproduced unless *forbid_node3_l2_to_l3* is False.
+    """
+    network = WDMNetwork(
+        num_wavelengths=4, default_conversion=FullConversion(conversion_cost)
+    )
+    for node in range(1, 8):
+        network.add_node(node)
+    for (tail, head), wavelengths in PAPER_LAMBDA_TABLE.items():
+        network.add_link(tail, head, {w: link_cost for w in sorted(wavelengths)})
+    if forbid_node3_l2_to_l3:
+        table = {
+            (p, q): conversion_cost
+            for p in range(4)
+            for q in range(4)
+            if p != q and (p, q) != (1, 2)  # λ2 -> λ3 forbidden at node 3
+        }
+        network.set_conversion(3, MatrixConversion(table))
+    return network
+
+
+#: NSFNET-style T1 backbone (14 nodes, 22 undirected fibers).  Adjacency
+#: follows the renderings common in WDM routing studies (variants differ by
+#: one or two links); every node keeps degree <= 4.
+NSFNET_FIBERS: tuple[tuple[str, str], ...] = (
+    ("WA", "CA1"),
+    ("WA", "CA2"),
+    ("WA", "IL"),
+    ("CA1", "CA2"),
+    ("CA1", "UT"),
+    ("CA2", "TX"),
+    ("UT", "CO"),
+    ("UT", "MI"),
+    ("CO", "TX"),
+    ("CO", "NE"),
+    ("TX", "DC"),
+    ("TX", "GA"),
+    ("NE", "IL"),
+    ("NE", "DC"),
+    ("IL", "PA"),
+    ("PA", "GA"),
+    ("PA", "NY"),
+    ("GA", "NJ"),
+    ("MI", "NJ"),
+    ("MI", "NY"),
+    ("NY", "DC"),
+    ("NJ", "DC"),
+)
+
+
+def nsfnet_network(
+    num_wavelengths: int = 8,
+    conversion: ConversionModel | None = None,
+    seed: int = 0,
+    **kw,
+) -> WDMNetwork:
+    """The NSFNET T1 backbone as a bidirectional WDM network.
+
+    Keyword arguments (wavelength/cost policies) forward to
+    :func:`~repro.topology.generators.build_network`; by default every
+    fiber carries all wavelengths at unit cost with 0.5-cost full
+    conversion.
+    """
+    nodes = sorted({u for u, _ in NSFNET_FIBERS} | {v for _, v in NSFNET_FIBERS})
+    arcs: list[tuple[str, str]] = []
+    for u, v in NSFNET_FIBERS:
+        arcs.append((u, v))
+        arcs.append((v, u))
+    return build_network(
+        nodes, arcs, num_wavelengths, conversion=conversion, seed=seed, **kw
+    )
+
+
+#: COST239-style European Optical Network (11 nodes, 24 undirected
+#: fibers) — the dense-mesh European reference used in WDM survivability
+#: studies (published variants differ by a couple of links).
+COST239_FIBERS: tuple[tuple[str, str], ...] = (
+    ("London", "Amsterdam"),
+    ("London", "Paris"),
+    ("London", "Brussels"),
+    ("London", "Copenhagen"),
+    ("Amsterdam", "Brussels"),
+    ("Amsterdam", "Luxembourg"),
+    ("Amsterdam", "Berlin"),
+    ("Amsterdam", "Copenhagen"),
+    ("Brussels", "Paris"),
+    ("Brussels", "Luxembourg"),
+    ("Brussels", "Milan"),
+    ("Paris", "Luxembourg"),
+    ("Paris", "Zurich"),
+    ("Paris", "Milan"),
+    ("Luxembourg", "Zurich"),
+    ("Luxembourg", "Prague"),
+    ("Zurich", "Milan"),
+    ("Zurich", "Vienna"),
+    ("Zurich", "Berlin"),
+    ("Milan", "Vienna"),
+    ("Vienna", "Prague"),
+    ("Vienna", "Berlin"),
+    ("Vienna", "Copenhagen"),
+    ("Prague", "Berlin"),
+    ("Berlin", "Copenhagen"),
+)
+
+
+def cost239_network(num_wavelengths: int = 8, seed: int = 0, **kw) -> WDMNetwork:
+    """The COST239 European Optical Network (bidirectional fibers)."""
+    nodes = sorted({u for u, _ in COST239_FIBERS} | {v for _, v in COST239_FIBERS})
+    arcs: list[tuple[str, str]] = []
+    for u, v in COST239_FIBERS:
+        arcs.append((u, v))
+        arcs.append((v, u))
+    return build_network(nodes, arcs, num_wavelengths, seed=seed, **kw)
+
+
+#: A 20-node ARPANET-like continental WAN (25 undirected fibers, d <= 4).
+ARPANET_FIBERS: tuple[tuple[int, int], ...] = (
+    (0, 1), (0, 2), (1, 3), (2, 4), (3, 5),
+    (4, 5), (4, 6), (5, 7), (6, 8), (7, 9),
+    (8, 9), (8, 10), (9, 11), (10, 12), (11, 13),
+    (12, 13), (12, 14), (13, 15), (14, 16), (15, 17),
+    (16, 17), (16, 18), (17, 19), (18, 19), (2, 6),
+)
+
+
+def arpanet_network(num_wavelengths: int = 8, seed: int = 0, **kw) -> WDMNetwork:
+    """A 20-node ARPANET-like sparse WAN (bidirectional fibers)."""
+    arcs: list[tuple[int, int]] = []
+    for u, v in ARPANET_FIBERS:
+        arcs.append((u, v))
+        arcs.append((v, u))
+    nodes = range(20)
+    return build_network(nodes, arcs, num_wavelengths, seed=seed, **kw)

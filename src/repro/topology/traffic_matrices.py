@@ -1,0 +1,85 @@
+"""Demand-matrix generators for planning studies.
+
+The static planner consumes :class:`~repro.wdm.planner.Demand` lists;
+these helpers produce realistic matrices:
+
+* :func:`uniform_demands` — every ordered pair with probability ``p``,
+* :func:`gravity_demands` — the classic gravity model: demand volume
+  between ``u`` and ``v`` proportional to ``weight(u) * weight(v)``,
+  with node weights supplied or drawn log-uniformly (cities differ in
+  size by orders of magnitude).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Hashable, Mapping, Sequence
+
+from repro._validation import check_positive_int, check_probability
+from repro.wdm.planner import Demand
+
+__all__ = ["uniform_demands", "gravity_demands"]
+
+NodeId = Hashable
+
+
+def uniform_demands(
+    nodes: Sequence[NodeId],
+    probability: float = 0.3,
+    max_count: int = 2,
+    seed: int = 0,
+) -> list[Demand]:
+    """Each ordered pair demands ``1..max_count`` circuits w.p. *probability*."""
+    check_probability(probability, "probability")
+    check_positive_int(max_count, "max_count")
+    rng = random.Random(seed)
+    demands = []
+    for source in nodes:
+        for target in nodes:
+            if source == target:
+                continue
+            if rng.random() < probability:
+                demands.append(Demand(source, target, rng.randint(1, max_count)))
+    return demands
+
+
+def gravity_demands(
+    nodes: Sequence[NodeId],
+    total_circuits: int,
+    weights: Mapping[NodeId, float] | None = None,
+    seed: int = 0,
+) -> list[Demand]:
+    """Gravity-model demand matrix summing to ~*total_circuits* circuits.
+
+    Pair ``(u, v)`` receives circuits proportional to
+    ``weight(u) * weight(v)``; fractional allocations are rounded
+    stochastically so small pairs still occasionally appear.  When
+    *weights* is None, node weights are drawn log-uniformly over one
+    order of magnitude (seeded).
+    """
+    check_positive_int(total_circuits, "total_circuits")
+    if len(nodes) < 2:
+        raise ValueError("need at least two nodes")
+    rng = random.Random(seed)
+    if weights is None:
+        weights = {v: 10 ** rng.uniform(0.0, 1.0) for v in nodes}
+    else:
+        for v in nodes:
+            if v not in weights:
+                raise ValueError(f"missing weight for node {v!r}")
+            if weights[v] <= 0:
+                raise ValueError(f"weight for {v!r} must be > 0")
+
+    pairs = [(u, v) for u in nodes for v in nodes if u != v]
+    masses = [weights[u] * weights[v] for u, v in pairs]
+    total_mass = sum(masses)
+    demands = []
+    for (u, v), mass in zip(pairs, masses):
+        share = total_circuits * mass / total_mass
+        count = int(math.floor(share))
+        if rng.random() < share - count:
+            count += 1
+        if count > 0:
+            demands.append(Demand(u, v, count))
+    return demands

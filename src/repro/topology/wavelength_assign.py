@@ -1,0 +1,90 @@
+"""Wavelength-availability (``Λ(e)``) assignment policies.
+
+A policy is a callable ``(rng, tail, head) -> set[int]`` invoked once per
+directed link while a generator builds a network.  The policies here cover
+the two regimes the paper analyzes:
+
+* the general problem (Section III) — any ``Λ(e) ⊆ Λ``, e.g.
+  :func:`all_wavelengths` or :func:`random_wavelengths`,
+* the restricted problem (Section IV) — ``|Λ(e)| ≤ k₀`` with
+  ``k₀ = o(n)``, via :func:`bounded_random_wavelengths`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Hashable
+
+from repro._validation import check_positive_int, check_probability
+
+__all__ = [
+    "WavelengthPolicy",
+    "all_wavelengths",
+    "random_wavelengths",
+    "bounded_random_wavelengths",
+]
+
+NodeId = Hashable
+WavelengthPolicy = Callable[[random.Random, NodeId, NodeId], set[int]]
+
+
+def all_wavelengths(num_wavelengths: int) -> WavelengthPolicy:
+    """Every link carries the full universe ``Λ``.
+
+    This is the worst case for auxiliary-graph size (``|Λ(e)| = k``) and
+    the regime where the paper's general bounds are tight.
+    """
+    k = check_positive_int(num_wavelengths, "num_wavelengths")
+
+    def policy(rng: random.Random, tail: NodeId, head: NodeId) -> set[int]:
+        return set(range(k))
+
+    return policy
+
+
+def random_wavelengths(
+    num_wavelengths: int, availability: float = 0.5, min_size: int = 1
+) -> WavelengthPolicy:
+    """Each wavelength is available on each link independently w.p. *availability*.
+
+    When the coin flips leave a link with fewer than *min_size* wavelengths,
+    extra distinct wavelengths are drawn uniformly to reach *min_size* (so
+    generated networks stay routable).
+    """
+    k = check_positive_int(num_wavelengths, "num_wavelengths")
+    p = check_probability(availability, "availability")
+    if not 0 <= min_size <= k:
+        raise ValueError(f"min_size must be in [0, {k}], got {min_size}")
+
+    def policy(rng: random.Random, tail: NodeId, head: NodeId) -> set[int]:
+        chosen = {w for w in range(k) if rng.random() < p}
+        while len(chosen) < min_size:
+            chosen.add(rng.randrange(k))
+        return chosen
+
+    return policy
+
+
+def bounded_random_wavelengths(
+    num_wavelengths: int, k0: int, min_size: int = 1
+) -> WavelengthPolicy:
+    """``Λ(e)`` is a uniform random subset with ``min_size <= |Λ(e)| <= k₀``.
+
+    The Section IV workload: the universe may be huge (``k`` can exceed
+    ``n``) but every link carries at most ``k₀`` wavelengths.  Sizes are
+    drawn uniformly from ``[min_size, k₀]`` and membership uniformly from
+    ``Λ``, so consecutive links rarely share wavelengths when ``k >> k₀`` —
+    exactly the regime where conversion becomes mandatory.
+    """
+    k = check_positive_int(num_wavelengths, "num_wavelengths")
+    k0 = check_positive_int(k0, "k0")
+    if k0 > k:
+        raise ValueError(f"k0 ({k0}) must be <= num_wavelengths ({k})")
+    if not 1 <= min_size <= k0:
+        raise ValueError(f"min_size must be in [1, {k0}], got {min_size}")
+
+    def policy(rng: random.Random, tail: NodeId, head: NodeId) -> set[int]:
+        size = rng.randint(min_size, k0)
+        return set(rng.sample(range(k), size))
+
+    return policy

@@ -1,0 +1,77 @@
+"""Event logging for provisioning sessions.
+
+:class:`EventLog` records what happened during a dynamic-traffic run —
+arrivals, admissions (with the routed path), blocks, departures — as
+plain dict events that serialize to JSON lines.  Logs replay nowhere (the
+simulation is already deterministic from its seed); their purpose is
+*auditability*: post-hoc analysis, debugging a blocking spike, or feeding
+external tooling.
+
+`DynamicSimulation` accepts an ``observer`` callable; an
+:class:`EventLog` instance is one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.io.serialization import path_to_json
+
+__all__ = ["EventLog"]
+
+
+@dataclass
+class EventLog:
+    """In-memory event recorder with JSONL export.
+
+    Each event is a dict with at least ``kind`` and ``time``; admission
+    events embed the routed path document.
+    """
+
+    events: list[dict[str, Any]] = field(default_factory=list)
+
+    def __call__(self, kind: str, time: float, **payload: Any) -> None:
+        """Observer entry point (called by the simulation)."""
+        event = {"kind": kind, "time": time}
+        event.update(payload)
+        self.events.append(event)
+
+    # -- queries ------------------------------------------------------------
+
+    def of_kind(self, kind: str) -> list[dict[str, Any]]:
+        """All events of one kind, in order."""
+        return [e for e in self.events if e["kind"] == kind]
+
+    @property
+    def num_events(self) -> int:
+        """Total recorded events."""
+        return len(self.events)
+
+    def summary(self) -> dict[str, int]:
+        """Event counts by kind."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event["kind"]] = counts.get(event["kind"], 0) + 1
+        return counts
+
+    # -- serialization --------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One JSON document per line, in event order."""
+        return "\n".join(json.dumps(e, sort_keys=True) for e in self.events)
+
+    @staticmethod
+    def from_jsonl(text: str) -> "EventLog":
+        """Inverse of :meth:`to_jsonl`."""
+        log = EventLog()
+        for line in text.splitlines():
+            if line.strip():
+                log.events.append(json.loads(line))
+        return log
+
+    @staticmethod
+    def path_document(path) -> dict[str, Any]:
+        """A path as an embeddable JSON document (for admit events)."""
+        return json.loads(path_to_json(path))

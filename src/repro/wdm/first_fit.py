@@ -1,0 +1,117 @@
+"""Baseline RWA: fixed shortest-path routing + first-fit wavelength.
+
+The classic pre-semilightpath provisioning discipline: route every request
+on the minimum-cost *physical* path (wavelength-oblivious), then assign the
+lowest-index wavelength free on **every** link of that path (wavelength
+continuity — no conversion).  If no single wavelength is free end-to-end,
+the request blocks, even though a semilightpath with conversion might have
+carried it.  This is the baseline the blocking-probability benchmark
+compares the Liang–Shen provisioner against.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Hashable
+
+from repro.core.network import WDMNetwork
+from repro.core.semilightpath import Semilightpath
+from repro.exceptions import NoPathError, ReservationError
+from repro.shortestpath.dijkstra import dijkstra
+from repro.shortestpath.paths import reconstruct_path
+from repro.shortestpath.structures import GraphBuilder
+from repro.wdm.provisioning import Connection
+from repro.wdm.state import WavelengthState
+
+__all__ = ["FirstFitProvisioner"]
+
+NodeId = Hashable
+
+
+class FirstFitProvisioner:
+    """Fixed-shortest-path + first-fit-wavelength admission (no conversion).
+
+    The physical route for a pair is computed once on the static topology
+    (link weight = cheapest wavelength cost on that link) and cached —
+    "fixed routing" in the RWA taxonomy.  Admission then scans wavelengths
+    ``λ₁, λ₂, …`` for the first free on every link of the route.
+    """
+
+    def __init__(self, network: WDMNetwork) -> None:
+        self.network = network
+        self.state = WavelengthState(network)
+        self._ids = itertools.count(1)
+        self._active: dict[int, Connection] = {}
+        self._route_cache: dict[tuple[NodeId, NodeId], list[NodeId] | None] = {}
+        # Static physical graph for route computation.
+        builder = GraphBuilder(network.num_nodes)
+        for link in network.links():
+            if link.costs:
+                builder.add_edge(
+                    network.node_index(link.tail),
+                    network.node_index(link.head),
+                    min(link.costs.values()),
+                )
+        self._graph = builder.build()
+
+    @property
+    def num_active(self) -> int:
+        """Number of currently admitted connections."""
+        return len(self._active)
+
+    def _physical_route(self, source: NodeId, target: NodeId) -> list[NodeId] | None:
+        key = (source, target)
+        if key not in self._route_cache:
+            run = dijkstra(self._graph, self.network.node_index(source))
+            t_index = self.network.node_index(target)
+            if run.dist[t_index] == math.inf:
+                self._route_cache[key] = None
+            else:
+                indices = reconstruct_path(run.parent, t_index)
+                self._route_cache[key] = [self.network.node_label(i) for i in indices]
+        return self._route_cache[key]
+
+    def establish(self, source: NodeId, target: NodeId) -> Connection:
+        """Admit with first-fit wavelength on the fixed route, or raise.
+
+        Raises :class:`~repro.exceptions.NoPathError` when no route exists
+        or no single wavelength is free along the whole route.
+        """
+        if source == target:
+            raise ValueError("source and target must differ")
+        route = self._physical_route(source, target)
+        if route is None:
+            raise NoPathError(source, target)
+        links = list(zip(route[:-1], route[1:]))
+        for wavelength in range(self.network.num_wavelengths):
+            if all(self.state.is_free(u, v, wavelength) for u, v in links):
+                path = Semilightpath.from_sequence(
+                    route, [wavelength] * len(links), self.network
+                )
+                self.state.reserve_path(path)
+                connection = Connection(
+                    connection_id=next(self._ids),
+                    source=source,
+                    target=target,
+                    path=path,
+                )
+                self._active[connection.connection_id] = connection
+                return connection
+        raise NoPathError(source, target)
+
+    def teardown(self, connection: Connection) -> None:
+        """Release a live connection's channels."""
+        if connection.connection_id not in self._active:
+            raise ReservationError(
+                f"connection {connection.connection_id} is not active"
+            )
+        self.state.release_path(connection.path)
+        del self._active[connection.connection_id]
+
+    def try_establish(self, source: NodeId, target: NodeId) -> Connection | None:
+        """Like :meth:`establish` but returns None on blocking."""
+        try:
+            return self.establish(source, target)
+        except NoPathError:
+            return None

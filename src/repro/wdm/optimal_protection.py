@@ -1,0 +1,108 @@
+"""Optimal channel-disjoint semilightpath pairs via minimum-cost flow.
+
+The active-path-first heuristic in :mod:`repro.wdm.protection` can fail on
+*trap topologies*: the optimal single path uses channels whose removal
+disconnects the backup, even though a (jointly more expensive) disjoint
+pair exists.  For **channel disjointness** the joint problem is exactly a
+2-unit minimum-cost flow on the paper's auxiliary graph ``G_{s,t}``:
+
+* every ``E_org`` edge (a physical channel) gets capacity 1 — the two
+  paths may not share a (link, wavelength) channel;
+* conversion and virtual terminal edges get capacity 2 — converters and
+  endpoints are shared infrastructure (documented assumption; a
+  non-shareable-converter variant would simply set those capacities to 1).
+
+The resulting pair is *jointly optimal*: it minimizes the sum of the two
+path costs, which can require the working path to be individually
+suboptimal.
+
+Fiber (link) disjointness is **not** offered here: bundling all
+wavelengths of a fiber under one capacity is a colored-disjoint-paths
+constraint that plain arc capacities cannot express (a naive funnel node
+would let flow enter on λ_i and leave on λ_j without paying conversion).
+Use the APF heuristic in :mod:`repro.wdm.protection` for fiber
+disjointness.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable
+
+from repro.core.auxiliary import KIND_IN, KIND_OUT, build_routing_graph
+from repro.core.semilightpath import Hop, Semilightpath
+from repro.exceptions import NoPathError
+from repro.shortestpath.mincostflow import MinCostFlow
+from repro.wdm.protection import ProtectedPath
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.network import WDMNetwork
+
+__all__ = ["route_optimal_channel_disjoint_pair"]
+
+NodeId = Hashable
+
+
+def route_optimal_channel_disjoint_pair(
+    network: "WDMNetwork", source: NodeId, target: NodeId
+) -> ProtectedPath:
+    """Jointly-optimal channel-disjoint semilightpath pair.
+
+    Returns a :class:`~repro.wdm.protection.ProtectedPath` whose
+    ``working`` leg is the cheaper of the two.  Raises
+    :class:`NoPathError` when no channel-disjoint pair exists.
+    """
+    aux = build_routing_graph(network, source, target)
+    flow = MinCostFlow(aux.graph.num_nodes)
+    arc_records: list[tuple[int, int, float]] = []  # (tail, head, weight)
+    for tail, head, weight, _tag in aux.graph.edges():
+        a, b = aux.decode[tail], aux.decode[head]
+        is_channel = a.kind == KIND_OUT and b.kind == KIND_IN
+        capacity = 1 if is_channel else 2
+        flow.add_arc(tail, head, capacity=capacity, cost=weight)
+        arc_records.append((tail, head, weight))
+
+    result = flow.solve(aux.source_id, aux.sink_id, amount=2)
+    if result.flow_sent < 2:
+        raise NoPathError(source, target)
+
+    # Decompose the 2-unit flow into two auxiliary paths.
+    remaining: dict[int, list[tuple[int, int]]] = {}
+    for arc_id, units in enumerate(result.arc_flow):
+        if units <= 0:
+            continue
+        tail, head, _weight = arc_records[arc_id]
+        remaining.setdefault(tail, []).extend([(head, arc_id)] * units)
+
+    paths: list[list[int]] = []
+    for _ in range(2):
+        ids = [aux.source_id]
+        node = aux.source_id
+        fuel = sum(len(v) for v in remaining.values()) + 1
+        while node != aux.sink_id:
+            fuel -= 1
+            if fuel < 0:  # pragma: no cover - flow conservation violated
+                raise RuntimeError("flow decomposition failed to terminate")
+            head, _arc = remaining[node].pop()
+            if not remaining[node]:
+                del remaining[node]
+            ids.append(head)
+            node = head
+        paths.append(ids)
+
+    decoded = [_decode(aux, ids, network) for ids in paths]
+    decoded.sort(key=lambda p: p.total_cost)
+    pair = ProtectedPath(
+        working=decoded[0], backup=decoded[1], disjointness="channel"
+    )
+    assert not pair.shares_channels(), "flow capacities violated"
+    return pair
+
+
+def _decode(aux, ids: list[int], network) -> Semilightpath:
+    hops = []
+    for i in range(len(ids) - 1):
+        a, b = aux.decode[ids[i]], aux.decode[ids[i + 1]]
+        if a.kind == KIND_OUT and b.kind == KIND_IN:
+            hops.append(Hop(tail=a.node, head=b.node, wavelength=a.wavelength))
+    path = Semilightpath(hops=tuple(hops))
+    return Semilightpath(hops=path.hops, total_cost=path.evaluate_cost(network))

@@ -1,0 +1,208 @@
+"""Static (offline) RWA planning over a demand matrix.
+
+The dynamic provisioner serves one request at a time; network operators
+also plan *batches*: given a static traffic matrix, route as many demands
+as possible (or all, at minimum total cost) subject to channel capacity.
+Static RWA is NP-hard in general; this planner implements the standard
+sequential heuristic with pluggable demand orderings and seeded random
+restarts:
+
+1. order the demands (shortest-first / longest-first / given / shuffled),
+2. route each on the residual network with the optimal semilightpath
+   router, reserving channels as it goes,
+3. over several restarts keep the plan carrying the most demands
+   (ties broken by total cost).
+
+Orderings matter: longest-first tends to carry more total traffic (big
+demands grab scarce long routes before fragmentation), shortest-first
+minimizes cost when everything fits.  Both folklore effects are visible
+in ``benchmarks/bench_planner.py``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from repro.core.network import WDMNetwork
+from repro.core.routing import LiangShenRouter
+from repro.core.semilightpath import Semilightpath
+from repro.exceptions import NoPathError
+from repro.wdm.state import WavelengthState
+
+__all__ = ["Demand", "Plan", "StaticPlanner"]
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class Demand:
+    """One static demand: route *count* circuits from *source* to *target*."""
+
+    source: NodeId
+    target: NodeId
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            raise ValueError("demand endpoints must differ")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+
+
+@dataclass
+class Plan:
+    """Outcome of one planning run."""
+
+    routed: dict[Demand, list[Semilightpath]] = field(default_factory=dict)
+    rejected: list[Demand] = field(default_factory=list)
+    total_cost: float = 0.0
+
+    @property
+    def circuits_requested(self) -> int:
+        """Total circuits across all demands (routed + rejected)."""
+        routed = sum(d.count for d in self.routed)
+        return routed + sum(d.count for d in self.rejected)
+
+    @property
+    def circuits_carried(self) -> int:
+        """Circuits actually routed."""
+        return sum(len(paths) for paths in self.routed.values())
+
+    @property
+    def acceptance_ratio(self) -> float:
+        """Carried / requested (1.0 for an empty plan)."""
+        total = self.circuits_requested
+        return self.circuits_carried / total if total else 1.0
+
+
+class StaticPlanner:
+    """Sequential static RWA with ordering heuristics and restarts.
+
+    Parameters
+    ----------
+    network:
+        The WDM network (capacities via ``Λ(e)``).
+    ordering:
+        ``"shortest-first"`` (by hop distance), ``"longest-first"``,
+        ``"given"`` (caller's order), or ``"random"`` (reshuffled per
+        restart).
+    restarts:
+        Number of randomized attempts for ``"random"`` ordering (ignored
+        otherwise); the best plan (most circuits, then least cost) wins.
+    seed:
+        Seed for shuffles.
+    """
+
+    def __init__(
+        self,
+        network: WDMNetwork,
+        ordering: str = "longest-first",
+        restarts: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if ordering not in ("shortest-first", "longest-first", "given", "random"):
+            raise ValueError(f"unknown ordering {ordering!r}")
+        if restarts < 1:
+            raise ValueError(f"restarts must be >= 1, got {restarts}")
+        self.network = network
+        self.ordering = ordering
+        self.restarts = restarts if ordering == "random" else 1
+        self.seed = seed
+
+    def plan(self, demands: Sequence[Demand]) -> Plan:
+        """Produce the best plan over the configured restarts."""
+        rng = random.Random(self.seed)
+        best: Plan | None = None
+        for _ in range(self.restarts):
+            ordered = self._order(list(demands), rng)
+            candidate = self._run_once(ordered)
+            if best is None or self._better(candidate, best):
+                best = candidate
+        assert best is not None
+        return best
+
+    # -- internals -----------------------------------------------------------
+
+    def _hop_distance(self, demand: Demand) -> int:
+        """Unweighted physical hop distance (for ordering only)."""
+        from collections import deque
+
+        frontier = deque([(demand.source, 0)])
+        seen = {demand.source}
+        while frontier:
+            node, depth = frontier.popleft()
+            if node == demand.target:
+                return depth
+            for neighbor in self.network.successors(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append((neighbor, depth + 1))
+        return math.inf  # type: ignore[return-value]
+
+    def _order(self, demands: list[Demand], rng: random.Random) -> list[Demand]:
+        if self.ordering == "given":
+            return demands
+        if self.ordering == "random":
+            shuffled = demands[:]
+            rng.shuffle(shuffled)
+            return shuffled
+        keyed = sorted(
+            demands, key=lambda d: (self._hop_distance(d), repr((d.source, d.target)))
+        )
+        if self.ordering == "longest-first":
+            keyed.reverse()
+        return keyed
+
+    def _run_once(self, ordered: list[Demand]) -> Plan:
+        state = WavelengthState(self.network)
+        plan = Plan()
+        for demand in ordered:
+            paths: list[Semilightpath] = []
+            for _ in range(demand.count):
+                route = self._route_residual(state)
+                path = route(demand.source, demand.target)
+                if path is None:
+                    break
+                state.reserve_path(path)
+                paths.append(path)
+                plan.total_cost += path.total_cost
+            if len(paths) == demand.count:
+                plan.routed[demand] = paths
+            else:
+                # All-or-nothing per demand: release partial reservations.
+                for path in paths:
+                    state.release_path(path)
+                    plan.total_cost -= path.total_cost
+                plan.rejected.append(demand)
+        return plan
+
+    def _route_residual(self, state: WavelengthState):
+        """Build a router over the current residual network."""
+        residual = WDMNetwork(self.network.num_wavelengths)
+        for node in self.network.nodes():
+            residual.add_node(node, self.network.conversion(node))
+        for link in self.network.links():
+            occupied = state.occupied_on(link.tail, link.head)
+            costs = {w: c for w, c in link.costs.items() if w not in occupied}
+            residual.add_link(link.tail, link.head, costs)
+        router = LiangShenRouter(residual)
+
+        def route(source: NodeId, target: NodeId) -> Semilightpath | None:
+            try:
+                path = router.route(source, target).path
+            except NoPathError:
+                return None
+            return Semilightpath(
+                hops=path.hops, total_cost=path.evaluate_cost(self.network)
+            )
+
+        return route
+
+    @staticmethod
+    def _better(candidate: Plan, incumbent: Plan) -> bool:
+        if candidate.circuits_carried != incumbent.circuits_carried:
+            return candidate.circuits_carried > incumbent.circuits_carried
+        return candidate.total_cost < incumbent.total_cost

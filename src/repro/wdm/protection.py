@@ -1,0 +1,130 @@
+"""Protection routing: working + backup semilightpath pairs.
+
+Survivable WDM provisioning pairs every connection with a backup path that
+survives the failure of any resource used by the working path.  Two
+standard disjointness levels are offered:
+
+* ``"channel"`` — the backup avoids the working path's (link, wavelength)
+  channels; a fiber cut can still take both down, but wavelength-level
+  contention cannot.
+* ``"link"`` — the backup avoids the working path's physical links in
+  both directions (fiber-cut survivability, the usual 1+1 model).
+
+The pair is computed *active-path-first*: route the optimal working path,
+delete its resources, route again.  APF is the standard heuristic — it is
+not guaranteed to find a disjoint pair even when one exists (the classic
+trap topology), and :func:`route_disjoint_pair` documents failure by
+raising :class:`~repro.exceptions.NoPathError` on the backup leg.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable
+
+from repro.core.network import WDMNetwork
+from repro.core.routing import LiangShenRouter
+from repro.core.semilightpath import Semilightpath
+from repro.exceptions import NoPathError
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+__all__ = ["ProtectedPath", "route_disjoint_pair"]
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class ProtectedPath:
+    """A working/backup semilightpath pair."""
+
+    working: Semilightpath
+    backup: Semilightpath
+    disjointness: str
+
+    @property
+    def total_cost(self) -> float:
+        """Combined cost of both legs."""
+        return self.working.total_cost + self.backup.total_cost
+
+    def shares_channels(self) -> bool:
+        """True when the two legs use any common (link, wavelength)."""
+        working = {(h.tail, h.head, h.wavelength) for h in self.working.hops}
+        backup = {(h.tail, h.head, h.wavelength) for h in self.backup.hops}
+        return bool(working & backup)
+
+    def shares_links(self) -> bool:
+        """True when the two legs traverse any common undirected fiber."""
+        def fibers(path):
+            return {frozenset((h.tail, h.head)) for h in path.hops}
+
+        return bool(fibers(self.working) & fibers(self.backup))
+
+
+def _without_channels(network: WDMNetwork, path: Semilightpath) -> WDMNetwork:
+    used = {(h.tail, h.head, h.wavelength) for h in path.hops}
+    pruned = WDMNetwork(network.num_wavelengths)
+    for node in network.nodes():
+        pruned.add_node(node, network.conversion(node))
+    for link in network.links():
+        costs = {
+            w: c
+            for w, c in link.costs.items()
+            if (link.tail, link.head, w) not in used
+        }
+        pruned.add_link(link.tail, link.head, costs)
+    return pruned
+
+
+def _without_links(network: WDMNetwork, path: Semilightpath) -> WDMNetwork:
+    cut = {frozenset((h.tail, h.head)) for h in path.hops}
+    pruned = WDMNetwork(network.num_wavelengths)
+    for node in network.nodes():
+        pruned.add_node(node, network.conversion(node))
+    for link in network.links():
+        if frozenset((link.tail, link.head)) in cut:
+            continue
+        pruned.add_link(link.tail, link.head, dict(link.costs))
+    return pruned
+
+
+def route_disjoint_pair(
+    network: WDMNetwork,
+    source: NodeId,
+    target: NodeId,
+    disjointness: str = "link",
+) -> ProtectedPath:
+    """Route a working/backup pair, active-path-first.
+
+    Parameters
+    ----------
+    disjointness:
+        ``"link"`` (fiber-disjoint, default) or ``"channel"``
+        (channel-disjoint only).
+
+    Raises
+    ------
+    NoPathError
+        When the working path does not exist, or no backup survives the
+        pruning (either genuinely none exists, or APF's known limitation
+        on trap topologies).
+    ValueError
+        For an unknown *disjointness* level.
+    """
+    if disjointness not in ("link", "channel"):
+        raise ValueError(
+            f"disjointness must be 'link' or 'channel', got {disjointness!r}"
+        )
+    working = LiangShenRouter(network).route(source, target).path
+    prune = _without_links if disjointness == "link" else _without_channels
+    residual = prune(network, working)
+    try:
+        backup = LiangShenRouter(residual).route(source, target).path
+    except NoPathError:
+        raise NoPathError(source, target) from None
+    # Re-price the backup against the full network for auditability.
+    backup = Semilightpath(
+        hops=backup.hops, total_cost=backup.evaluate_cost(network)
+    )
+    return ProtectedPath(working=working, backup=backup, disjointness=disjointness)

@@ -1,0 +1,118 @@
+"""Failure injection and restoration.
+
+Fiber cuts are the canonical WDM failure.  This module simulates them
+against a live :class:`~repro.wdm.provisioning.SemilightpathProvisioner`:
+
+1. :func:`cut_fiber` — identify the connections whose working path crosses
+   the cut fiber (either direction),
+2. tear their channels down,
+3. attempt to re-route each victim on the post-cut residual network
+   (channels of *surviving* connections stay reserved; the cut fiber's
+   channels are gone),
+4. report a :class:`RestorationReport` — restored/lost counts and the
+   extra cost restoration paid.
+
+Restoration here is *reactive path restoration* (no pre-planned backup);
+pre-planned 1+1 protection lives in :mod:`repro.wdm.protection`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.core.network import WDMNetwork
+from repro.core.routing import LiangShenRouter
+from repro.core.semilightpath import Semilightpath
+from repro.exceptions import NoPathError, UnknownLinkError
+from repro.wdm.provisioning import Connection, SemilightpathProvisioner
+
+__all__ = ["RestorationReport", "cut_fiber", "restore"]
+
+NodeId = Hashable
+
+
+@dataclass
+class RestorationReport:
+    """Outcome of one fiber-cut restoration episode."""
+
+    fiber: tuple[NodeId, NodeId]
+    affected: list[Connection] = field(default_factory=list)
+    restored: list[Connection] = field(default_factory=list)
+    lost: list[Connection] = field(default_factory=list)
+    cost_before: float = 0.0
+    cost_after: float = 0.0
+
+    @property
+    def restoration_ratio(self) -> float:
+        """Restored / affected (1.0 when nothing was affected)."""
+        if not self.affected:
+            return 1.0
+        return len(self.restored) / len(self.affected)
+
+    @property
+    def extra_cost(self) -> float:
+        """Restoration path cost minus the failed paths' cost (restored only)."""
+        return self.cost_after - self.cost_before
+
+
+def _crosses(path: Semilightpath, tail: NodeId, head: NodeId) -> bool:
+    fiber = frozenset((tail, head))
+    return any(frozenset((h.tail, h.head)) == fiber for h in path.hops)
+
+
+def cut_fiber(
+    provisioner: SemilightpathProvisioner, tail: NodeId, head: NodeId
+) -> list[Connection]:
+    """Connections whose working path crosses the fiber (either direction)."""
+    if not (
+        provisioner.network.has_link(tail, head)
+        or provisioner.network.has_link(head, tail)
+    ):
+        raise UnknownLinkError(tail, head)
+    return [
+        connection
+        for connection in provisioner.active_connections()
+        if _crosses(connection.path, tail, head)
+    ]
+
+
+def restore(
+    provisioner: SemilightpathProvisioner, tail: NodeId, head: NodeId
+) -> RestorationReport:
+    """Cut the fiber ``{tail, head}`` and re-route the victims.
+
+    The provisioner is mutated: victims are torn down, survivors keep
+    their channels, restored victims get fresh connections routed on a
+    residual network with the cut fiber removed.  Lost victims stay down.
+    """
+    victims = cut_fiber(provisioner, tail, head)
+    report = RestorationReport(fiber=(tail, head), affected=list(victims))
+    for victim in victims:
+        provisioner.teardown(victim)
+
+    # Residual = full network minus cut fiber minus surviving reservations.
+    fiber = frozenset((tail, head))
+    for victim in victims:
+        residual = WDMNetwork(provisioner.network.num_wavelengths)
+        for node in provisioner.network.nodes():
+            residual.add_node(node, provisioner.network.conversion(node))
+        for link in provisioner.network.links():
+            if frozenset((link.tail, link.head)) == fiber:
+                continue
+            occupied = provisioner.state.occupied_on(link.tail, link.head)
+            costs = {w: c for w, c in link.costs.items() if w not in occupied}
+            residual.add_link(link.tail, link.head, costs)
+        try:
+            path = LiangShenRouter(residual).route(victim.source, victim.target).path
+        except NoPathError:
+            report.lost.append(victim)
+            continue
+        path = Semilightpath(
+            hops=path.hops, total_cost=path.evaluate_cost(provisioner.network)
+        )
+        replacement = provisioner.admit_path(path)
+        report.restored.append(replacement)
+        report.cost_before += victim.path.total_cost
+        report.cost_after += path.total_cost
+    return report

@@ -1,0 +1,64 @@
+"""Unit tests for the Section III-C comparison harness."""
+
+import math
+
+import pytest
+
+from repro.analysis.comparison import (
+    ComparisonRow,
+    paper_regime_network,
+    run_comparison,
+)
+
+
+class TestPaperRegime:
+    def test_k_is_log_n(self):
+        net = paper_regime_network(64)
+        assert net.num_wavelengths == 6  # ceil(log2 64)
+
+    def test_sparse(self):
+        net = paper_regime_network(100)
+        assert net.num_links <= 4 * 100
+        assert net.max_degree <= 4
+
+    def test_tiny_n(self):
+        net = paper_regime_network(2)
+        assert net.num_wavelengths >= 1
+
+
+class TestRunComparison:
+    def test_rows_shape_and_agreement(self):
+        rows = run_comparison([16, 32], queries_per_n=2, seed=1)
+        assert len(rows) == 2
+        for row in rows:
+            assert row.costs_agree, (row.cost_liang_shen, row.cost_cfz)
+            assert row.liang_shen_seconds > 0
+            assert row.cfz_seconds > 0
+            assert row.k == max(1, math.ceil(math.log2(row.n)))
+
+    def test_speedup_property(self):
+        row = ComparisonRow(
+            n=10, m=20, k=3, d=4,
+            liang_shen_seconds=0.5, cfz_seconds=2.0,
+            cost_liang_shen=1.0, cost_cfz=1.0,
+        )
+        assert row.speedup == pytest.approx(4.0)
+        assert row.costs_agree
+
+    def test_zero_time_speedup_inf(self):
+        row = ComparisonRow(
+            n=10, m=20, k=3, d=4,
+            liang_shen_seconds=0.0, cfz_seconds=1.0,
+            cost_liang_shen=1.0, cost_cfz=1.0,
+        )
+        assert row.speedup == math.inf
+
+    def test_heap_engine_option(self):
+        rows = run_comparison([16], queries_per_n=1, cfz_engine="heap")
+        assert rows[0].costs_agree
+
+    def test_speedup_grows_with_n(self):
+        """The core Section III-C claim, in miniature: the CFZ/LS time
+        ratio increases as n grows (dense-scan CFZ is quadratic)."""
+        rows = run_comparison([32, 256], queries_per_n=2, repeats=2, seed=2)
+        assert rows[-1].speedup > rows[0].speedup

@@ -1,0 +1,71 @@
+"""Unit tests for the power-law fitting helpers."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.complexity import fit_power_law, growth_table
+
+
+class TestFitPowerLaw:
+    def test_exact_quadratic(self):
+        xs = [1, 2, 4, 8, 16]
+        ys = [3 * x**2 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(2.0)
+        assert fit.coefficient == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_exact_linear(self):
+        xs = [10, 20, 40]
+        fit = fit_power_law(xs, [0.5 * x for x in xs])
+        assert fit.exponent == pytest.approx(1.0)
+
+    def test_noisy_data_close(self):
+        rng = random.Random(0)
+        xs = [2.0**i for i in range(4, 12)]
+        ys = [7 * x**1.5 * rng.uniform(0.9, 1.1) for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(1.5, abs=0.15)
+        assert fit.r_squared > 0.95
+
+    def test_predict(self):
+        fit = fit_power_law([1, 2, 4], [2, 8, 32])
+        assert fit.predict(8) == pytest.approx(128.0)
+
+    def test_constant_series_exponent_zero(self):
+        fit = fit_power_law([1, 2, 4, 8], [5, 5, 5, 5])
+        assert fit.exponent == pytest.approx(0.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1])
+
+    def test_nonpositive_filtered(self):
+        fit = fit_power_law([0, 1, 2, 4], [9, 2, 4, 8])  # x=0 dropped
+        assert fit.exponent == pytest.approx(1.0)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+
+    def test_identical_x_rejected(self):
+        with pytest.raises(ValueError):
+            fit_power_law([3, 3], [1, 2])
+
+
+class TestGrowthTable:
+    def test_contains_series_and_fit(self):
+        xs = [10, 20, 40]
+        table = growth_table(
+            xs, {"ours": [1.0, 2.0, 4.0], "cfz": [1.0, 4.0, 16.0]}
+        )
+        assert "ours" in table and "cfz" in table
+        assert "x^1.00" in table
+        assert "x^2.00" in table
+
+    def test_handles_unfittable_series(self):
+        table = growth_table([1, 2], {"zeros": [0.0, 0.0]})
+        assert "not fittable" in table

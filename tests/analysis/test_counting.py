@@ -1,0 +1,86 @@
+"""Unit tests for size accounting vs the Observations (1-5)."""
+
+import pytest
+
+from repro.analysis.counting import measure_sizes
+from repro.topology.generators import (
+    complete_network,
+    degree_bounded_network,
+    grid_network,
+    ring_network,
+)
+from repro.topology.wavelength_assign import (
+    bounded_random_wavelengths,
+    random_wavelengths,
+)
+
+
+class TestBoundsAcrossGenerators:
+    @pytest.mark.parametrize(
+        "net",
+        [
+            ring_network(12, 3),
+            grid_network(4, 4, 2),
+            complete_network(6, 2),
+            degree_bounded_network(20, 4, seed=1),
+        ],
+        ids=["ring", "grid", "complete", "degree-bounded"],
+    )
+    def test_all_bounds_hold(self, net):
+        report = measure_sizes(net)
+        assert report.all_within, report.format()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_availability_bounds_hold(self, seed):
+        net = degree_bounded_network(
+            15,
+            6,
+            seed=seed,
+            wavelength_policy=random_wavelengths(6, availability=0.4),
+        )
+        assert measure_sizes(net).all_within
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_restricted_regime_bounds_hold(self, seed):
+        """Section IV: tiny k0 against a huge universe."""
+        net = ring_network(
+            10,
+            64,
+            seed=seed,
+            wavelength_policy=bounded_random_wavelengths(64, k0=3),
+        )
+        report = measure_sizes(net)
+        assert report.all_within
+        assert report.sizes.k0 <= 3
+
+
+class TestRestrictedBoundsAreTighter:
+    def test_k_independence_of_sizes(self):
+        """With k0 fixed, |V'| and |E'| must not grow with k."""
+        sizes = []
+        for k in (8, 32, 128):
+            net = ring_network(
+                10,
+                k,
+                seed=3,
+                wavelength_policy=bounded_random_wavelengths(k, k0=2),
+            )
+            sizes.append(measure_sizes(net).sizes)
+        node_counts = [s.num_layer_nodes for s in sizes]
+        edge_counts = [s.num_layer_edges for s in sizes]
+        # Random draws differ slightly, but there is no growth trend in k.
+        assert max(node_counts) <= 2 * min(node_counts)
+        assert max(edge_counts) <= 3 * min(edge_counts)
+
+
+class TestReportFormatting:
+    def test_format_contains_all_rows(self, paper_net):
+        text = measure_sizes(paper_net).format()
+        assert "|V'| <= 2kn" in text
+        assert "restricted" in text
+        assert "NO" not in text  # every bound satisfied
+
+    def test_rows_structure(self, paper_net):
+        rows = measure_sizes(paper_net).rows()
+        assert len(rows) == 9
+        assert all(isinstance(within, bool) for *_rest, within in rows)

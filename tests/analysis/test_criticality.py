@@ -1,0 +1,78 @@
+"""Unit tests for resource criticality analysis."""
+
+import math
+
+import pytest
+
+from repro.analysis.criticality import channel_criticality, fiber_criticality
+from repro.core.conversion import NoConversion
+from repro.core.network import WDMNetwork
+
+
+def bottleneck_net() -> WDMNetwork:
+    """s -> m -> t with a costly bypass for the first leg only.
+
+    Channel (m, t, λ1) is a true single point of failure.
+    """
+    net = WDMNetwork(num_wavelengths=1, default_conversion=NoConversion())
+    net.add_nodes(["s", "m", "t", "alt"])
+    net.add_link("s", "m", {0: 1.0})
+    net.add_link("m", "t", {0: 1.0})
+    net.add_link("s", "alt", {0: 5.0})
+    net.add_link("alt", "m", {0: 5.0})
+    return net
+
+
+class TestChannelCriticality:
+    def test_disconnection_detected(self):
+        results = channel_criticality(bottleneck_net(), "s", "t")
+        worst = results[0]
+        assert worst.resource == ("m", "t", 0)
+        assert worst.disconnects
+        assert worst.regret == math.inf
+
+    def test_bypassable_channel_has_finite_regret(self):
+        results = channel_criticality(bottleneck_net(), "s", "t")
+        by_resource = {c.resource: c for c in results}
+        sm = by_resource[("s", "m", 0)]
+        assert not sm.disconnects
+        # Losing s->m forces the 5+5 bypass: regret = 10 + 1 - 2 = 9.
+        assert sm.regret == pytest.approx(9.0)
+
+    def test_sorted_by_regret(self):
+        results = channel_criticality(bottleneck_net(), "s", "t")
+        regrets = [c.regret for c in results]
+        assert regrets == sorted(regrets, reverse=True)
+
+    def test_only_optimal_path_channels_swept(self, paper_net):
+        results = channel_criticality(paper_net, 1, 7)
+        assert len(results) == 2  # the 2-hop optimum 1->2->7
+        assert all(c.baseline == pytest.approx(2.0) for c in results)
+
+    def test_regret_nonnegative(self, paper_net):
+        for c in channel_criticality(paper_net, 1, 6):
+            assert c.regret >= -1e-9
+
+
+class TestFiberCriticality:
+    def test_fiber_loss_stronger_than_channel_loss(self, paper_net):
+        """Losing a whole fiber can only hurt as much or more than losing
+        one of its channels."""
+        channels = {c.resource[:2]: c for c in channel_criticality(paper_net, 1, 6)}
+        for fiber_crit in fiber_criticality(paper_net, 1, 6):
+            a, b = fiber_crit.resource
+            for (tail, head), channel_crit in channels.items():
+                if frozenset((tail, head)) == frozenset((a, b)):
+                    assert fiber_crit.regret >= channel_crit.regret - 1e-9
+
+    def test_unique_fibers(self, paper_net):
+        results = fiber_criticality(paper_net, 1, 7)
+        fibers = [c.resource for c in results]
+        assert len(fibers) == len(set(fibers))
+
+    def test_mesh_has_no_fatal_fiber(self):
+        from repro.topology.reference import cost239_network
+
+        net = cost239_network(num_wavelengths=2)
+        results = fiber_criticality(net, "London", "Vienna")
+        assert all(not c.disconnects for c in results)

@@ -1,0 +1,58 @@
+"""Unit tests for the experiment runner (quick subset only)."""
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import EXPERIMENTS, run_all
+
+
+class TestRunner:
+    def test_registry_covers_core_experiments(self):
+        assert {"FIG1-4", "THM1", "SEC3C", "THM3", "THM4", "RWA"} <= set(EXPERIMENTS)
+
+    def test_fig_experiment(self):
+        report = run_all(scale=1, only=["FIG1-4"])
+        fig = report["FIG1-4"]
+        assert fig["m1"] == 24
+        assert fig["layer_nodes"] == 37
+        assert fig["route_1_7_cost"] == pytest.approx(2.0)
+        assert fig["bounds_ok"]
+        assert fig["elapsed_seconds"] >= 0
+
+    def test_thm3_rows_within_budget(self):
+        report = run_all(scale=1, only=["THM3"])
+        for row in report["THM3"]["rows"]:
+            assert row["messages"] <= 3 * row["km"]
+            assert row["rounds"] <= row["kn"]
+
+    def test_report_is_json_serializable(self):
+        report = run_all(scale=1, only=["FIG1-4", "THM3"])
+        text = json.dumps(report)
+        assert "FIG1-4" in text
+
+    def test_unknown_experiment_keyerror(self):
+        with pytest.raises(KeyError):
+            run_all(scale=1, only=["NOPE"])
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            run_all(scale=0)
+
+
+class TestCLI:
+    def test_experiments_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "results.json"
+        assert main(
+            ["experiments", "--only", "FIG1-4", "-o", str(out)]
+        ) == 0
+        document = json.loads(out.read_text())
+        assert document["FIG1-4"]["m1"] == 24
+
+    def test_experiments_unknown_id(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiments", "--only", "BOGUS"]) == 1
+        assert "unknown experiments" in capsys.readouterr().err

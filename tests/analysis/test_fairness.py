@@ -1,0 +1,81 @@
+"""Unit tests for fairness analysis."""
+
+import pytest
+
+from repro.analysis.fairness import (
+    blocking_concentration,
+    gini,
+    per_pair_blocking,
+    worst_pairs,
+)
+from repro.wdm.simulation import BlockingStats
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini([5, 5, 5, 5]) == pytest.approx(0.0)
+
+    def test_concentrated_approaches_one(self):
+        assert gini([0] * 99 + [100]) > 0.95
+
+    def test_empty_and_single(self):
+        assert gini([]) == 0.0
+        assert gini([7]) == 0.0
+        assert gini([0, 0, 0]) == 0.0
+
+    def test_known_value(self):
+        # Two values (0, x): Gini = 1/2.
+        assert gini([0, 10]) == pytest.approx(0.5)
+
+    def test_scale_invariant(self):
+        assert gini([1, 2, 3]) == pytest.approx(gini([10, 20, 30]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini([-1, 2])
+
+
+class TestBlockingFairness:
+    def _stats(self, blocked_map):
+        stats = BlockingStats()
+        stats.per_pair_blocked = dict(blocked_map)
+        stats.blocked = sum(blocked_map.values())
+        stats.offered = stats.blocked + 100
+        return stats
+
+    def test_per_pair_copy(self):
+        stats = self._stats({("a", "b"): 3})
+        mapping = per_pair_blocking(stats)
+        mapping.clear()
+        assert stats.per_pair_blocked  # original untouched
+
+    def test_worst_pairs_ranked(self):
+        stats = self._stats({("a", "b"): 3, ("c", "d"): 9, ("e", "f"): 1})
+        ranked = worst_pairs(stats, top=2)
+        assert ranked[0] == (("c", "d"), 9)
+        assert ranked[1] == (("a", "b"), 3)
+
+    def test_worst_pairs_validation(self):
+        with pytest.raises(ValueError):
+            worst_pairs(self._stats({}), top=0)
+
+    def test_concentration_no_blocking(self):
+        assert blocking_concentration(self._stats({})) == 0.0
+
+    def test_concentration_skewed(self):
+        skewed = self._stats({("a", "b"): 50, ("c", "d"): 1, ("e", "f"): 1})
+        even = self._stats({("a", "b"): 3, ("c", "d"): 3, ("e", "f"): 3})
+        assert blocking_concentration(skewed) > blocking_concentration(even)
+
+    def test_real_simulation_concentration(self):
+        """Under load on NSFNET blocking concentrates on a subset of pairs."""
+        from repro.topology.reference import nsfnet_network
+        from repro.wdm.provisioning import SemilightpathProvisioner
+        from repro.wdm.simulation import DynamicSimulation
+        from repro.wdm.traffic import TrafficGenerator
+
+        net = nsfnet_network(num_wavelengths=2)
+        trace = TrafficGenerator(net.nodes(), 50.0, 1.0, seed=67).generate(400)
+        stats = DynamicSimulation(SemilightpathProvisioner(net)).run(trace)
+        assert stats.blocked > 0
+        assert 0.0 <= blocking_concentration(stats) <= 1.0

@@ -1,0 +1,37 @@
+"""Unit tests for markdown report rendering."""
+
+from repro.analysis.experiments import run_all
+from repro.analysis.reporting import render_markdown
+
+
+class TestRenderMarkdown:
+    def test_fig_section(self):
+        report = run_all(scale=1, only=["FIG1-4"])
+        text = render_markdown(report)
+        assert "## FIG1-4" in text
+        assert "| m₁ = Σ|Λ(e)| | 24 |" in text
+        assert "measured in" in text
+
+    def test_thm3_table_shape(self):
+        report = run_all(scale=1, only=["THM3"])
+        text = render_markdown(report)
+        assert "| n | k | m | messages | km | rounds | kn |" in text
+        # One data row per sweep point plus header/separator.
+        data_rows = [
+            line for line in text.splitlines()
+            if line.startswith("|") and "---" not in line
+        ]
+        assert len(data_rows) == 1 + len(report["THM3"]["rows"])
+
+    def test_unknown_experiment_dumped_raw(self):
+        text = render_markdown({"CUSTOM": {"anything": 1}})
+        assert "## CUSTOM" in text
+        assert "anything" in text
+
+    def test_markdown_cli_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiments", "--only", "FIG1-4", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Experiment results")
+        assert "| optimal cost 1→7 | 2 |" in out

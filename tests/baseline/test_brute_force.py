@@ -1,0 +1,71 @@
+"""Unit tests for the brute-force oracle itself."""
+
+import pytest
+
+from repro.baseline.brute_force import brute_force_route
+from repro.core.conversion import FixedCostConversion, NoConversion
+from repro.core.network import WDMNetwork
+from repro.exceptions import NoPathError, UnknownNodeError
+
+
+class TestOracle:
+    def test_tiny_optimum(self, tiny_net):
+        path = brute_force_route(tiny_net, "a", "c")
+        assert path.total_cost == pytest.approx(2.5)
+        assert path.nodes() == ["a", "b", "c"]
+        path.validate(tiny_net)
+
+    def test_single_hop(self):
+        net = WDMNetwork(num_wavelengths=1)
+        net.add_nodes(["a", "b"])
+        net.add_link("a", "b", {0: 3.0})
+        path = brute_force_route(net, "a", "b")
+        assert path.total_cost == pytest.approx(3.0)
+        assert path.num_hops == 1
+
+    def test_no_path(self):
+        net = WDMNetwork(num_wavelengths=1)
+        net.add_nodes(["a", "b"])
+        with pytest.raises(NoPathError):
+            brute_force_route(net, "a", "b")
+
+    def test_same_endpoints_rejected(self, tiny_net):
+        with pytest.raises(ValueError):
+            brute_force_route(tiny_net, "a", "a")
+
+    def test_unknown_node(self, tiny_net):
+        with pytest.raises(UnknownNodeError):
+            brute_force_route(tiny_net, "ghost", "c")
+
+    def test_wavelength_continuity(self):
+        net = WDMNetwork(num_wavelengths=2, default_conversion=NoConversion())
+        net.add_nodes(["a", "b", "c"])
+        net.add_link("a", "b", {0: 1.0})
+        net.add_link("b", "c", {1: 1.0})
+        with pytest.raises(NoPathError):
+            brute_force_route(net, "a", "c")
+
+    def test_walk_through_target_and_back(self):
+        """A walk may pass through the target and return more cheaply.
+
+        Construct: a -> t on λ1 costs 10; a -> t on λ2 costs 1, but λ2
+        arrives "badly" — actually verify the simpler property: passing
+        THROUGH an intermediate the brute force still finds multi-hop
+        optimum over the direct link.
+        """
+        net = WDMNetwork(num_wavelengths=1, default_conversion=FixedCostConversion(0.0))
+        net.add_nodes(["a", "m", "t"])
+        net.add_link("a", "t", {0: 10.0})
+        net.add_link("a", "m", {0: 1.0})
+        net.add_link("m", "t", {0: 1.0})
+        path = brute_force_route(net, "a", "t")
+        assert path.total_cost == pytest.approx(2.0)
+
+    def test_zero_cost_edges_terminate(self):
+        net = WDMNetwork(num_wavelengths=1, default_conversion=FixedCostConversion(0.0))
+        net.add_nodes(["a", "b", "c"])
+        net.add_link("a", "b", {0: 0.0})
+        net.add_link("b", "a", {0: 0.0})
+        net.add_link("b", "c", {0: 0.0})
+        path = brute_force_route(net, "a", "c")
+        assert path.total_cost == 0.0

@@ -1,0 +1,81 @@
+"""Unit tests for the CFZ baseline router."""
+
+import pytest
+
+from repro.baseline.cfz import CFZRouter
+from repro.core.network import WDMNetwork
+from repro.core.routing import LiangShenRouter
+from repro.exceptions import NoPathError
+
+
+class TestBothEngines:
+    @pytest.mark.parametrize("engine", ["dense", "heap"])
+    def test_tiny_optimum(self, tiny_net, engine):
+        result = CFZRouter(tiny_net, engine=engine).route("a", "c")
+        assert result.cost == pytest.approx(2.5)
+        assert result.path.nodes() == ["a", "b", "c"]
+
+    @pytest.mark.parametrize("engine", ["dense", "heap"])
+    def test_no_path(self, engine):
+        net = WDMNetwork(num_wavelengths=1)
+        net.add_nodes(["a", "b"])
+        with pytest.raises(NoPathError):
+            CFZRouter(net, engine=engine).route("a", "b")
+
+    @pytest.mark.parametrize("engine", ["dense", "heap"])
+    def test_paths_validate(self, paper_net, engine):
+        router = CFZRouter(paper_net, engine=engine)
+        for s in (1, 2, 5):
+            for t in (6, 7):
+                result = router.route(s, t)
+                result.path.validate(paper_net)
+
+    def test_engines_agree(self, paper_net):
+        dense = CFZRouter(paper_net, engine="dense")
+        heap = CFZRouter(paper_net, engine="heap")
+        for s in range(1, 7):
+            for t in range(2, 8):
+                if s == t:
+                    continue
+                try:
+                    a = dense.route(s, t).cost
+                except NoPathError:
+                    a = None
+                try:
+                    b = heap.route(s, t).cost
+                except NoPathError:
+                    b = None
+                assert a == b or a == pytest.approx(b)
+
+    def test_unknown_engine_rejected(self, paper_net):
+        with pytest.raises(ValueError):
+            CFZRouter(paper_net, engine="quantum")
+
+
+class TestAgainstLiangShen:
+    @pytest.mark.parametrize("trial", range(20))
+    def test_random_networks_same_optimum(self, trial):
+        from tests.conftest import make_random_net
+
+        net = make_random_net(500 + trial)
+        nodes = net.nodes()
+        ls = LiangShenRouter(net)
+        cfz = CFZRouter(net)
+        for s, t in [(nodes[0], nodes[-1]), (nodes[-1], nodes[0])]:
+            try:
+                expected = ls.route(s, t).cost
+            except NoPathError:
+                expected = None
+            try:
+                actual = cfz.route(s, t).cost
+            except NoPathError:
+                actual = None
+            if expected is None:
+                assert actual is None
+            else:
+                assert actual == pytest.approx(expected)
+
+    def test_stats_report_wg_sizes(self, paper_net):
+        result = CFZRouter(paper_net).route(1, 7)
+        assert result.stats.sizes.num_layer_nodes == 4 * 7 + 2
+        assert result.stats.settled > 0

@@ -1,0 +1,66 @@
+"""Unit tests for the CFZ wavelength graph construction."""
+
+import pytest
+
+from repro.baseline.wavelength_graph import build_wavelength_graph
+from repro.core.conversion import NoConversion
+from repro.core.network import WDMNetwork
+
+
+class TestShape:
+    def test_node_count_is_kn_plus_2(self, paper_net):
+        wg = build_wavelength_graph(paper_net, 1, 7)
+        assert wg.graph.num_nodes == 4 * 7 + 2
+
+    def test_link_edges_one_per_channel(self, paper_net):
+        wg = build_wavelength_graph(paper_net, 1, 7)
+        assert wg.num_link_edges == paper_net.total_link_wavelengths == 24
+
+    def test_conversion_edges_over_full_universe(self, paper_net):
+        wg = build_wavelength_graph(paper_net, 1, 7)
+        # Full conversion at 6 nodes: k(k-1) = 12 each; node 3 has a
+        # matrix model missing one pair: 11.
+        assert wg.num_conversion_edges == 6 * 12 + 11
+
+    def test_no_conversion_model_no_edges(self):
+        net = WDMNetwork(num_wavelengths=3, default_conversion=NoConversion())
+        net.add_nodes(["a", "b"])
+        net.add_link("a", "b", {0: 1.0})
+        wg = build_wavelength_graph(net, "a", "b")
+        assert wg.num_conversion_edges == 0
+
+    def test_terminal_fan(self, paper_net):
+        wg = build_wavelength_graph(paper_net, 1, 7)
+        assert wg.graph.out_degree(wg.source_id) == 4  # one per λ
+        into_sink = sum(
+            1 for _t, h, _w, _tag in wg.graph.edges() if h == wg.sink_id
+        )
+        assert into_sink == 4
+
+    def test_same_endpoints_rejected(self, paper_net):
+        with pytest.raises(ValueError):
+            build_wavelength_graph(paper_net, 1, 1)
+
+
+class TestStateIds:
+    def test_round_trip(self, paper_net):
+        wg = build_wavelength_graph(paper_net, 1, 7)
+        for node in paper_net.nodes():
+            for lam in range(4):
+                state = wg.state_id(node, lam)
+                assert wg.decode_state(state) == (node, lam)
+
+    def test_virtual_terminal_not_decodable(self, paper_net):
+        wg = build_wavelength_graph(paper_net, 1, 7)
+        with pytest.raises(ValueError):
+            wg.decode_state(wg.source_id)
+
+    def test_link_edge_weights(self, paper_net):
+        wg = build_wavelength_graph(paper_net, 1, 7)
+        # Every edge from (1, λ1) to (2, λ1) carries w(<1,2>, λ1) = 1.0.
+        src = wg.state_id(1, 0)
+        dst = wg.state_id(2, 0)
+        weights = [
+            w for h, w, _tag in wg.graph.neighbors(src) if h == dst
+        ]
+        assert weights == [1.0]

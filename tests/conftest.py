@@ -1,0 +1,60 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.conversion import FixedCostConversion
+from repro.core.network import WDMNetwork
+from repro.topology.cost_models import random_costs
+from repro.topology.generators import random_sparse_network
+from repro.topology.reference import paper_figure1_network
+from repro.topology.wavelength_assign import random_wavelengths
+
+
+@pytest.fixture
+def paper_net() -> WDMNetwork:
+    """The paper's Figure 1 example (default costs)."""
+    return paper_figure1_network()
+
+
+@pytest.fixture
+def tiny_net() -> WDMNetwork:
+    """A 3-node hand-checkable network.
+
+    Topology: a -> b -> c plus a -> c direct.
+      a->b: λ1 cost 1
+      b->c: λ2 cost 1        (forces a conversion at b, cost 0.5)
+      a->c: λ1 cost 4        (direct but expensive)
+    Optimal a->c: a-b-c with one conversion, cost 2.5.
+    """
+    net = WDMNetwork(num_wavelengths=2, default_conversion=FixedCostConversion(0.5))
+    for node in "abc":
+        net.add_node(node)
+    net.add_link("a", "b", {0: 1.0})
+    net.add_link("b", "c", {1: 1.0})
+    net.add_link("a", "c", {0: 4.0})
+    return net
+
+
+def make_random_net(trial: int, max_nodes: int = 10, max_k: int = 5) -> WDMNetwork:
+    """Deterministic random network for cross-validation tests.
+
+    Uses a flat-cost conversion model (chain-free), so the CFZ wavelength
+    graph and Eq. (1) agree — required by the tests that compare router
+    implementations against each other.
+    """
+    rng = random.Random(trial)
+    n = rng.randint(3, max_nodes)
+    k = rng.randint(1, max_k)
+    return random_sparse_network(
+        n,
+        k,
+        average_degree=2.5,
+        seed=trial,
+        wavelength_policy=random_wavelengths(k, availability=0.6),
+        cost_policy=random_costs(1.0, 5.0),
+        conversion=FixedCostConversion(rng.uniform(0.0, 2.0)),
+    )

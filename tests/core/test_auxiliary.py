@@ -1,0 +1,182 @@
+"""Unit tests for the auxiliary graph constructions (G_M, G_v, G', G_{s,t})."""
+
+import pytest
+
+from repro.core.auxiliary import (
+    KIND_IN,
+    KIND_OUT,
+    KIND_SINK,
+    KIND_SOURCE,
+    build_all_pairs_graph,
+    build_layered_graph,
+    build_routing_graph,
+    multigraph_edges,
+)
+from repro.core.conversion import NoConversion
+from repro.core.network import WDMNetwork
+from repro.exceptions import UnknownNodeError
+
+
+class TestMultigraph:
+    def test_one_edge_per_wavelength(self, tiny_net):
+        edges = list(multigraph_edges(tiny_net))
+        assert ("a", "b", 0, 1.0) in edges
+        assert ("b", "c", 1, 1.0) in edges
+        assert ("a", "c", 0, 4.0) in edges
+        assert len(edges) == tiny_net.total_link_wavelengths == 3
+
+    def test_paper_m1(self, paper_net):
+        assert len(list(multigraph_edges(paper_net))) == 24
+
+
+class TestLayeredGraph:
+    def test_node_sets_follow_lambda_in_out(self, tiny_net):
+        lay = build_layered_graph(tiny_net)
+        kinds = {}
+        for descriptor in lay.decode:
+            kinds.setdefault((descriptor.kind, descriptor.node), set()).add(
+                descriptor.wavelength
+            )
+        assert kinds[(KIND_OUT, "a")] == set(tiny_net.lambda_out("a"))
+        assert kinds[(KIND_IN, "b")] == set(tiny_net.lambda_in("b"))
+        assert kinds[(KIND_IN, "c")] == set(tiny_net.lambda_in("c"))
+        # 'a' has no in-links, so no X_a nodes.
+        assert (KIND_IN, "a") not in kinds
+
+    def test_e_org_preserves_wavelength_and_weight(self, tiny_net):
+        lay = build_layered_graph(tiny_net)
+        org_edges = []
+        for tail, head, weight, _tag in lay.graph.edges():
+            a, b = lay.decode[tail], lay.decode[head]
+            if a.kind == KIND_OUT and b.kind == KIND_IN:
+                org_edges.append((a.node, b.node, a.wavelength, weight))
+                assert a.wavelength == b.wavelength
+        assert sorted(org_edges) == sorted(multigraph_edges(tiny_net))
+
+    def test_conversion_edges_within_node(self, tiny_net):
+        lay = build_layered_graph(tiny_net)
+        for tail, head, weight, _tag in lay.graph.edges():
+            a, b = lay.decode[tail], lay.decode[head]
+            if a.kind == KIND_IN and b.kind == KIND_OUT:
+                assert a.node == b.node
+                expected = tiny_net.conversion_cost(
+                    a.node, a.wavelength, b.wavelength
+                )
+                assert weight == pytest.approx(expected)
+
+    def test_no_conversion_model_only_diagonal(self):
+        net = WDMNetwork(num_wavelengths=2, default_conversion=NoConversion())
+        net.add_nodes(["a", "b", "c"])
+        net.add_link("a", "b", {0: 1.0, 1: 1.0})
+        net.add_link("b", "c", {0: 1.0, 1: 1.0})
+        lay = build_layered_graph(net)
+        conv = [
+            (lay.decode[t], lay.decode[h])
+            for t, h, _w, _tag in lay.graph.edges()
+            if lay.decode[t].kind == KIND_IN
+        ]
+        assert all(a.wavelength == b.wavelength for a, b in conv)
+
+    def test_sizes_match_graph(self, paper_net):
+        lay = build_layered_graph(paper_net)
+        assert lay.sizes.num_layer_nodes == lay.graph.num_nodes
+        assert lay.sizes.num_layer_edges == lay.graph.num_edges
+        assert (
+            lay.sizes.num_org_edges + lay.sizes.num_conversion_edges
+            == lay.graph.num_edges
+        )
+
+    def test_bipartite_nodes_accessor(self, paper_net):
+        lay = build_layered_graph(paper_net)
+        xs, ys = lay.bipartite_nodes(3)
+        assert [lay.decode[x].wavelength for x in xs] == sorted(
+            paper_net.lambda_in(3)
+        )
+        assert [lay.decode[y].wavelength for y in ys] == sorted(
+            paper_net.lambda_out(3)
+        )
+
+
+class TestRoutingGraph:
+    def test_virtual_terminals(self, tiny_net):
+        aux = build_routing_graph(tiny_net, "a", "c")
+        assert aux.decode[aux.source_id].kind == KIND_SOURCE
+        assert aux.decode[aux.sink_id].kind == KIND_SINK
+        # s' fans out to every Y_s node with weight 0.
+        fan_out = list(aux.graph.neighbors(aux.source_id))
+        assert all(w == 0.0 for _h, w, _t in fan_out)
+        assert {aux.decode[h].wavelength for h, _w, _t in fan_out} == set(
+            tiny_net.lambda_out("a")
+        )
+
+    def test_sink_fan_in(self, tiny_net):
+        aux = build_routing_graph(tiny_net, "a", "c")
+        into_sink = [
+            (t, w)
+            for t, h, w, _tag in aux.graph.edges()
+            if h == aux.sink_id
+        ]
+        assert all(w == 0.0 for _t, w in into_sink)
+        assert {aux.decode[t].wavelength for t, _w in into_sink} == set(
+            tiny_net.lambda_in("c")
+        )
+
+    def test_same_endpoints_rejected(self, tiny_net):
+        with pytest.raises(ValueError):
+            build_routing_graph(tiny_net, "a", "a")
+
+    def test_unknown_endpoint_rejected(self, tiny_net):
+        with pytest.raises(UnknownNodeError):
+            build_routing_graph(tiny_net, "a", "zzz")
+
+    def test_size_bounds_paper(self, paper_net):
+        aux = build_routing_graph(paper_net, 1, 7)
+        n, k, m = 7, 4, 11
+        assert aux.graph.num_nodes <= 2 * k * n + 2
+        assert aux.graph.num_edges <= k * k * n + 2 * k + k * m
+
+
+class TestAllPairsGraph:
+    def test_terminals_for_every_node(self, tiny_net):
+        aux = build_all_pairs_graph(tiny_net)
+        assert set(aux.source_ids) == set(tiny_net.nodes())
+        assert set(aux.sink_ids) == set(tiny_net.nodes())
+
+    def test_terminal_edges_zero_weight(self, tiny_net):
+        aux = build_all_pairs_graph(tiny_net)
+        for v, source_id in aux.source_ids.items():
+            for head, weight, _tag in aux.graph.neighbors(source_id):
+                assert weight == 0.0
+                assert aux.decode[head] == aux.decode[head]._replace(
+                    kind=KIND_OUT, node=v
+                )
+
+    def test_terminals_have_no_shortcuts(self, tiny_net):
+        """v' has no in-edges and v'' no out-edges, so terminals never
+        appear in the middle of a shortest path."""
+        aux = build_all_pairs_graph(tiny_net)
+        sink_ids = set(aux.sink_ids.values())
+        for sink_id in sink_ids:
+            assert aux.graph.out_degree(sink_id) == 0
+        source_ids = set(aux.source_ids.values())
+        heads_with_in_edges = {h for _t, h, _w, _tag in aux.graph.edges()}
+        assert not (source_ids & heads_with_in_edges)
+
+    def test_corollary1_size_bounds(self, paper_net):
+        aux = build_all_pairs_graph(paper_net)
+        n, k, m = 7, 4, 11
+        assert aux.graph.num_nodes <= 2 * n * (k + 1)
+        assert aux.graph.num_edges <= k * k * n + k * m + 2 * k * n
+
+
+class TestObservationBounds:
+    def test_paper_example_within_all_bounds(self, paper_net):
+        sizes = build_layered_graph(paper_net).sizes
+        assert sizes.within_bounds()
+
+    def test_paper_figure1_exceeds_uncorrected_observation5(self, paper_net):
+        """Documents the factor-2 slip in the paper's Observation 5: the
+        paper's own example violates |V'| <= m*k0."""
+        sizes = build_layered_graph(paper_net).sizes
+        assert sizes.num_layer_nodes > sizes.m * sizes.k0
+        assert sizes.num_layer_nodes <= 2 * sizes.m * sizes.k0

@@ -1,0 +1,88 @@
+"""Unit tests for the amortized BatchRouter."""
+
+import math
+
+import pytest
+
+from repro.core.batch import BatchRouter
+from repro.core.routing import LiangShenRouter
+from repro.exceptions import NoPathError
+
+
+class TestBatchRouter:
+    def test_matches_per_query_router(self, paper_net):
+        batch = BatchRouter(paper_net)
+        single = LiangShenRouter(paper_net)
+        for s in paper_net.nodes():
+            for t in paper_net.nodes():
+                if s == t:
+                    continue
+                try:
+                    expected = single.route(s, t).cost
+                except NoPathError:
+                    expected = None
+                if expected is None:
+                    assert batch.cost(s, t) == math.inf
+                    with pytest.raises(NoPathError):
+                        batch.route(s, t)
+                else:
+                    assert batch.route(s, t).total_cost == pytest.approx(expected)
+                    assert batch.cost(s, t) == pytest.approx(expected)
+
+    def test_tree_caching(self, paper_net):
+        batch = BatchRouter(paper_net)
+        assert batch.cached_sources == 0
+        batch.route(1, 7)
+        assert batch.cached_sources == 1
+        batch.route(1, 6)  # same source: no new tree
+        assert batch.cached_sources == 1
+        batch.route(2, 7)
+        assert batch.cached_sources == 2
+
+    def test_cost_of_self_is_zero(self, paper_net):
+        assert BatchRouter(paper_net).cost(1, 1) == 0.0
+
+    def test_route_to_self_rejected(self, paper_net):
+        with pytest.raises(ValueError):
+            BatchRouter(paper_net).route(1, 1)
+
+    def test_tree_returns_copy(self, paper_net):
+        batch = BatchRouter(paper_net)
+        tree = batch.tree(1)
+        tree.clear()
+        assert batch.tree(1)  # internal cache unaffected
+
+    def test_paths_validate(self, paper_net):
+        batch = BatchRouter(paper_net)
+        for target, path in batch.tree(1).items():
+            path.validate(paper_net)
+
+    def test_batch_faster_for_many_queries(self, ):
+        """Amortization sanity: 3 sources x many targets beats per-query."""
+        import time
+
+        from benchmarks.conftest import sparse_wan
+
+        net = sparse_wan(96, seed=60)
+        nodes = net.nodes()
+        sources = nodes[:3]
+
+        start = time.perf_counter()
+        batch = BatchRouter(net)
+        for s in sources:
+            for t in nodes:
+                if s != t:
+                    batch.cost(s, t)
+        batch_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        single = LiangShenRouter(net)
+        for s in sources:
+            for t in nodes:
+                if s != t:
+                    try:
+                        single.route(s, t)
+                    except NoPathError:
+                        pass
+        single_time = time.perf_counter() - start
+        assert batch_time < single_time

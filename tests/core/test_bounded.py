@@ -1,0 +1,142 @@
+"""Unit tests for conversion-budget routing."""
+
+import pytest
+
+from repro.core.bounded import BoundedConversionRouter, conversion_cost_profile
+from repro.core.conversion import FixedCostConversion
+from repro.core.network import WDMNetwork
+from repro.core.routing import LiangShenRouter
+from repro.exceptions import NoPathError
+
+
+def staircase_net(levels: int = 3, convert_cost: float = 0.1) -> WDMNetwork:
+    """A chain a0 -> a1 -> ... where each link only offers wavelength i%2,
+    so every hop boundary needs a conversion; plus a direct expensive link."""
+    net = WDMNetwork(
+        num_wavelengths=2, default_conversion=FixedCostConversion(convert_cost)
+    )
+    for i in range(levels + 1):
+        net.add_node(i)
+    for i in range(levels):
+        net.add_link(i, i + 1, {i % 2: 1.0})
+    net.add_link(0, levels, {0: 50.0})
+    return net
+
+
+class TestBudgetSemantics:
+    def test_zero_budget_is_lightpath(self, paper_net):
+        router = BoundedConversionRouter(paper_net)
+        result = router.route(1, 7, max_conversions=0)
+        assert result.path.is_lightpath
+        assert result.cost == pytest.approx(2.0)
+
+    def test_zero_budget_blocks_conversion_only_routes(self):
+        net = staircase_net(levels=3)
+        # Only route within budget 0 is the direct expensive link.
+        result = BoundedConversionRouter(net).route(0, 3, max_conversions=0)
+        assert result.path.num_hops == 1
+        assert result.cost == pytest.approx(50.0)
+
+    def test_budget_respected(self):
+        net = staircase_net(levels=4)
+        for q in range(4):
+            result = BoundedConversionRouter(net).route(0, 4, max_conversions=q)
+            assert result.path.num_conversions <= q
+
+    def test_large_budget_matches_unconstrained(self, paper_net):
+        bounded = BoundedConversionRouter(paper_net)
+        unconstrained = LiangShenRouter(paper_net)
+        for s, t in [(1, 6), (1, 7), (5, 7)]:
+            a = bounded.route(s, t, max_conversions=10).cost
+            b = unconstrained.route(s, t).cost
+            assert a == pytest.approx(b)
+
+    def test_cost_non_increasing_in_budget(self):
+        net = staircase_net(levels=4)
+        costs = [
+            BoundedConversionRouter(net).route(0, 4, max_conversions=q).cost
+            for q in range(5)
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(costs, costs[1:]))
+        # At full budget the staircase (4 links + 3 conversions) wins.
+        assert costs[-1] == pytest.approx(4 + 3 * 0.1)
+
+    def test_negative_budget_rejected(self, paper_net):
+        with pytest.raises(ValueError):
+            BoundedConversionRouter(paper_net).route(1, 7, max_conversions=-1)
+
+    def test_no_path_within_budget_raises(self):
+        net = staircase_net(levels=2)
+        # Remove the escape hatch: budget 0 has no route at all.
+        pruned = WDMNetwork(2, FixedCostConversion(0.1))
+        for i in range(3):
+            pruned.add_node(i)
+        pruned.add_link(0, 1, {0: 1.0})
+        pruned.add_link(1, 2, {1: 1.0})
+        with pytest.raises(NoPathError):
+            BoundedConversionRouter(pruned).route(0, 2, max_conversions=0)
+        assert (
+            BoundedConversionRouter(pruned).route(0, 2, max_conversions=1).cost
+            == pytest.approx(2.1)
+        )
+
+    @pytest.mark.parametrize("trial", range(15))
+    def test_budget_zero_only_lightpaths_random(self, trial):
+        from tests.conftest import make_random_net
+
+        net = make_random_net(600 + trial)
+        nodes = net.nodes()
+        try:
+            result = BoundedConversionRouter(net).route(
+                nodes[0], nodes[-1], max_conversions=0
+            )
+        except NoPathError:
+            return
+        assert result.path.is_lightpath
+        result.path.validate(net)
+
+
+class TestCostProfile:
+    def test_profile_of_staircase(self):
+        net = staircase_net(levels=3)
+        profile = conversion_cost_profile(net, 0, 3)
+        assert profile[0] == (0, pytest.approx(50.0))
+        assert profile[-1][1] == pytest.approx(3 + 2 * 0.1)
+        costs = [c for _q, c in profile]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_profile_ends_at_unconstrained_optimum(self, paper_net):
+        profile = conversion_cost_profile(paper_net, 1, 6)
+        unconstrained = LiangShenRouter(paper_net).route(1, 6).cost
+        assert profile[-1][1] == pytest.approx(unconstrained)
+
+    def test_profile_skips_infeasible_budgets(self):
+        net = WDMNetwork(2, FixedCostConversion(0.1))
+        for i in range(3):
+            net.add_node(i)
+        net.add_link(0, 1, {0: 1.0})
+        net.add_link(1, 2, {1: 1.0})
+        profile = conversion_cost_profile(net, 0, 2)
+        assert profile[0][0] == 1  # budget 0 infeasible, omitted
+
+    def test_profile_unreachable_raises(self):
+        net = WDMNetwork(1)
+        net.add_nodes([0, 1])
+        with pytest.raises(NoPathError):
+            conversion_cost_profile(net, 0, 1)
+
+    def test_profile_survives_plateaus(self):
+        """cost(0)=cost(1) > cost(2): the sweep must not stop at the
+        plateau (regression guard for the flattening heuristic)."""
+        net = WDMNetwork(num_wavelengths=3, default_conversion=FixedCostConversion(0.5))
+        for node in ["s", "a", "b", "t"]:
+            net.add_node(node)
+        net.add_link("s", "t", {0: 10.0})               # 0 conversions, cost 10
+        net.add_link("s", "a", {0: 1.0})
+        net.add_link("a", "b", {1: 1.0})
+        net.add_link("b", "t", {2: 1.0})                 # 2 conversions, cost 4
+        profile = conversion_cost_profile(net, "s", "t")
+        budgets = dict(profile)
+        assert budgets[0] == pytest.approx(10.0)
+        assert budgets[1] == pytest.approx(10.0)
+        assert budgets[2] == pytest.approx(4.0)

@@ -1,0 +1,172 @@
+"""Unit tests for the conversion cost models."""
+
+import math
+
+import pytest
+
+from repro.core.conversion import (
+    CallableConversion,
+    FixedCostConversion,
+    FullConversion,
+    MatrixConversion,
+    NoConversion,
+    RangeLimitedConversion,
+)
+
+INF = math.inf
+
+ALL_MODELS = [
+    FullConversion(1.0),
+    FixedCostConversion(0.25),
+    NoConversion(),
+    RangeLimitedConversion(1, cost_per_step=0.5),
+    MatrixConversion({(0, 1): 0.7}),
+    CallableConversion(lambda p, q: abs(p - q) * 0.1),
+]
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+class TestSharedInvariants:
+    def test_identity_is_free(self, model):
+        for lam in range(4):
+            assert model.cost(lam, lam) == 0.0
+
+    def test_supports_iff_finite(self, model):
+        for p in range(3):
+            for q in range(3):
+                assert model.supports(p, q) == (model.cost(p, q) < INF)
+
+    def test_finite_pairs_matches_cost(self, model):
+        ins, outs = [0, 1, 2], [0, 1, 2]
+        enumerated = {(p, q): c for p, q, c in model.finite_pairs(ins, outs)}
+        for p in ins:
+            for q in outs:
+                expected = model.cost(p, q)
+                if expected < INF:
+                    assert enumerated[(p, q)] == pytest.approx(expected)
+                else:
+                    assert (p, q) not in enumerated
+
+    def test_max_finite_cost_is_max(self, model):
+        ws = [0, 1, 2]
+        expected = max(
+            (model.cost(p, q) for p in ws for q in ws if model.cost(p, q) < INF),
+            default=0.0,
+        )
+        assert model.max_finite_cost(ws) == pytest.approx(expected)
+
+
+class TestFullConversion:
+    def test_flat_cost(self):
+        model = FullConversion(2.5)
+        assert model.cost(0, 3) == 2.5
+
+    def test_callable_cost(self):
+        model = FullConversion(lambda p, q: p + q)
+        assert model.cost(1, 2) == 3.0
+
+    def test_rejects_negative_flat(self):
+        with pytest.raises(ValueError):
+            FullConversion(-1.0)
+
+    def test_callable_returning_negative_raises_on_use(self):
+        model = FullConversion(lambda p, q: -1.0)
+        with pytest.raises(ValueError):
+            model.cost(0, 1)
+
+
+class TestNoConversion:
+    def test_distinct_is_infinite(self):
+        model = NoConversion()
+        assert model.cost(0, 1) == INF
+
+    def test_finite_pairs_only_diagonal(self):
+        model = NoConversion()
+        pairs = list(model.finite_pairs([0, 1, 2], [1, 2, 3]))
+        assert pairs == [(1, 1, 0.0), (2, 2, 0.0)]
+
+    def test_max_finite_cost_zero(self):
+        assert NoConversion().max_finite_cost([0, 1, 2]) == 0.0
+
+
+class TestRangeLimited:
+    def test_within_range(self):
+        model = RangeLimitedConversion(2, cost_per_step=0.5)
+        assert model.cost(0, 2) == 1.0
+        assert model.cost(2, 0) == 1.0
+
+    def test_outside_range(self):
+        model = RangeLimitedConversion(2)
+        assert model.cost(0, 3) == INF
+
+    def test_zero_range_is_no_conversion(self):
+        model = RangeLimitedConversion(0)
+        assert model.cost(0, 1) == INF
+        assert model.cost(1, 1) == 0.0
+
+    def test_rejects_negative_range(self):
+        with pytest.raises(ValueError):
+            RangeLimitedConversion(-1)
+
+
+class TestMatrixConversion:
+    def test_listed_pair(self):
+        model = MatrixConversion({(0, 1): 0.7, (1, 0): 0.9})
+        assert model.cost(0, 1) == 0.7
+        assert model.cost(1, 0) == 0.9
+
+    def test_unlisted_pair_infinite(self):
+        model = MatrixConversion({(0, 1): 0.7})
+        assert model.cost(1, 2) == INF
+
+    def test_asymmetry_supported(self):
+        model = MatrixConversion({(0, 1): 0.5})
+        assert model.supports(0, 1)
+        assert not model.supports(1, 0)
+
+    def test_nonzero_diagonal_rejected(self):
+        with pytest.raises(ValueError):
+            MatrixConversion({(2, 2): 1.0})
+
+    def test_zero_diagonal_tolerated(self):
+        model = MatrixConversion({(1, 1): 0.0, (0, 1): 0.3})
+        assert model.cost(1, 1) == 0.0
+
+    def test_infinite_entries_dropped(self):
+        model = MatrixConversion({(0, 1): INF})
+        assert not model.supports(0, 1)
+
+    def test_pairs_enumeration(self):
+        model = MatrixConversion({(0, 1): 0.5, (2, 0): 0.25})
+        assert sorted(model.pairs()) == [(0, 1, 0.5), (2, 0, 0.25)]
+
+    def test_finite_pairs_includes_free_diagonal(self):
+        model = MatrixConversion({(0, 1): 0.5})
+        pairs = set(model.finite_pairs([0, 1], [1]))
+        assert (1, 1, 0.0) in pairs
+        assert (0, 1, 0.5) in pairs
+
+
+class TestCallableConversion:
+    def test_wraps_function(self):
+        model = CallableConversion(lambda p, q: 0.1 * abs(p - q))
+        assert model.cost(0, 3) == pytest.approx(0.3)
+
+    def test_never_consulted_for_identity(self):
+        def explode(p, q):
+            raise AssertionError("must not be called for p == q")
+
+        assert CallableConversion(explode).cost(2, 2) == 0.0
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(TypeError):
+            CallableConversion(42)
+
+    def test_negative_result_raises(self):
+        model = CallableConversion(lambda p, q: -5.0)
+        with pytest.raises(ValueError):
+            model.cost(0, 1)
+
+    def test_infinite_result_means_unsupported(self):
+        model = CallableConversion(lambda p, q: INF)
+        assert not model.supports(0, 1)

@@ -1,0 +1,123 @@
+"""Unit tests for K-shortest semilightpath enumeration."""
+
+import pytest
+
+from repro.core.conversion import FixedCostConversion
+from repro.core.ksp import k_shortest_semilightpaths
+from repro.core.network import WDMNetwork
+from repro.core.routing import LiangShenRouter
+from repro.exceptions import NoPathError
+
+
+def diamond_net() -> WDMNetwork:
+    """Two disjoint physical routes with distinct costs plus per-route
+    wavelength choices."""
+    net = WDMNetwork(num_wavelengths=2, default_conversion=FixedCostConversion(0.5))
+    for node in "sabt":
+        net.add_node(node)
+    net.add_link("s", "a", {0: 1.0})
+    net.add_link("a", "t", {0: 1.0})
+    net.add_link("s", "b", {0: 2.0})
+    net.add_link("b", "t", {0: 2.0})
+    return net
+
+
+class TestBasics:
+    def test_k1_matches_router(self, paper_net):
+        best = k_shortest_semilightpaths(paper_net, 1, 7, k=1)
+        assert len(best) == 1
+        assert best[0].total_cost == pytest.approx(
+            LiangShenRouter(paper_net).route(1, 7).cost
+        )
+
+    def test_costs_ascending(self, paper_net):
+        paths = k_shortest_semilightpaths(paper_net, 1, 7, k=5)
+        costs = [p.total_cost for p in paths]
+        assert costs == sorted(costs)
+
+    def test_paths_distinct(self, paper_net):
+        paths = k_shortest_semilightpaths(paper_net, 1, 7, k=6)
+        assert len({p.hops for p in paths}) == len(paths)
+
+    def test_paths_validate(self, paper_net):
+        for path in k_shortest_semilightpaths(paper_net, 1, 6, k=4):
+            path.validate(paper_net)
+
+    def test_diamond_ranking(self):
+        net = diamond_net()
+        paths = k_shortest_semilightpaths(net, "s", "t", k=3)
+        assert len(paths) == 2  # only two distinct routes exist
+        assert paths[0].nodes() == ["s", "a", "t"]
+        assert paths[0].total_cost == pytest.approx(2.0)
+        assert paths[1].nodes() == ["s", "b", "t"]
+        assert paths[1].total_cost == pytest.approx(4.0)
+
+    def test_wavelength_alternatives_enumerated(self):
+        """Same physical route, different wavelengths = distinct paths."""
+        net = WDMNetwork(num_wavelengths=2, default_conversion=FixedCostConversion(0.5))
+        net.add_nodes(["s", "t"])
+        net.add_link("s", "t", {0: 1.0, 1: 3.0})
+        paths = k_shortest_semilightpaths(net, "s", "t", k=5)
+        assert len(paths) == 2
+        assert paths[0].wavelengths() == [0]
+        assert paths[1].wavelengths() == [1]
+
+    def test_no_path_raises(self):
+        net = WDMNetwork(1)
+        net.add_nodes(["s", "t"])
+        with pytest.raises(NoPathError):
+            k_shortest_semilightpaths(net, "s", "t", k=2)
+
+    def test_invalid_k(self, paper_net):
+        with pytest.raises(ValueError):
+            k_shortest_semilightpaths(paper_net, 1, 7, k=0)
+
+
+class TestAgainstExhaustiveEnumeration:
+    def _all_simple_semilightpaths(self, net, source, target):
+        """Enumerate all node-simple semilightpaths by DFS (tiny nets only)."""
+        results = []
+
+        def extend(node, visited, hops, wavelengths):
+            if node == target and hops:
+                from repro.core.semilightpath import Semilightpath
+
+                path = Semilightpath.from_sequence(
+                    [h[0] for h in hops] + [node], wavelengths, net
+                )
+                results.append(path)
+                return
+            for link in net.out_links(node):
+                if link.head in visited:
+                    continue
+                for w in sorted(link.costs):
+                    if wavelengths:
+                        conv = net.conversion_cost(node, wavelengths[-1], w)
+                        if conv == float("inf"):
+                            continue
+                    extend(
+                        link.head,
+                        visited | {link.head},
+                        hops + [(node, link.head)],
+                        wavelengths + [w],
+                    )
+
+        extend(source, {source}, [], [])
+        return sorted(results, key=lambda p: p.total_cost)
+
+    def test_matches_exhaustive_on_diamond(self):
+        net = diamond_net()
+        exhaustive = self._all_simple_semilightpaths(net, "s", "t")
+        yen = k_shortest_semilightpaths(net, "s", "t", k=len(exhaustive))
+        assert [p.total_cost for p in yen] == pytest.approx(
+            [p.total_cost for p in exhaustive]
+        )
+
+    def test_top3_costs_match_exhaustive_paper_example(self, paper_net):
+        exhaustive = self._all_simple_semilightpaths(paper_net, 1, 7)
+        yen = k_shortest_semilightpaths(paper_net, 1, 7, k=3)
+        # Yen also admits node-revisiting walks, so its costs can only be
+        # <= the simple-path enumeration at each rank.
+        for rank in range(3):
+            assert yen[rank].total_cost <= exhaustive[rank].total_cost + 1e-9
+        assert yen[0].total_cost == pytest.approx(exhaustive[0].total_cost)

@@ -1,0 +1,94 @@
+"""Unit tests for the pure-lightpath router."""
+
+import pytest
+
+from repro.core.bounded import BoundedConversionRouter
+from repro.core.conversion import NoConversion
+from repro.core.lightpath import LightpathRouter
+from repro.core.network import WDMNetwork
+from repro.core.routing import LiangShenRouter
+from repro.exceptions import NoPathError
+
+
+class TestBasics:
+    def test_paper_example(self, paper_net):
+        result = LightpathRouter(paper_net).route(1, 7)
+        assert result.path.is_lightpath
+        assert result.cost == pytest.approx(2.0)
+
+    def test_conversion_required_pair_unroutable(self, paper_net):
+        # 1 -> 6 needs a conversion (Λ(4,5) = {λ3} only).
+        with pytest.raises(NoPathError):
+            LightpathRouter(paper_net).route(1, 6)
+
+    def test_same_endpoints_rejected(self, paper_net):
+        with pytest.raises(ValueError):
+            LightpathRouter(paper_net).route(1, 1)
+
+    def test_per_wavelength_landscape(self, paper_net):
+        best = LightpathRouter(paper_net).route_per_wavelength(1, 7)
+        assert set(best) == {0, 1, 2, 3}
+        # λ1 carries 1->2->7 at cost 2.
+        assert best[0] is not None
+        assert best[0].total_cost == pytest.approx(2.0)
+        costs = [p.total_cost for p in best.values() if p is not None]
+        assert min(costs) == pytest.approx(2.0)
+
+    def test_per_wavelength_disconnection_is_none(self):
+        net = WDMNetwork(num_wavelengths=2)
+        net.add_nodes(["a", "b"])
+        net.add_link("a", "b", {0: 1.0})
+        best = LightpathRouter(net).route_per_wavelength("a", "b")
+        assert best[0] is not None
+        assert best[1] is None
+
+
+class TestEquivalences:
+    @pytest.mark.parametrize("trial", range(15))
+    def test_matches_liang_shen_on_no_conversion_networks(self, trial):
+        from tests.conftest import make_random_net
+
+        net = make_random_net(7100 + trial)
+        for node in net.nodes():
+            net.set_conversion(node, NoConversion())
+        nodes = net.nodes()
+        try:
+            expected = LiangShenRouter(net).route(nodes[0], nodes[-1]).cost
+        except NoPathError:
+            expected = None
+        try:
+            actual = LightpathRouter(net).route(nodes[0], nodes[-1]).cost
+        except NoPathError:
+            actual = None
+        if expected is None:
+            assert actual is None
+        else:
+            assert actual == pytest.approx(expected)
+
+    @pytest.mark.parametrize("trial", range(15))
+    def test_matches_bounded_router_with_zero_budget(self, trial):
+        """On ANY network, lightpath optimum == optimum with 0 conversions."""
+        from tests.conftest import make_random_net
+
+        net = make_random_net(7300 + trial)
+        nodes = net.nodes()
+        try:
+            expected = (
+                BoundedConversionRouter(net)
+                .route(nodes[0], nodes[-1], max_conversions=0)
+                .cost
+            )
+        except NoPathError:
+            expected = None
+        try:
+            actual = LightpathRouter(net).route(nodes[0], nodes[-1]).cost
+        except NoPathError:
+            actual = None
+        if expected is None:
+            assert actual is None
+        else:
+            assert actual == pytest.approx(expected)
+
+    def test_paths_validate(self, paper_net):
+        result = LightpathRouter(paper_net).route(5, 7)
+        result.path.validate(paper_net)

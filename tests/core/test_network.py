@@ -1,0 +1,170 @@
+"""Unit tests for the WDMNetwork model."""
+
+import math
+
+import pytest
+
+from repro.core.conversion import FixedCostConversion, NoConversion
+from repro.core.network import WDMNetwork
+from repro.exceptions import (
+    NetworkStructureError,
+    UnknownLinkError,
+    UnknownNodeError,
+    WavelengthError,
+    WavelengthUnavailableError,
+)
+
+
+@pytest.fixture
+def net() -> WDMNetwork:
+    net = WDMNetwork(num_wavelengths=3, default_conversion=FixedCostConversion(0.5))
+    net.add_nodes(["a", "b", "c"])
+    net.add_link("a", "b", {0: 1.0, 2: 2.0})
+    net.add_link("b", "c", {1: 3.0})
+    return net
+
+
+class TestConstruction:
+    def test_counts(self, net):
+        assert net.num_nodes == 3
+        assert net.num_links == 2
+        assert net.num_wavelengths == 3
+
+    def test_requires_positive_k(self):
+        with pytest.raises(ValueError):
+            WDMNetwork(num_wavelengths=0)
+
+    def test_duplicate_node_rejected(self, net):
+        with pytest.raises(NetworkStructureError):
+            net.add_node("a")
+
+    def test_duplicate_link_rejected(self, net):
+        with pytest.raises(NetworkStructureError):
+            net.add_link("a", "b", {1: 1.0})
+
+    def test_self_loop_rejected(self, net):
+        with pytest.raises(NetworkStructureError):
+            net.add_link("a", "a", {0: 1.0})
+
+    def test_link_with_unknown_node(self, net):
+        with pytest.raises(UnknownNodeError):
+            net.add_link("a", "zzz", {0: 1.0})
+
+    def test_negative_cost_rejected(self, net):
+        with pytest.raises(NetworkStructureError):
+            net.add_link("c", "a", {0: -1.0})
+
+    def test_infinite_cost_means_unavailable(self, net):
+        link = net.add_link("c", "a", {0: math.inf, 1: 2.0})
+        assert link.wavelengths == frozenset({1})
+
+    def test_out_of_range_wavelength_rejected(self, net):
+        with pytest.raises(WavelengthError):
+            net.add_link("c", "a", {7: 1.0})
+
+    def test_empty_availability_allowed(self, net):
+        link = net.add_link("c", "b", {})
+        assert link.wavelengths == frozenset()
+
+
+class TestQueries:
+    def test_link_cost(self, net):
+        assert net.link_cost("a", "b", 0) == 1.0
+        assert net.link_cost("a", "b", 2) == 2.0
+
+    def test_link_cost_unavailable(self, net):
+        with pytest.raises(WavelengthUnavailableError):
+            net.link_cost("a", "b", 1)
+
+    def test_unknown_link(self, net):
+        with pytest.raises(UnknownLinkError):
+            net.link("a", "c")
+
+    def test_available_wavelengths(self, net):
+        assert net.available_wavelengths("a", "b") == frozenset({0, 2})
+
+    def test_has_link(self, net):
+        assert net.has_link("a", "b")
+        assert not net.has_link("b", "a")
+
+    def test_successors_predecessors(self, net):
+        assert net.successors("a") == ["b"]
+        assert net.predecessors("c") == ["b"]
+        assert net.predecessors("a") == []
+
+    def test_node_index_round_trip(self, net):
+        for node in net.nodes():
+            assert net.node_label(net.node_index(node)) == node
+
+    def test_unknown_node_query(self, net):
+        with pytest.raises(UnknownNodeError):
+            net.out_links("ghost")
+
+
+class TestDegreeAndSizeParameters:
+    def test_degrees(self, net):
+        assert net.out_degree("a") == 1
+        assert net.in_degree("b") == 1
+        assert net.max_degree == 1
+
+    def test_max_degree_tracks_in_and_out(self):
+        net = WDMNetwork(num_wavelengths=1)
+        net.add_nodes(list(range(5)))
+        for i in range(1, 5):
+            net.add_link(i, 0, {0: 1.0})
+        assert net.max_degree == 4  # in-degree of the hub
+
+    def test_k0(self, net):
+        assert net.max_link_wavelengths == 2
+
+    def test_total_link_wavelengths(self, net):
+        assert net.total_link_wavelengths == 3  # |{0,2}| + |{1}|
+
+    def test_min_link_cost(self, net):
+        assert net.min_link_cost() == 1.0
+
+    def test_min_link_cost_empty(self):
+        net = WDMNetwork(num_wavelengths=1)
+        assert net.min_link_cost() == math.inf
+
+
+class TestLambdaSets:
+    def test_lambda_in_out(self, net):
+        assert net.lambda_out("a") == frozenset({0, 2})
+        assert net.lambda_in("b") == frozenset({0, 2})
+        assert net.lambda_out("b") == frozenset({1})
+        assert net.lambda_in("c") == frozenset({1})
+        assert net.lambda_in("a") == frozenset()
+
+
+class TestConversionAssignment:
+    def test_default_model(self, net):
+        assert net.conversion_cost("b", 0, 1) == 0.5
+
+    def test_per_node_override(self, net):
+        net.set_conversion("b", NoConversion())
+        assert net.conversion_cost("b", 0, 1) == math.inf
+        assert net.conversion_cost("a", 0, 1) == 0.5
+
+    def test_node_specific_at_add_time(self):
+        net = WDMNetwork(num_wavelengths=2)
+        net.add_node("x", conversion=NoConversion())
+        assert net.conversion_cost("x", 0, 1) == math.inf
+
+    def test_identity_free_via_any_model(self, net):
+        assert net.conversion_cost("a", 1, 1) == 0.0
+
+
+class TestCopy:
+    def test_copy_is_deep_for_structure(self, net):
+        clone = net.copy()
+        clone.add_node("d")
+        clone.add_link("c", "d", {0: 1.0})
+        assert net.num_nodes == 3
+        assert net.num_links == 2
+        assert clone.num_nodes == 4
+
+    def test_copy_preserves_conversions(self, net):
+        net.set_conversion("b", NoConversion())
+        clone = net.copy()
+        assert clone.conversion_cost("b", 0, 1) == math.inf

@@ -1,0 +1,196 @@
+"""Reproduction of the paper's worked example (Figures 1-4, Section III-A).
+
+These tests pin the example exactly as printed:
+
+* FIG1 — the network ``G`` of Fig. 1 with the per-link ``Λ(e)`` table,
+* FIG2 — the derived ``Λ_in(G_M, v)`` / ``Λ_out(G_M, v)`` sets listed under
+  Fig. 2 (with one documented typo in the paper, see below),
+* FIG3 — node 3's bipartite graph ``G_3``, including the *absence* of the
+  ``λ₂ → λ₃`` conversion edge visible in Fig. 3,
+* FIG4 — the ``E_org`` edges between the ``G_3`` and ``G_1`` fragments of
+  ``G'`` (two parallel links derived from ``⟨3,1⟩`` on ``λ₂`` and ``λ₃``).
+
+**Known typo (documented, not reproduced):** the paper lists
+``Λ_out(G_M, 2) = {λ1, λ2, λ4}``, but its own availability table gives
+``Λ(⟨2,3⟩) = {λ1, λ4}`` and ``Λ(⟨2,7⟩) = {λ1, λ2, λ3}``, whose union is
+``{λ1, λ2, λ3, λ4}``.  We treat the ``Λ(e)`` table as ground truth; the
+union rule (the definition of ``Λ_out``) then fixes the derived set.
+"""
+
+import pytest
+
+from repro.core.auxiliary import (
+    KIND_IN,
+    KIND_OUT,
+    build_layered_graph,
+    build_routing_graph,
+    multigraph_edges,
+)
+from repro.core.routing import LiangShenRouter
+from repro.topology.reference import PAPER_LAMBDA_TABLE, paper_figure1_network
+
+# The Λ_in / Λ_out listing printed under Fig. 2 (0-based indices), with the
+# Λ_out(2) entry corrected per the union rule (see module docstring).
+PAPER_LAMBDA_IN = {
+    1: {1, 2},
+    2: {0, 2},
+    3: {0, 1, 3},
+    4: {0, 1, 2, 3},
+    5: {2},
+    6: {0, 2},
+    7: {0, 1, 2, 3},
+}
+PAPER_LAMBDA_OUT = {
+    1: {0, 1, 2, 3},
+    2: {0, 1, 2, 3},  # paper prints {λ1, λ2, λ4}; union rule gives all four
+    3: {1, 2, 3},
+    4: {2},
+    5: {0, 1, 2, 3},
+    6: {1, 2, 3},
+    7: set(),
+}
+
+
+class TestFig1Network:
+    def test_shape(self, paper_net):
+        assert paper_net.num_nodes == 7
+        assert paper_net.num_links == 11
+        assert paper_net.num_wavelengths == 4
+
+    def test_lambda_table_exact(self, paper_net):
+        for (tail, head), expected in PAPER_LAMBDA_TABLE.items():
+            assert paper_net.available_wavelengths(tail, head) == expected
+
+    def test_no_extra_links(self, paper_net):
+        actual = {(link.tail, link.head) for link in paper_net.links()}
+        assert actual == set(PAPER_LAMBDA_TABLE)
+
+    def test_degree_parameters(self, paper_net):
+        assert paper_net.max_degree == 3  # node 7's in-degree
+        assert paper_net.max_link_wavelengths == 3  # k0: |Λ(⟨1,4⟩)| etc.
+
+    def test_restriction2_holds_at_defaults(self, paper_net):
+        from repro.core.restrictions import check_restriction2
+
+        holds, _, _ = check_restriction2(paper_net)
+        assert holds
+
+
+class TestFig2Multigraph:
+    def test_m1_total_parallel_links(self, paper_net):
+        # Σ_e |Λ(e)| = 24 parallel links in G_M.
+        assert paper_net.total_link_wavelengths == 24
+        assert len(list(multigraph_edges(paper_net))) == 24
+
+    @pytest.mark.parametrize("node", range(1, 8))
+    def test_lambda_in_matches_paper(self, paper_net, node):
+        assert set(paper_net.lambda_in(node)) == PAPER_LAMBDA_IN[node]
+
+    @pytest.mark.parametrize("node", range(1, 8))
+    def test_lambda_out_matches_paper(self, paper_net, node):
+        assert set(paper_net.lambda_out(node)) == PAPER_LAMBDA_OUT[node]
+
+    def test_documented_typo_lambda_out_2(self, paper_net):
+        """The union rule contradicts the printed Λ_out(G_M, 2)."""
+        printed = {0, 1, 3}  # {λ1, λ2, λ4} as the paper lists it
+        union = set(paper_net.lambda_out(2))
+        assert union != printed
+        assert union == printed | {2}
+
+
+class TestFig3BipartiteG3:
+    def test_node_sets(self, paper_net):
+        lay = build_layered_graph(paper_net)
+        xs, ys = lay.bipartite_nodes(3)
+        assert [lay.decode[x].wavelength for x in xs] == [0, 1, 3]
+        assert [lay.decode[y].wavelength for y in ys] == [1, 2, 3]
+
+    def test_forbidden_conversion_edge_absent(self, paper_net):
+        """Fig. 3 shows no edge (3,λ2) -> (3,λ3)."""
+        lay = build_layered_graph(paper_net)
+        edges_at_3 = {
+            (lay.decode[t].wavelength, lay.decode[h].wavelength)
+            for t, h, _w, _tag in lay.graph.edges()
+            if lay.decode[t].kind == KIND_IN
+            and lay.decode[t].node == 3
+            and lay.decode[h].kind == KIND_OUT
+        }
+        assert (1, 2) not in edges_at_3  # λ2 -> λ3 forbidden
+        # All other in/out pairs exist (pass-through or full conversion).
+        expected = {
+            (p, q)
+            for p in [0, 1, 3]
+            for q in [1, 2, 3]
+            if (p, q) != (1, 2)
+        }
+        assert edges_at_3 == expected
+
+    def test_pass_through_edges_free(self, paper_net):
+        lay = build_layered_graph(paper_net)
+        for t, h, w, _tag in lay.graph.edges():
+            a, b = lay.decode[t], lay.decode[h]
+            if (
+                a.kind == KIND_IN
+                and b.kind == KIND_OUT
+                and a.node == b.node == 3
+                and a.wavelength == b.wavelength
+            ):
+                assert w == 0.0
+
+
+class TestFig4SubgraphG1G3:
+    def test_parallel_e_org_links_3_to_1(self, paper_net):
+        """Fig. 4: two parallel E_org links from G_3 to G_1 (λ2, λ3)."""
+        lay = build_layered_graph(paper_net)
+        org_3_to_1 = [
+            (lay.decode[t].wavelength, w)
+            for t, h, w, _tag in lay.graph.edges()
+            if lay.decode[t].kind == KIND_OUT
+            and lay.decode[t].node == 3
+            and lay.decode[h].kind == KIND_IN
+            and lay.decode[h].node == 1
+        ]
+        assert sorted(lam for lam, _w in org_3_to_1) == [1, 2]  # λ2, λ3
+
+    def test_no_reverse_e_org_1_to_3(self, paper_net):
+        """G has no link 1->3, so G' has no E_org edge from G_1 to G_3."""
+        lay = build_layered_graph(paper_net)
+        assert not [
+            1
+            for t, h, _w, _tag in lay.graph.edges()
+            if lay.decode[t].kind == KIND_OUT
+            and lay.decode[t].node == 1
+            and lay.decode[h].kind == KIND_IN
+            and lay.decode[h].node == 3
+        ]
+
+
+class TestRoutingOnTheExample:
+    def test_route_1_to_7(self, paper_net):
+        result = LiangShenRouter(paper_net).route(1, 7)
+        # Cheapest: 1 -[λ1]-> 2 -[λ1]-> 7, two unit links, no conversion.
+        assert result.cost == pytest.approx(2.0)
+        assert result.path.is_lightpath
+        assert result.path.nodes() == [1, 2, 7]
+
+    def test_route_1_to_6_needs_conversion(self, paper_net):
+        result = LiangShenRouter(paper_net).route(1, 6)
+        # Only route: 1->4->5->6; Λ(4,5)={λ3} forces at least one switch.
+        assert result.path.nodes() == [1, 4, 5, 6]
+        assert result.path.num_conversions >= 1
+        assert result.cost == pytest.approx(3.5)  # 3 links + 1 conversion
+
+    def test_node7_is_sink_only(self, paper_net):
+        from repro.exceptions import NoPathError
+
+        with pytest.raises(NoPathError):
+            LiangShenRouter(paper_net).route(7, 1)
+
+    def test_gst_sizes_match_observations(self, paper_net):
+        aux = build_routing_graph(paper_net, 1, 7)
+        assert aux.sizes.within_bounds()
+        # |V'| = Σ(|Λ_in| + |Λ_out|) over the (corrected) Fig. 2 listing.
+        expected_nodes = sum(
+            len(PAPER_LAMBDA_IN[v]) + len(PAPER_LAMBDA_OUT[v]) for v in range(1, 8)
+        )
+        assert aux.sizes.num_layer_nodes == expected_nodes == 37

@@ -1,0 +1,119 @@
+"""Unit tests for Restrictions 1-2 and the Theorem 2 guarantee."""
+
+import pytest
+
+from repro.core.conversion import FixedCostConversion, MatrixConversion, NoConversion
+from repro.core.network import WDMNetwork
+from repro.core.restrictions import (
+    check_restriction1,
+    check_restriction2,
+    enforce_restrictions,
+    is_node_simple,
+)
+from repro.core.routing import LiangShenRouter
+from repro.exceptions import RestrictionViolation
+
+
+def two_hop_net(conversion):
+    net = WDMNetwork(num_wavelengths=2, default_conversion=conversion)
+    net.add_nodes(["a", "b", "c"])
+    net.add_link("a", "b", {0: 1.0})
+    net.add_link("b", "c", {1: 1.0})
+    return net
+
+
+class TestRestriction1:
+    def test_full_conversion_satisfies(self):
+        net = two_hop_net(FixedCostConversion(0.5))
+        assert check_restriction1(net) == []
+
+    def test_no_conversion_violates_when_needed(self):
+        net = two_hop_net(NoConversion())
+        violations = check_restriction1(net)
+        assert ("b", 0, 1) in violations
+
+    def test_no_violation_when_sets_align(self):
+        # With λ_in == λ_out on every wavelength, NoConversion is fine.
+        net = WDMNetwork(num_wavelengths=1, default_conversion=NoConversion())
+        net.add_nodes(["a", "b", "c"])
+        net.add_link("a", "b", {0: 1.0})
+        net.add_link("b", "c", {0: 1.0})
+        assert check_restriction1(net) == []
+
+    def test_matrix_gap_detected(self, paper_net):
+        # The paper example forbids λ2->λ3 at node 3 — a Restriction 1 gap.
+        violations = check_restriction1(paper_net)
+        assert (3, 1, 2) in violations
+
+
+class TestRestriction2:
+    def test_cheap_conversion_satisfies(self):
+        net = two_hop_net(FixedCostConversion(0.5))
+        holds, max_conv, min_link = check_restriction2(net)
+        assert holds
+        assert max_conv == pytest.approx(0.5)
+        assert min_link == pytest.approx(1.0)
+
+    def test_expensive_conversion_violates(self):
+        net = two_hop_net(FixedCostConversion(1.5))
+        holds, max_conv, min_link = check_restriction2(net)
+        assert not holds
+        assert max_conv == pytest.approx(1.5)
+
+    def test_equality_violates_strictness(self):
+        net = two_hop_net(FixedCostConversion(1.0))
+        holds, _, _ = check_restriction2(net)
+        assert not holds
+
+    def test_empty_network_vacuous(self):
+        net = WDMNetwork(num_wavelengths=1)
+        holds, max_conv, min_link = check_restriction2(net)
+        assert holds
+
+    def test_only_incident_wavelengths_counted(self):
+        # A huge conversion cost between wavelengths never incident to the
+        # node must not violate Eq. (2)'s quantifiers.
+        model = MatrixConversion({(0, 1): 0.1, (2, 3): 99.0})
+        net = WDMNetwork(num_wavelengths=4, default_conversion=model)
+        net.add_nodes(["a", "b", "c"])
+        net.add_link("a", "b", {0: 1.0})
+        net.add_link("b", "c", {1: 1.0})
+        holds, max_conv, _ = check_restriction2(net)
+        assert holds
+        assert max_conv == pytest.approx(0.1)
+
+
+class TestEnforce:
+    def test_passes_on_compliant_network(self):
+        enforce_restrictions(two_hop_net(FixedCostConversion(0.5)))
+
+    def test_raises_on_restriction1(self):
+        with pytest.raises(RestrictionViolation, match="Restriction 1"):
+            enforce_restrictions(two_hop_net(NoConversion()))
+
+    def test_raises_on_restriction2(self):
+        with pytest.raises(RestrictionViolation, match="Restriction 2"):
+            enforce_restrictions(two_hop_net(FixedCostConversion(2.0)))
+
+
+class TestTheorem2:
+    """Under Restrictions 1-2 the optimum is node-simple (Theorem 2)."""
+
+    @pytest.mark.parametrize("trial", range(30))
+    def test_optimal_paths_node_simple_under_restrictions(self, trial):
+        from tests.conftest import make_random_net
+
+        net = make_random_net(trial)
+        # Rebuild with a conversion model that satisfies both restrictions.
+        floor = net.min_link_cost()
+        if floor <= 0 or floor == float("inf"):
+            pytest.skip("degenerate link costs")
+        compliant = net.copy()
+        model = FixedCostConversion(0.4 * floor)
+        for node in compliant.nodes():
+            compliant.set_conversion(node, model)
+        enforce_restrictions(compliant)
+        router = LiangShenRouter(compliant)
+        tree = router.route_tree(compliant.nodes()[0])
+        for path in tree.values():
+            assert is_node_simple(path), path

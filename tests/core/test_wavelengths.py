@@ -1,0 +1,49 @@
+"""Unit tests for wavelength helpers."""
+
+import pytest
+
+from repro.core.wavelengths import (
+    check_wavelength,
+    normalize_wavelengths,
+    wavelength_name,
+)
+from repro.exceptions import WavelengthError
+
+
+class TestWavelengthName:
+    def test_matches_paper_notation(self):
+        assert wavelength_name(0) == "λ1"
+        assert wavelength_name(3) == "λ4"
+
+
+class TestCheckWavelength:
+    def test_valid_passes_through(self):
+        assert check_wavelength(2, 4) == 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(WavelengthError):
+            check_wavelength(-1, 4)
+
+    def test_rejects_too_large(self):
+        with pytest.raises(WavelengthError):
+            check_wavelength(4, 4)
+
+    def test_rejects_bool(self):
+        with pytest.raises(WavelengthError):
+            check_wavelength(True, 4)
+
+    def test_rejects_float(self):
+        with pytest.raises(WavelengthError):
+            check_wavelength(1.0, 4)
+
+
+class TestNormalizeWavelengths:
+    def test_collapses_duplicates(self):
+        assert normalize_wavelengths([0, 1, 1, 0], 4) == frozenset({0, 1})
+
+    def test_empty_allowed(self):
+        assert normalize_wavelengths([], 4) == frozenset()
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(WavelengthError):
+            normalize_wavelengths([0, 9], 4)

@@ -1,0 +1,71 @@
+"""Unit tests for distributed Bellman–Ford."""
+
+import math
+import random
+
+import pytest
+
+from repro.distributed.bellman_ford_dist import DistributedBellmanFord
+from repro.shortestpath.bellman_ford import bellman_ford
+from repro.shortestpath.structures import GraphBuilder
+
+
+class TestBasics:
+    def test_chain(self):
+        bf = DistributedBellmanFord([0, 1, 2], [(0, 1, 2.0), (1, 2, 3.0)])
+        dist, stats = bf.run(0)
+        assert dist == {0: 0.0, 1: 2.0, 2: 5.0}
+        assert stats.total_messages > 0
+        assert stats.rounds >= 2
+
+    def test_unreachable(self):
+        bf = DistributedBellmanFord([0, 1, 2], [(0, 1, 1.0)])
+        dist, _ = bf.run(0)
+        assert dist[2] == math.inf
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedBellmanFord([0, 1], [(0, 1, -1.0)])
+
+    def test_parents_form_tree(self):
+        bf = DistributedBellmanFord(
+            [0, 1, 2, 3], [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0), (2, 3, 1.0)]
+        )
+        dist, _ = bf.run(0)
+        assert bf.parents[2] == 1
+        assert bf.parents[3] == 2
+        assert bf.parents[0] is None
+
+    def test_parallel_links_cheapest_wins(self):
+        bf = DistributedBellmanFord([0, 1], [(0, 1, 5.0), (0, 1, 2.0)])
+        dist, _ = bf.run(0)
+        assert dist[1] == 2.0
+
+    def test_rounds_bounded_by_hop_count(self):
+        # A path graph: distances propagate one hop per round (+1 quiet).
+        n = 12
+        links = [(i, i + 1, 1.0) for i in range(n - 1)]
+        bf = DistributedBellmanFord(list(range(n)), links)
+        _, stats = bf.run(0)
+        assert stats.rounds <= n + 1
+
+
+class TestAgainstCentralized:
+    @pytest.mark.parametrize("trial", range(15))
+    def test_random_agreement(self, trial):
+        rng = random.Random(trial)
+        n = rng.randint(2, 20)
+        triples = []
+        for _ in range(rng.randint(1, 4 * n)):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                triples.append((u, v, rng.uniform(0.0, 5.0)))
+        if not triples:
+            pytest.skip("no links drawn")
+        builder = GraphBuilder(n)
+        for u, v, w in triples:
+            builder.add_edge(u, v, w)
+        expected = bellman_ford(builder.build(), 0).dist
+        dist, _ = DistributedBellmanFord(list(range(n)), triples).run(0)
+        for v in range(n):
+            assert dist[v] == pytest.approx(expected[v])

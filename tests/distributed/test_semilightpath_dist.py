@@ -1,0 +1,106 @@
+"""Unit tests for the distributed semilightpath router (Theorem 3/5)."""
+
+import pytest
+
+from repro.core.routing import LiangShenRouter
+from repro.distributed.semilightpath_dist import DistributedSemilightpathRouter
+from repro.exceptions import NoPathError
+
+
+class TestCorrectness:
+    def test_tiny_optimum(self, tiny_net):
+        result = DistributedSemilightpathRouter(tiny_net).route("a", "c")
+        assert result.cost == pytest.approx(2.5)
+        assert result.path.nodes() == ["a", "b", "c"]
+        result.path.validate(tiny_net)
+
+    def test_paper_example_all_pairs(self, paper_net):
+        central = LiangShenRouter(paper_net)
+        distributed = DistributedSemilightpathRouter(paper_net)
+        for s in range(1, 8):
+            for t in range(1, 8):
+                if s == t:
+                    continue
+                try:
+                    expected = central.route(s, t).cost
+                except NoPathError:
+                    expected = None
+                try:
+                    result = distributed.route(s, t)
+                    result.path.validate(paper_net)
+                    actual = result.cost
+                except NoPathError:
+                    actual = None
+                if expected is None:
+                    assert actual is None
+                else:
+                    assert actual == pytest.approx(expected)
+
+    def test_no_path_raises(self, paper_net):
+        with pytest.raises(NoPathError):
+            DistributedSemilightpathRouter(paper_net).route(7, 1)
+
+    def test_same_endpoints_rejected(self, paper_net):
+        with pytest.raises(ValueError):
+            DistributedSemilightpathRouter(paper_net).route(1, 1)
+
+    @pytest.mark.parametrize("trial", range(15))
+    def test_random_networks(self, trial):
+        from tests.conftest import make_random_net
+
+        net = make_random_net(9000 + trial)
+        nodes = net.nodes()
+        try:
+            expected = LiangShenRouter(net).route(nodes[0], nodes[-1]).cost
+        except NoPathError:
+            expected = None
+        try:
+            actual = DistributedSemilightpathRouter(net).route(nodes[0], nodes[-1]).cost
+        except NoPathError:
+            actual = None
+        if expected is None:
+            assert actual is None
+        else:
+            assert actual == pytest.approx(expected)
+
+
+class TestTheorem3Accounting:
+    def test_messages_bounded_in_practice(self, paper_net):
+        """Theorem 3: O(km) messages.  On the uniform-cost example the
+        constant is small; assert a concrete multiple to catch regressions."""
+        result = DistributedSemilightpathRouter(paper_net).route(1, 7)
+        k, m = 4, 11
+        assert result.stats.total_messages <= 3 * k * m
+
+    def test_rounds_bounded_in_practice(self, paper_net):
+        result = DistributedSemilightpathRouter(paper_net).route(1, 7)
+        k, n = 4, 7
+        assert result.stats.rounds <= k * n
+
+    def test_messages_counted_on_physical_links_only(self, paper_net):
+        result = DistributedSemilightpathRouter(paper_net).route(1, 7)
+        physical = {(l.tail, l.head) for l in paper_net.links()}
+        assert set(result.stats.per_link) <= physical
+
+    def test_restricted_regime_message_bound(self):
+        """Theorem 5: with |Λ(e)| <= k0, messages are O(m k0) even when
+        the universe k is much larger."""
+        from repro.core.conversion import FixedCostConversion
+        from repro.topology.generators import ring_network
+        from repro.topology.wavelength_assign import bounded_random_wavelengths
+
+        k, k0, n = 64, 2, 12
+        net = ring_network(
+            n,
+            k,
+            wavelength_policy=bounded_random_wavelengths(k, k0),
+            conversion=FixedCostConversion(0.5),
+            seed=5,
+        )
+        router = DistributedSemilightpathRouter(net)
+        try:
+            result = router.route(0, n // 2)
+        except NoPathError:
+            pytest.skip("random availability left the pair disconnected")
+        m = net.num_links
+        assert result.stats.total_messages <= 4 * m * k0

@@ -1,0 +1,160 @@
+"""Unit tests for the synchronous and asynchronous simulators."""
+
+import pytest
+
+from repro.distributed.simulator import AsyncSimulator, Process, SyncSimulator
+from repro.exceptions import SimulationError
+
+
+class Echo(Process):
+    """Replies once to every message; the initiator starts the exchange."""
+
+    def __init__(self, initiate: bool = False):
+        self.initiate = initiate
+        self.received: list[tuple[object, object]] = []
+
+    def on_start(self, ctx):
+        if self.initiate:
+            ctx.broadcast("ping")
+
+    def on_message(self, ctx, sender, payload):
+        self.received.append((sender, payload))
+        if payload == "ping":
+            ctx.send(sender, "pong")
+
+
+class Flood(Process):
+    """Floods a token once (classic broadcast)."""
+
+    def __init__(self, start: bool = False):
+        self.start = start
+        self.seen = False
+
+    def on_start(self, ctx):
+        if self.start:
+            self.seen = True
+            ctx.broadcast("token")
+
+    def on_message(self, ctx, sender, payload):
+        if not self.seen:
+            self.seen = True
+            ctx.broadcast("token")
+
+
+def ring(n):
+    nodes = list(range(n))
+    links = {(i, (i + 1) % n) for i in range(n)} | {((i + 1) % n, i) for i in range(n)}
+    return nodes, sorted(links)
+
+
+class TestSyncSimulator:
+    def test_ping_pong(self):
+        nodes, links = ring(2)
+        procs = {0: Echo(initiate=True), 1: Echo()}
+        sim = SyncSimulator(nodes, links, procs)
+        stats = sim.run()
+        assert procs[1].received == [(0, "ping")]
+        assert procs[0].received == [(1, "pong")]
+        assert stats.total_messages == 2  # one ping, one pong
+
+    def test_flood_reaches_everyone(self):
+        nodes, links = ring(8)
+        procs = {v: Flood(start=(v == 0)) for v in nodes}
+        sim = SyncSimulator(nodes, links, procs)
+        stats = sim.run()
+        assert all(p.seen for p in procs.values())
+        # Flooding a bidirectional ring takes ~n/2 rounds.
+        assert stats.rounds <= 5
+
+    def test_send_to_non_neighbor_rejected(self):
+        class Bad(Process):
+            def on_start(self, ctx):
+                ctx.send(5, "nope")
+
+        nodes, links = ring(8)
+        procs = {v: (Bad() if v == 0 else Echo()) for v in nodes}
+        with pytest.raises(SimulationError, match="no link"):
+            SyncSimulator(nodes, links, procs).run()
+
+    def test_missing_process_rejected(self):
+        nodes, links = ring(3)
+        with pytest.raises(SimulationError, match="no process"):
+            SyncSimulator(nodes, links, {0: Echo()})
+
+    def test_unknown_link_node_rejected(self):
+        with pytest.raises(SimulationError, match="unknown node"):
+            SyncSimulator([0, 1], [(0, 7)], {0: Echo(), 1: Echo()})
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(SimulationError, match="duplicate"):
+            SyncSimulator([0, 0], [], {0: Echo()})
+
+    def test_max_rounds_guard(self):
+        class Chatter(Process):
+            def on_start(self, ctx):
+                ctx.broadcast("x")
+
+            def on_message(self, ctx, sender, payload):
+                ctx.send(sender, "x")  # never quiesces
+
+        nodes, links = ring(2)
+        procs = {v: Chatter() for v in nodes}
+        with pytest.raises(SimulationError, match="quiescence"):
+            SyncSimulator(nodes, links, procs, max_rounds=10).run()
+
+    def test_per_link_accounting(self):
+        nodes, links = ring(2)
+        procs = {0: Echo(initiate=True), 1: Echo()}
+        sim = SyncSimulator(nodes, links, procs)
+        stats = sim.run()
+        assert stats.per_link[(0, 1)] >= 1
+        assert stats.max_link_load >= 1
+
+    def test_quiescent_from_start(self):
+        nodes, links = ring(3)
+        procs = {v: Echo() for v in nodes}  # nobody initiates
+        stats = SyncSimulator(nodes, links, procs).run()
+        assert stats.total_messages == 0
+        assert stats.rounds == 0
+
+
+class TestAsyncSimulator:
+    def test_flood_reaches_everyone(self):
+        nodes, links = ring(8)
+        procs = {v: Flood(start=(v == 0)) for v in nodes}
+        sim = AsyncSimulator(nodes, links, procs, seed=11)
+        stats = sim.run()
+        assert all(p.seen for p in procs.values())
+        assert stats.total_messages > 0
+        assert sim.end_time > 0
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            nodes, links = ring(6)
+            procs = {v: Flood(start=(v == 0)) for v in nodes}
+            sim = AsyncSimulator(nodes, links, procs, seed=seed)
+            return sim.run().total_messages
+
+        assert run(3) == run(3)
+
+    def test_custom_delay(self):
+        nodes, links = ring(4)
+        procs = {v: Flood(start=(v == 0)) for v in nodes}
+        sim = AsyncSimulator(nodes, links, procs, delay=lambda t, h: 1.0)
+        sim.run()
+        # The token reaches the antipode at t=2; its (redundant) rebroadcast
+        # is the last delivery at t=3.
+        assert sim.end_time == pytest.approx(3.0)
+
+    def test_max_events_guard(self):
+        class Chatter(Process):
+            def on_start(self, ctx):
+                ctx.broadcast("x")
+
+            def on_message(self, ctx, sender, payload):
+                ctx.send(sender, "x")
+
+        nodes, links = ring(2)
+        procs = {v: Chatter() for v in nodes}
+        with pytest.raises(SimulationError, match="quiescence"):
+            AsyncSimulator(nodes, links, procs, max_events=50).run()

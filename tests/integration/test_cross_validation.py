@@ -1,0 +1,100 @@
+"""Integration: four independent implementations must agree everywhere.
+
+The Liang–Shen router, the CFZ wavelength-graph router (both engines),
+the brute-force state-relaxation oracle, and the distributed protocol are
+four genuinely independent code paths to the same optimum.  Any divergence
+is a bug in at least one of them.
+"""
+
+import math
+
+import pytest
+
+from repro.baseline.brute_force import brute_force_route
+from repro.baseline.cfz import CFZRouter
+from repro.core.routing import LiangShenRouter
+from repro.distributed.semilightpath_dist import DistributedSemilightpathRouter
+from repro.exceptions import NoPathError
+from tests.conftest import make_random_net
+
+
+def optimal_cost(fn, *args):
+    try:
+        return fn(*args)
+    except NoPathError:
+        return None
+
+
+@pytest.mark.parametrize("trial", range(40))
+def test_four_way_agreement_random_networks(trial):
+    net = make_random_net(31337 + trial, max_nodes=9, max_k=4)
+    nodes = net.nodes()
+    pairs = [(nodes[0], nodes[-1]), (nodes[-1], nodes[0]), (nodes[1], nodes[0])]
+    ls = LiangShenRouter(net)
+    cfz_dense = CFZRouter(net, engine="dense")
+    cfz_heap = CFZRouter(net, engine="heap")
+    dist = DistributedSemilightpathRouter(net)
+    for s, t in pairs:
+        if s == t:
+            continue
+        costs = {
+            "liang_shen": optimal_cost(lambda a, b: ls.route(a, b).cost, s, t),
+            "cfz_dense": optimal_cost(lambda a, b: cfz_dense.route(a, b).cost, s, t),
+            "cfz_heap": optimal_cost(lambda a, b: cfz_heap.route(a, b).cost, s, t),
+            "brute": optimal_cost(
+                lambda a, b: brute_force_route(net, a, b).total_cost, s, t
+            ),
+            "distributed": optimal_cost(lambda a, b: dist.route(a, b).cost, s, t),
+        }
+        reference = costs["brute"]
+        for name, value in costs.items():
+            if reference is None:
+                assert value is None, f"{name} found a path the oracle missed"
+            else:
+                assert value == pytest.approx(reference), (
+                    f"{name}: {value} != oracle {reference} on pair ({s}, {t})"
+                )
+
+
+@pytest.mark.parametrize("trial", range(10))
+def test_all_pairs_vs_brute_force(trial):
+    net = make_random_net(777 + trial, max_nodes=6, max_k=3)
+    result = LiangShenRouter(net).route_all_pairs()
+    for s in net.nodes():
+        for t in net.nodes():
+            if s == t:
+                continue
+            expected = optimal_cost(
+                lambda a, b: brute_force_route(net, a, b).total_cost, s, t
+            )
+            actual = result.cost(s, t)
+            if expected is None:
+                assert actual == math.inf
+            else:
+                assert actual == pytest.approx(expected)
+
+
+@pytest.mark.parametrize("trial", range(10))
+def test_returned_paths_are_realizable_and_priced_right(trial):
+    """Every router's returned path must re-evaluate to its claimed cost."""
+    net = make_random_net(4242 + trial)
+    nodes = net.nodes()
+    for router in (LiangShenRouter(net), CFZRouter(net)):
+        try:
+            result = router.route(nodes[0], nodes[-1])
+        except NoPathError:
+            continue
+        assert result.path.evaluate_cost(net) == pytest.approx(result.cost)
+        result.path.validate(net)
+
+
+def test_heaps_identical_results_on_large_instance():
+    net = make_random_net(99, max_nodes=30, max_k=6)
+    nodes = net.nodes()
+    costs = set()
+    for heap in ("binary", "pairing", "fibonacci"):
+        try:
+            costs.add(round(LiangShenRouter(net, heap=heap).route(nodes[0], nodes[-1]).cost, 9))
+        except NoPathError:
+            costs.add(None)
+    assert len(costs) == 1

@@ -1,0 +1,136 @@
+"""Full-stack integration: every subsystem in one scenario.
+
+Generate → serialize → reload → plan → provision → analyze → cut →
+restore → audit.  This is the workflow DESIGN.md promises a downstream
+user; the test asserts cross-subsystem invariants that no unit test can
+see.
+"""
+
+import math
+
+from repro.analysis.criticality import fiber_criticality
+from repro.analysis.fairness import blocking_concentration
+from repro.core.batch import BatchRouter
+from repro.core.routing import LiangShenRouter
+from repro.io.serialization import network_from_json, network_to_json
+from repro.topology.reference import cost239_network
+from repro.topology.traffic_matrices import gravity_demands
+from repro.wdm.events import EventLog
+from repro.wdm.planner import StaticPlanner
+from repro.wdm.provisioning import SemilightpathProvisioner
+from repro.wdm.restoration import restore
+from repro.wdm.simulation import DynamicSimulation
+from repro.wdm.traffic import TrafficGenerator
+
+
+def test_generate_serialize_plan_provision_cut_restore():
+    # 1. Topology + serialization round trip.
+    original = cost239_network(num_wavelengths=4)
+    network = network_from_json(network_to_json(original))
+    assert network.num_links == original.num_links
+
+    # 2. Static planning over a gravity demand matrix.
+    demands = gravity_demands(network.nodes(), total_circuits=25, seed=11)
+    plan = StaticPlanner(network, ordering="random", restarts=4, seed=11).plan(demands)
+    assert plan.circuits_carried > 0
+
+    # 3. Load the plan into a live provisioner.
+    provisioner = SemilightpathProvisioner(network)
+    for paths in plan.routed.values():
+        for path in paths:
+            provisioner.admit_path(path)
+    planned_active = provisioner.num_active
+    assert planned_active == plan.circuits_carried
+
+    # 4. Criticality: the most dangerous fiber for a key pair.
+    ranking = fiber_criticality(network, "London", "Vienna")
+    assert ranking and all(c.regret >= -1e-9 for c in ranking)
+
+    # 5. Cut that fiber and restore.
+    worst = ranking[0].resource
+    report = restore(provisioner, *worst)
+    assert provisioner.num_active == planned_active - len(report.lost)
+    for connection in report.restored:
+        # Restored paths avoid the cut fiber and are correctly priced.
+        assert all(
+            frozenset((h.tail, h.head)) != frozenset(worst)
+            for h in connection.path.hops
+        )
+        connection.path.validate(network)
+
+    # 6. Dynamic traffic on top of the surviving state, with event log.
+    log = EventLog()
+    trace = TrafficGenerator(network.nodes(), 20.0, 1.0, seed=13).generate(150)
+    stats = DynamicSimulation(provisioner, observer=log).run(trace)
+    assert stats.offered == 150
+    assert log.summary().get("admit", 0) == stats.admitted
+    assert 0.0 <= blocking_concentration(stats) <= 1.0
+
+    # 7. After the dynamic run every dynamic connection is released and
+    #    exactly the planned survivors remain.
+    assert provisioner.num_active == planned_active - len(report.lost)
+
+    # 8. Audit every surviving path against the network (Eq. 1) and the
+    #    occupancy ledger.
+    reserved = set()
+    for connection in provisioner.active_connections():
+        connection.path.validate(network)
+        for hop in connection.path.hops:
+            channel = (hop.tail, hop.head, hop.wavelength)
+            assert channel not in reserved
+            reserved.add(channel)
+    assert len(reserved) == provisioner.state.num_occupied
+
+
+def test_batch_router_consistent_with_provisioning_view():
+    """BatchRouter answers on the full network must lower-bound what any
+    provisioner can achieve on a residual network."""
+    network = cost239_network(num_wavelengths=3)
+    batch = BatchRouter(network)
+    provisioner = SemilightpathProvisioner(network)
+    trace = TrafficGenerator(network.nodes(), 15.0, 2.0, seed=17).generate(60)
+    for request in trace:
+        connection = provisioner.try_establish(request.source, request.target)
+        if connection is None:
+            continue
+        floor = batch.cost(request.source, request.target)
+        assert connection.path.total_cost >= floor - 1e-9
+    # Sanity: the batch answers equal a fresh per-query router's.
+    single = LiangShenRouter(network)
+    for s, t in [("London", "Vienna"), ("Madrid", "Berlin") if network.has_node("Madrid") else ("Paris", "Berlin")]:
+        assert batch.cost(s, t) == single.route(s, t).cost
+
+
+def test_every_public_router_agrees_on_reference_network():
+    """One table: all seven optimum-producing code paths, one network."""
+    import networkx as nx
+
+    from repro.baseline.brute_force import brute_force_route
+    from repro.baseline.cfz import CFZRouter
+    from repro.core.bounded import BoundedConversionRouter
+    from repro.distributed.all_pairs_dist import DistributedAllPairs
+    from repro.distributed.semilightpath_async import AsyncSemilightpathRouter
+    from repro.distributed.semilightpath_dist import DistributedSemilightpathRouter
+    from repro.io.nx import routing_graph_to_networkx
+    from repro.topology.reference import nsfnet_network
+
+    network = nsfnet_network(num_wavelengths=3)
+    s, t = "WA", "NY"
+    generous = network.num_nodes * network.num_wavelengths
+    g, src, dst = routing_graph_to_networkx(network, s, t)
+    all_pairs = DistributedAllPairs(network).run()
+    answers = {
+        "liang_shen": LiangShenRouter(network).route(s, t).cost,
+        "batch": BatchRouter(network).cost(s, t),
+        "cfz_dense": CFZRouter(network, engine="dense").route(s, t).cost,
+        "cfz_heap": CFZRouter(network, engine="heap").route(s, t).cost,
+        "brute_force": brute_force_route(network, s, t).total_cost,
+        "bounded_generous": BoundedConversionRouter(network).route(s, t, generous).cost,
+        "distributed_sync": DistributedSemilightpathRouter(network).route(s, t).cost,
+        "distributed_async": AsyncSemilightpathRouter(network, seed=3).route(s, t).cost,
+        "distributed_all_pairs": all_pairs.cost(s, t),
+        "networkx": nx.dijkstra_path_length(g, src, dst),
+    }
+    reference = answers["brute_force"]
+    for name, value in answers.items():
+        assert math.isclose(value, reference, rel_tol=1e-9), (name, value, reference)

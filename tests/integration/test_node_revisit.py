@@ -1,0 +1,99 @@
+"""The Figures 5-6 scenario: an optimal semilightpath that revisits a node.
+
+The paper (end of Section II and Figs. 5-6) stresses that the model allows
+a semilightpath to pass through a node more than once on different
+wavelengths, and that the auxiliary-graph reduction handles this — while
+Restrictions 1-2 (Theorem 2) rule it out.  This test constructs a concrete
+network where the unique optimum *does* revisit a node, verifies every
+router finds it, and then confirms the restricted variant is node-simple.
+"""
+
+import pytest
+
+from repro.baseline.brute_force import brute_force_route
+from repro.core.conversion import FixedCostConversion, MatrixConversion
+from repro.core.network import WDMNetwork
+from repro.core.restrictions import check_restriction1, check_restriction2
+from repro.core.routing import LiangShenRouter
+from repro.distributed.semilightpath_dist import DistributedSemilightpathRouter
+
+
+def revisit_network() -> WDMNetwork:
+    """A network whose s -> t optimum passes through w twice.
+
+    Topology (wavelength / cost on each arc):
+
+        s --λ1/1--> w --λ1/1--> a --λ2/1--> w --λ2/1--> t
+
+    plus an expensive escape hatch s -> t on λ1 costing 100.  Node w can
+    only convert nothing (no conversion at w): arriving on λ1 it must leave
+    on λ1 (to a), arriving on λ2 it must leave on λ2 (to t).  Node a
+    converts λ1 -> λ2 for 0.1.  The only cheap s -> t walk is
+    s, w, a, w, t — visiting w twice on different wavelengths.
+    """
+    no_conv = MatrixConversion({})  # only pass-through
+    net = WDMNetwork(num_wavelengths=2, default_conversion=no_conv)
+    for node in ("s", "w", "a", "t"):
+        net.add_node(node)
+    net.set_conversion("a", MatrixConversion({(0, 1): 0.1}))
+    net.add_link("s", "w", {0: 1.0})
+    net.add_link("w", "a", {0: 1.0})
+    net.add_link("a", "w", {1: 1.0})
+    net.add_link("w", "t", {1: 1.0})
+    net.add_link("s", "t", {0: 100.0})
+    return net
+
+
+class TestRevisitIsOptimal:
+    def test_brute_force_finds_revisiting_walk(self):
+        net = revisit_network()
+        path = brute_force_route(net, "s", "t")
+        assert path.total_cost == pytest.approx(4.1)
+        assert path.nodes() == ["s", "w", "a", "w", "t"]
+        assert not path.is_node_simple
+
+    def test_liang_shen_finds_the_same_walk(self):
+        net = revisit_network()
+        result = LiangShenRouter(net).route("s", "t")
+        assert result.cost == pytest.approx(4.1)
+        assert result.path.nodes() == ["s", "w", "a", "w", "t"]
+        assert result.path.wavelengths() == [0, 0, 1, 1]
+        result.path.validate(net)
+
+    def test_distributed_finds_the_same_walk(self):
+        net = revisit_network()
+        result = DistributedSemilightpathRouter(net).route("s", "t")
+        assert result.cost == pytest.approx(4.1)
+        assert not result.path.is_node_simple
+
+    def test_the_walk_beats_every_simple_path(self):
+        net = revisit_network()
+        # The only node-simple s->t route is the direct link at cost 100.
+        result = LiangShenRouter(net).route("s", "t")
+        assert result.cost < 100.0
+
+    def test_network_violates_the_restrictions(self):
+        """Figs. 5-6 can only arise when Restriction 1 or 2 fails."""
+        net = revisit_network()
+        r1 = check_restriction1(net)
+        holds_r2, _, _ = check_restriction2(net)
+        assert r1 or not holds_r2
+        # Specifically: w hears λ2 (from a) and can transmit λ1 (to a) but
+        # cannot convert — a Restriction 1 violation.
+        assert ("w", 1, 0) in r1
+
+
+class TestRestrictionsForbidRevisit:
+    def test_compliant_variant_routes_simple(self):
+        """Give every node full cheap conversion: Theorem 2 applies and the
+        optimum becomes node-simple (s, w, t is now possible via switch at w)."""
+        net = revisit_network()
+        for node in net.nodes():
+            net.set_conversion(node, FixedCostConversion(0.1))
+        assert check_restriction1(net) == []
+        holds, _, _ = check_restriction2(net)
+        assert holds
+        result = LiangShenRouter(net).route("s", "t")
+        assert result.path.is_node_simple
+        # s -[λ1]-> w -(convert 0.1)-[λ2]-> t = 1 + 0.1 + 1.
+        assert result.cost == pytest.approx(2.1)

@@ -1,0 +1,70 @@
+"""Unit tests for DOT export (Figures 1-4 regeneration)."""
+
+from repro.io.dot import (
+    bipartite_to_dot,
+    multigraph_to_dot,
+    network_to_dot,
+    routing_graph_to_dot,
+)
+
+
+class TestNetworkDot:
+    def test_fig1_structure(self, paper_net):
+        dot = network_to_dot(paper_net)
+        assert dot.startswith("digraph G {")
+        assert dot.rstrip().endswith("}")
+        assert '"1" -> "2"' in dot
+        assert "{λ1,λ3}" in dot  # Λ(<1,2>)
+        # 11 directed link lines.
+        assert dot.count("->") == 11
+
+    def test_quoting(self):
+        from repro.core.network import WDMNetwork
+
+        net = WDMNetwork(num_wavelengths=1)
+        net.add_nodes(['he"llo', "world"])
+        net.add_link('he"llo', "world", {0: 1.0})
+        dot = network_to_dot(net)
+        assert r"he\"llo" in dot
+
+
+class TestMultigraphDot:
+    def test_fig2_parallel_edges(self, paper_net):
+        dot = multigraph_to_dot(paper_net)
+        assert dot.count("->") == 24  # one per (link, wavelength)
+        assert 'label="λ1:1"' in dot
+
+
+class TestBipartiteDot:
+    def test_fig3_clusters_and_edges(self, paper_net):
+        dot = bipartite_to_dot(paper_net, 3)
+        assert "cluster_x" in dot and "cluster_y" in dot
+        assert "(3,λ1):X" in dot
+        assert "(3,λ4):Y" in dot
+        # Forbidden λ2 -> λ3 edge absent; allowed λ2 -> λ4 present.
+        assert '"(3,λ2):X" -> "(3,λ3):Y"' not in dot
+        assert '"(3,λ2):X" -> "(3,λ4):Y"' in dot
+
+    def test_pass_through_zero_weight(self, paper_net):
+        dot = bipartite_to_dot(paper_net, 3)
+        assert '"(3,λ4):X" -> "(3,λ4):Y" [label="0"]' in dot
+
+
+class TestRoutingGraphDot:
+    def test_terminals_present(self, paper_net):
+        dot = routing_graph_to_dot(paper_net, 1, 7)
+        assert "\"1'\"" in dot
+        assert "\"7''\"" in dot
+
+    def test_fig4_restriction(self, paper_net):
+        dot = routing_graph_to_dot(paper_net, 1, 7, restrict_to={1, 3})
+        # Only G_1 and G_3 fragments appear.
+        assert "(1," in dot and "(3," in dot
+        assert "(2," not in dot and "(5," not in dot
+        # The two parallel E_org links 3 -> 1 from Fig. 4 (λ2 and λ3).
+        assert '"(3,λ2):Y" -> "(1,λ2):X"' in dot
+        assert '"(3,λ3):Y" -> "(1,λ3):X"' in dot
+
+    def test_is_parseable_shape(self, paper_net):
+        dot = routing_graph_to_dot(paper_net, 1, 7)
+        assert dot.count("{") == dot.count("}")

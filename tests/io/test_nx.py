@@ -1,0 +1,115 @@
+"""Unit tests for networkx interoperability."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.core.routing import LiangShenRouter
+from repro.exceptions import NoPathError, SerializationError
+from repro.io.nx import (
+    multigraph_to_networkx,
+    network_from_networkx,
+    network_to_networkx,
+    routing_graph_to_networkx,
+)
+
+
+class TestExportPhysical:
+    def test_shape(self, paper_net):
+        g = network_to_networkx(paper_net)
+        assert g.number_of_nodes() == 7
+        assert g.number_of_edges() == 11
+
+    def test_wavelength_attributes(self, paper_net):
+        g = network_to_networkx(paper_net)
+        assert g.edges[1, 2]["wavelengths"] == {0: 1.0, 2: 1.0}
+
+    def test_multigraph_edge_per_channel(self, paper_net):
+        g = multigraph_to_networkx(paper_net)
+        assert g.number_of_edges() == 24
+        assert g.has_edge(1, 2, key=0)
+        assert g.has_edge(1, 2, key=2)
+        assert not g.has_edge(1, 2, key=1)
+
+    def test_multigraph_weights(self, paper_net):
+        g = multigraph_to_networkx(paper_net)
+        assert g.edges[1, 2, 0]["weight"] == 1.0
+
+
+class TestRoutingGraphExport:
+    def test_networkx_dijkstra_matches_router(self, paper_net):
+        router = LiangShenRouter(paper_net)
+        for s, t in [(1, 7), (1, 6), (5, 7)]:
+            g, src, dst = routing_graph_to_networkx(paper_net, s, t)
+            expected = router.route(s, t).cost
+            assert nx.dijkstra_path_length(g, src, dst) == pytest.approx(expected)
+
+    def test_unreachable(self, paper_net):
+        g, src, dst = routing_graph_to_networkx(paper_net, 7, 1)
+        with pytest.raises(nx.NetworkXNoPath):
+            nx.dijkstra_path_length(g, src, dst)
+
+    @pytest.mark.parametrize("trial", range(10))
+    def test_random_networks_match(self, trial):
+        from tests.conftest import make_random_net
+
+        net = make_random_net(2200 + trial)
+        nodes = net.nodes()
+        g, src, dst = routing_graph_to_networkx(net, nodes[0], nodes[-1])
+        try:
+            expected = LiangShenRouter(net).route(nodes[0], nodes[-1]).cost
+        except NoPathError:
+            expected = None
+        try:
+            actual = nx.dijkstra_path_length(g, src, dst)
+        except nx.NetworkXNoPath:
+            actual = None
+        if expected is None:
+            assert actual is None
+        else:
+            assert actual == pytest.approx(expected)
+
+
+class TestImport:
+    def test_round_trip(self, paper_net):
+        restored = network_from_networkx(
+            network_to_networkx(paper_net), num_wavelengths=4
+        )
+        assert restored.num_nodes == paper_net.num_nodes
+        assert restored.num_links == paper_net.num_links
+        for link in paper_net.links():
+            assert restored.available_wavelengths(link.tail, link.head) == (
+                link.wavelengths
+            )
+
+    def test_round_trip_routing(self, paper_net):
+        restored = network_from_networkx(
+            network_to_networkx(paper_net), num_wavelengths=4
+        )
+        # Conversions are not carried by the plain export (models are
+        # Python objects); the default full-conversion applies, so only
+        # compare on a conversion-free query.
+        a = LiangShenRouter(paper_net).route(1, 7).cost
+        b = LiangShenRouter(restored).route(1, 7).cost
+        assert a == pytest.approx(b)
+
+    def test_conversion_attribute_honored(self):
+        from repro.core.conversion import NoConversion
+
+        g = nx.DiGraph()
+        g.add_node("a", conversion=NoConversion())
+        g.add_node("b")
+        g.add_edge("a", "b", wavelengths={0: 1.0})
+        net = network_from_networkx(g, num_wavelengths=2)
+        assert net.conversion_cost("a", 0, 1) == math.inf
+
+    def test_missing_wavelengths_attribute(self):
+        g = nx.DiGraph()
+        g.add_edge("a", "b")
+        with pytest.raises(SerializationError):
+            network_from_networkx(g, num_wavelengths=1)
+
+    def test_multigraph_rejected(self):
+        with pytest.raises(SerializationError):
+            network_from_networkx(nx.MultiDiGraph(), num_wavelengths=1)

@@ -1,0 +1,126 @@
+"""Unit tests for JSON serialization."""
+
+import json
+import math
+
+import pytest
+
+from repro.core.conversion import (
+    CallableConversion,
+    FixedCostConversion,
+    FullConversion,
+    MatrixConversion,
+    NoConversion,
+    RangeLimitedConversion,
+)
+from repro.core.network import WDMNetwork
+from repro.core.routing import LiangShenRouter
+from repro.core.semilightpath import Semilightpath
+from repro.exceptions import SerializationError
+from repro.io.serialization import (
+    conversion_from_dict,
+    conversion_to_dict,
+    network_from_json,
+    network_to_json,
+    path_from_json,
+    path_to_json,
+)
+
+
+class TestConversionModels:
+    @pytest.mark.parametrize(
+        "model",
+        [
+            NoConversion(),
+            FixedCostConversion(0.75),
+            FullConversion(1.25),
+            RangeLimitedConversion(2, cost_per_step=0.5),
+            MatrixConversion({(0, 1): 0.3, (2, 0): 0.9}),
+        ],
+        ids=["none", "fixed", "full", "range", "matrix"],
+    )
+    def test_round_trip_semantics(self, model):
+        restored = conversion_from_dict(conversion_to_dict(model))
+        for p in range(4):
+            for q in range(4):
+                assert restored.cost(p, q) == model.cost(p, q)
+
+    def test_callable_rejected(self):
+        with pytest.raises(SerializationError):
+            conversion_to_dict(CallableConversion(lambda p, q: 1.0))
+
+    def test_callable_full_rejected(self):
+        with pytest.raises(SerializationError):
+            conversion_to_dict(FullConversion(lambda p, q: 1.0))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SerializationError):
+            conversion_from_dict({"type": "teleport"})
+
+
+class TestNetworkRoundTrip:
+    def test_paper_network(self, paper_net):
+        text = network_to_json(paper_net)
+        restored = network_from_json(text)
+        assert restored.num_nodes == paper_net.num_nodes
+        assert restored.num_links == paper_net.num_links
+        assert restored.num_wavelengths == paper_net.num_wavelengths
+        for link in paper_net.links():
+            assert restored.available_wavelengths(link.tail, link.head) == (
+                link.wavelengths
+            )
+            for w, c in link.costs.items():
+                assert restored.link_cost(link.tail, link.head, w) == c
+        # Per-node conversion override survives (node 3's matrix).
+        assert restored.conversion_cost(3, 1, 2) == math.inf
+        assert restored.conversion_cost(3, 0, 1) == 0.5
+
+    def test_round_trip_routing_equivalence(self, paper_net):
+        restored = network_from_json(network_to_json(paper_net))
+        a = LiangShenRouter(paper_net).route(1, 7)
+        b = LiangShenRouter(restored).route(1, 7)
+        assert a.cost == b.cost
+
+    def test_stable_output(self, paper_net):
+        once = network_to_json(paper_net)
+        again = network_to_json(network_from_json(once))
+        assert once == again
+
+    def test_indent_produces_valid_json(self, paper_net):
+        text = network_to_json(paper_net, indent=2)
+        assert json.loads(text)["num_wavelengths"] == 4
+
+    def test_tuple_node_ids_rejected(self):
+        net = WDMNetwork(num_wavelengths=1)
+        net.add_node((0, 1))
+        with pytest.raises(SerializationError):
+            network_to_json(net)
+
+    def test_malformed_json(self):
+        with pytest.raises(SerializationError):
+            network_from_json("{not json")
+
+    def test_missing_field(self):
+        with pytest.raises(SerializationError):
+            network_from_json('{"nodes": []}')
+
+
+class TestPathRoundTrip:
+    def test_priced_path(self, paper_net):
+        path = LiangShenRouter(paper_net).route(1, 6).path
+        restored = path_from_json(path_to_json(path))
+        assert restored == path
+
+    def test_unpriced_path(self):
+        path = Semilightpath.from_sequence(["a", "b"], [0])
+        restored = path_from_json(path_to_json(path))
+        assert math.isnan(restored.total_cost)
+        assert restored.hops == path.hops
+
+    def test_malformed_path(self):
+        with pytest.raises(SerializationError):
+            path_from_json('{"hops": [{"tail": "a"}]}')
+
+    def test_invalid_json(self):
+        with pytest.raises(SerializationError):
+            path_from_json("][")

@@ -1,0 +1,59 @@
+"""Property-based tests for the distributed router on arbitrary networks."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.routing import LiangShenRouter
+from repro.distributed.semilightpath_dist import DistributedSemilightpathRouter
+from repro.exceptions import NoPathError
+from tests.property.strategies import networks_with_endpoints
+
+
+@given(case=networks_with_endpoints(max_nodes=6, max_wavelengths=3))
+@settings(max_examples=60, deadline=None)
+def test_distributed_matches_centralized(case):
+    net, s, t = case
+    try:
+        expected = LiangShenRouter(net).route(s, t).cost
+    except NoPathError:
+        expected = None
+    try:
+        result = DistributedSemilightpathRouter(net).route(s, t)
+        actual = result.cost
+    except NoPathError:
+        actual = None
+    if expected is None:
+        assert actual is None
+    else:
+        assert actual == pytest.approx(expected)
+        result.path.validate(net)
+
+
+@given(case=networks_with_endpoints(max_nodes=6, max_wavelengths=3))
+@settings(max_examples=40, deadline=None)
+def test_message_budget_universal(case):
+    """Theorem 3's shape on arbitrary inputs: messages bounded by a small
+    multiple of k·m (each channel carries at most a few improvements on
+    these tiny instances) and rounds by k·n."""
+    net, s, t = case
+    try:
+        result = DistributedSemilightpathRouter(net).route(s, t)
+    except NoPathError:
+        return
+    k = net.num_wavelengths
+    m = max(net.num_links, 1)
+    n = net.num_nodes
+    assert result.stats.total_messages <= 4 * k * m
+    assert result.stats.rounds <= k * n + 1
+
+
+@given(case=networks_with_endpoints(max_nodes=5, max_wavelengths=2))
+@settings(max_examples=25, deadline=None)
+def test_messages_only_on_physical_links(case):
+    net, s, t = case
+    try:
+        result = DistributedSemilightpathRouter(net).route(s, t)
+    except NoPathError:
+        return
+    physical = {(link.tail, link.head) for link in net.links()}
+    assert set(result.stats.per_link) <= physical

@@ -1,0 +1,112 @@
+"""Property-based tests for the extension routers (bounded / KSP / lightpath)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baseline.brute_force import brute_force_route, brute_force_route_bounded
+from repro.core.bounded import BoundedConversionRouter
+from repro.core.ksp import k_shortest_semilightpaths
+from repro.core.lightpath import LightpathRouter
+from repro.core.routing import LiangShenRouter
+from repro.exceptions import NoPathError
+from tests.property.strategies import networks_with_endpoints
+
+
+def cost_or_none(fn):
+    try:
+        return fn()
+    except NoPathError:
+        return None
+
+
+@given(case=networks_with_endpoints(), budget=st.integers(0, 4))
+@settings(max_examples=80, deadline=None)
+def test_bounded_router_matches_bounded_oracle(case, budget):
+    net, s, t = case
+    expected = cost_or_none(
+        lambda: brute_force_route_bounded(net, s, t, budget).total_cost
+    )
+    actual = cost_or_none(
+        lambda: BoundedConversionRouter(net).route(s, t, max_conversions=budget).cost
+    )
+    if expected is None:
+        assert actual is None
+    else:
+        assert actual == pytest.approx(expected)
+
+
+@given(case=networks_with_endpoints())
+@settings(max_examples=60, deadline=None)
+def test_bounded_cost_monotone_in_budget(case):
+    net, s, t = case
+    router = BoundedConversionRouter(net)
+    costs = []
+    for q in range(4):
+        costs.append(cost_or_none(lambda: router.route(s, t, max_conversions=q).cost))
+    finite = [c for c in costs if c is not None]
+    # Once feasible, stays feasible; costs never increase with budget.
+    first_feasible = next((i for i, c in enumerate(costs) if c is not None), None)
+    if first_feasible is not None:
+        assert all(c is not None for c in costs[first_feasible:])
+    assert all(a >= b - 1e-9 for a, b in zip(finite, finite[1:]))
+
+
+@given(case=networks_with_endpoints())
+@settings(max_examples=60, deadline=None)
+def test_large_budget_reaches_unconstrained(case):
+    net, s, t = case
+    generous = net.num_nodes * net.num_wavelengths + 2
+    expected = cost_or_none(lambda: LiangShenRouter(net).route(s, t).cost)
+    actual = cost_or_none(
+        lambda: BoundedConversionRouter(net).route(s, t, max_conversions=generous).cost
+    )
+    if expected is None:
+        assert actual is None
+    else:
+        assert actual == pytest.approx(expected)
+
+
+@given(case=networks_with_endpoints(), k=st.integers(1, 5))
+@settings(max_examples=50, deadline=None)
+def test_ksp_sorted_distinct_and_anchored(case, k):
+    net, s, t = case
+    try:
+        paths = k_shortest_semilightpaths(net, s, t, k=k)
+    except NoPathError:
+        with pytest.raises(NoPathError):
+            LiangShenRouter(net).route(s, t)
+        return
+    costs = [p.total_cost for p in paths]
+    assert costs == sorted(costs)
+    assert len({p.hops for p in paths}) == len(paths)
+    optimum = LiangShenRouter(net).route(s, t).cost
+    assert costs[0] == pytest.approx(optimum)
+    for path in paths:
+        assert path.evaluate_cost(net) == pytest.approx(path.total_cost)
+
+
+@given(case=networks_with_endpoints())
+@settings(max_examples=60, deadline=None)
+def test_lightpath_router_is_zero_budget(case):
+    net, s, t = case
+    expected = cost_or_none(lambda: brute_force_route_bounded(net, s, t, 0).total_cost)
+    actual = cost_or_none(lambda: LightpathRouter(net).route(s, t).cost)
+    if expected is None:
+        assert actual is None
+    else:
+        assert actual == pytest.approx(expected)
+
+
+@given(case=networks_with_endpoints())
+@settings(max_examples=40, deadline=None)
+def test_unbounded_oracle_equals_generous_bounded_oracle(case):
+    """Internal consistency of the two oracles themselves."""
+    net, s, t = case
+    generous = net.num_nodes * net.num_wavelengths + 2
+    a = cost_or_none(lambda: brute_force_route(net, s, t).total_cost)
+    b = cost_or_none(lambda: brute_force_route_bounded(net, s, t, generous).total_cost)
+    if a is None:
+        assert b is None
+    else:
+        assert b == pytest.approx(a)

@@ -1,0 +1,53 @@
+"""Property-based tests for the Gini fairness measure."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fairness import gini
+
+distributions = st.lists(st.floats(0, 1e6, allow_nan=False), min_size=0, max_size=50)
+
+
+@given(values=distributions)
+@settings(max_examples=200, deadline=None)
+def test_range(values):
+    g = gini(values)
+    assert 0.0 <= g < 1.0 or g == pytest.approx(0.0)
+
+
+@given(values=distributions, scale=st.floats(0.001, 1000, allow_nan=False))
+@settings(max_examples=150, deadline=None)
+def test_scale_invariance(values, scale):
+    assert gini([v * scale for v in values]) == pytest.approx(gini(values), abs=1e-9)
+
+
+@given(values=distributions, seed=st.integers(0, 2**16))
+@settings(max_examples=150, deadline=None)
+def test_permutation_invariance(values, seed):
+    shuffled = values[:]
+    random.Random(seed).shuffle(shuffled)
+    assert gini(shuffled) == pytest.approx(gini(values), abs=1e-9)
+
+
+@given(values=st.lists(st.floats(0.01, 1e6, allow_nan=False), min_size=2, max_size=30))
+@settings(max_examples=150, deadline=None)
+def test_concentration_increases_gini(values):
+    """Moving one unit of mass from the poorest to the richest weakly
+    increases the coefficient (Pigou–Dalton transfer principle)."""
+    base = sorted(values)
+    transferred = base[:]
+    amount = transferred[0] * 0.5
+    transferred[0] -= amount
+    transferred[-1] += amount
+    assert gini(transferred) >= gini(base) - 1e-9
+
+
+@given(n=st.integers(2, 40))
+@settings(max_examples=60, deadline=None)
+def test_extremes(n):
+    assert gini([1.0] * n) == pytest.approx(0.0)
+    one_winner = [0.0] * (n - 1) + [1.0]
+    assert gini(one_winner) == pytest.approx((n - 1) / n)

@@ -1,0 +1,67 @@
+"""Property-based tests (hypothesis) for the addressable heaps."""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shortestpath.fibonacci import FibonacciHeap
+from repro.shortestpath.heaps import BinaryHeap, PairingHeap
+
+HEAP_CLASSES = [BinaryHeap, PairingHeap, FibonacciHeap]
+
+# An operation program: push(key) | decrease(fraction) | pop
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.floats(0, 1e6, allow_nan=False)),
+        st.tuples(st.just("decrease"), st.floats(0, 1, allow_nan=False)),
+        st.tuples(st.just("pop"), st.just(0.0)),
+    ),
+    max_size=200,
+)
+
+
+@given(program=operations, heap_index=st.integers(0, 2))
+@settings(max_examples=150, deadline=None)
+def test_heap_matches_reference_model(program, heap_index):
+    """Run an arbitrary operation program against heapq-based bookkeeping."""
+    heap = HEAP_CLASSES[heap_index]()
+    model: dict[int, float] = {}
+    next_id = 0
+    for op, value in program:
+        if op == "push":
+            heap.push(next_id, value)
+            model[next_id] = value
+            next_id += 1
+        elif op == "decrease" and model:
+            # Pick a deterministic victim: the largest current key.
+            victim = max(model, key=lambda item: (model[item], item))
+            new_key = model[victim] * value  # scale into [0, key]
+            heap.decrease_key(victim, new_key)
+            model[victim] = new_key
+        elif op == "pop" and model:
+            item, key = heap.pop()
+            assert key == min(model.values())
+            assert model[item] == key
+            del model[item]
+        assert len(heap) == len(model)
+    # Drain: remaining items must come out in sorted key order.
+    drained = [heap.pop() for _ in range(len(heap))]
+    keys = [k for _, k in drained]
+    assert keys == sorted(keys)
+    assert sorted(i for i, _ in drained) == sorted(model)
+
+
+@given(
+    values=st.lists(st.floats(-1e9, 1e9, allow_nan=False), min_size=1, max_size=300),
+    heap_index=st.integers(0, 2),
+)
+@settings(max_examples=100, deadline=None)
+def test_heapsort_matches_sorted(values, heap_index):
+    heap = HEAP_CLASSES[heap_index]()
+    for i, v in enumerate(values):
+        heap.push(i, v)
+    out = [heap.pop()[1] for _ in range(len(values))]
+    expected = values[:]
+    heapq.heapify(expected)
+    assert out == [heapq.heappop(expected) for _ in range(len(out))]

@@ -1,0 +1,88 @@
+"""Property-based tests for the min-cost flow substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.shortestpath.mincostflow import MinCostFlow
+
+
+@st.composite
+def flow_instances(draw):
+    """Random small flow networks with integer capacities."""
+    n = draw(st.integers(2, 8))
+    arcs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1),
+                st.integers(0, n - 1),
+                st.integers(1, 3),
+                st.floats(0.0, 10.0, allow_nan=False),
+            ).filter(lambda a: a[0] != a[1]),
+            max_size=20,
+        )
+    )
+    amount = draw(st.integers(0, 4))
+    return n, arcs, amount
+
+
+def build(n, arcs):
+    flow = MinCostFlow(n)
+    ids = [flow.add_arc(t, h, c, w) for t, h, c, w in arcs]
+    return flow, ids
+
+
+@given(case=flow_instances())
+@settings(max_examples=150, deadline=None)
+def test_conservation_and_capacity(case):
+    n, arcs, amount = case
+    flow, ids = build(n, arcs)
+    result = flow.solve(0, n - 1, amount)
+    # Capacity respected on every arc.
+    for arc_id, (t, h, cap, _w) in zip(ids, arcs):
+        assert 0 <= result.arc_flow[arc_id] <= cap
+    # Conservation at every interior node.
+    balance = [0] * n
+    for arc_id, (t, h, _cap, _w) in zip(ids, arcs):
+        units = result.arc_flow[arc_id]
+        balance[t] -= units
+        balance[h] += units
+    assert balance[0] == -result.flow_sent
+    assert balance[n - 1] == result.flow_sent
+    for v in range(1, n - 1):
+        assert balance[v] == 0
+    # Cost matches the flow decomposition.
+    recomputed = sum(
+        result.arc_flow[arc_id] * w for arc_id, (_t, _h, _c, w) in zip(ids, arcs)
+    )
+    assert result.total_cost == pytest.approx(recomputed)
+
+
+@given(case=flow_instances())
+@settings(max_examples=100, deadline=None)
+def test_flow_sent_monotone_in_amount(case):
+    n, arcs, _amount = case
+    sent = []
+    for amount in range(4):
+        flow, _ids = build(n, arcs)
+        sent.append(flow.solve(0, n - 1, amount).flow_sent)
+    assert sent == sorted(sent)
+    assert all(s <= a for s, a in zip(sent, range(4)))
+
+
+@given(case=flow_instances())
+@settings(max_examples=100, deadline=None)
+def test_marginal_cost_non_decreasing(case):
+    """Successive augmentations only get more expensive (convexity of
+    min-cost flow in the amount)."""
+    n, arcs, _amount = case
+    costs = []
+    for amount in range(4):
+        flow, _ids = build(n, arcs)
+        result = flow.solve(0, n - 1, amount)
+        if result.flow_sent < amount:
+            break
+        costs.append(result.total_cost)
+    marginals = [b - a for a, b in zip(costs, costs[1:])]
+    assert all(m2 >= m1 - 1e-9 for m1, m2 in zip(marginals, marginals[1:]))

@@ -1,0 +1,62 @@
+"""Property-based tests for Semilightpath invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.semilightpath import Hop, Semilightpath
+
+
+@st.composite
+def walks(draw):
+    """Arbitrary connected walks over integer nodes with wavelengths."""
+    length = draw(st.integers(1, 12))
+    nodes = [draw(st.integers(0, 6))]
+    for _ in range(length):
+        nxt = draw(st.integers(0, 6).filter(lambda v: v != nodes[-1]))
+        nodes.append(nxt)
+    wavelengths = draw(
+        st.lists(st.integers(0, 3), min_size=length, max_size=length)
+    )
+    return Semilightpath.from_sequence(nodes, wavelengths)
+
+
+@given(path=walks())
+@settings(max_examples=200, deadline=None)
+def test_structural_invariants(path):
+    # Node sequence length == hops + 1; hops chain correctly by construction.
+    assert len(path.nodes()) == path.num_hops + 1
+    assert path.nodes()[0] == path.source
+    assert path.nodes()[-1] == path.target
+    assert len(path.wavelengths()) == path.num_hops
+
+
+@given(path=walks())
+@settings(max_examples=200, deadline=None)
+def test_conversions_match_wavelength_changes(path):
+    switches = [
+        (a, b)
+        for a, b in zip(path.wavelengths(), path.wavelengths()[1:])
+        if a != b
+    ]
+    conversions = path.conversions()
+    assert len(conversions) == len(switches) == path.num_conversions
+    for conv, (from_w, to_w) in zip(conversions, switches):
+        assert (conv.from_wavelength, conv.to_wavelength) == (from_w, to_w)
+    assert path.is_lightpath == (len(switches) == 0)
+
+
+@given(path=walks())
+@settings(max_examples=200, deadline=None)
+def test_node_simplicity_definition(path):
+    nodes = path.nodes()
+    assert path.is_node_simple == (len(set(nodes)) == len(nodes))
+
+
+@given(path=walks())
+@settings(max_examples=100, deadline=None)
+def test_json_round_trip(path):
+    from repro.io.serialization import path_from_json, path_to_json
+
+    restored = path_from_json(path_to_json(path))
+    assert restored.hops == path.hops

@@ -1,0 +1,163 @@
+"""Property-based tests for the routers (hypothesis).
+
+The central properties:
+
+* **Oracle agreement** — the Liang–Shen optimum equals the brute-force
+  state-relaxation optimum on arbitrary networks.
+* **Self-consistency** — every returned path re-evaluates (Eq. 1) to its
+  claimed cost on the original network.
+* **Monotonicity** — adding a resource (a new channel) never makes the
+  optimum worse.
+* **Scale equivariance** — multiplying every cost by ``c > 0`` multiplies
+  the optimum by ``c``.
+* **Bound safety** — the auxiliary graph respects Observations 1-5 on
+  arbitrary inputs.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baseline.brute_force import brute_force_route
+from repro.baseline.cfz import CFZRouter
+from repro.core.auxiliary import build_layered_graph
+from repro.core.conversion import FixedCostConversion
+from repro.core.network import WDMNetwork
+from repro.core.routing import LiangShenRouter
+from repro.exceptions import NoPathError
+from tests.property.strategies import networks_with_endpoints, wdm_networks
+
+
+def route_cost(router_fn):
+    try:
+        return router_fn()
+    except NoPathError:
+        return None
+
+
+@given(case=networks_with_endpoints())
+@settings(max_examples=120, deadline=None)
+def test_liang_shen_matches_brute_force(case):
+    net, s, t = case
+    expected = route_cost(lambda: brute_force_route(net, s, t).total_cost)
+    actual = route_cost(lambda: LiangShenRouter(net).route(s, t).cost)
+    if expected is None:
+        assert actual is None
+    else:
+        assert actual == pytest.approx(expected)
+
+
+@given(case=networks_with_endpoints(chain_free=True))
+@settings(max_examples=80, deadline=None)
+def test_cfz_matches_brute_force(case):
+    """Restricted to chain-free conversion models: the CFZ wavelength graph
+    permits chained conversions at a node, which Eq. (1) does not price, so
+    equivalence only holds when chaining can never beat or out-reach the
+    direct conversion (see repro/baseline/wavelength_graph.py)."""
+    net, s, t = case
+    expected = route_cost(lambda: brute_force_route(net, s, t).total_cost)
+    actual = route_cost(lambda: CFZRouter(net).route(s, t).cost)
+    if expected is None:
+        assert actual is None
+    else:
+        assert actual == pytest.approx(expected)
+
+
+@given(case=networks_with_endpoints())
+@settings(max_examples=80, deadline=None)
+def test_returned_path_prices_correctly(case):
+    net, s, t = case
+    try:
+        result = LiangShenRouter(net).route(s, t)
+    except NoPathError:
+        return
+    assert result.path.evaluate_cost(net) == pytest.approx(result.cost)
+    assert result.path.source == s
+    assert result.path.target == t
+
+
+@given(
+    case=networks_with_endpoints(),
+    new_cost=st.floats(0.0, 50.0, allow_nan=False),
+    wavelength=st.integers(0, 3),
+)
+@settings(max_examples=80, deadline=None)
+def test_adding_a_channel_never_hurts(case, new_cost, wavelength):
+    net, s, t = case
+    before = route_cost(lambda: LiangShenRouter(net).route(s, t).cost)
+    # Add one channel on some existing link (or a new link s->t).
+    augmented = net.copy()
+    wavelength = wavelength % net.num_wavelengths
+    links = list(augmented.links())
+    if links:
+        link = links[0]
+        if wavelength in link.costs:
+            return  # channel exists; replacing could change costs
+        tail, head = link.tail, link.head
+        costs = dict(link.costs)
+        costs[wavelength] = new_cost
+        rebuilt = WDMNetwork(net.num_wavelengths, net.conversion(tail))
+        for v in net.nodes():
+            rebuilt.add_node(v, net.conversion(v))
+        for existing in net.links():
+            if (existing.tail, existing.head) == (tail, head):
+                rebuilt.add_link(tail, head, costs)
+            else:
+                rebuilt.add_link(existing.tail, existing.head, dict(existing.costs))
+        augmented = rebuilt
+    else:
+        augmented.add_link(s, t, {wavelength: new_cost})
+    after = route_cost(lambda: LiangShenRouter(augmented).route(s, t).cost)
+    if before is not None:
+        assert after is not None
+        assert after <= before + 1e-9
+
+
+@given(case=networks_with_endpoints(), scale=st.floats(0.1, 10.0, allow_nan=False))
+@settings(max_examples=60, deadline=None)
+def test_scale_equivariance(case, scale):
+    net, s, t = case
+    before = route_cost(lambda: LiangShenRouter(net).route(s, t).cost)
+    scaled = WDMNetwork(net.num_wavelengths, FixedCostConversion(0.0))
+    # Scale both link and conversion costs by wrapping the originals.
+    from repro.core.conversion import CallableConversion
+
+    for v in net.nodes():
+        original = net.conversion(v)
+        scaled.add_node(
+            v,
+            CallableConversion(
+                lambda p, q, _m=original: (
+                    _m.cost(p, q) * scale if _m.cost(p, q) < math.inf else math.inf
+                )
+            ),
+        )
+    for link in net.links():
+        scaled.add_link(
+            link.tail, link.head, {w: c * scale for w, c in link.costs.items()}
+        )
+    after = route_cost(lambda: LiangShenRouter(scaled).route(s, t).cost)
+    if before is None:
+        assert after is None
+    else:
+        assert after == pytest.approx(before * scale, rel=1e-9, abs=1e-9)
+
+
+@given(net=wdm_networks())
+@settings(max_examples=120, deadline=None)
+def test_observation_bounds_hold_universally(net):
+    assert build_layered_graph(net).sizes.within_bounds()
+
+
+@given(net=wdm_networks())
+@settings(max_examples=60, deadline=None)
+def test_route_tree_consistent_with_single_queries(net):
+    router = LiangShenRouter(net)
+    source = net.nodes()[0]
+    tree = router.route_tree(source)
+    for target, path in tree.items():
+        single = route_cost(lambda: router.route(source, target).cost)
+        assert single == pytest.approx(path.total_cost)
+        assert path.evaluate_cost(net) == pytest.approx(path.total_cost)

@@ -1,0 +1,50 @@
+"""Property-based round-trip tests for network serialization."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.routing import LiangShenRouter
+from repro.exceptions import NoPathError
+from repro.io.serialization import network_from_json, network_to_json
+from tests.property.strategies import networks_with_endpoints, wdm_networks
+
+
+@given(net=wdm_networks())
+@settings(max_examples=100, deadline=None)
+def test_structure_round_trips(net):
+    restored = network_from_json(network_to_json(net))
+    assert restored.num_nodes == net.num_nodes
+    assert restored.num_links == net.num_links
+    assert restored.num_wavelengths == net.num_wavelengths
+    for link in net.links():
+        assert restored.available_wavelengths(link.tail, link.head) == (
+            link.wavelengths
+        )
+        for w, c in link.costs.items():
+            assert restored.link_cost(link.tail, link.head, w) == c
+
+
+@given(net=wdm_networks())
+@settings(max_examples=60, deadline=None)
+def test_serialization_is_stable(net):
+    once = network_to_json(net)
+    assert network_to_json(network_from_json(once)) == once
+
+
+@given(case=networks_with_endpoints())
+@settings(max_examples=60, deadline=None)
+def test_round_trip_preserves_optimal_cost(case):
+    net, s, t = case
+    restored = network_from_json(network_to_json(net))
+
+    def cost(n):
+        try:
+            return LiangShenRouter(n).route(s, t).cost
+        except NoPathError:
+            return None
+
+    a, b = cost(net), cost(restored)
+    if a is None:
+        assert b is None
+    else:
+        assert b == pytest.approx(a)

@@ -1,0 +1,103 @@
+"""Stateful property test: the wavelength occupancy ledger under churn.
+
+A hypothesis rule-based state machine drives
+:class:`~repro.wdm.state.WavelengthState` through arbitrary interleavings
+of reservations and releases, mirroring it against a plain Python set.
+Invariants: the ledger never double-books, never releases unheld
+channels, and its utilization always equals the model's.
+"""
+
+import math
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.exceptions import ReservationError
+from repro.topology.reference import paper_figure1_network
+from repro.wdm.state import WavelengthState
+
+# The channel universe of the paper example: 24 concrete channels.
+NETWORK = paper_figure1_network()
+CHANNELS = sorted(
+    (link.tail, link.head, w) for link in NETWORK.links() for w in link.costs
+)
+
+
+class StateLedgerMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.state = WavelengthState(paper_figure1_network())
+        self.model: set[tuple] = set()
+
+    @rule(channel=st.sampled_from(CHANNELS))
+    def reserve_free(self, channel):
+        if channel in self.model:
+            return
+        self.state.reserve_channels([channel])
+        self.model.add(channel)
+
+    @rule(channel=st.sampled_from(CHANNELS))
+    def reserve_taken_must_fail(self, channel):
+        if channel not in self.model:
+            return
+        try:
+            self.state.reserve_channels([channel])
+        except ReservationError:
+            pass
+        else:
+            raise AssertionError("double reservation accepted")
+
+    @rule(channel=st.sampled_from(CHANNELS))
+    def release_held(self, channel):
+        if channel not in self.model:
+            return
+        self.state.release_channels([channel])
+        self.model.discard(channel)
+
+    @rule(channel=st.sampled_from(CHANNELS))
+    def release_unheld_must_fail(self, channel):
+        if channel in self.model:
+            return
+        try:
+            self.state.release_channels([channel])
+        except ReservationError:
+            pass
+        else:
+            raise AssertionError("released a channel that was never held")
+
+    @rule(data=st.data())
+    def batch_reserve_atomic(self, data):
+        """A batch containing one conflict must change nothing."""
+        free = [c for c in CHANNELS if c not in self.model]
+        taken = [c for c in CHANNELS if c in self.model]
+        if not free or not taken:
+            return
+        batch = [
+            data.draw(st.sampled_from(free)),
+            data.draw(st.sampled_from(taken)),
+        ]
+        before = self.state.num_occupied
+        try:
+            self.state.reserve_channels(batch)
+        except ReservationError:
+            pass
+        else:
+            raise AssertionError("conflicting batch accepted")
+        assert self.state.num_occupied == before
+
+    @invariant()
+    def ledger_matches_model(self):
+        assert self.state.num_occupied == len(self.model)
+        for tail, head, w in CHANNELS:
+            expected_free = (tail, head, w) not in self.model
+            assert self.state.is_free(tail, head, w) == expected_free
+
+    @invariant()
+    def utilization_consistent(self):
+        expected = len(self.model) / len(CHANNELS)
+        assert math.isclose(self.state.utilization, expected)
+
+
+TestStateLedger = StateLedgerMachine.TestCase
+TestStateLedger.settings = settings(max_examples=40, stateful_step_count=30, deadline=None)

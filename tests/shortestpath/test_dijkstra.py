@@ -1,0 +1,128 @@
+"""Unit tests for Dijkstra with pluggable heaps."""
+
+import math
+import random
+
+import pytest
+
+from repro.shortestpath.bellman_ford import bellman_ford
+from repro.shortestpath.dijkstra import dijkstra
+from repro.shortestpath.structures import GraphBuilder
+
+HEAPS = ["binary", "pairing", "fibonacci"]
+
+
+def diamond():
+    """0 -> {1, 2} -> 3 with a cheaper upper branch."""
+    b = GraphBuilder(4)
+    b.add_edge(0, 1, 1.0, tag=1)
+    b.add_edge(0, 2, 2.0, tag=2)
+    b.add_edge(1, 3, 1.0, tag=3)
+    b.add_edge(2, 3, 0.5, tag=4)
+    return b.build()
+
+
+@pytest.mark.parametrize("heap", HEAPS)
+class TestDijkstraBasics:
+    def test_distances(self, heap):
+        run = dijkstra(diamond(), 0, heap=heap)
+        assert run.dist == [0.0, 1.0, 2.0, 2.0]
+
+    def test_parent_pointers(self, heap):
+        run = dijkstra(diamond(), 0, heap=heap)
+        assert run.parent[0] == -1
+        assert run.parent[3] in (1, 2)  # both are optimal (cost 2.0 via 1)
+        # Actually via 1: 1+1=2.0; via 2: 2+0.5=2.5 -> parent must be 1.
+        assert run.parent[3] == 1
+
+    def test_parent_tags_follow_edges(self, heap):
+        run = dijkstra(diamond(), 0, heap=heap)
+        assert run.parent_tag[1] == 1
+        assert run.parent_tag[3] == 3
+
+    def test_unreachable_is_inf(self, heap):
+        b = GraphBuilder(3)
+        b.add_edge(0, 1, 1.0)
+        run = dijkstra(b.build(), 0, heap=heap)
+        assert run.dist[2] == math.inf
+        assert not run.reachable(2)
+
+    def test_single_node(self, heap):
+        run = dijkstra(GraphBuilder(1).build(), 0, heap=heap)
+        assert run.dist == [0.0]
+
+    def test_early_stop_at_target(self, heap):
+        # A long chain: stopping at node 2 must not settle the tail.
+        b = GraphBuilder(100)
+        for i in range(99):
+            b.add_edge(i, i + 1, 1.0)
+        run = dijkstra(b.build(), 0, target=2, heap=heap)
+        assert run.dist[2] == 2.0
+        assert run.settled <= 4  # 0, 1, 2 (+ slack for ties)
+
+    def test_multi_source(self, heap):
+        b = GraphBuilder(4)
+        b.add_edge(0, 2, 5.0)
+        b.add_edge(1, 2, 1.0)
+        b.add_edge(2, 3, 1.0)
+        run = dijkstra(b.build(), [0, 1], heap=heap)
+        assert run.dist == [0.0, 0.0, 1.0, 2.0]
+
+    def test_zero_weight_edges(self, heap):
+        b = GraphBuilder(3)
+        b.add_edge(0, 1, 0.0)
+        b.add_edge(1, 2, 0.0)
+        run = dijkstra(b.build(), 0, heap=heap)
+        assert run.dist == [0.0, 0.0, 0.0]
+
+    def test_parallel_edges_pick_cheapest(self, heap):
+        b = GraphBuilder(2)
+        b.add_edge(0, 1, 5.0, tag=1)
+        b.add_edge(0, 1, 2.0, tag=2)
+        run = dijkstra(b.build(), 0, heap=heap)
+        assert run.dist[1] == 2.0
+        assert run.parent_tag[1] == 2
+
+
+class TestArgumentValidation:
+    def test_source_out_of_range(self):
+        with pytest.raises(IndexError):
+            dijkstra(diamond(), 7)
+
+    def test_target_out_of_range(self):
+        with pytest.raises(IndexError):
+            dijkstra(diamond(), 0, target=9)
+
+    def test_no_sources(self):
+        with pytest.raises(ValueError):
+            dijkstra(diamond(), [])
+
+    def test_unknown_heap_name(self):
+        with pytest.raises(KeyError):
+            dijkstra(diamond(), 0, heap="splay")
+
+    def test_custom_heap_factory(self):
+        from repro.shortestpath.heaps import BinaryHeap
+
+        run = dijkstra(diamond(), 0, heap=BinaryHeap)
+        assert run.dist == [0.0, 1.0, 2.0, 2.0]
+
+
+class TestAgainstBellmanFord:
+    @pytest.mark.parametrize("trial", range(25))
+    def test_random_graphs_agree(self, trial):
+        rng = random.Random(trial)
+        n = rng.randint(2, 40)
+        b = GraphBuilder(n)
+        for _ in range(rng.randint(0, 5 * n)):
+            b.add_edge(rng.randrange(n), rng.randrange(n), rng.uniform(0, 10))
+        g = b.build()
+        reference = bellman_ford(g, 0).dist
+        for heap in HEAPS:
+            assert dijkstra(g, 0, heap=heap).dist == pytest.approx(reference)
+
+    def test_heap_stats_populated(self):
+        run = dijkstra(diamond(), 0, heap="binary")
+        assert run.heap_stats["pushes"] >= 1
+        assert run.heap_stats["pops"] >= 1
+        assert run.relaxations >= run.settled - 1

@@ -1,0 +1,112 @@
+"""Fibonacci-heap–specific structural tests.
+
+The shared-protocol behavior is covered in ``test_heaps.py``; these tests
+exercise the internals that distinguish a Fibonacci heap: lazy melding,
+consolidation on pop, and cascading cuts on decrease-key.
+"""
+
+import random
+
+from repro.shortestpath.fibonacci import FibonacciHeap
+
+
+def check_heap_invariants(heap: FibonacciHeap) -> None:
+    """Walk the internal structure and verify the min-heap property."""
+    if heap._min is None:
+        assert len(heap) == 0
+        return
+    seen = set()
+
+    def walk(node, parent_key):
+        start = node
+        while True:
+            assert node.key >= parent_key
+            assert id(node) not in seen, "node visited twice: corrupt links"
+            seen.add(id(node))
+            if node.child is not None:
+                walk(node.child, node.key)
+            node = node.right
+            if node is start:
+                break
+
+    walk(heap._min, float("-inf"))
+    assert len(seen) == len(heap)
+    # The tracked minimum really is minimal.
+    assert all(heap._nodes[item].key >= heap._min.key for item in heap._nodes)
+
+
+def test_consolidation_after_pop_preserves_invariants():
+    heap = FibonacciHeap()
+    for i in range(64):
+        heap.push(i, float(64 - i))
+    check_heap_invariants(heap)
+    for _ in range(10):
+        heap.pop()
+        check_heap_invariants(heap)
+
+
+def test_cascading_cuts_preserve_invariants():
+    rng = random.Random(5)
+    heap = FibonacciHeap()
+    for i in range(128):
+        heap.push(i, float(i))
+    heap.pop()  # trigger consolidation so trees have depth
+    # Decrease many deep keys to force cascading cuts.
+    for item in rng.sample(range(1, 128), 60):
+        if item in heap:
+            heap.decrease_key(item, heap.key_of(item) - 1000.0)
+            check_heap_invariants(heap)
+
+
+def test_degree_bound_logarithmic():
+    # After consolidation every root degree is O(log n).
+    import math
+
+    heap = FibonacciHeap()
+    n = 256
+    for i in range(n):
+        heap.push(i, float(i))
+    heap.pop()
+    max_degree = 0
+    node = heap._min
+    start = node
+    while True:
+        max_degree = max(max_degree, node.degree)
+        node = node.right
+        if node is start:
+            break
+    assert max_degree <= int(math.log(n, 1.618)) + 2
+
+
+def test_interleaved_random_against_model():
+    rng = random.Random(42)
+    heap = FibonacciHeap()
+    model: dict[int, float] = {}
+    next_id = 0
+    for step in range(2000):
+        op = rng.random()
+        if op < 0.45 or not model:
+            heap.push(next_id, rng.uniform(0, 100))
+            model[next_id] = heap.key_of(next_id)
+            next_id += 1
+        elif op < 0.75:
+            item = rng.choice(list(model))
+            new_key = model[item] - rng.uniform(0, 10)
+            heap.decrease_key(item, new_key)
+            model[item] = new_key
+        else:
+            item, key = heap.pop()
+            assert key == min(model.values())
+            del model[item]
+        if step % 250 == 0:
+            check_heap_invariants(heap)
+    check_heap_invariants(heap)
+
+
+def test_pop_all_from_single_tree():
+    heap = FibonacciHeap()
+    heap.push("only", 1.0)
+    assert heap.pop() == ("only", 1.0)
+    assert heap._min is None
+    heap.push("again", 2.0)
+    assert heap.pop() == ("again", 2.0)

@@ -1,0 +1,154 @@
+"""Unit tests for the addressable heaps (binary / pairing / Fibonacci).
+
+The three implementations share a protocol, so most tests are
+parameterized over all of them; implementation-specific tests live in
+``test_fibonacci.py``.
+"""
+
+import random
+
+import pytest
+
+from repro.shortestpath.fibonacci import FibonacciHeap
+from repro.shortestpath.heaps import HEAP_FACTORIES, BinaryHeap, PairingHeap
+
+ALL_HEAPS = [BinaryHeap, PairingHeap, FibonacciHeap]
+
+
+@pytest.fixture(params=ALL_HEAPS, ids=lambda cls: cls.__name__)
+def heap(request):
+    return request.param()
+
+
+class TestBasicOperations:
+    def test_empty_len(self, heap):
+        assert len(heap) == 0
+
+    def test_pop_empty_raises(self, heap):
+        with pytest.raises(IndexError):
+            heap.pop()
+
+    def test_push_pop_single(self, heap):
+        heap.push("x", 3.0)
+        assert len(heap) == 1
+        assert "x" in heap
+        assert heap.pop() == ("x", 3.0)
+        assert len(heap) == 0
+        assert "x" not in heap
+
+    def test_pops_in_key_order(self, heap):
+        for item, key in [("a", 5.0), ("b", 1.0), ("c", 3.0), ("d", 2.0)]:
+            heap.push(item, key)
+        popped = [heap.pop() for _ in range(4)]
+        assert popped == [("b", 1.0), ("d", 2.0), ("c", 3.0), ("a", 5.0)]
+
+    def test_duplicate_push_raises(self, heap):
+        heap.push("x", 1.0)
+        with pytest.raises(KeyError):
+            heap.push("x", 2.0)
+
+    def test_reinsert_after_pop(self, heap):
+        heap.push("x", 1.0)
+        heap.pop()
+        heap.push("x", 2.0)
+        assert heap.pop() == ("x", 2.0)
+
+    def test_equal_keys_all_emerge(self, heap):
+        for item in "abc":
+            heap.push(item, 7.0)
+        popped = {heap.pop()[0] for _ in range(3)}
+        assert popped == {"a", "b", "c"}
+
+    def test_key_of(self, heap):
+        heap.push("x", 4.0)
+        assert heap.key_of("x") == 4.0
+        with pytest.raises(KeyError):
+            heap.key_of("missing")
+
+
+class TestDecreaseKey:
+    def test_decrease_moves_to_front(self, heap):
+        heap.push("a", 10.0)
+        heap.push("b", 5.0)
+        heap.decrease_key("a", 1.0)
+        assert heap.pop() == ("a", 1.0)
+
+    def test_decrease_to_same_key_allowed(self, heap):
+        heap.push("a", 2.0)
+        heap.decrease_key("a", 2.0)
+        assert heap.pop() == ("a", 2.0)
+
+    def test_increase_raises(self, heap):
+        heap.push("a", 2.0)
+        with pytest.raises(ValueError):
+            heap.decrease_key("a", 3.0)
+
+    def test_decrease_missing_raises(self, heap):
+        with pytest.raises(KeyError):
+            heap.decrease_key("ghost", 1.0)
+
+    def test_many_decreases_on_one_item(self, heap):
+        heap.push("a", 100.0)
+        heap.push("b", 50.0)
+        for key in (90.0, 70.0, 60.0, 40.0):
+            heap.decrease_key("a", key)
+        assert heap.pop() == ("a", 40.0)
+        assert heap.pop() == ("b", 50.0)
+
+    def test_decrease_deep_item(self, heap):
+        # Build enough structure that the decreased item is not a root.
+        for i in range(32):
+            heap.push(i, float(i))
+        heap.pop()  # forces consolidation in the Fibonacci heap
+        heap.decrease_key(31, 0.5)
+        assert heap.pop() == (31, 0.5)
+
+
+class TestRandomizedAgainstSortedOracle:
+    @pytest.mark.parametrize("factory_name", sorted(HEAP_FACTORIES))
+    def test_interleaved_operations(self, factory_name):
+        rng = random.Random(1234)
+        heap = HEAP_FACTORIES[factory_name]()
+        model: dict[int, float] = {}
+        next_id = 0
+        for _ in range(3000):
+            op = rng.random()
+            if op < 0.5 or not model:
+                heap.push(next_id, rng.uniform(0, 1000))
+                model[next_id] = heap.key_of(next_id)
+                next_id += 1
+            elif op < 0.8:
+                item = rng.choice(list(model))
+                new_key = model[item] - rng.uniform(0, 100)
+                heap.decrease_key(item, new_key)
+                model[item] = new_key
+            else:
+                item, key = heap.pop()
+                expected_key = min(model.values())
+                assert key == pytest.approx(expected_key)
+                assert model[item] == pytest.approx(expected_key)
+                del model[item]
+        # Drain and confirm global ordering.
+        drained = [heap.pop()[1] for _ in range(len(heap))]
+        assert drained == sorted(drained)
+
+    @pytest.mark.parametrize("factory_name", sorted(HEAP_FACTORIES))
+    def test_heapsort(self, factory_name):
+        rng = random.Random(99)
+        values = [rng.uniform(-100, 100) for _ in range(500)]
+        heap = HEAP_FACTORIES[factory_name]()
+        for i, v in enumerate(values):
+            heap.push(i, v)
+        out = [heap.pop()[1] for _ in range(len(values))]
+        assert out == sorted(values)
+
+
+class TestOperationCounters:
+    def test_counters_track_operations(self, heap):
+        heap.push("a", 1.0)
+        heap.push("b", 2.0)
+        heap.decrease_key("b", 0.5)
+        heap.pop()
+        assert heap.pushes == 2
+        assert heap.decreases == 1
+        assert heap.pops == 1

@@ -1,0 +1,140 @@
+"""Unit tests for the min-cost flow substrate."""
+
+import pytest
+
+from repro.shortestpath.mincostflow import MinCostFlow
+
+
+class TestBasics:
+    def test_single_arc(self):
+        f = MinCostFlow(2)
+        f.add_arc(0, 1, capacity=3, cost=2.0)
+        result = f.solve(0, 1, 2)
+        assert result.flow_sent == 2
+        assert result.total_cost == pytest.approx(4.0)
+
+    def test_parallel_paths_cheapest_first(self):
+        f = MinCostFlow(4)
+        f.add_arc(0, 1, 1, 1.0)
+        f.add_arc(1, 3, 1, 1.0)
+        f.add_arc(0, 2, 1, 5.0)
+        f.add_arc(2, 3, 1, 5.0)
+        one = MinCostFlow(4)
+        one.add_arc(0, 1, 1, 1.0)
+        one.add_arc(1, 3, 1, 1.0)
+        one.add_arc(0, 2, 1, 5.0)
+        one.add_arc(2, 3, 1, 5.0)
+        assert one.solve(0, 3, 1).total_cost == pytest.approx(2.0)
+        assert f.solve(0, 3, 2).total_cost == pytest.approx(12.0)
+
+    def test_saturation_partial_flow(self):
+        f = MinCostFlow(2)
+        f.add_arc(0, 1, capacity=1, cost=1.0)
+        result = f.solve(0, 1, 5)
+        assert result.flow_sent == 1
+
+    def test_disconnected(self):
+        f = MinCostFlow(3)
+        f.add_arc(0, 1, 1, 1.0)
+        result = f.solve(0, 2, 1)
+        assert result.flow_sent == 0
+        assert result.total_cost == 0.0
+
+    def test_zero_amount(self):
+        f = MinCostFlow(2)
+        f.add_arc(0, 1, 1, 1.0)
+        assert f.solve(0, 1, 0).flow_sent == 0
+
+    def test_arc_flow_readback(self):
+        f = MinCostFlow(3)
+        cheap = f.add_arc(0, 1, 2, 1.0)
+        through = f.add_arc(1, 2, 2, 1.0)
+        direct = f.add_arc(0, 2, 1, 10.0)
+        result = f.solve(0, 2, 2)
+        assert result.arc_flow[cheap] == 2
+        assert result.arc_flow[through] == 2
+        assert result.arc_flow[direct] == 0
+
+    def test_rerouting_via_residual_arcs(self):
+        """Classic case where the second augmentation must push flow back
+        across the first path's arc."""
+        f = MinCostFlow(4)
+        a = f.add_arc(0, 1, 1, 1.0)
+        b = f.add_arc(1, 3, 1, 1.0)
+        c = f.add_arc(0, 2, 1, 2.0)
+        d = f.add_arc(2, 3, 1, 2.0)
+        e = f.add_arc(1, 2, 1, 0.0)  # the tempting shortcut
+        # 1 unit: 0-1-2-3? cost 1+0+2 = 3 vs 0-1-3 = 2 -> takes 0-1-3.
+        # 2 units: optimal is {0-1-3, 0-2-3} total 6; the naive greedy that
+        # first took 0-1-2-3 would need the residual of arc e.
+        result = f.solve(0, 3, 2)
+        assert result.flow_sent == 2
+        assert result.total_cost == pytest.approx(6.0)
+        assert result.arc_flow[e] == 0
+
+    def test_validation(self):
+        f = MinCostFlow(2)
+        with pytest.raises(IndexError):
+            f.add_arc(0, 5, 1, 1.0)
+        with pytest.raises(ValueError):
+            f.add_arc(0, 1, -1, 1.0)
+        with pytest.raises(ValueError):
+            f.add_arc(0, 1, 1, -1.0)
+        with pytest.raises(ValueError):
+            f.add_arc(0, 1, 1, float("inf"))
+        with pytest.raises(ValueError):
+            f.solve(0, 1, -1)
+        with pytest.raises(IndexError):
+            f.solve(0, 9, 1)
+
+    def test_add_node(self):
+        f = MinCostFlow(1)
+        assert f.add_node() == 1
+        f.add_arc(0, 1, 1, 1.0)
+        assert f.solve(0, 1, 1).flow_sent == 1
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("trial", range(20))
+    def test_two_unit_flows_match_exhaustive(self, trial):
+        """On tiny random DAG-ish graphs, compare against exhaustive
+        enumeration of edge-disjoint path pairs."""
+        import itertools
+        import random
+
+        rng = random.Random(trial)
+        n = rng.randint(3, 6)
+        arcs = []
+        for u in range(n):
+            for v in range(n):
+                if u != v and rng.random() < 0.5:
+                    arcs.append((u, v, rng.uniform(1, 5)))
+        f = MinCostFlow(n)
+        for u, v, c in arcs:
+            f.add_arc(u, v, 1, c)
+        result = f.solve(0, n - 1, 2)
+
+        # Exhaustive: all simple paths 0 -> n-1, pick cheapest disjoint pair.
+        def paths_from(node, used_arcs, visited):
+            if node == n - 1:
+                yield []
+                return
+            for i, (u, v, c) in enumerate(arcs):
+                if u == node and i not in used_arcs and v not in visited:
+                    for rest in paths_from(v, used_arcs | {i}, visited | {v}):
+                        yield [i] + rest
+
+        all_paths = list(paths_from(0, frozenset(), frozenset({0})))
+        best = None
+        for p1, p2 in itertools.combinations(all_paths, 2):
+            if set(p1) & set(p2):
+                continue
+            cost = sum(arcs[i][2] for i in p1 + p2)
+            if best is None or cost < best:
+                best = cost
+        if best is None:
+            assert result.flow_sent < 2
+        else:
+            assert result.flow_sent == 2
+            # Flow may use non-simple walks; it can only be cheaper-or-equal.
+            assert result.total_cost <= best + 1e-9

@@ -1,0 +1,77 @@
+"""Unit tests for path reconstruction and ShortestPathTree."""
+
+import math
+
+import pytest
+
+from repro.shortestpath.dijkstra import dijkstra
+from repro.shortestpath.paths import (
+    ShortestPathTree,
+    reconstruct_path,
+    reconstruct_tags,
+)
+from repro.shortestpath.structures import GraphBuilder
+
+
+class TestReconstructPath:
+    def test_root_only(self):
+        assert reconstruct_path([-1], 0) == [0]
+
+    def test_chain(self):
+        parent = [-1, 0, 1, 2]
+        assert reconstruct_path(parent, 3) == [0, 1, 2, 3]
+
+    def test_branching(self):
+        #     0
+        #    / \
+        #   1   2
+        parent = [-1, 0, 0]
+        assert reconstruct_path(parent, 1) == [0, 1]
+        assert reconstruct_path(parent, 2) == [0, 2]
+
+    def test_cycle_detected(self):
+        parent = [1, 0]
+        with pytest.raises(ValueError, match="cycle"):
+            reconstruct_path(parent, 0)
+
+    def test_tags(self):
+        parent = [-1, 0, 1]
+        parent_tag = [-1, 10, 20]
+        assert reconstruct_tags(parent, parent_tag, 2) == [10, 20]
+        assert reconstruct_tags(parent, parent_tag, 0) == []
+
+
+class TestShortestPathTree:
+    @pytest.fixture
+    def tree(self):
+        b = GraphBuilder(4)
+        b.add_edge(0, 1, 1.0, tag=100)
+        b.add_edge(1, 2, 1.0, tag=101)
+        b.add_edge(0, 3, 10.0, tag=102)
+        run = dijkstra(b.build(), 0)
+        return ShortestPathTree(
+            root=0, dist=run.dist, parent=run.parent, parent_tag=run.parent_tag
+        )
+
+    def test_distance(self, tree):
+        assert tree.distance(2) == 2.0
+        assert tree.distance(3) == 10.0
+
+    def test_path(self, tree):
+        assert tree.path(2) == [0, 1, 2]
+
+    def test_tags(self, tree):
+        assert tree.tags(2) == [100, 101]
+
+    def test_reachable(self, tree):
+        assert tree.reachable(2)
+
+    def test_unreachable_raises(self):
+        tree = ShortestPathTree(
+            root=0, dist=[0.0, math.inf], parent=[-1, -1], parent_tag=[-1, -1]
+        )
+        assert not tree.reachable(1)
+        with pytest.raises(ValueError):
+            tree.path(1)
+        with pytest.raises(ValueError):
+            tree.tags(1)

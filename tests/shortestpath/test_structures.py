@@ -1,0 +1,128 @@
+"""Unit tests for the CSR graph structures."""
+
+import pytest
+
+from repro.shortestpath.structures import GraphBuilder, StaticGraph
+
+
+def build_triangle() -> StaticGraph:
+    b = GraphBuilder(3)
+    b.add_edge(0, 1, 1.0, tag=10)
+    b.add_edge(1, 2, 2.0, tag=11)
+    b.add_edge(2, 0, 3.0, tag=12)
+    return b.build()
+
+
+class TestGraphBuilder:
+    def test_empty_graph(self):
+        g = GraphBuilder(0).build()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_nodes_without_edges(self):
+        g = GraphBuilder(4).build()
+        assert g.num_nodes == 4
+        assert all(g.out_degree(v) == 0 for v in range(4))
+
+    def test_add_node_appends(self):
+        b = GraphBuilder(2)
+        assert b.add_node() == 2
+        assert b.add_node() == 3
+        assert b.build().num_nodes == 4
+
+    def test_edge_ids_sequential(self):
+        b = GraphBuilder(2)
+        assert b.add_edge(0, 1, 1.0) == 0
+        assert b.add_edge(1, 0, 1.0) == 1
+
+    def test_rejects_out_of_range_tail(self):
+        b = GraphBuilder(2)
+        with pytest.raises(IndexError):
+            b.add_edge(2, 0, 1.0)
+
+    def test_rejects_out_of_range_head(self):
+        b = GraphBuilder(2)
+        with pytest.raises(IndexError):
+            b.add_edge(0, -1, 1.0)
+
+    def test_rejects_negative_weight(self):
+        b = GraphBuilder(2)
+        with pytest.raises(ValueError):
+            b.add_edge(0, 1, -0.5)
+
+    def test_rejects_infinite_weight(self):
+        b = GraphBuilder(2)
+        with pytest.raises(ValueError):
+            b.add_edge(0, 1, float("inf"))
+
+    def test_rejects_nan_weight(self):
+        b = GraphBuilder(2)
+        with pytest.raises(ValueError):
+            b.add_edge(0, 1, float("nan"))
+
+    def test_parallel_edges_allowed(self):
+        b = GraphBuilder(2)
+        b.add_edge(0, 1, 1.0, tag=1)
+        b.add_edge(0, 1, 2.0, tag=2)
+        g = b.build()
+        assert g.num_edges == 2
+        assert sorted(w for _, w, _ in g.neighbors(0)) == [1.0, 2.0]
+
+    def test_self_loop_allowed(self):
+        b = GraphBuilder(1)
+        b.add_edge(0, 0, 1.0)
+        g = b.build()
+        assert list(g.neighbors(0)) == [(0, 1.0, -1)]
+
+
+class TestStaticGraph:
+    def test_neighbors_and_tags(self):
+        g = build_triangle()
+        assert list(g.neighbors(0)) == [(1, 1.0, 10)]
+        assert list(g.neighbors(1)) == [(2, 2.0, 11)]
+        assert list(g.neighbors(2)) == [(0, 3.0, 12)]
+
+    def test_out_degree(self):
+        g = build_triangle()
+        assert [g.out_degree(v) for v in range(3)] == [1, 1, 1]
+
+    def test_edges_enumeration(self):
+        g = build_triangle()
+        assert sorted(g.edges()) == [
+            (0, 1, 1.0, 10),
+            (1, 2, 2.0, 11),
+            (2, 0, 3.0, 12),
+        ]
+
+    def test_insertion_order_within_node(self):
+        b = GraphBuilder(3)
+        b.add_edge(0, 2, 5.0)
+        b.add_edge(0, 1, 1.0)
+        g = b.build()
+        assert [h for h, _, _ in g.neighbors(0)] == [2, 1]
+
+    def test_reverse(self):
+        g = build_triangle().reverse()
+        assert sorted(g.edges()) == [
+            (0, 2, 3.0, 12),
+            (1, 0, 1.0, 10),
+            (2, 1, 2.0, 11),
+        ]
+
+    def test_total_weight(self):
+        assert build_triangle().total_weight() == pytest.approx(6.0)
+
+    def test_node_range_check(self):
+        g = build_triangle()
+        with pytest.raises(IndexError):
+            list(g.neighbors(3))
+        with pytest.raises(IndexError):
+            g.out_degree(-1)
+
+    def test_neighbor_slices_match_neighbors(self):
+        g = build_triangle()
+        for v in range(3):
+            slots, heads, weights, tags = g.neighbor_slices(v)
+            via_slices = [(heads[i], weights[i], tags[i]) for i in slots]
+            assert via_slices == list(g.neighbors(v))

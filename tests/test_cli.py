@@ -1,0 +1,149 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io.serialization import network_to_json
+from repro.topology.reference import paper_figure1_network
+
+
+@pytest.fixture
+def fig1_file(tmp_path):
+    path = tmp_path / "fig1.json"
+    path.write_text(network_to_json(paper_figure1_network()))
+    return str(path)
+
+
+class TestRoute:
+    def test_basic_route(self, fig1_file, capsys):
+        assert main(["route", fig1_file, "1", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "cost 2" in out
+        assert "lightpath" in out
+
+    def test_route_with_conversion(self, fig1_file, capsys):
+        assert main(["route", fig1_file, "1", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "converter settings" in out
+
+    def test_unreachable_exit_code(self, fig1_file, capsys):
+        assert main(["route", fig1_file, "7", "1"]) == 1
+        assert "no semilightpath" in capsys.readouterr().err
+
+    def test_json_output(self, fig1_file, capsys):
+        assert main(["route", fig1_file, "1", "7", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document[0]["total_cost"] == 2.0
+
+    def test_max_conversions(self, fig1_file, capsys):
+        assert main(["route", fig1_file, "1", "6", "--max-conversions", "0"]) == 1
+
+    def test_alternatives(self, fig1_file, capsys):
+        assert main(["route", fig1_file, "1", "6", "--alternatives", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("#") == 3
+
+    def test_missing_file(self, capsys):
+        assert main(["route", "/nonexistent.json", "1", "2"]) == 1
+
+
+class TestGenerate:
+    @pytest.mark.parametrize(
+        "kind", ["ring", "grid", "waxman", "degree-bounded", "nsfnet", "arpanet", "paper-fig1"]
+    )
+    def test_generate_kinds_round_trip(self, kind, tmp_path, capsys):
+        out_file = tmp_path / "net.json"
+        assert main(
+            ["generate", kind, "--nodes", "9", "--wavelengths", "2", "-o", str(out_file)]
+        ) == 0
+        from repro.io.serialization import network_from_json
+
+        net = network_from_json(out_file.read_text())
+        assert net.num_nodes >= 2
+
+    def test_generate_to_stdout(self, capsys):
+        assert main(["generate", "ring", "--nodes", "4"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["num_wavelengths"] == 4
+
+
+class TestSizes:
+    def test_sizes_report(self, fig1_file, capsys):
+        assert main(["sizes", fig1_file]) == 0
+        out = capsys.readouterr().out
+        assert "|V'| <= 2kn" in out
+        assert "NO" not in out
+
+
+class TestProvision:
+    def test_provision_both_policies(self, fig1_file, capsys):
+        for policy in ("semilightpath", "first-fit"):
+            assert main(
+                [
+                    "provision", fig1_file,
+                    "--load", "2", "--requests", "30", "--policy", policy,
+                ]
+            ) == 0
+            out = capsys.readouterr().out
+            assert f"policy={policy}" in out
+            assert "P_block=" in out
+
+
+class TestPlan:
+    def test_uniform_default(self, tmp_path, capsys):
+        from repro.io.serialization import network_to_json
+        from repro.topology.reference import nsfnet_network
+
+        net_file = tmp_path / "nsf.json"
+        net_file.write_text(network_to_json(nsfnet_network(num_wavelengths=8)))
+        code = main(["plan", str(net_file)])
+        out = capsys.readouterr().out
+        assert "carried" in out
+        assert code in (0, 3)
+
+    def test_demands_file(self, fig1_file, tmp_path, capsys):
+        demands = tmp_path / "demands.json"
+        demands.write_text(
+            json.dumps([{"source": 1, "target": 7}, {"source": 5, "target": 7, "count": 2}])
+        )
+        assert main(["plan", fig1_file, "--demands", str(demands)]) == 0
+        assert "carried 3/3" in capsys.readouterr().out
+
+    def test_gravity_matrix(self, fig1_file, capsys):
+        code = main(["plan", fig1_file, "--gravity", "10", "--ordering", "random", "--restarts", "3"])
+        out = capsys.readouterr().out
+        assert "carried" in out
+        assert code in (0, 3)
+
+    def test_rejection_exit_code(self, fig1_file, tmp_path, capsys):
+        demands = tmp_path / "demands.json"
+        # Node 7 has no out-links: 7 -> 1 is unroutable.
+        demands.write_text(json.dumps([{"source": 7, "target": 1}]))
+        assert main(["plan", fig1_file, "--demands", str(demands)]) == 3
+        assert "rejected" in capsys.readouterr().out
+
+
+class TestDot:
+    def test_fig1(self, fig1_file, capsys):
+        assert main(["dot", fig1_file, "--figure", "fig1"]) == 0
+        assert capsys.readouterr().out.startswith("digraph G {")
+
+    def test_fig2(self, fig1_file, capsys):
+        assert main(["dot", fig1_file, "--figure", "fig2"]) == 0
+        assert "λ1" in capsys.readouterr().out
+
+    def test_fig3_requires_node(self, fig1_file, capsys):
+        assert main(["dot", fig1_file, "--figure", "fig3"]) == 1
+        assert main(["dot", fig1_file, "--figure", "fig3", "--node", "3"]) == 0
+
+    def test_gst(self, fig1_file, capsys):
+        assert main(
+            ["dot", fig1_file, "--figure", "gst", "--source", "1", "--target", "7"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1'" in out and "7''" in out
+
+    def test_gst_requires_endpoints(self, fig1_file, capsys):
+        assert main(["dot", fig1_file, "--figure", "gst"]) == 1

@@ -1,0 +1,60 @@
+"""Run the doctest examples embedded in module/class docstrings.
+
+The README and API docs lean on these examples; this test keeps them
+honest without enabling ``--doctest-modules`` globally (some modules'
+examples depend on wall-clock or RNG and are exercised by regular tests
+instead).
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.batch
+import repro.core.bounded
+import repro.core.lightpath
+import repro.core.network
+import repro.core.routing
+import repro.core.wavelengths
+import repro.distributed.bellman_ford_dist
+import repro.distributed.chandy_misra
+import repro.distributed.all_pairs_dist
+import repro.distributed.semilightpath_dist
+import repro.io.nx
+import repro.shortestpath.fibonacci
+import repro.shortestpath.heaps
+import repro.shortestpath.mincostflow
+import repro.shortestpath.structures
+import repro.wdm.provisioning
+import repro.wdm.simulation
+import repro.wdm.state
+import repro.wdm.traffic
+
+MODULES = [
+    repro.core.batch,
+    repro.core.bounded,
+    repro.core.lightpath,
+    repro.core.network,
+    repro.core.routing,
+    repro.core.wavelengths,
+    repro.distributed.all_pairs_dist,
+    repro.distributed.bellman_ford_dist,
+    repro.distributed.chandy_misra,
+    repro.distributed.semilightpath_dist,
+    repro.io.nx,
+    repro.shortestpath.fibonacci,
+    repro.shortestpath.heaps,
+    repro.shortestpath.mincostflow,
+    repro.shortestpath.structures,
+    repro.wdm.provisioning,
+    repro.wdm.simulation,
+    repro.wdm.state,
+    repro.wdm.traffic,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failures in {module.__name__}"
+    assert result.attempted > 0, f"no doctests found in {module.__name__}"

@@ -1,0 +1,89 @@
+"""Unit tests for sparse converter placement."""
+
+import math
+
+import pytest
+
+from repro.core.conversion import FixedCostConversion
+from repro.core.routing import LiangShenRouter
+from repro.exceptions import NoPathError
+from repro.topology.converters import place_converters, sparse_conversion_network
+from repro.topology.reference import nsfnet_network
+
+
+class TestPlaceConverters:
+    def test_converters_only_at_listed_nodes(self, paper_net):
+        place_converters(paper_net, [3, 5], FixedCostConversion(0.25))
+        assert paper_net.conversion_cost(3, 0, 1) == 0.25
+        assert paper_net.conversion_cost(5, 0, 1) == 0.25
+        assert paper_net.conversion_cost(1, 0, 1) == math.inf
+
+    def test_unknown_node_rejected(self, paper_net):
+        with pytest.raises(ValueError):
+            place_converters(paper_net, ["ghost"], FixedCostConversion(0.1))
+
+    def test_empty_placement_disables_all(self, paper_net):
+        place_converters(paper_net, [], FixedCostConversion(0.1))
+        for node in paper_net.nodes():
+            assert paper_net.conversion_cost(node, 0, 1) == math.inf
+
+
+class TestSparseConversion:
+    def test_density_extremes(self):
+        net = nsfnet_network(num_wavelengths=3)
+        model = FixedCostConversion(0.3)
+        dark = sparse_conversion_network(net, 0.0, model)
+        full = sparse_conversion_network(net, 1.0, model)
+        assert all(
+            dark.conversion_cost(v, 0, 1) == math.inf for v in dark.nodes()
+        )
+        assert all(full.conversion_cost(v, 0, 1) == 0.3 for v in full.nodes())
+
+    def test_density_rounding(self):
+        net = nsfnet_network(num_wavelengths=2)
+        half = sparse_conversion_network(net, 0.5, FixedCostConversion(0.1), seed=4)
+        with_conv = sum(
+            1 for v in half.nodes() if half.conversion_cost(v, 0, 1) < math.inf
+        )
+        assert with_conv == 7  # round(0.5 * 14)
+
+    def test_original_untouched(self):
+        net = nsfnet_network(num_wavelengths=2)
+        sparse_conversion_network(net, 0.0, FixedCostConversion(0.1))
+        assert net.conversion_cost("WA", 0, 1) < math.inf
+
+    def test_seeded_reproducible(self):
+        net = nsfnet_network(num_wavelengths=2)
+        a = sparse_conversion_network(net, 0.5, FixedCostConversion(0.1), seed=9)
+        b = sparse_conversion_network(net, 0.5, FixedCostConversion(0.1), seed=9)
+        for v in net.nodes():
+            assert a.conversion_cost(v, 0, 1) == b.conversion_cost(v, 0, 1)
+
+    def test_invalid_density(self):
+        net = nsfnet_network(num_wavelengths=2)
+        with pytest.raises(ValueError):
+            sparse_conversion_network(net, 1.5, FixedCostConversion(0.1))
+
+    def test_more_converters_never_hurt_routability(self):
+        """Optimal cost is non-increasing in converter density (same seed:
+        placements are nested is NOT guaranteed, so compare to extremes)."""
+        from repro.topology.wavelength_assign import bounded_random_wavelengths
+        from repro.topology.generators import ring_network
+
+        base = ring_network(
+            10,
+            8,
+            seed=3,
+            wavelength_policy=bounded_random_wavelengths(8, 2),
+        )
+        model = FixedCostConversion(0.2)
+        dark = sparse_conversion_network(base, 0.0, model)
+        full = sparse_conversion_network(base, 1.0, model)
+
+        def cost(net):
+            try:
+                return LiangShenRouter(net).route(0, 5).cost
+            except NoPathError:
+                return math.inf
+
+        assert cost(full) <= cost(dark)

@@ -1,0 +1,72 @@
+"""Unit tests for link-cost policies and conversion factories."""
+
+import random
+
+import pytest
+
+from repro.core.conversion import FixedCostConversion, MatrixConversion
+from repro.topology.cost_models import (
+    distance_scaled_costs,
+    random_costs,
+    random_matrix_conversion,
+    restriction2_conversion,
+    uniform_costs,
+    wavelength_dependent_costs,
+)
+
+
+class TestLinkCostPolicies:
+    def test_uniform(self):
+        policy = uniform_costs(2.5)
+        assert policy(random.Random(0), "a", "b", 3) == 2.5
+
+    def test_random_range(self):
+        policy = random_costs(2.0, 4.0)
+        rng = random.Random(1)
+        values = [policy(rng, "a", "b", 0) for _ in range(100)]
+        assert all(2.0 <= v <= 4.0 for v in values)
+        assert max(values) - min(values) > 0.5  # actually random
+
+    def test_random_invalid_range(self):
+        with pytest.raises(ValueError):
+            random_costs(5.0, 1.0)
+
+    def test_distance_scaled(self):
+        positions = {"a": (0.0, 0.0), "b": (3.0, 4.0)}
+        policy = distance_scaled_costs(positions, scale=2.0)
+        assert policy(random.Random(0), "a", "b", 0) == pytest.approx(10.0)
+
+    def test_wavelength_dependent(self):
+        policy = wavelength_dependent_costs(base=1.0, per_wavelength=0.5)
+        assert policy(random.Random(0), "a", "b", 0) == 1.0
+        assert policy(random.Random(0), "a", "b", 4) == 3.0
+
+
+class TestConversionFactories:
+    def test_restriction2_under_floor(self):
+        model = restriction2_conversion(min_link_cost=2.0, fraction=0.5)
+        assert isinstance(model, FixedCostConversion)
+        assert model.cost(0, 1) == pytest.approx(1.0)
+        assert model.cost(0, 1) < 2.0
+
+    def test_restriction2_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            restriction2_conversion(2.0, fraction=1.0)
+
+    def test_restriction2_zero_floor(self):
+        with pytest.raises(ValueError):
+            restriction2_conversion(0.0)
+
+    def test_random_matrix_shape(self):
+        rng = random.Random(2)
+        model = random_matrix_conversion(rng, 4, support_probability=1.0)
+        assert isinstance(model, MatrixConversion)
+        for p in range(4):
+            for q in range(4):
+                if p != q:
+                    assert model.supports(p, q)
+
+    def test_random_matrix_sparsity(self):
+        rng = random.Random(3)
+        model = random_matrix_conversion(rng, 6, support_probability=0.0)
+        assert not any(True for _ in model.pairs())

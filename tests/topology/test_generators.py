@@ -1,0 +1,178 @@
+"""Unit tests for the topology generators."""
+
+import pytest
+
+from repro.core.conversion import NoConversion
+from repro.topology.generators import (
+    build_network,
+    complete_network,
+    degree_bounded_network,
+    grid_network,
+    line_network,
+    random_sparse_network,
+    ring_network,
+    torus_network,
+    waxman_network,
+)
+from repro.topology.wavelength_assign import bounded_random_wavelengths
+
+
+def strongly_connected(net) -> bool:
+    """BFS both ways from the first node over the physical digraph."""
+    nodes = net.nodes()
+    if not nodes:
+        return True
+
+    def reach(start, forward=True):
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            v = frontier.pop()
+            adjacent = net.successors(v) if forward else net.predecessors(v)
+            for u in adjacent:
+                if u not in seen:
+                    seen.add(u)
+                    frontier.append(u)
+        return seen
+
+    return len(reach(nodes[0], True)) == len(nodes) == len(reach(nodes[0], False))
+
+
+class TestRing:
+    def test_shape(self):
+        net = ring_network(10, 2)
+        assert net.num_nodes == 10
+        assert net.num_links == 20  # bidirectional
+        assert net.max_degree == 2
+
+    def test_unidirectional(self):
+        net = ring_network(10, 2, bidirectional=False)
+        assert net.num_links == 10
+        assert net.max_degree == 1
+
+    def test_connected(self):
+        assert strongly_connected(ring_network(7, 1))
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            ring_network(1, 1)
+
+
+class TestLine:
+    def test_shape(self):
+        net = line_network(5, 2)
+        assert net.num_links == 8
+        assert net.in_degree(0) == 1
+        assert net.in_degree(2) == 2
+
+    def test_unidirectional_not_strongly_connected(self):
+        net = line_network(4, 1, bidirectional=False)
+        assert not strongly_connected(net)
+
+
+class TestGridAndTorus:
+    def test_grid_shape(self):
+        net = grid_network(3, 4, 2)
+        assert net.num_nodes == 12
+        # Undirected mesh edges: 3*(4-1) + 4*(3-1) = 17, bidirected = 34.
+        assert net.num_links == 34
+        assert net.max_degree <= 4
+
+    def test_grid_node_labels(self):
+        net = grid_network(2, 2, 1)
+        assert set(net.nodes()) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_torus_regular_degree(self):
+        net = torus_network(4, 4, 1)
+        assert all(net.out_degree(v) == 4 for v in net.nodes())
+
+    def test_torus_connected(self):
+        assert strongly_connected(torus_network(3, 3, 1))
+
+
+class TestDegreeBounded:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_degree_bound_respected(self, seed):
+        net = degree_bounded_network(40, 3, max_degree=4, seed=seed)
+        # Physical undirected degree <= 4 -> directed in/out degree <= 4.
+        assert net.max_degree <= 4
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_strongly_connected(self, seed):
+        assert strongly_connected(degree_bounded_network(30, 2, seed=seed))
+
+    def test_sparse(self):
+        net = degree_bounded_network(100, 2, max_degree=4, seed=0)
+        assert net.num_links <= 4 * 100  # m = O(n)
+
+    def test_reproducible(self):
+        a = degree_bounded_network(20, 2, seed=9)
+        b = degree_bounded_network(20, 2, seed=9)
+        assert [(l.tail, l.head) for l in a.links()] == [
+            (l.tail, l.head) for l in b.links()
+        ]
+
+
+class TestRandomSparse:
+    def test_connected_backbone(self):
+        assert strongly_connected(random_sparse_network(25, 2, seed=3))
+
+    def test_target_density(self):
+        net = random_sparse_network(50, 1, average_degree=3.0, seed=1)
+        assert 50 <= net.num_links <= 160
+
+    def test_bad_average_degree(self):
+        with pytest.raises(ValueError):
+            random_sparse_network(10, 1, average_degree=1.0)
+
+
+class TestWaxman:
+    def test_connected_when_requested(self):
+        assert strongly_connected(waxman_network(30, 2, seed=4))
+
+    def test_positions_attached(self):
+        net = waxman_network(10, 1, seed=0)
+        assert len(net.positions) == 10
+        for x, y in net.positions.values():
+            assert 0 <= x <= 1 and 0 <= y <= 1
+
+    def test_higher_alpha_more_links(self):
+        sparse = waxman_network(40, 1, alpha=0.05, seed=8, connect=False)
+        dense = waxman_network(40, 1, alpha=0.9, seed=8, connect=False)
+        assert dense.num_links > sparse.num_links
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            waxman_network(10, 1, beta=0.0)
+
+
+class TestComplete:
+    def test_all_arcs(self):
+        net = complete_network(6, 1)
+        assert net.num_links == 30
+        assert net.max_degree == 5
+
+
+class TestBuildNetwork:
+    def test_policies_applied(self):
+        net = build_network(
+            ["x", "y"],
+            [("x", "y")],
+            num_wavelengths=8,
+            wavelength_policy=bounded_random_wavelengths(8, 2),
+            seed=1,
+        )
+        assert 1 <= len(net.available_wavelengths("x", "y")) <= 2
+
+    def test_conversion_model_shared(self):
+        net = build_network(
+            ["x", "y"], [("x", "y")], num_wavelengths=2, conversion=NoConversion()
+        )
+        assert net.conversion_cost("x", 0, 1) == float("inf")
+
+    def test_default_satisfies_restriction2(self):
+        from repro.core.restrictions import check_restriction2
+
+        net = ring_network(6, 3)
+        holds, _, _ = check_restriction2(net)
+        assert holds

@@ -1,0 +1,101 @@
+"""Unit tests for the fixed reference networks."""
+
+import pytest
+
+from repro.core.routing import LiangShenRouter
+from repro.topology.reference import (
+    ARPANET_FIBERS,
+    COST239_FIBERS,
+    NSFNET_FIBERS,
+    arpanet_network,
+    cost239_network,
+    nsfnet_network,
+    paper_figure1_network,
+)
+
+
+class TestPaperExampleOptions:
+    def test_defaults(self):
+        net = paper_figure1_network()
+        assert net.num_wavelengths == 4
+        assert net.conversion_cost(1, 0, 1) == 0.5
+
+    def test_custom_costs(self):
+        net = paper_figure1_network(link_cost=2.0, conversion_cost=0.25)
+        assert net.link_cost(1, 2, 0) == 2.0
+        assert net.conversion_cost(5, 0, 1) == 0.25
+
+    def test_forbidden_conversion_toggle(self):
+        strict = paper_figure1_network()
+        relaxed = paper_figure1_network(forbid_node3_l2_to_l3=False)
+        assert strict.conversion_cost(3, 1, 2) == float("inf")
+        assert relaxed.conversion_cost(3, 1, 2) == 0.5
+
+
+class TestNSFNET:
+    def test_shape(self):
+        net = nsfnet_network()
+        assert net.num_nodes == 14
+        assert net.num_links == 2 * len(NSFNET_FIBERS)
+
+    def test_degree_bound(self):
+        net = nsfnet_network()
+        assert net.max_degree <= 4
+
+    def test_fully_routable(self):
+        net = nsfnet_network(num_wavelengths=2)
+        router = LiangShenRouter(net)
+        nodes = net.nodes()
+        for target in nodes[1:]:
+            assert router.route(nodes[0], target).cost > 0
+
+    def test_wavelength_count_configurable(self):
+        assert nsfnet_network(num_wavelengths=16).num_wavelengths == 16
+
+
+class TestCOST239:
+    def test_shape(self):
+        net = cost239_network()
+        assert net.num_nodes == 11
+        assert net.num_links == 2 * len(COST239_FIBERS)
+
+    def test_city_names(self):
+        net = cost239_network()
+        assert net.has_node("London")
+        assert net.has_node("Vienna")
+
+    def test_denser_than_nsfnet(self):
+        """COST239 is the dense-mesh European reference: higher average
+        degree than NSFNET."""
+        cost = cost239_network()
+        nsf = nsfnet_network()
+        assert cost.num_links / cost.num_nodes > nsf.num_links / nsf.num_nodes
+
+    def test_fully_routable(self):
+        net = cost239_network(num_wavelengths=2)
+        router = LiangShenRouter(net)
+        for target in net.nodes()[1:]:
+            router.route(net.nodes()[0], target)
+
+    def test_survivable_pairs_exist_everywhere(self):
+        """The dense mesh supports fiber-disjoint pairs for every pair."""
+        from repro.wdm.protection import route_disjoint_pair
+
+        net = cost239_network(num_wavelengths=2)
+        pair = route_disjoint_pair(net, "London", "Vienna")
+        assert not pair.shares_links()
+
+
+class TestARPANET:
+    def test_shape(self):
+        net = arpanet_network()
+        assert net.num_nodes == 20
+        assert net.num_links == 2 * len(ARPANET_FIBERS)
+
+    def test_degree_bound(self):
+        assert arpanet_network().max_degree <= 4
+
+    def test_routable_across_the_span(self):
+        net = arpanet_network(num_wavelengths=2)
+        result = LiangShenRouter(net).route(0, 19)
+        assert result.path.num_hops >= 4  # it is a wide network

@@ -1,0 +1,70 @@
+"""Unit tests for demand-matrix generators."""
+
+import pytest
+
+from repro.topology.traffic_matrices import gravity_demands, uniform_demands
+
+
+class TestUniform:
+    def test_probability_extremes(self):
+        nodes = list(range(5))
+        assert uniform_demands(nodes, probability=0.0) == []
+        full = uniform_demands(nodes, probability=1.0)
+        assert len(full) == 20  # all ordered pairs
+
+    def test_counts_in_range(self):
+        demands = uniform_demands(list(range(6)), probability=1.0, max_count=3, seed=2)
+        assert all(1 <= d.count <= 3 for d in demands)
+
+    def test_seeded(self):
+        a = uniform_demands(list(range(6)), seed=4)
+        b = uniform_demands(list(range(6)), seed=4)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_demands([1, 2], probability=1.5)
+
+
+class TestGravity:
+    def test_total_circuits_approximate(self):
+        demands = gravity_demands(list(range(8)), total_circuits=100, seed=1)
+        total = sum(d.count for d in demands)
+        assert 80 <= total <= 120  # stochastic rounding wiggle
+
+    def test_heavier_nodes_attract_more(self):
+        nodes = ["small", "big", "other"]
+        weights = {"small": 1.0, "big": 100.0, "other": 1.0}
+        demands = gravity_demands(nodes, 200, weights=weights, seed=3)
+        touching_big = sum(
+            d.count for d in demands if "big" in (d.source, d.target)
+        )
+        not_touching_big = sum(
+            d.count for d in demands if "big" not in (d.source, d.target)
+        )
+        assert touching_big > 10 * max(1, not_touching_big)
+
+    def test_no_self_demands(self):
+        demands = gravity_demands(list(range(5)), 50, seed=0)
+        assert all(d.source != d.target for d in demands)
+
+    def test_missing_weight_rejected(self):
+        with pytest.raises(ValueError):
+            gravity_demands(["a", "b"], 10, weights={"a": 1.0})
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            gravity_demands(["a", "b"], 10, weights={"a": 1.0, "b": 0.0})
+
+    def test_too_few_nodes(self):
+        with pytest.raises(ValueError):
+            gravity_demands(["only"], 10)
+
+    def test_feeds_the_planner(self):
+        from repro.topology.reference import nsfnet_network
+        from repro.wdm.planner import StaticPlanner
+
+        net = nsfnet_network(num_wavelengths=6)
+        demands = gravity_demands(net.nodes(), 20, seed=7)
+        plan = StaticPlanner(net).plan(demands)
+        assert plan.circuits_carried > 0

@@ -1,0 +1,70 @@
+"""Unit tests for wavelength-availability policies."""
+
+import random
+
+import pytest
+
+from repro.topology.wavelength_assign import (
+    all_wavelengths,
+    bounded_random_wavelengths,
+    random_wavelengths,
+)
+
+
+class TestAllWavelengths:
+    def test_full_universe(self):
+        policy = all_wavelengths(5)
+        assert policy(random.Random(0), "a", "b") == {0, 1, 2, 3, 4}
+
+
+class TestRandomWavelengths:
+    def test_within_universe(self):
+        policy = random_wavelengths(8, availability=0.5)
+        rng = random.Random(1)
+        for _ in range(50):
+            chosen = policy(rng, "a", "b")
+            assert chosen <= set(range(8))
+            assert len(chosen) >= 1  # default min_size
+
+    def test_min_size_respected(self):
+        policy = random_wavelengths(8, availability=0.0, min_size=3)
+        rng = random.Random(2)
+        assert len(policy(rng, "a", "b")) == 3
+
+    def test_probability_extremes(self):
+        rng = random.Random(3)
+        assert random_wavelengths(4, 1.0)(rng, "a", "b") == {0, 1, 2, 3}
+        assert len(random_wavelengths(4, 0.0, min_size=1)(rng, "a", "b")) == 1
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            random_wavelengths(4, 1.5)
+
+    def test_invalid_min_size(self):
+        with pytest.raises(ValueError):
+            random_wavelengths(4, 0.5, min_size=5)
+
+
+class TestBoundedRandom:
+    def test_size_bounds(self):
+        policy = bounded_random_wavelengths(100, k0=3)
+        rng = random.Random(4)
+        sizes = [len(policy(rng, "a", "b")) for _ in range(200)]
+        assert all(1 <= s <= 3 for s in sizes)
+        assert set(sizes) == {1, 2, 3}  # all sizes occur over 200 draws
+
+    def test_members_span_large_universe(self):
+        policy = bounded_random_wavelengths(1000, k0=2)
+        rng = random.Random(5)
+        members = set()
+        for _ in range(300):
+            members |= policy(rng, "a", "b")
+        assert max(members) > 500  # draws reach deep into the universe
+
+    def test_k0_must_fit_universe(self):
+        with pytest.raises(ValueError):
+            bounded_random_wavelengths(4, k0=5)
+
+    def test_min_size_validation(self):
+        with pytest.raises(ValueError):
+            bounded_random_wavelengths(10, k0=3, min_size=4)

@@ -1,0 +1,59 @@
+"""Unit tests for simulation event logging."""
+
+import pytest
+
+from repro.topology.reference import nsfnet_network
+from repro.wdm.events import EventLog
+from repro.wdm.provisioning import SemilightpathProvisioner
+from repro.wdm.simulation import DynamicSimulation
+from repro.wdm.traffic import TrafficGenerator
+
+
+@pytest.fixture
+def run_with_log():
+    net = nsfnet_network(num_wavelengths=2)
+    log = EventLog()
+    trace = TrafficGenerator(net.nodes(), 25.0, 1.0, seed=61).generate(150)
+    stats = DynamicSimulation(SemilightpathProvisioner(net), observer=log).run(trace)
+    return stats, log
+
+
+class TestEventLog:
+    def test_event_counts_match_stats(self, run_with_log):
+        stats, log = run_with_log
+        summary = log.summary()
+        assert summary.get("admit", 0) == stats.admitted
+        assert summary.get("block", 0) == stats.blocked
+        assert summary.get("depart", 0) == stats.admitted  # all released
+
+    def test_event_times_ordered_per_kind(self, run_with_log):
+        _stats, log = run_with_log
+        admit_times = [e["time"] for e in log.of_kind("admit")]
+        assert admit_times == sorted(admit_times)
+
+    def test_admit_payload(self, run_with_log):
+        _stats, log = run_with_log
+        admit = log.of_kind("admit")[0]
+        assert admit["cost"] > 0
+        assert admit["hops"] >= 1
+        assert "connection_id" in admit
+
+    def test_jsonl_round_trip(self, run_with_log):
+        _stats, log = run_with_log
+        restored = EventLog.from_jsonl(log.to_jsonl())
+        assert restored.num_events == log.num_events
+        assert restored.events == log.events
+
+    def test_no_observer_still_works(self):
+        net = nsfnet_network(num_wavelengths=2)
+        trace = TrafficGenerator(net.nodes(), 5.0, 1.0, seed=1).generate(20)
+        stats = DynamicSimulation(SemilightpathProvisioner(net)).run(trace)
+        assert stats.offered == 20
+
+    def test_path_document_helper(self, paper_net):
+        from repro.core.routing import LiangShenRouter
+
+        path = LiangShenRouter(paper_net).route(1, 7).path
+        document = EventLog.path_document(path)
+        assert document["total_cost"] == 2.0
+        assert len(document["hops"]) == 2

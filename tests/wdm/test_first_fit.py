@@ -1,0 +1,74 @@
+"""Unit tests for the first-fit baseline provisioner."""
+
+import pytest
+
+from repro.core.network import WDMNetwork
+from repro.exceptions import NoPathError
+from repro.topology.reference import nsfnet_network
+from repro.wdm.first_fit import FirstFitProvisioner
+
+
+@pytest.fixture
+def prov():
+    return FirstFitProvisioner(nsfnet_network(num_wavelengths=3))
+
+
+class TestFirstFit:
+    def test_picks_lowest_index(self, prov):
+        conn = prov.establish("WA", "NY")
+        assert set(conn.path.wavelengths()) == {0}
+
+    def test_wavelength_continuity(self, prov):
+        for _ in range(3):
+            conn = prov.try_establish("WA", "NY")
+            if conn is None:
+                break
+            assert len(set(conn.path.wavelengths())) == 1  # single λ end-to-end
+
+    def test_no_conversions_ever(self, prov):
+        conn = prov.establish("WA", "GA")
+        assert conn.path.num_conversions == 0
+
+    def test_fixed_route_is_cached(self, prov):
+        a = prov.establish("WA", "NY")
+        b = prov.establish("WA", "NY")
+        assert a.path.nodes() == b.path.nodes()  # same physical route
+        assert a.path.wavelengths() != b.path.wavelengths()
+
+    def test_blocks_when_wavelengths_exhausted(self, prov):
+        admitted = 0
+        while prov.try_establish("WA", "NY") is not None:
+            admitted += 1
+            assert admitted < 50, "should have blocked by now"
+        assert admitted == 3  # k = 3 wavelengths on the fixed route
+
+    def test_teardown_recycles(self, prov):
+        conns = []
+        while True:
+            c = prov.try_establish("WA", "NY")
+            if c is None:
+                break
+            conns.append(c)
+        prov.teardown(conns[0])
+        assert prov.try_establish("WA", "NY") is not None
+
+    def test_unroutable_pair(self):
+        net = WDMNetwork(num_wavelengths=2)
+        net.add_nodes(["a", "b"])
+        prov = FirstFitProvisioner(net)
+        with pytest.raises(NoPathError):
+            prov.establish("a", "b")
+
+    def test_same_endpoints_rejected(self, prov):
+        with pytest.raises(ValueError):
+            prov.establish("WA", "WA")
+
+    def test_skips_partially_available_wavelengths(self):
+        """First-fit must skip a wavelength missing on any route link."""
+        net = WDMNetwork(num_wavelengths=2)
+        net.add_nodes(["a", "b", "c"])
+        net.add_link("a", "b", {0: 1.0, 1: 1.0})
+        net.add_link("b", "c", {1: 1.0})  # λ1 missing here
+        prov = FirstFitProvisioner(net)
+        conn = prov.establish("a", "c")
+        assert conn.path.wavelengths() == [1, 1]

@@ -1,0 +1,109 @@
+"""Unit tests for jointly-optimal channel-disjoint pairs (min-cost flow)."""
+
+import pytest
+
+from repro.core.conversion import FixedCostConversion, NoConversion
+from repro.core.network import WDMNetwork
+from repro.exceptions import NoPathError
+from repro.wdm.optimal_protection import route_optimal_channel_disjoint_pair
+from repro.wdm.protection import route_disjoint_pair
+
+
+def trap_network() -> WDMNetwork:
+    """The classic trap: the single-path optimum destroys all backups.
+
+    s->a->b->t is the cheapest path (3), but removing it leaves s->b and
+    a->t stranded.  The only disjoint pair is {s-a-t, s-b-t} (total 10).
+    """
+    net = WDMNetwork(num_wavelengths=1, default_conversion=NoConversion())
+    for node in "sabt":
+        net.add_node(node)
+    net.add_link("s", "a", {0: 1.0})
+    net.add_link("a", "b", {0: 1.0})
+    net.add_link("b", "t", {0: 1.0})
+    net.add_link("s", "b", {0: 4.0})
+    net.add_link("a", "t", {0: 4.0})
+    return net
+
+
+class TestTrapTopology:
+    def test_apf_fails_on_the_trap(self):
+        with pytest.raises(NoPathError):
+            route_disjoint_pair(trap_network(), "s", "t", disjointness="channel")
+
+    def test_optimal_solves_the_trap(self):
+        pair = route_optimal_channel_disjoint_pair(trap_network(), "s", "t")
+        assert not pair.shares_channels()
+        assert pair.total_cost == pytest.approx(10.0)
+        routes = {tuple(pair.working.nodes()), tuple(pair.backup.nodes())}
+        assert routes == {("s", "a", "t"), ("s", "b", "t")}
+
+    def test_working_leg_individually_suboptimal(self):
+        """Joint optimality means neither leg is the single-path optimum."""
+        from repro.core.routing import LiangShenRouter
+
+        net = trap_network()
+        single = LiangShenRouter(net).route("s", "t").cost
+        pair = route_optimal_channel_disjoint_pair(net, "s", "t")
+        assert pair.working.total_cost > single
+
+
+class TestGeneralBehavior:
+    def test_matches_apf_when_no_trap(self):
+        """On a clean diamond both methods find the same pair."""
+        net = WDMNetwork(num_wavelengths=1, default_conversion=NoConversion())
+        for node in "sabt":
+            net.add_node(node)
+        net.add_link("s", "a", {0: 1.0})
+        net.add_link("a", "t", {0: 1.0})
+        net.add_link("s", "b", {0: 2.0})
+        net.add_link("b", "t", {0: 2.0})
+        apf = route_disjoint_pair(net, "s", "t", disjointness="channel")
+        opt = route_optimal_channel_disjoint_pair(net, "s", "t")
+        assert opt.total_cost == pytest.approx(apf.total_cost)
+
+    def test_wavelength_level_disjointness(self):
+        """Two wavelengths on one fiber support a channel-disjoint pair."""
+        net = WDMNetwork(num_wavelengths=2, default_conversion=FixedCostConversion(0.1))
+        net.add_nodes(["s", "m", "t"])
+        net.add_link("s", "m", {0: 1.0, 1: 2.0})
+        net.add_link("m", "t", {0: 1.0, 1: 2.0})
+        pair = route_optimal_channel_disjoint_pair(net, "s", "t")
+        assert not pair.shares_channels()
+        assert pair.shares_links()
+        assert pair.total_cost == pytest.approx(2.0 + 4.0)
+
+    def test_no_pair_raises(self):
+        net = WDMNetwork(num_wavelengths=1, default_conversion=NoConversion())
+        net.add_nodes(["s", "t"])
+        net.add_link("s", "t", {0: 1.0})
+        with pytest.raises(NoPathError):
+            route_optimal_channel_disjoint_pair(net, "s", "t")
+
+    def test_totally_disconnected_raises(self):
+        net = WDMNetwork(num_wavelengths=1)
+        net.add_nodes(["s", "t"])
+        with pytest.raises(NoPathError):
+            route_optimal_channel_disjoint_pair(net, "s", "t")
+
+    def test_pair_costs_sum_to_flow_cost(self, paper_net):
+        pair = route_optimal_channel_disjoint_pair(paper_net, 1, 7)
+        # Both legs priced under Eq. (1) on the full network.
+        pair.working.validate(paper_net)
+        pair.backup.validate(paper_net)
+        assert pair.working.total_cost <= pair.backup.total_cost
+
+    @pytest.mark.parametrize("trial", range(12))
+    def test_never_worse_than_apf(self, trial):
+        """When APF finds a pair, the MCF pair's total is <= APF's."""
+        from tests.conftest import make_random_net
+
+        net = make_random_net(8800 + trial, max_nodes=8, max_k=3)
+        nodes = net.nodes()
+        try:
+            apf = route_disjoint_pair(net, nodes[0], nodes[-1], disjointness="channel")
+        except NoPathError:
+            return
+        opt = route_optimal_channel_disjoint_pair(net, nodes[0], nodes[-1])
+        assert opt.total_cost <= apf.total_cost + 1e-9
+        assert not opt.shares_channels()

@@ -1,0 +1,108 @@
+"""Unit tests for the static RWA planner."""
+
+import pytest
+
+from repro.core.conversion import NoConversion
+from repro.core.network import WDMNetwork
+from repro.topology.reference import nsfnet_network
+from repro.wdm.planner import Demand, Plan, StaticPlanner
+
+
+class TestDemand:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Demand("a", "a")
+        with pytest.raises(ValueError):
+            Demand("a", "b", count=0)
+
+    def test_plan_counters(self):
+        plan = Plan()
+        assert plan.acceptance_ratio == 1.0
+        assert plan.circuits_requested == 0
+
+
+class TestPlanner:
+    def test_all_fit_when_capacity_ample(self):
+        net = nsfnet_network(num_wavelengths=8)
+        demands = [Demand("WA", "NY", 2), Demand("CA1", "GA", 1), Demand("TX", "MI", 3)]
+        plan = StaticPlanner(net).plan(demands)
+        assert plan.acceptance_ratio == 1.0
+        assert plan.circuits_carried == 6
+        assert not plan.rejected
+
+    def test_routed_paths_are_channel_disjoint(self):
+        net = nsfnet_network(num_wavelengths=4)
+        demands = [Demand("WA", "NY", 3), Demand("CA2", "NJ", 2)]
+        plan = StaticPlanner(net).plan(demands)
+        seen = set()
+        for paths in plan.routed.values():
+            for path in paths:
+                for hop in path.hops:
+                    channel = (hop.tail, hop.head, hop.wavelength)
+                    assert channel not in seen
+                    seen.add(channel)
+
+    def test_rejection_when_capacity_exhausted(self):
+        net = WDMNetwork(num_wavelengths=1, default_conversion=NoConversion())
+        net.add_nodes(["a", "b"])
+        net.add_link("a", "b", {0: 1.0})
+        plan = StaticPlanner(net).plan([Demand("a", "b", 2)])
+        # All-or-nothing: a 2-circuit demand on a 1-channel link rejects.
+        assert plan.circuits_carried == 0
+        assert plan.rejected == [Demand("a", "b", 2)]
+
+    def test_all_or_nothing_releases_partials(self):
+        net = WDMNetwork(num_wavelengths=1, default_conversion=NoConversion())
+        net.add_nodes(["a", "b"])
+        net.add_link("a", "b", {0: 1.0})
+        planner = StaticPlanner(net, ordering="given")
+        plan = planner.plan([Demand("a", "b", 2), Demand("a", "b", 1)])
+        # The big demand rejects and releases; the small one then fits.
+        assert plan.circuits_carried == 1
+        assert plan.total_cost == pytest.approx(1.0)
+
+    def test_orderings_validated(self):
+        net = nsfnet_network(num_wavelengths=2)
+        with pytest.raises(ValueError):
+            StaticPlanner(net, ordering="alphabetical")
+        with pytest.raises(ValueError):
+            StaticPlanner(net, restarts=0)
+
+    def test_shortest_first_orders_by_hops(self):
+        net = nsfnet_network(num_wavelengths=8)
+        near = Demand("WA", "CA1")   # adjacent
+        far = Demand("WA", "NY")     # across the country
+        planner = StaticPlanner(net, ordering="shortest-first")
+        import random
+
+        ordered = planner._order([far, near], random.Random(0))
+        assert ordered[0] == near
+
+    def test_random_restarts_never_worse_than_one_shot(self):
+        net = nsfnet_network(num_wavelengths=2)
+        demands = [
+            Demand("WA", "NY", 2),
+            Demand("CA1", "NJ", 2),
+            Demand("CA2", "MI", 2),
+            Demand("TX", "WA", 2),
+            Demand("GA", "UT", 2),
+        ]
+        single = StaticPlanner(net, ordering="random", restarts=1, seed=5).plan(demands)
+        multi = StaticPlanner(net, ordering="random", restarts=8, seed=5).plan(demands)
+        assert multi.circuits_carried >= single.circuits_carried
+
+    def test_total_cost_matches_paths(self):
+        net = nsfnet_network(num_wavelengths=4)
+        plan = StaticPlanner(net).plan([Demand("WA", "NY", 2), Demand("UT", "GA")])
+        recomputed = sum(
+            p.total_cost for paths in plan.routed.values() for p in paths
+        )
+        assert plan.total_cost == pytest.approx(recomputed)
+
+    def test_unreachable_demand_rejected_cleanly(self):
+        net = WDMNetwork(num_wavelengths=1)
+        net.add_nodes(["a", "b", "c"])
+        net.add_link("a", "b", {0: 1.0})
+        plan = StaticPlanner(net).plan([Demand("a", "c"), Demand("a", "b")])
+        assert Demand("a", "c") in plan.rejected
+        assert plan.circuits_carried == 1

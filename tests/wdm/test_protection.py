@@ -1,0 +1,87 @@
+"""Unit tests for protection (disjoint-pair) routing."""
+
+import pytest
+
+from repro.core.conversion import FixedCostConversion
+from repro.core.network import WDMNetwork
+from repro.exceptions import NoPathError
+from repro.topology.reference import nsfnet_network
+from repro.wdm.protection import route_disjoint_pair
+
+
+def two_route_net() -> WDMNetwork:
+    net = WDMNetwork(num_wavelengths=2, default_conversion=FixedCostConversion(0.2))
+    for node in "sabt":
+        net.add_node(node)
+    net.add_link("s", "a", {0: 1.0}); net.add_link("a", "t", {0: 1.0})
+    net.add_link("s", "b", {0: 3.0}); net.add_link("b", "t", {0: 3.0})
+    return net
+
+
+class TestLinkDisjoint:
+    def test_pair_is_fiber_disjoint(self):
+        pair = route_disjoint_pair(two_route_net(), "s", "t")
+        assert not pair.shares_links()
+        assert not pair.shares_channels()
+        assert pair.working.total_cost <= pair.backup.total_cost
+
+    def test_working_is_the_optimum(self):
+        pair = route_disjoint_pair(two_route_net(), "s", "t")
+        assert pair.working.nodes() == ["s", "a", "t"]
+        assert pair.backup.nodes() == ["s", "b", "t"]
+        assert pair.total_cost == pytest.approx(2.0 + 6.0)
+
+    def test_nsfnet_pairs_exist(self):
+        net = nsfnet_network(num_wavelengths=2)
+        pair = route_disjoint_pair(net, "WA", "NY")
+        assert not pair.shares_links()
+        pair.working.validate(net)
+        pair.backup.validate(net)
+
+    def test_no_second_route_raises(self):
+        net = WDMNetwork(num_wavelengths=2, default_conversion=FixedCostConversion(0.1))
+        net.add_nodes(["s", "m", "t"])
+        net.add_link("s", "m", {0: 1.0, 1: 1.0})
+        net.add_link("m", "t", {0: 1.0, 1: 1.0})
+        # Only one physical route: link-disjoint backup is impossible.
+        with pytest.raises(NoPathError):
+            route_disjoint_pair(net, "s", "t", disjointness="link")
+
+    def test_bidirectional_fiber_counts_as_one(self):
+        """Fiber disjointness removes both directions of a cut fiber."""
+        net = WDMNetwork(num_wavelengths=1, default_conversion=FixedCostConversion(0.0))
+        net.add_nodes(["s", "t"])
+        net.add_link("s", "t", {0: 1.0})
+        net.add_link("t", "s", {0: 1.0})
+        with pytest.raises(NoPathError):
+            route_disjoint_pair(net, "s", "t", disjointness="link")
+
+
+class TestChannelDisjoint:
+    def test_same_fiber_different_wavelength_allowed(self):
+        net = WDMNetwork(num_wavelengths=2, default_conversion=FixedCostConversion(0.1))
+        net.add_nodes(["s", "m", "t"])
+        net.add_link("s", "m", {0: 1.0, 1: 2.0})
+        net.add_link("m", "t", {0: 1.0, 1: 2.0})
+        pair = route_disjoint_pair(net, "s", "t", disjointness="channel")
+        assert not pair.shares_channels()
+        assert pair.shares_links()  # same fibers, different λ
+
+    def test_channel_exhaustion_raises(self):
+        net = WDMNetwork(num_wavelengths=1, default_conversion=FixedCostConversion(0.0))
+        net.add_nodes(["s", "t"])
+        net.add_link("s", "t", {0: 1.0})
+        with pytest.raises(NoPathError):
+            route_disjoint_pair(net, "s", "t", disjointness="channel")
+
+
+class TestValidation:
+    def test_unknown_disjointness(self):
+        with pytest.raises(ValueError):
+            route_disjoint_pair(two_route_net(), "s", "t", disjointness="node")
+
+    def test_backup_priced_on_full_network(self):
+        pair = route_disjoint_pair(two_route_net(), "s", "t")
+        assert pair.backup.evaluate_cost(two_route_net()) == pytest.approx(
+            pair.backup.total_cost
+        )

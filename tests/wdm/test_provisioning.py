@@ -1,0 +1,98 @@
+"""Unit tests for the semilightpath provisioner."""
+
+import pytest
+
+from repro.exceptions import NoPathError, ReservationError
+from repro.topology.reference import paper_figure1_network
+from repro.wdm.provisioning import SemilightpathProvisioner
+
+
+@pytest.fixture
+def prov():
+    return SemilightpathProvisioner(paper_figure1_network())
+
+
+class TestEstablishTeardown:
+    def test_establish_reserves_channels(self, prov):
+        conn = prov.establish(1, 7)
+        assert prov.num_active == 1
+        for hop in conn.path.hops:
+            assert not prov.state.is_free(hop.tail, hop.head, hop.wavelength)
+
+    def test_teardown_releases(self, prov):
+        conn = prov.establish(1, 7)
+        prov.teardown(conn)
+        assert prov.num_active == 0
+        assert prov.state.num_occupied == 0
+
+    def test_double_teardown_rejected(self, prov):
+        conn = prov.establish(1, 7)
+        prov.teardown(conn)
+        with pytest.raises(ReservationError):
+            prov.teardown(conn)
+
+    def test_connection_ids_unique(self, prov):
+        a = prov.establish(1, 7)
+        b = prov.establish(5, 7)
+        assert a.connection_id != b.connection_id
+
+    def test_path_costs_refer_to_full_network(self, prov):
+        conn = prov.establish(1, 7)
+        conn.path.validate(prov.network)
+
+
+class TestResidualRouting:
+    def test_later_connections_avoid_taken_channels(self, prov):
+        first = prov.establish(1, 7)
+        second = prov.establish(1, 7)
+        used_first = {(h.tail, h.head, h.wavelength) for h in first.path.hops}
+        used_second = {(h.tail, h.head, h.wavelength) for h in second.path.hops}
+        assert not (used_first & used_second)
+
+    def test_exhaustion_blocks(self, prov):
+        # Λ(<4,5>) = {λ3} only: the 4->5 bottleneck carries one connection.
+        first = prov.establish(4, 5)
+        assert first.path.num_hops == 1
+        with pytest.raises(NoPathError):
+            prov.establish(4, 5)
+
+    def test_release_unblocks(self, prov):
+        first = prov.establish(4, 5)
+        prov.teardown(first)
+        second = prov.establish(4, 5)  # must succeed again
+        assert second.path.num_hops == 1
+
+    def test_try_establish_returns_none_when_blocked(self, prov):
+        prov.establish(4, 5)
+        assert prov.try_establish(4, 5) is None
+
+    def test_residual_network_removes_occupied(self, prov):
+        prov.establish(4, 5)
+        residual = prov.residual_network()
+        assert residual.available_wavelengths(4, 5) == frozenset()
+        assert prov.network.available_wavelengths(4, 5) == frozenset({2})
+
+    def test_conversion_rescues_blocked_lightpath(self):
+        """Semilightpath routing admits where pure lightpaths cannot."""
+        from repro.core.conversion import FixedCostConversion
+        from repro.core.network import WDMNetwork
+
+        net = WDMNetwork(num_wavelengths=2, default_conversion=FixedCostConversion(0.1))
+        net.add_nodes(["a", "b", "c"])
+        net.add_link("a", "b", {0: 1.0, 1: 1.0})
+        net.add_link("b", "c", {0: 1.0, 1: 1.0})
+        prov = SemilightpathProvisioner(net)
+        # Occupy λ1 on a->b and λ2 on b->c: no continuous wavelength left.
+        prov.state.reserve_channels([("a", "b", 0), ("b", "c", 1)])
+        conn = prov.establish("a", "c")
+        assert conn.path.wavelengths() == [1, 0]
+        assert conn.path.num_conversions == 1
+
+
+class TestActiveBookkeeping:
+    def test_active_connections_snapshot(self, prov):
+        a = prov.establish(1, 7)
+        conns = prov.active_connections()
+        assert conns == [a]
+        conns.clear()  # mutating the snapshot must not affect the provisioner
+        assert prov.num_active == 1

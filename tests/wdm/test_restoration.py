@@ -1,0 +1,120 @@
+"""Unit tests for fiber-cut restoration."""
+
+import pytest
+
+from repro.core.conversion import FixedCostConversion, NoConversion
+from repro.core.network import WDMNetwork
+from repro.exceptions import UnknownLinkError
+from repro.topology.reference import cost239_network, nsfnet_network
+from repro.wdm.provisioning import SemilightpathProvisioner
+from repro.wdm.restoration import cut_fiber, restore
+
+
+def ring5() -> WDMNetwork:
+    net = WDMNetwork(num_wavelengths=2, default_conversion=FixedCostConversion(0.1))
+    for i in range(5):
+        net.add_node(i)
+    for i in range(5):
+        a, b = i, (i + 1) % 5
+        net.add_link(a, b, {0: 1.0, 1: 1.0})
+        net.add_link(b, a, {0: 1.0, 1: 1.0})
+    return net
+
+
+class TestCutFiber:
+    def test_identifies_victims(self):
+        prov = SemilightpathProvisioner(ring5())
+        conn = prov.establish(0, 2)  # takes 0-1-2
+        assert conn.path.nodes() == [0, 1, 2]
+        assert cut_fiber(prov, 0, 1) == [conn]
+        assert cut_fiber(prov, 2, 3) == []
+
+    def test_either_direction_counts(self):
+        prov = SemilightpathProvisioner(ring5())
+        conn = prov.establish(0, 2)
+        assert cut_fiber(prov, 1, 0) == [conn]  # reversed fiber name
+
+    def test_unknown_fiber(self):
+        prov = SemilightpathProvisioner(ring5())
+        with pytest.raises(UnknownLinkError):
+            cut_fiber(prov, 0, 3)
+
+
+class TestRestore:
+    def test_reroutes_around_the_cut(self):
+        prov = SemilightpathProvisioner(ring5())
+        prov.establish(0, 2)
+        report = restore(prov, 0, 1)
+        assert len(report.affected) == 1
+        assert len(report.restored) == 1
+        assert not report.lost
+        new = report.restored[0]
+        assert new.path.nodes() == [0, 4, 3, 2]  # the long way round
+        assert report.restoration_ratio == 1.0
+        assert report.extra_cost > 0  # 3 hops instead of 2
+
+    def test_unaffected_connections_untouched(self):
+        prov = SemilightpathProvisioner(ring5())
+        prov.establish(0, 2)
+        safe = prov.establish(3, 4)
+        restore(prov, 0, 1)
+        assert safe in prov.active_connections()
+
+    def test_lost_when_no_alternative(self):
+        net = WDMNetwork(num_wavelengths=1, default_conversion=NoConversion())
+        net.add_nodes(["a", "b"])
+        net.add_link("a", "b", {0: 1.0})
+        prov = SemilightpathProvisioner(net)
+        prov.establish("a", "b")
+        report = restore(prov, "a", "b")
+        assert len(report.lost) == 1
+        assert report.restoration_ratio == 0.0
+        assert prov.num_active == 0
+
+    def test_restored_avoid_surviving_reservations(self):
+        """Restoration must not steal channels from survivors."""
+        net = ring5()
+        prov = SemilightpathProvisioner(net)
+        prov.establish(0, 2)
+        survivor = prov.establish(0, 4)  # direct 0-4 hop (λ free)
+        report = restore(prov, 0, 1)
+        restored = report.restored[0]
+        survivor_channels = {
+            (h.tail, h.head, h.wavelength) for h in survivor.path.hops
+        }
+        restored_channels = {
+            (h.tail, h.head, h.wavelength) for h in restored.path.hops
+        }
+        assert not (survivor_channels & restored_channels)
+
+    def test_no_victims_noop(self):
+        prov = SemilightpathProvisioner(ring5())
+        prov.establish(2, 4)
+        report = restore(prov, 0, 1)
+        assert report.restoration_ratio == 1.0
+        assert not report.affected
+        assert prov.num_active == 1
+
+    def test_realistic_wan_restoration_ratio(self):
+        """On a dense mesh most victims restore."""
+        net = cost239_network(num_wavelengths=4)
+        prov = SemilightpathProvisioner(net)
+        import itertools
+        import random
+
+        rng = random.Random(3)
+        pairs = list(itertools.permutations(net.nodes(), 2))
+        for s, t in rng.sample(pairs, 25):
+            prov.try_establish(s, t)
+        before = prov.num_active
+        report = restore(prov, "London", "Paris")
+        assert report.restoration_ratio >= 0.8
+        assert prov.num_active == before - len(report.lost)
+
+    def test_nsfnet_cut_reported_consistently(self):
+        net = nsfnet_network(num_wavelengths=3)
+        prov = SemilightpathProvisioner(net)
+        for s, t in [("WA", "NY"), ("CA1", "GA"), ("TX", "MI"), ("WA", "DC")]:
+            prov.establish(s, t)
+        report = restore(prov, "IL", "PA")
+        assert len(report.affected) == len(report.restored) + len(report.lost)

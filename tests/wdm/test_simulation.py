@@ -1,0 +1,108 @@
+"""Unit tests for the dynamic-traffic simulation."""
+
+import pytest
+
+from repro.topology.reference import nsfnet_network
+from repro.wdm.first_fit import FirstFitProvisioner
+from repro.wdm.provisioning import SemilightpathProvisioner
+from repro.wdm.simulation import DynamicSimulation
+from repro.wdm.traffic import TrafficGenerator, TrafficRequest
+
+
+def make_trace(net, rate, count, seed=7):
+    return TrafficGenerator(net.nodes(), rate, 1.0, seed=seed).generate(count)
+
+
+class TestAccounting:
+    def test_offered_equals_admitted_plus_blocked(self):
+        net = nsfnet_network(num_wavelengths=2)
+        stats = DynamicSimulation(SemilightpathProvisioner(net)).run(
+            make_trace(net, 30.0, 200)
+        )
+        assert stats.offered == 200
+        assert stats.admitted + stats.blocked == stats.offered
+
+    def test_all_connections_released_at_end(self):
+        net = nsfnet_network(num_wavelengths=2)
+        prov = SemilightpathProvisioner(net)
+        DynamicSimulation(prov).run(make_trace(net, 30.0, 200))
+        assert prov.num_active == 0
+        assert prov.state.num_occupied == 0
+
+    def test_zero_load_zero_blocking(self):
+        net = nsfnet_network(num_wavelengths=4)
+        stats = DynamicSimulation(SemilightpathProvisioner(net)).run(
+            make_trace(net, 0.01, 30)
+        )
+        assert stats.blocking_probability == 0.0
+
+    def test_empty_trace(self):
+        net = nsfnet_network(num_wavelengths=2)
+        stats = DynamicSimulation(SemilightpathProvisioner(net)).run([])
+        assert stats.offered == 0
+        assert stats.blocking_probability == 0.0
+
+    def test_means(self):
+        net = nsfnet_network(num_wavelengths=4)
+        stats = DynamicSimulation(SemilightpathProvisioner(net)).run(
+            make_trace(net, 5.0, 100)
+        )
+        assert stats.mean_hops >= 1.0
+        assert stats.mean_cost >= stats.mean_hops  # unit link costs + conv
+        assert stats.peak_active >= 1
+
+
+class TestDepartures:
+    def test_resources_recycle(self):
+        """Sequential non-overlapping requests on a bottleneck never block."""
+        net = nsfnet_network(num_wavelengths=1)
+        nodes = net.nodes()
+        trace = [
+            TrafficRequest(
+                request_id=i,
+                arrival_time=float(10 * i),
+                holding_time=1.0,
+                source=nodes[0],
+                target=nodes[-1],
+            )
+            for i in range(20)
+        ]
+        stats = DynamicSimulation(SemilightpathProvisioner(net)).run(trace)
+        assert stats.blocked == 0
+
+    def test_overlapping_requests_block_on_bottleneck(self):
+        net = nsfnet_network(num_wavelengths=1)
+        nodes = net.nodes()
+        trace = [
+            TrafficRequest(
+                request_id=i,
+                arrival_time=0.5,
+                holding_time=100.0,
+                source=nodes[0],
+                target=nodes[1],
+            )
+            for i in range(30)
+        ]
+        stats = DynamicSimulation(SemilightpathProvisioner(net)).run(trace)
+        assert stats.blocked > 0
+
+
+class TestPolicyComparison:
+    def test_semilightpath_blocks_no_more_than_first_fit(self):
+        """On identical traces the conversion-capable optimal router should
+        not lose to fixed-path first-fit (the RWA benchmark's headline)."""
+        net = nsfnet_network(num_wavelengths=3)
+        trace = make_trace(net, 25.0, 400, seed=13)
+        semilight = DynamicSimulation(SemilightpathProvisioner(net)).run(trace)
+        first_fit = DynamicSimulation(FirstFitProvisioner(net)).run(trace)
+        assert semilight.blocked <= first_fit.blocked
+
+    def test_blocking_increases_with_load(self):
+        net = nsfnet_network(num_wavelengths=2)
+        low = DynamicSimulation(SemilightpathProvisioner(net)).run(
+            make_trace(net, 5.0, 300, seed=3)
+        )
+        high = DynamicSimulation(SemilightpathProvisioner(net)).run(
+            make_trace(net, 60.0, 300, seed=3)
+        )
+        assert high.blocking_probability >= low.blocking_probability

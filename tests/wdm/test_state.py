@@ -1,0 +1,90 @@
+"""Unit tests for the wavelength occupancy ledger."""
+
+import pytest
+
+from repro.core.semilightpath import Semilightpath
+from repro.exceptions import ReservationError, UnknownLinkError
+from repro.wdm.state import WavelengthState
+
+
+@pytest.fixture
+def state(paper_net):
+    return WavelengthState(paper_net)
+
+
+class TestQueries:
+    def test_initially_all_free(self, state):
+        assert state.num_occupied == 0
+        assert state.utilization == 0.0
+        assert state.is_free(1, 2, 0)
+
+    def test_nonexistent_wavelength_not_free(self, state):
+        assert not state.is_free(1, 2, 1)  # λ2 not in Λ(<1,2>)
+
+    def test_unknown_link_raises(self, state):
+        with pytest.raises(UnknownLinkError):
+            state.is_free(1, 3, 0)
+
+    def test_free_on(self, state):
+        assert state.free_on(1, 2) == frozenset({0, 2})
+        state.reserve_channels([(1, 2, 0)])
+        assert state.free_on(1, 2) == frozenset({2})
+
+    def test_occupied_on(self, state):
+        state.reserve_channels([(1, 2, 0), (1, 4, 1)])
+        assert state.occupied_on(1, 2) == frozenset({0})
+        assert state.occupied_on(1, 4) == frozenset({1})
+
+    def test_total_channels(self, state):
+        assert state.total_channels == 24
+
+
+class TestReserveRelease:
+    def test_round_trip(self, state):
+        state.reserve_channels([(1, 2, 0)])
+        assert not state.is_free(1, 2, 0)
+        state.release_channels([(1, 2, 0)])
+        assert state.is_free(1, 2, 0)
+
+    def test_double_reserve_rejected(self, state):
+        state.reserve_channels([(1, 2, 0)])
+        with pytest.raises(ReservationError, match="already reserved"):
+            state.reserve_channels([(1, 2, 0)])
+
+    def test_release_unheld_rejected(self, state):
+        with pytest.raises(ReservationError, match="not reserved"):
+            state.release_channels([(1, 2, 0)])
+
+    def test_reserve_nonexistent_channel_rejected(self, state):
+        with pytest.raises(ReservationError, match="does not exist"):
+            state.reserve_channels([(1, 2, 1)])
+
+    def test_atomicity_on_failure(self, state):
+        state.reserve_channels([(2, 3, 0)])
+        with pytest.raises(ReservationError):
+            state.reserve_channels([(1, 2, 0), (2, 3, 0)])  # second conflicts
+        assert state.is_free(1, 2, 0)  # first must not have been taken
+
+    def test_duplicate_in_one_request_rejected(self, state):
+        with pytest.raises(ReservationError, match="duplicate"):
+            state.reserve_channels([(1, 2, 0), (1, 2, 0)])
+
+    def test_utilization_tracks(self, state):
+        state.reserve_channels([(1, 2, 0), (1, 2, 2), (2, 7, 1)])
+        assert state.utilization == pytest.approx(3 / 24)
+
+
+class TestPathHelpers:
+    def test_reserve_and_release_path(self, state, paper_net):
+        path = Semilightpath.from_sequence([1, 2, 7], [0, 0], paper_net)
+        state.reserve_path(path)
+        assert not state.is_free(1, 2, 0)
+        assert not state.is_free(2, 7, 0)
+        state.release_path(path)
+        assert state.num_occupied == 0
+
+    def test_conflicting_paths(self, state, paper_net):
+        path = Semilightpath.from_sequence([1, 2, 7], [0, 0], paper_net)
+        state.reserve_path(path)
+        with pytest.raises(ReservationError):
+            state.reserve_path(path)

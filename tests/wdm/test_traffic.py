@@ -1,0 +1,83 @@
+"""Unit tests for the traffic generator."""
+
+import statistics
+
+import pytest
+
+from repro.wdm.traffic import TrafficGenerator
+
+
+class TestValidation:
+    def test_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            TrafficGenerator(["only"], 1.0, 1.0)
+
+    def test_positive_rates(self):
+        with pytest.raises(ValueError):
+            TrafficGenerator(["a", "b"], 0.0, 1.0)
+        with pytest.raises(ValueError):
+            TrafficGenerator(["a", "b"], 1.0, 0.0)
+
+
+class TestStream:
+    def test_deterministic(self):
+        a = TrafficGenerator(["a", "b", "c"], 2.0, 1.0, seed=5).generate(20)
+        b = TrafficGenerator(["a", "b", "c"], 2.0, 1.0, seed=5).generate(20)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = TrafficGenerator(["a", "b", "c"], 2.0, 1.0, seed=1).generate(20)
+        b = TrafficGenerator(["a", "b", "c"], 2.0, 1.0, seed=2).generate(20)
+        assert a != b
+
+    def test_arrivals_increase(self):
+        trace = TrafficGenerator(["a", "b"], 3.0, 1.0, seed=0).generate(50)
+        times = [r.arrival_time for r in trace]
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+
+    def test_endpoints_distinct(self):
+        trace = TrafficGenerator(["a", "b", "c", "d"], 1.0, 1.0, seed=0).generate(100)
+        assert all(r.source != r.target for r in trace)
+
+    def test_request_ids_sequential(self):
+        trace = TrafficGenerator(["a", "b"], 1.0, 1.0, seed=0).generate(10)
+        assert [r.request_id for r in trace] == list(range(1, 11))
+
+    def test_departure_time(self):
+        trace = TrafficGenerator(["a", "b"], 1.0, 1.0, seed=0).generate(5)
+        for r in trace:
+            assert r.departure_time == pytest.approx(r.arrival_time + r.holding_time)
+
+
+class TestStatistics:
+    def test_mean_interarrival_matches_rate(self):
+        rate = 4.0
+        trace = TrafficGenerator(["a", "b"], rate, 1.0, seed=42).generate(4000)
+        gaps = [
+            b.arrival_time - a.arrival_time for a, b in zip(trace, trace[1:])
+        ]
+        assert statistics.mean(gaps) == pytest.approx(1.0 / rate, rel=0.1)
+
+    def test_mean_holding_matches(self):
+        trace = TrafficGenerator(["a", "b"], 1.0, 2.5, seed=42).generate(4000)
+        assert statistics.mean(r.holding_time for r in trace) == pytest.approx(
+            2.5, rel=0.1
+        )
+
+    def test_offered_load(self):
+        gen = TrafficGenerator(["a", "b"], 4.0, 2.0, seed=0)
+        assert gen.offered_load_erlang == 8.0
+
+
+class TestPairSampler:
+    def test_custom_sampler_used(self):
+        gen = TrafficGenerator(
+            ["a", "b", "c"],
+            1.0,
+            1.0,
+            seed=0,
+            pair_sampler=lambda rng: ("a", "c"),
+        )
+        trace = gen.generate(10)
+        assert all((r.source, r.target) == ("a", "c") for r in trace)
