@@ -37,6 +37,9 @@ Package map
 ``repro.wdm``
     Dynamic provisioning (RWA) layer: reservations, Poisson traffic,
     blocking-probability simulation.
+``repro.service``
+    Request-driven routing service: epoch-versioned ``G_all`` caching,
+    concurrent query engine with backpressure and deadlines, metrics.
 ``repro.analysis`` / ``repro.io``
     Size accounting vs the paper's bounds, complexity fitting, JSON/DOT.
 """
@@ -68,12 +71,22 @@ from repro.core.routing import AllPairsResult, LiangShenRouter, RouteResult
 from repro.core.semilightpath import Conversion, Hop, Semilightpath
 from repro.exceptions import (
     ConversionError,
+    DeadlineExpiredError,
     InvalidPathError,
     NetworkStructureError,
     NoPathError,
     RestrictionViolation,
     SemilightError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadError,
     WavelengthError,
+)
+from repro.service import (
+    EpochRouterCache,
+    MetricsRegistry,
+    QueryEngine,
+    RoutingService,
 )
 from repro.topology.reference import (
     arpanet_network,
@@ -114,6 +127,11 @@ __all__ = [
     "check_restriction1",
     "check_restriction2",
     "enforce_restrictions",
+    # serving layer
+    "RoutingService",
+    "EpochRouterCache",
+    "QueryEngine",
+    "MetricsRegistry",
     # reference networks
     "paper_figure1_network",
     "nsfnet_network",
@@ -126,4 +144,8 @@ __all__ = [
     "NoPathError",
     "InvalidPathError",
     "RestrictionViolation",
+    "ServiceError",
+    "ServiceOverloadError",
+    "DeadlineExpiredError",
+    "ServiceClosedError",
 ]

@@ -6,7 +6,9 @@ python -m repro route net.json 0 6
 python -m repro route net.json 0 6 --max-conversions 1 --alternatives 3
 python -m repro sizes net.json
 python -m repro provision net.json --load 30 --requests 500 --policy first-fit
+python -m repro serve-bench net.json --requests 1000 --workers 4
 python -m repro dot net.json --figure fig3 --node 3
+python -m repro --version
 ```
 
 Every subcommand reads/writes the JSON documents of
@@ -35,6 +37,8 @@ from repro.io.dot import (
     routing_graph_to_dot,
 )
 from repro.io.serialization import network_from_json, network_to_json, path_to_json
+
+from repro import __version__
 
 __all__ = ["main", "build_parser"]
 
@@ -173,6 +177,76 @@ def _cmd_provision(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import random
+    import time
+
+    from repro.exceptions import NoPathError, ServiceOverloadError
+    from repro.service import RoutingService
+
+    if args.workers < 0:
+        print("--workers must be >= 0", file=sys.stderr)
+        return 1
+    if args.queue_limit < 1:
+        print("--queue-limit must be positive", file=sys.stderr)
+        return 1
+    network = _load_network(args.network)
+    nodes = network.nodes()
+    if len(nodes) < 2:
+        print("network needs at least two nodes", file=sys.stderr)
+        return 1
+    rng = random.Random(args.seed)
+    pairs = []
+    while len(pairs) < args.requests:
+        source, target = rng.sample(nodes, 2)
+        pairs.append((source, target))
+
+    served = blocked = 0
+    start = time.perf_counter()
+    with RoutingService(
+        network, workers=args.workers, queue_limit=args.queue_limit
+    ) as service:
+        futures = []
+
+        def drain() -> None:
+            nonlocal served, blocked
+            for future in futures:
+                try:
+                    future.result(timeout=60.0)
+                    served += 1
+                except NoPathError:
+                    blocked += 1
+            futures.clear()
+
+        for index, (source, target) in enumerate(pairs):
+            if args.invalidate_every and index and index % args.invalidate_every == 0:
+                drain()  # settle in-flight queries against the old epoch
+                service.invalidate()
+            if args.workers == 0:
+                try:
+                    service.route(source, target)
+                    served += 1
+                except NoPathError:
+                    blocked += 1
+                continue
+            try:
+                futures.append(service.submit(source, target))
+            except ServiceOverloadError:
+                drain()
+                futures.append(service.submit(source, target))
+        drain()
+        elapsed = time.perf_counter() - start
+        print(
+            f"served {served} / blocked {blocked} of {args.requests} queries "
+            f"in {elapsed:.3f}s ({args.requests / elapsed:,.0f} qps) "
+            f"[workers={args.workers} queue_limit={args.queue_limit} "
+            f"epoch={service.epoch}]"
+        )
+        print()
+        print(service.render_metrics())
+    return 0
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.topology.traffic_matrices import gravity_demands, uniform_demands
     from repro.wdm.planner import Demand, StaticPlanner
@@ -257,6 +331,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Optimal lightpath/semilightpath routing (Liang & Shen, ICDCS 1998)",
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {__version__}",
+        help="print the package version and exit",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_route = sub.add_parser("route", help="find an optimal semilightpath")
@@ -302,6 +382,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--policy", choices=["semilightpath", "first-fit"], default="semilightpath"
     )
     p_prov.set_defaults(fn=_cmd_provision)
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="synthetic query load through the cached RoutingService",
+    )
+    p_serve.add_argument("network")
+    p_serve.add_argument("--requests", type=int, default=1000)
+    p_serve.add_argument(
+        "--workers", type=int, default=4, help="0 = synchronous serving"
+    )
+    p_serve.add_argument("--queue-limit", type=int, default=256)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--invalidate-every", type=int, default=0, metavar="N",
+        help="full cache invalidation every N requests (0 = never)",
+    )
+    p_serve.set_defaults(fn=_cmd_serve_bench)
 
     p_plan = sub.add_parser("plan", help="static RWA planning over a demand matrix")
     p_plan.add_argument("network")

@@ -10,12 +10,22 @@ and full trees are cached per source.
 
 :class:`BatchRouter` is that amortization.  It is read-only with respect
 to the network; if the network changes, build a new instance (documented
-contract — there is deliberately no invalidation machinery).
+contract — there is deliberately no invalidation machinery; the
+epoch-versioned :class:`~repro.service.cache.EpochRouterCache` is the
+mutable-network counterpart).
+
+The tree cache keeps hit/miss/eviction counters, and ``max_cached_trees``
+bounds its memory with LRU eviction — for all-to-one sweeps over huge
+node sets where caching every source tree would dominate the footprint.
+The counters are deliberately plain attributes so
+:meth:`repro.service.metrics.MetricsRegistry.bind_batch_router` can
+publish them without this module depending on the service layer.
 """
 
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from typing import Hashable
 
 from repro.core.auxiliary import build_all_pairs_graph
@@ -31,6 +41,16 @@ NodeId = Hashable
 class BatchRouter:
     """Amortized routing: one ``G_all`` build, per-source tree caching.
 
+    Parameters
+    ----------
+    network:
+        The (static) network to route on.
+    heap:
+        Dijkstra heap choice, forwarded to :class:`LiangShenRouter`.
+    max_cached_trees:
+        Optional bound on cached source trees; least-recently-used trees
+        are evicted past it (``None`` = unbounded, the default).
+
     Example
     -------
     >>> from repro.topology.reference import paper_figure1_network
@@ -39,24 +59,56 @@ class BatchRouter:
     2.0
     >>> router.cost(1, 6)
     3.5
+    >>> (router.cache_hits, router.cache_misses)
+    (1, 1)
     """
 
-    def __init__(self, network, heap: str = "binary") -> None:
+    def __init__(
+        self,
+        network,
+        heap: str = "binary",
+        max_cached_trees: int | None = None,
+    ) -> None:
+        if max_cached_trees is not None and max_cached_trees < 1:
+            raise ValueError("max_cached_trees must be positive (or None)")
         self.network = network
+        self.max_cached_trees = max_cached_trees
         self._inner = LiangShenRouter(network, heap=heap)
         self._aux = build_all_pairs_graph(network)
-        self._trees: dict[NodeId, dict[NodeId, Semilightpath]] = {}
+        self._trees: OrderedDict[NodeId, dict[NodeId, Semilightpath]] = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
 
     @property
     def cached_sources(self) -> int:
         """Number of sources whose full tree is cached."""
         return len(self._trees)
 
+    def cache_counters(self) -> dict[str, int]:
+        """Hit/miss/eviction counts of the per-source tree cache."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "evictions": self.cache_evictions,
+        }
+
     def _tree(self, source: NodeId) -> dict[NodeId, Semilightpath]:
-        if source not in self._trees:
-            tree, _run = self._inner._tree_from(self._aux, source)
-            self._trees[source] = tree
-        return self._trees[source]
+        tree = self._trees.get(source)
+        if tree is not None:
+            self.cache_hits += 1
+            self._trees.move_to_end(source)
+            return tree
+        self.cache_misses += 1
+        tree, _run = self._inner._tree_from(self._aux, source)
+        self._trees[source] = tree
+        if (
+            self.max_cached_trees is not None
+            and len(self._trees) > self.max_cached_trees
+        ):
+            self._trees.popitem(last=False)
+            self.cache_evictions += 1
+        return tree
 
     def route(self, source: NodeId, target: NodeId) -> Semilightpath:
         """Optimal semilightpath (raises :class:`NoPathError` if none)."""

@@ -21,6 +21,10 @@ __all__ = [
     "ReservationError",
     "SimulationError",
     "SerializationError",
+    "ServiceError",
+    "ServiceOverloadError",
+    "DeadlineExpiredError",
+    "ServiceClosedError",
 ]
 
 
@@ -105,3 +109,36 @@ class SimulationError(SemilightError):
 
 class SerializationError(SemilightError):
     """A network or result document could not be (de)serialized."""
+
+
+class ServiceError(SemilightError):
+    """Base class for routing-service failures (:mod:`repro.service`)."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The service's bounded request queue is full (backpressure).
+
+    Callers should retry later or shed load; the rejected query was never
+    enqueued and had no effect.
+    """
+
+    def __init__(self, queue_limit: int) -> None:
+        super().__init__(
+            f"request queue full ({queue_limit} pending); request rejected"
+        )
+        self.queue_limit = queue_limit
+
+
+class DeadlineExpiredError(ServiceError):
+    """A queued query's deadline passed before it could be answered."""
+
+    def __init__(self, source: object, target: object) -> None:
+        super().__init__(
+            f"deadline expired before routing {source!r} -> {target!r}"
+        )
+        self.source = source
+        self.target = target
+
+
+class ServiceClosedError(ServiceError):
+    """A query was submitted to a service that has been shut down."""

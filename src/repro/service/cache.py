@@ -1,0 +1,290 @@
+"""Epoch-versioned memoization of ``G_all`` and per-source trees.
+
+:class:`~repro.core.batch.BatchRouter` amortizes ``G_all`` over many
+queries but is frozen to one network — its documented contract is "if
+the network changes, build a new instance".  The serving layer needs the
+opposite: a long-lived cache over a network whose residual state keeps
+changing.  :class:`EpochRouterCache` closes that gap with a
+monotonically increasing **epoch**:
+
+* Every mutation notification bumps the epoch (cheap — no rebuild).
+* Queries lazily reconcile: the first query after a bump rebuilds
+  ``G_all`` against the network provider's *current* view and prunes
+  cached trees.
+* Two invalidation granularities:
+
+  - :meth:`invalidate` — anything may have changed (channels released,
+    topology edited, costs re-priced).  All cached trees are dropped.
+  - :meth:`mark_channel_degraded` / :meth:`mark_path_reserved` —
+    channels were *removed* from the residual network (a reservation).
+    Removing resources can only raise optimal costs, so a cached tree
+    whose paths avoid every degraded channel is still optimal and is
+    **kept** across the epoch bump.  Only trees actually touching a
+    degraded channel are dropped.
+
+The degradation rule is the load-bearing optimization for on-line
+provisioning: admissions far apart in the network leave most cached
+trees valid.
+
+Thread safety: all public methods take an internal lock; the cache may
+be shared by the query engine's worker pool.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import TYPE_CHECKING, Callable, Hashable
+
+from repro.core.auxiliary import build_all_pairs_graph
+from repro.core.routing import LiangShenRouter
+from repro.core.semilightpath import Semilightpath
+from repro.exceptions import NoPathError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.network import WDMNetwork
+    from repro.service.metrics import MetricsRegistry
+
+__all__ = ["EpochRouterCache"]
+
+NodeId = Hashable
+#: A degraded channel: (tail, head, wavelength); wavelength None = whole link.
+_DirtyKey = tuple[NodeId, NodeId, "int | None"]
+
+
+class EpochRouterCache:
+    """Memoized Liang–Shen routing with explicit, epoch-versioned invalidation.
+
+    Parameters
+    ----------
+    network:
+        Either a :class:`~repro.core.network.WDMNetwork` (static serving)
+        or a zero-argument callable returning the current network view
+        (e.g. a provisioner's ``residual_network`` — called once per
+        rebuild, never per query).
+    heap:
+        Dijkstra heap choice, forwarded to :class:`LiangShenRouter`.
+    metrics:
+        Optional :class:`~repro.service.metrics.MetricsRegistry`; when
+        given, the cache maintains ``cache.hits`` / ``cache.misses`` /
+        ``cache.rebuilds`` / ``cache.trees_kept`` / ``cache.trees_dropped``
+        counters and a ``cache.epoch`` gauge.
+
+    Example
+    -------
+    >>> from repro.topology.reference import paper_figure1_network
+    >>> cache = EpochRouterCache(paper_figure1_network())
+    >>> cache.route(1, 7).total_cost
+    2.0
+    >>> cache.invalidate()
+    >>> cache.epoch
+    1
+    """
+
+    def __init__(
+        self,
+        network: "WDMNetwork | Callable[[], WDMNetwork]",
+        heap: str = "binary",
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        self._factory: Callable[[], "WDMNetwork"] = (
+            network if callable(network) else (lambda: network)
+        )
+        self._heap = heap
+        self._metrics = metrics
+        self._lock = threading.RLock()
+        self._epoch = 0
+        self._built_epoch = -1  # nothing built yet
+        self._network: "WDMNetwork | None" = None
+        self._inner: LiangShenRouter | None = None
+        self._aux = None
+        self._trees: dict[NodeId, dict[NodeId, Semilightpath]] = {}
+        self._dirty: set[_DirtyKey] = set()
+        self._full_dirty = True
+        # Counters mirrored into the registry (when one is attached) so
+        # they are inspectable even without metrics.
+        self.hits = 0
+        self.misses = 0
+        self.rebuilds = 0
+        self.trees_kept = 0
+        self.trees_dropped = 0
+
+    # -- epoch bookkeeping ---------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The current network epoch (bumped by every invalidation)."""
+        return self._epoch
+
+    @property
+    def built_epoch(self) -> int:
+        """Epoch the cached ``G_all`` was built at (-1 before first build)."""
+        return self._built_epoch
+
+    @property
+    def cached_sources(self) -> int:
+        """Number of sources with a cached shortest-path tree."""
+        with self._lock:
+            return len(self._trees)
+
+    def _bump(self) -> None:
+        self._epoch += 1
+        if self._metrics is not None:
+            self._metrics.gauge("cache.epoch").set(self._epoch)
+
+    def invalidate(self) -> None:
+        """Full invalidation: the network may have changed arbitrarily.
+
+        Cheap — only bumps the epoch and marks everything dirty; the
+        rebuild happens lazily on the next query.
+        """
+        with self._lock:
+            self._full_dirty = True
+            self._dirty.clear()
+            self._bump()
+
+    def mark_channel_degraded(
+        self, tail: NodeId, head: NodeId, wavelength: int | None = None
+    ) -> None:
+        """A channel was removed (or its cost raised) on one link.
+
+        With ``wavelength=None`` the whole link is marked.  Cached trees
+        that avoid every degraded channel survive the epoch bump (see
+        module docstring for why that is safe).
+        """
+        with self._lock:
+            if not self._full_dirty:
+                self._dirty.add((tail, head, wavelength))
+            self._bump()
+
+    def mark_path_reserved(self, path: Semilightpath) -> None:
+        """Mark every channel a just-reserved path occupies as degraded."""
+        with self._lock:
+            if not self._full_dirty:
+                for hop in path.hops:
+                    self._dirty.add((hop.tail, hop.head, hop.wavelength))
+            self._bump()
+
+    # -- rebuild -------------------------------------------------------------
+
+    def _tree_uses_dirty(self, tree: dict[NodeId, Semilightpath]) -> bool:
+        for path in tree.values():
+            for hop in path.hops:
+                if (hop.tail, hop.head, hop.wavelength) in self._dirty:
+                    return True
+                if (hop.tail, hop.head, None) in self._dirty:
+                    return True
+        return False
+
+    def _refresh_locked(self) -> None:
+        """Bring ``G_all`` (and the tree cache) up to the current epoch."""
+        if self._built_epoch == self._epoch and self._aux is not None:
+            return
+        if self._full_dirty:
+            self.trees_dropped += len(self._trees)
+            if self._metrics is not None and self._trees:
+                self._metrics.counter("cache.trees_dropped").inc(len(self._trees))
+            self._trees.clear()
+        elif self._dirty:
+            survivors: dict[NodeId, dict[NodeId, Semilightpath]] = {}
+            dropped = 0
+            for source, tree in self._trees.items():
+                if self._tree_uses_dirty(tree):
+                    dropped += 1
+                else:
+                    survivors[source] = tree
+            self.trees_kept += len(survivors)
+            self.trees_dropped += dropped
+            if self._metrics is not None:
+                if survivors:
+                    self._metrics.counter("cache.trees_kept").inc(len(survivors))
+                if dropped:
+                    self._metrics.counter("cache.trees_dropped").inc(dropped)
+            self._trees = survivors
+        self._network = self._factory()
+        self._inner = LiangShenRouter(self._network, heap=self._heap)
+        self._aux = build_all_pairs_graph(self._network)
+        self._dirty.clear()
+        self._full_dirty = False
+        self._built_epoch = self._epoch
+        self.rebuilds += 1
+        if self._metrics is not None:
+            self._metrics.counter("cache.rebuilds").inc()
+
+    def _tree(self, source: NodeId) -> dict[NodeId, Semilightpath]:
+        self._refresh_locked()
+        tree = self._trees.get(source)
+        if tree is None:
+            self.misses += 1
+            if self._metrics is not None:
+                self._metrics.counter("cache.misses").inc()
+            assert self._inner is not None
+            tree, run = self._inner._tree_from(self._aux, source)
+            self._trees[source] = tree
+            if self._metrics is not None:
+                self._metrics.observe_query(
+                    _tree_stats(self._aux, run), prefix="cache.tree_build"
+                )
+        else:
+            self.hits += 1
+            if self._metrics is not None:
+                self._metrics.counter("cache.hits").inc()
+        return tree
+
+    # -- queries -------------------------------------------------------------
+
+    def route(self, source: NodeId, target: NodeId) -> Semilightpath:
+        """Optimal semilightpath at the current epoch.
+
+        Raises :class:`~repro.exceptions.NoPathError` when unreachable.
+        """
+        if source == target:
+            raise ValueError("source and target must differ")
+        with self._lock:
+            path = self._tree(source).get(target)
+        if path is None:
+            raise NoPathError(source, target)
+        return path
+
+    def cost(self, source: NodeId, target: NodeId) -> float:
+        """Optimal cost at the current epoch, ``math.inf`` if unreachable."""
+        if source == target:
+            return 0.0
+        with self._lock:
+            path = self._tree(source).get(target)
+        return math.inf if path is None else path.total_cost
+
+    def tree(self, source: NodeId) -> dict[NodeId, Semilightpath]:
+        """A copy of the full shortest-path tree from *source*."""
+        with self._lock:
+            return dict(self._tree(source))
+
+    def network_view(self) -> "WDMNetwork":
+        """The network snapshot the current cache entries were built on."""
+        with self._lock:
+            self._refresh_locked()
+            assert self._network is not None
+            return self._network
+
+    def counters(self) -> dict[str, int]:
+        """Plain-dict view of the cache counters (for tests and reports)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "rebuilds": self.rebuilds,
+                "trees_kept": self.trees_kept,
+                "trees_dropped": self.trees_dropped,
+                "epoch": self._epoch,
+            }
+
+
+def _tree_stats(aux, run):
+    from repro.core.instrumentation import QueryStats
+
+    return QueryStats(
+        sizes=aux.sizes,
+        settled=run.settled,
+        relaxations=run.relaxations,
+        heap=dict(run.heap_stats),
+    )

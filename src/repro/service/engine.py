@@ -1,0 +1,286 @@
+"""Concurrent query execution: worker pool, bounded queue, coalescing.
+
+:class:`QueryEngine` turns the epoch cache into a request-driven server:
+
+* **Bounded queue with backpressure** — :meth:`~QueryEngine.submit`
+  rejects with :class:`~repro.exceptions.ServiceOverloadError` when
+  ``queue_limit`` requests are already pending, so overload surfaces at
+  the edge instead of as unbounded memory growth.
+* **Worker pool** — ``workers`` daemon threads drain the queue.  With
+  ``workers=0`` nothing drains automatically; call
+  :meth:`~QueryEngine.run_pending` to process inline (deterministic
+  single-threaded mode, used by tests and the synchronous CLI path).
+* **Deadlines** — a per-request timeout; requests whose deadline passes
+  while still queued fail with
+  :class:`~repro.exceptions.DeadlineExpiredError` instead of consuming a
+  tree build.
+* **Same-source coalescing** — when a worker dequeues a request it also
+  claims every other pending request with the same source, answering the
+  whole group from one shortest-path tree.  Under bursty fan-out from one
+  ingress node this collapses N Dijkstra runs into one.
+
+Results are delivered through :class:`QueryFuture`, a minimal
+event-based future (no ``concurrent.futures`` dependency so the engine
+controls queue admission itself).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Hashable
+
+from repro.core.semilightpath import Semilightpath
+from repro.exceptions import (
+    DeadlineExpiredError,
+    NoPathError,
+    ServiceClosedError,
+    ServiceOverloadError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.service.cache import EpochRouterCache
+    from repro.service.metrics import MetricsRegistry
+
+__all__ = ["QueryFuture", "QueryEngine"]
+
+NodeId = Hashable
+
+
+class QueryFuture:
+    """Completion handle for one submitted query."""
+
+    __slots__ = ("_event", "_path", "_exception")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._path: Semilightpath | None = None
+        self._exception: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def _resolve(self, path: Semilightpath) -> None:
+        self._path = path
+        self._event.set()
+
+    def _fail(self, exc: BaseException) -> None:
+        self._exception = exc
+        self._event.set()
+
+    def result(self, timeout: float | None = None) -> Semilightpath:
+        """Block for the routed path; re-raises the query's failure.
+
+        Raises :class:`TimeoutError` if the result does not arrive within
+        *timeout* seconds (the query itself keeps running).
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError("query result not ready")
+        if self._exception is not None:
+            raise self._exception
+        assert self._path is not None
+        return self._path
+
+
+@dataclass
+class _Request:
+    source: NodeId
+    target: NodeId
+    deadline: float | None  # absolute time.monotonic() instant
+    future: QueryFuture = field(default_factory=QueryFuture)
+    enqueued_at: float = 0.0
+
+
+class QueryEngine:
+    """Thread-pool execution of routing queries over an epoch cache.
+
+    Parameters
+    ----------
+    cache:
+        The shared :class:`~repro.service.cache.EpochRouterCache`.
+    workers:
+        Background worker threads (0 = synchronous mode, drain with
+        :meth:`run_pending`).
+    queue_limit:
+        Maximum pending requests before :meth:`submit` rejects.
+    coalesce:
+        Claim same-source pending requests together (default on).
+    metrics:
+        Optional registry for queue/latency/coalescing instruments.
+    """
+
+    def __init__(
+        self,
+        cache: "EpochRouterCache",
+        workers: int = 4,
+        queue_limit: int = 256,
+        coalesce: bool = True,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be positive")
+        self.cache = cache
+        self.queue_limit = queue_limit
+        self.coalesce = coalesce
+        self._metrics = metrics
+        self._cond = threading.Condition()
+        self._queue: deque[_Request] = deque()
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-query-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission ----------------------------------------------------------
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._threads)
+
+    @property
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    def submit(
+        self, source: NodeId, target: NodeId, timeout: float | None = None
+    ) -> QueryFuture:
+        """Enqueue a query; returns immediately with its future.
+
+        Raises :class:`ServiceOverloadError` when the queue is full and
+        :class:`ServiceClosedError` after :meth:`shutdown`.
+        """
+        now = time.monotonic()
+        request = _Request(
+            source=source,
+            target=target,
+            deadline=None if timeout is None else now + timeout,
+            enqueued_at=now,
+        )
+        with self._cond:
+            if self._closed:
+                raise ServiceClosedError("engine is shut down")
+            if len(self._queue) >= self.queue_limit:
+                if self._metrics is not None:
+                    self._metrics.counter("engine.rejected").inc()
+                raise ServiceOverloadError(self.queue_limit)
+            self._queue.append(request)
+            depth = len(self._queue)
+            self._cond.notify()
+        if self._metrics is not None:
+            self._metrics.gauge("engine.queue_depth").set(depth)
+            self._metrics.counter("engine.submitted").inc()
+        return request.future
+
+    def route(
+        self, source: NodeId, target: NodeId, timeout: float | None = None
+    ) -> Semilightpath:
+        """Submit and wait; in synchronous mode also drains the queue."""
+        future = self.submit(source, target, timeout=timeout)
+        if not self._threads:
+            self.run_pending()
+        # Wait a little past the request deadline: an expired request still
+        # needs a worker to *observe* the expiry and resolve the future.
+        return future.result(None if timeout is None else timeout + 1.0)
+
+    # -- execution -----------------------------------------------------------
+
+    def _claim_batch_locked(self, first: _Request) -> list[_Request]:
+        """Pop *first*'s same-source companions from the queue (coalescing)."""
+        if not self.coalesce:
+            return [first]
+        batch = [first]
+        remaining: deque[_Request] = deque()
+        while self._queue:
+            request = self._queue.popleft()
+            if request.source == first.source:
+                batch.append(request)
+            else:
+                remaining.append(request)
+        self._queue.extend(remaining)
+        if len(batch) > 1 and self._metrics is not None:
+            self._metrics.counter("engine.coalesced").inc(len(batch) - 1)
+        return batch
+
+    def _serve(self, request: _Request) -> None:
+        now = time.monotonic()
+        if request.deadline is not None and now > request.deadline:
+            if self._metrics is not None:
+                self._metrics.counter("engine.expired").inc()
+            request.future._fail(
+                DeadlineExpiredError(request.source, request.target)
+            )
+            return
+        try:
+            path = self.cache.route(request.source, request.target)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to the caller
+            if isinstance(exc, NoPathError) and self._metrics is not None:
+                self._metrics.counter("engine.no_path").inc()
+            request.future._fail(exc)
+            return
+        if self._metrics is not None:
+            self._metrics.counter("engine.served").inc()
+            self._metrics.histogram("engine.latency_ms").observe(
+                (time.monotonic() - request.enqueued_at) * 1e3
+            )
+        request.future._resolve(path)
+
+    def _serve_batch(self, batch: list[_Request]) -> None:
+        for request in batch:
+            self._serve(request)
+        if self._metrics is not None:
+            self._metrics.gauge("engine.queue_depth").set(self.queue_depth)
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if self._closed and not self._queue:
+                    return
+                first = self._queue.popleft()
+                batch = self._claim_batch_locked(first)
+            self._serve_batch(batch)
+
+    def run_pending(self) -> int:
+        """Drain the queue on the calling thread; returns requests served.
+
+        The synchronous twin of the worker loop — used when
+        ``workers=0`` and by tests that need deterministic scheduling.
+        """
+        served = 0
+        while True:
+            with self._cond:
+                if not self._queue:
+                    return served
+                first = self._queue.popleft()
+                batch = self._claim_batch_locked(first)
+            self._serve_batch(batch)
+            served += len(batch)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting requests; workers finish what is queued."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=5.0)
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

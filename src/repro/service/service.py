@@ -1,0 +1,183 @@
+"""The routing-service facade: cache + engine + metrics in one object.
+
+:class:`RoutingService` is the serving layer's front door.  It owns an
+:class:`~repro.service.cache.EpochRouterCache` (epoch-versioned ``G_all``
+and per-source trees), a :class:`~repro.service.engine.QueryEngine`
+(worker pool, bounded queue, deadlines, coalescing) and a
+:class:`~repro.service.metrics.MetricsRegistry` wired through both.
+
+Static serving::
+
+    service = RoutingService(network)
+    path = service.route(s, t)
+
+On-line provisioning (the paper's motivating workload) hangs a service
+off a provisioner so admissions reuse cached trees::
+
+    prov = SemilightpathProvisioner(network)
+    prov.attach_service(workers=4)
+    conn = prov.establish(s, t)       # routed through the cache
+
+After each admission the provisioner notifies the service which channels
+were reserved; the cache keeps every tree that avoids them (reserving
+can only remove resources, so untouched trees stay optimal) and bumps
+the epoch for the rest.  Releases invalidate fully — freed channels can
+improve arbitrary routes.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import TYPE_CHECKING, Callable, Hashable
+
+from repro.core.semilightpath import Semilightpath
+from repro.exceptions import NoPathError
+from repro.service.cache import EpochRouterCache
+from repro.service.engine import QueryEngine, QueryFuture
+from repro.service.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.network import WDMNetwork
+
+__all__ = ["RoutingService"]
+
+NodeId = Hashable
+
+
+class RoutingService:
+    """Request-driven optimal semilightpath routing with caching and metrics.
+
+    Parameters
+    ----------
+    network:
+        A static :class:`~repro.core.network.WDMNetwork`, or a callable
+        returning the current network view (called once per cache
+        rebuild).
+    workers:
+        Worker threads for the query engine; ``0`` serves synchronously
+        on the calling thread.
+    queue_limit:
+        Pending-request bound; excess submissions raise
+        :class:`~repro.exceptions.ServiceOverloadError`.
+    heap:
+        Dijkstra heap implementation for the underlying router.
+    coalesce:
+        Batch pending same-source queries onto one tree (default on).
+    metrics:
+        Bring-your-own registry; a private one is created otherwise.
+
+    Example
+    -------
+    >>> from repro.topology.reference import paper_figure1_network
+    >>> with RoutingService(paper_figure1_network(), workers=0) as service:
+    ...     service.route(1, 7).total_cost
+    2.0
+    """
+
+    def __init__(
+        self,
+        network: "WDMNetwork | Callable[[], WDMNetwork]",
+        workers: int = 4,
+        queue_limit: int = 256,
+        heap: str = "binary",
+        coalesce: bool = True,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.cache = EpochRouterCache(network, heap=heap, metrics=self.metrics)
+        self.engine = QueryEngine(
+            self.cache,
+            workers=workers,
+            queue_limit=queue_limit,
+            coalesce=coalesce,
+            metrics=self.metrics,
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    def route(
+        self, source: NodeId, target: NodeId, timeout: float | None = None
+    ) -> Semilightpath:
+        """Optimal semilightpath at the current epoch.
+
+        Raises :class:`~repro.exceptions.NoPathError` when unreachable,
+        :class:`~repro.exceptions.ServiceOverloadError` on a full queue,
+        :class:`~repro.exceptions.DeadlineExpiredError` when *timeout*
+        elapses while the request is still queued.
+        """
+        start = time.monotonic()
+        try:
+            return self.engine.route(source, target, timeout=timeout)
+        finally:
+            self.metrics.histogram("service.admission_ms").observe(
+                (time.monotonic() - start) * 1e3
+            )
+
+    def try_route(
+        self, source: NodeId, target: NodeId, timeout: float | None = None
+    ) -> Semilightpath | None:
+        """Like :meth:`route` but returns ``None`` when unreachable."""
+        try:
+            return self.route(source, target, timeout=timeout)
+        except NoPathError:
+            return None
+
+    def submit(
+        self, source: NodeId, target: NodeId, timeout: float | None = None
+    ) -> QueryFuture:
+        """Asynchronous submission; see :meth:`QueryEngine.submit`."""
+        return self.engine.submit(source, target, timeout=timeout)
+
+    def cost(self, source: NodeId, target: NodeId) -> float:
+        """Optimal cost at the current epoch (``inf`` when unreachable)."""
+        if source == target:
+            return 0.0
+        path = self.try_route(source, target)
+        return math.inf if path is None else path.total_cost
+
+    # -- invalidation hooks --------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Current cache epoch."""
+        return self.cache.epoch
+
+    def invalidate(self) -> None:
+        """Full invalidation — the network changed in an unknown way."""
+        self.cache.invalidate()
+
+    def notify_reserved(self, path: Semilightpath) -> None:
+        """Channels along *path* were reserved (resources removed)."""
+        self.cache.mark_path_reserved(path)
+
+    def notify_released(self, path: Semilightpath) -> None:
+        """Channels along *path* were released (resources added back)."""
+        del path  # which channels improved does not help: invalidate fully
+        self.cache.invalidate()
+
+    def notify_link_degraded(
+        self, tail: NodeId, head: NodeId, wavelength: int | None = None
+    ) -> None:
+        """A link (or one of its channels) lost capacity or got pricier."""
+        self.cache.mark_channel_degraded(tail, head, wavelength)
+
+    # -- reporting / lifecycle -----------------------------------------------
+
+    def metrics_snapshot(self) -> dict[str, object]:
+        """All service metrics as a flat dict."""
+        return self.metrics.snapshot()
+
+    def render_metrics(self) -> str:
+        """Human-readable metrics report."""
+        return self.metrics.render()
+
+    def close(self) -> None:
+        """Shut down the worker pool (queued requests are completed)."""
+        self.engine.shutdown()
+
+    def __enter__(self) -> "RoutingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -22,7 +22,7 @@ from repro.exceptions import NoPathError, ReservationError
 from repro.wdm.state import WavelengthState
 
 if TYPE_CHECKING:  # pragma: no cover
-    pass
+    from repro.service.service import RoutingService
 
 __all__ = ["Connection", "SemilightpathProvisioner"]
 
@@ -91,11 +91,47 @@ class SemilightpathProvisioner:
         self._router_factory = router_factory or LiangShenRouter
         self._ids = itertools.count(1)
         self._active: dict[int, Connection] = {}
+        self._service: "RoutingService | None" = None
 
     @property
     def num_active(self) -> int:
         """Number of currently admitted connections."""
         return len(self._active)
+
+    @property
+    def service(self) -> "RoutingService | None":
+        """The attached routing service, if any."""
+        return self._service
+
+    def attach_service(
+        self, service: "RoutingService | None" = None, **service_kwargs
+    ) -> "RoutingService":
+        """Route admissions through an epoch-cached :class:`RoutingService`.
+
+        Without arguments a service is built over this provisioner's
+        residual network (``workers=0`` by default — admissions already
+        run on the caller's thread); pass ``workers=N``/``queue_limit``/
+        ``heap`` through *service_kwargs*, or hand in a pre-built
+        *service* whose network view is this provisioner's residual.
+
+        Once attached, :meth:`establish` serves routes from the cache and
+        notifies it after every reservation (per-channel degradation —
+        cached trees avoiding the reserved channels survive) and release
+        (full invalidation — freed channels can improve any route).
+        """
+        if service is None:
+            # Imported lazily: the service layer sits *above* wdm, and the
+            # provisioner must stay importable without it.
+            from repro.service.service import RoutingService
+
+            service_kwargs.setdefault("workers", 0)
+            service = RoutingService(self.residual_network, **service_kwargs)
+        self._service = service
+        return service
+
+    def detach_service(self) -> None:
+        """Go back to per-admission router construction."""
+        self._service = None
 
     def active_connections(self) -> list[Connection]:
         """Snapshot of live connections."""
@@ -160,15 +196,24 @@ class SemilightpathProvisioner:
         Raises :class:`~repro.exceptions.NoPathError` when the residual
         network cannot carry the request (the request is *blocked*).
         """
-        residual = self.residual_network()
-        router = self._router_factory(residual)
-        result = router.route(source, target)
-        path = result.path
+        if self._service is not None:
+            path = self._service.route(source, target)
+        else:
+            residual = self.residual_network()
+            router = self._router_factory(residual)
+            path = router.route(source, target).path
         # Re-price the path on the full network (costs are identical — the
         # residual only removes channels — but the claimed total must refer
         # to the real network for auditability).
         path = Semilightpath(hops=path.hops, total_cost=path.evaluate_cost(self.network))
         self.state.reserve_path(path)
+        if self._service is not None:
+            if self.packing == "none":
+                self._service.notify_reserved(path)
+            else:
+                # Packing re-biases *every* residual cost after each
+                # admission, so per-channel degradation is not enough.
+                self._service.invalidate()
         connection = Connection(
             connection_id=next(self._ids),
             source=source,
@@ -186,6 +231,11 @@ class SemilightpathProvisioner:
         connection is tracked like any other.
         """
         self.state.reserve_path(path)
+        if self._service is not None:
+            if self.packing == "none":
+                self._service.notify_reserved(path)
+            else:
+                self._service.invalidate()
         connection = Connection(
             connection_id=next(self._ids),
             source=path.source,
@@ -203,6 +253,8 @@ class SemilightpathProvisioner:
             )
         self.state.release_path(connection.path)
         del self._active[connection.connection_id]
+        if self._service is not None:
+            self._service.notify_released(connection.path)
 
     def try_establish(self, source: NodeId, target: NodeId) -> Connection | None:
         """Like :meth:`establish` but returns None on blocking."""

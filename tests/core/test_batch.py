@@ -86,3 +86,49 @@ class TestBatchRouter:
                         pass
         single_time = time.perf_counter() - start
         assert batch_time < single_time
+
+
+class TestCacheCounters:
+    def test_hits_misses(self, paper_net):
+        batch = BatchRouter(paper_net)
+        assert batch.cache_counters() == {"hits": 0, "misses": 0, "evictions": 0}
+        batch.route(1, 7)
+        batch.route(1, 6)
+        batch.cost(2, 7)
+        counters = batch.cache_counters()
+        assert counters["misses"] == 2
+        assert counters["hits"] == 1
+        assert counters["evictions"] == 0
+
+    def test_lru_eviction(self, paper_net):
+        batch = BatchRouter(paper_net, max_cached_trees=2)
+        batch.cost(1, 7)
+        batch.cost(2, 7)
+        batch.cost(3, 7)  # evicts source 1
+        assert batch.cached_sources == 2
+        assert batch.cache_evictions == 1
+        batch.cost(1, 7)  # rebuilt: a miss, evicts source 2
+        assert batch.cache_misses == 4
+        assert batch.cache_evictions == 2
+
+    def test_lru_order_refreshed_by_hits(self, paper_net):
+        batch = BatchRouter(paper_net, max_cached_trees=2)
+        batch.cost(1, 7)
+        batch.cost(2, 7)
+        batch.cost(1, 6)  # touch source 1: now 2 is least-recent
+        batch.cost(3, 7)  # evicts source 2, not 1
+        batch.cost(1, 2)  # still cached
+        assert batch.cache_hits == 2
+        assert batch.cache_misses == 3
+
+    def test_eviction_preserves_correctness(self, paper_net):
+        bounded = BatchRouter(paper_net, max_cached_trees=1)
+        unbounded = BatchRouter(paper_net)
+        for s in paper_net.nodes():
+            for t in paper_net.nodes():
+                if s != t:
+                    assert bounded.cost(s, t) == unbounded.cost(s, t)
+
+    def test_invalid_bound_rejected(self, paper_net):
+        with pytest.raises(ValueError):
+            BatchRouter(paper_net, max_cached_trees=0)

@@ -147,3 +147,36 @@ class TestDot:
 
     def test_gst_requires_endpoints(self, fig1_file, capsys):
         assert main(["dot", fig1_file, "--figure", "gst"]) == 1
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestServeBench:
+    def test_serve_bench_prints_metrics(self, fig1_file, capsys):
+        assert main([
+            "serve-bench", fig1_file, "--requests", "50", "--workers", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "of 50 queries" in out
+        assert "cache.hits" in out
+        assert "engine.served" in out
+
+    def test_serve_bench_with_workers_and_invalidation(self, fig1_file, capsys):
+        assert main([
+            "serve-bench", fig1_file, "--requests", "40", "--workers", "2",
+            "--invalidate-every", "10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cache.rebuilds" in out
+        assert "epoch=3" in out
+
+    def test_serve_bench_missing_file(self, capsys):
+        assert main(["serve-bench", "/nonexistent.json"]) == 1

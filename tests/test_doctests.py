@@ -21,6 +21,9 @@ import repro.distributed.chandy_misra
 import repro.distributed.all_pairs_dist
 import repro.distributed.semilightpath_dist
 import repro.io.nx
+import repro.service.cache
+import repro.service.metrics
+import repro.service.service
 import repro.shortestpath.fibonacci
 import repro.shortestpath.heaps
 import repro.shortestpath.mincostflow
@@ -42,6 +45,9 @@ MODULES = [
     repro.distributed.chandy_misra,
     repro.distributed.semilightpath_dist,
     repro.io.nx,
+    repro.service.cache,
+    repro.service.metrics,
+    repro.service.service,
     repro.shortestpath.fibonacci,
     repro.shortestpath.heaps,
     repro.shortestpath.mincostflow,
