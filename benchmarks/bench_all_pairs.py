@@ -9,8 +9,10 @@ the single-source run.
 
 from __future__ import annotations
 
+import os
 import time
 
+from repro.core.parallel import route_all_pairs_parallel
 from repro.core.routing import LiangShenRouter
 from repro.exceptions import NoPathError
 from benchmarks.conftest import sparse_wan
@@ -50,6 +52,44 @@ def test_all_pairs_beats_pairwise_rebuilds(benchmark, report):
     benchmark.extra_info["t_all_seconds"] = t_all
     benchmark.extra_info["t_pairwise_seconds"] = t_pairwise
     benchmark(lambda: router.route_tree(nodes[0]))
+
+
+def test_all_pairs_worker_scaling(benchmark, report):
+    """Serial vs process-parallel all-pairs over one shared ``G_all``.
+
+    Asserts only result identity; whether more workers help is a property
+    of the machine (this records ``os.cpu_count()`` alongside the table).
+    """
+    net = sparse_wan(48, seed=12)
+    router = LiangShenRouter(net)
+    aux = router.all_pairs_graph()
+
+    timings: dict[int, float] = {}
+    views: dict[int, dict] = {}
+    for workers in (1, 2, 4):
+        start = time.perf_counter()
+        result = route_all_pairs_parallel(net, workers=workers, aux=aux)
+        timings[workers] = time.perf_counter() - start
+        views[workers] = {
+            p: (v.hops, v.total_cost) for p, v in result.paths.items()
+        }
+
+    assert views[2] == views[1]
+    assert views[4] == views[1]
+
+    lines = [
+        f"workers={w}: {timings[w] * 1e3:9.1f} ms "
+        f"({timings[1] / timings[w]:.2f}x vs serial)"
+        for w in sorted(timings)
+    ]
+    report(
+        f"COR1: all-pairs worker scaling (n=48, {os.cpu_count()} CPUs)",
+        "\n".join(lines),
+    )
+    for workers, seconds in timings.items():
+        benchmark.extra_info[f"workers_{workers}_seconds"] = seconds
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+    benchmark(lambda: route_all_pairs_parallel(net, workers=1, aux=aux))
 
 
 def test_all_pairs_results_complete(benchmark):

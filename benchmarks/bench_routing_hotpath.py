@@ -1,0 +1,204 @@
+"""Hot-path routing benchmark: overlay + flat kernel vs the seed path.
+
+Standalone script (argparse, no pytest) so CI can run it as a smoke job::
+
+    PYTHONPATH=src python benchmarks/bench_routing_hotpath.py --quick
+
+It measures three things and writes ``BENCH_routing.json``:
+
+* **Single-pair warm queries** — the seed configuration (per-query
+  ``G_{s,t}`` rebuild over an addressable binary heap) against the
+  overhauled default (shared ``G'`` overlay + flat-array kernel with
+  reused scratch buffers) on the same query stream.
+* **All-pairs fan-out** — serial ``route_all_pairs`` against the
+  process-parallel path, with the measured worker count recorded next
+  to the machine's CPU count (a 1-CPU container cannot show a parallel
+  win; the numbers say so honestly).
+* **Result identity** — every timed query is cross-checked: exact cost
+  equality and identical hop sequences between the seed and hot paths,
+  and all-pairs parallel output equal to serial.
+
+The exit code reflects **correctness only**: mismatching results exit
+nonzero, slow results never do (CI boxes are noisy; timings are data,
+not assertions).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from conftest import sparse_wan  # noqa: E402
+
+from repro.core.parallel import route_all_pairs_parallel  # noqa: E402
+from repro.core.routing import LiangShenRouter  # noqa: E402
+from repro.exceptions import NoPathError  # noqa: E402
+
+
+def _try(router, s, t):
+    try:
+        return router.route(s, t)
+    except NoPathError:
+        return None
+
+
+def bench_single_pair(net, name: str) -> tuple[dict, list[str]]:
+    """Time the full query stream on the seed path and the hot path."""
+    nodes = net.nodes()
+    pairs = [(s, t) for s in nodes for t in nodes if s != t]
+
+    seed_router = LiangShenRouter(net, heap="binary", overlay=False)
+    hot_router = LiangShenRouter(net)  # overlay + flat
+    hot_router.layered_graph()  # warm the shared G' before timing
+
+    start = time.perf_counter()
+    seed_results = [_try(seed_router, s, t) for s, t in pairs]
+    t_seed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    hot_results = [_try(hot_router, s, t) for s, t in pairs]
+    t_hot = time.perf_counter() - start
+
+    errors: list[str] = []
+    for (s, t), seed, hot in zip(pairs, seed_results, hot_results):
+        if (seed is None) != (hot is None):
+            errors.append(f"{name}: reachability differs for {s}->{t}")
+        elif seed is not None:
+            if hot.cost != seed.cost:
+                errors.append(
+                    f"{name}: cost differs for {s}->{t}: "
+                    f"{seed.cost!r} vs {hot.cost!r}"
+                )
+            elif hot.path.hops != seed.path.hops:
+                errors.append(f"{name}: hop sequence differs for {s}->{t}")
+
+    return {
+        "topology": name,
+        "nodes": len(nodes),
+        "wavelengths": net.num_wavelengths,
+        "queries": len(pairs),
+        "seed_rebuild_binary_seconds": t_seed,
+        "overlay_flat_seconds": t_hot,
+        "speedup": t_seed / t_hot if t_hot > 0 else float("inf"),
+        "seed_us_per_query": t_seed / len(pairs) * 1e6,
+        "hot_us_per_query": t_hot / len(pairs) * 1e6,
+    }, errors
+
+
+def bench_all_pairs(net, name: str, workers: int) -> tuple[dict, list[str]]:
+    router = LiangShenRouter(net)
+    aux = router.all_pairs_graph()  # warm: both runs share the same G_all
+
+    start = time.perf_counter()
+    serial = router.route_all_pairs()
+    t_serial = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fanned = route_all_pairs_parallel(net, workers=workers, aux=aux)
+    t_parallel = time.perf_counter() - start
+
+    errors: list[str] = []
+    serial_view = {p: (v.hops, v.total_cost) for p, v in serial.paths.items()}
+    fanned_view = {p: (v.hops, v.total_cost) for p, v in fanned.paths.items()}
+    if serial_view != fanned_view:
+        errors.append(f"{name}: parallel all-pairs differs from serial")
+    if serial.stats.settled != fanned.stats.settled:
+        errors.append(f"{name}: parallel all-pairs settled-count differs")
+
+    return {
+        "topology": name,
+        "nodes": len(net.nodes()),
+        "pairs_routed": len(serial.paths),
+        "workers": workers,
+        "serial_seconds": t_serial,
+        "parallel_seconds": t_parallel,
+        "parallel_speedup": t_serial / t_parallel if t_parallel > 0 else 0.0,
+    }, errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small topologies only (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="process count for the all-pairs comparison (default 4)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parents[1] / "BENCH_routing.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        single_sizes = [24, 32]
+        all_pairs_sizes = [32]
+    else:
+        single_sizes = [32, 48, 64]
+        all_pairs_sizes = [48, 64]
+
+    report = {
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "quick": args.quick,
+        "single_pair": [],
+        "all_pairs": [],
+    }
+    errors: list[str] = []
+
+    for n in single_sizes:
+        name = f"sparse_wan_n{n}"
+        row, errs = bench_single_pair(sparse_wan(n, seed=n), name)
+        report["single_pair"].append(row)
+        errors.extend(errs)
+        print(
+            f"{name}: {row['queries']} warm queries  "
+            f"seed {row['seed_us_per_query']:8.1f} us/q  "
+            f"hot {row['hot_us_per_query']:8.1f} us/q  "
+            f"speedup {row['speedup']:.1f}x"
+        )
+
+    for n in all_pairs_sizes:
+        name = f"sparse_wan_n{n}"
+        row, errs = bench_all_pairs(sparse_wan(n, seed=n), name, args.workers)
+        report["all_pairs"].append(row)
+        errors.extend(errs)
+        print(
+            f"{name}: all-pairs serial {row['serial_seconds'] * 1e3:8.1f} ms  "
+            f"workers={row['workers']} {row['parallel_seconds'] * 1e3:8.1f} ms  "
+            f"({row['parallel_speedup']:.2f}x on {os.cpu_count()} CPU(s))"
+        )
+
+    report["verified"] = not errors
+    report["errors"] = errors
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if errors:
+        for line in errors:
+            print(f"MISMATCH: {line}", file=sys.stderr)
+        return 1
+    print("result identity verified: seed == overlay+flat, serial == parallel")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

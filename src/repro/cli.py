@@ -4,6 +4,7 @@
 python -m repro generate ring --nodes 12 --wavelengths 4 -o net.json
 python -m repro route net.json 0 6
 python -m repro route net.json 0 6 --max-conversions 1 --alternatives 3
+python -m repro all-pairs net.json --workers 4
 python -m repro sizes net.json
 python -m repro provision net.json --load 30 --requests 500 --policy first-fit
 python -m repro serve-bench net.json --requests 1000 --workers 4
@@ -96,6 +97,29 @@ def _cmd_route(args: argparse.Namespace) -> int:
         for rank, path in enumerate(paths, 1):
             prefix = f"#{rank}: " if len(paths) > 1 else ""
             print(prefix + _format_path(path))
+    return 0
+
+
+def _cmd_all_pairs(args: argparse.Namespace) -> int:
+    import time
+
+    network = _load_network(args.network)
+    router = LiangShenRouter(network, heap=args.heap)
+    start = time.perf_counter()
+    result = router.route_all_pairs(workers=args.workers)
+    elapsed = time.perf_counter() - start
+    n = len(network.nodes())
+    print(
+        f"routed {len(result.paths)} of {n * (n - 1)} ordered pairs "
+        f"in {elapsed:.3f}s (workers={args.workers or 1}, heap={args.heap}; "
+        f"settled {result.stats.settled}, relaxed {result.stats.relaxations})"
+    )
+    if args.output:
+        document = {
+            f"{s} -> {t}": path.total_cost for (s, t), path in result.paths.items()
+        }
+        Path(args.output).write_text(json.dumps(document, indent=2))
+        print(f"wrote {len(document)} pair costs to {args.output}")
     return 0
 
 
@@ -351,6 +375,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_route.add_argument("--json", action="store_true", help="machine-readable output")
     p_route.set_defaults(fn=_cmd_route)
+
+    p_all = sub.add_parser(
+        "all-pairs",
+        help="route every ordered pair (Corollary 1), optionally process-parallel",
+    )
+    p_all.add_argument("network")
+    p_all.add_argument(
+        "--workers", type=int, default=None,
+        help="fan the n tree runs across this many processes (default: serial)",
+    )
+    p_all.add_argument(
+        "--heap", choices=["flat", "binary", "pairing", "fibonacci"],
+        default="flat", help="shortest-path kernel",
+    )
+    p_all.add_argument("-o", "--output", default=None, help="write pair costs JSON")
+    p_all.set_defaults(fn=_cmd_all_pairs)
 
     p_gen = sub.add_parser("generate", help="generate a network JSON document")
     p_gen.add_argument(

@@ -46,6 +46,7 @@ from repro.core.restrictions import (
     enforce_restrictions,
     is_node_simple,
 )
+from repro.core.parallel import route_all_pairs_parallel
 from repro.core.routing import AllPairsResult, LiangShenRouter, RouteResult
 from repro.core.semilightpath import Hop, Semilightpath
 from repro.core.wavelengths import wavelength_name
@@ -73,6 +74,7 @@ __all__ = [
     "LiangShenRouter",
     "RouteResult",
     "AllPairsResult",
+    "route_all_pairs_parallel",
     "BoundedConversionRouter",
     "conversion_cost_profile",
     "k_shortest_semilightpaths",

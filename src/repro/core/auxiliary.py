@@ -198,6 +198,12 @@ class LayeredGraph:
     x_ids / y_ids:
         ``x_ids[(v, λ)]`` / ``y_ids[(v, λ)]`` map back to auxiliary ids for
         the ``X_v`` / ``Y_v`` sides.
+    x_by_node / y_by_node:
+        ``x_by_node[v]`` / ``y_by_node[v]`` list the auxiliary ids of
+        ``X_v`` / ``Y_v`` in increasing-λ order (absent when empty).
+        These index tables make per-node seeding O(|Y_v|) — the overlay
+        single-pair query path seeds Dijkstra from ``y_by_node[s]`` and
+        terminates on the min over ``x_by_node[t]``.
     """
 
     def __init__(
@@ -215,18 +221,24 @@ class LayeredGraph:
         self.x_ids = x_ids
         self.y_ids = y_ids
         self.sizes = sizes
+        # Insertion order of x_ids/y_ids is node order then sorted λ, so
+        # per-node appends come out sorted by wavelength.
+        x_by_node: dict[NodeId, list[int]] = {}
+        for (v, _lam), aid in x_ids.items():
+            x_by_node.setdefault(v, []).append(aid)
+        y_by_node: dict[NodeId, list[int]] = {}
+        for (v, _lam), aid in y_ids.items():
+            y_by_node.setdefault(v, []).append(aid)
+        self.x_by_node = x_by_node
+        self.y_by_node = y_by_node
 
     def bipartite_nodes(self, node: NodeId) -> tuple[list[int], list[int]]:
-        """Auxiliary ids of ``X_v`` and ``Y_v`` for *node* (sorted by λ)."""
-        xs = [aid for (v, _w), aid in sorted(
-            ((key, aid) for key, aid in self.x_ids.items() if key[0] == node),
-            key=lambda item: item[0][1],
-        )]
-        ys = [aid for (v, _w), aid in sorted(
-            ((key, aid) for key, aid in self.y_ids.items() if key[0] == node),
-            key=lambda item: item[0][1],
-        )]
-        return xs, ys
+        """Auxiliary ids of ``X_v`` and ``Y_v`` for *node* (sorted by λ).
+
+        O(|X_v| + |Y_v|) via the per-node index tables (the lists are
+        copied so callers cannot corrupt the tables).
+        """
+        return list(self.x_by_node.get(node, ())), list(self.y_by_node.get(node, ()))
 
 
 class RoutingGraph(LayeredGraph):

@@ -1,12 +1,11 @@
 """Batch routing over one shared ``G_all``.
 
-:class:`LiangShenRouter` rebuilds its auxiliary graph per query — the
-accounting both papers use, and the right default when the network's
-costs change between queries (the dynamic provisioner's situation).  When
-the network is *static* and many queries arrive (planning studies,
+:class:`LiangShenRouter` answers single-pair queries over its cached
+``G'`` overlay, but each query is still a fresh Dijkstra run.  When the
+network is *static* and many queries arrive (planning studies,
 all-to-one analyses, repeated lookups), the Corollary 1 graph ``G_all``
-can be built once and reused: each query is then a single Dijkstra run,
-and full trees are cached per source.
+earns more: each query becomes a dictionary lookup into a cached
+per-source shortest-path tree, amortizing even the search.
 
 :class:`BatchRouter` is that amortization.  It is read-only with respect
 to the network; if the network changes, build a new instance (documented
@@ -28,7 +27,6 @@ import math
 from collections import OrderedDict
 from typing import Hashable
 
-from repro.core.auxiliary import build_all_pairs_graph
 from repro.core.routing import LiangShenRouter
 from repro.core.semilightpath import Semilightpath
 from repro.exceptions import NoPathError
@@ -66,7 +64,7 @@ class BatchRouter:
     def __init__(
         self,
         network,
-        heap: str = "binary",
+        heap: str = "flat",
         max_cached_trees: int | None = None,
     ) -> None:
         if max_cached_trees is not None and max_cached_trees < 1:
@@ -74,7 +72,7 @@ class BatchRouter:
         self.network = network
         self.max_cached_trees = max_cached_trees
         self._inner = LiangShenRouter(network, heap=heap)
-        self._aux = build_all_pairs_graph(network)
+        self._aux = self._inner.all_pairs_graph()
         self._trees: OrderedDict[NodeId, dict[NodeId, Semilightpath]] = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0

@@ -1,0 +1,202 @@
+"""Process-parallel all-pairs routing (Corollary 1's embarrassing parallelism).
+
+Corollary 1 answers all ``n(n-1)`` ordered pairs with ``n`` independent
+shortest-path-tree runs over one shared ``G_all``.  The runs share no
+mutable state, so they partition perfectly across OS processes — the only
+engineering problem is getting ``G_all`` into the workers without paying
+a per-task serialization bill.
+
+:func:`route_all_pairs_parallel` ships ``G_all`` exactly once per worker:
+
+* With the **fork** start method (Linux default) the parent stores
+  ``G_all`` in a module global before creating the pool; forked children
+  inherit the already-built object through copy-on-write memory — zero
+  pickling, even for networks whose conversion models (closures) cannot
+  be pickled at all.
+* With **spawn**/**forkserver** the graph is passed through the pool
+  initializer, so it is pickled once per worker instead of once per task.
+
+Sources are grouped into contiguous chunks (several per worker, for load
+balance against uneven tree sizes) and each worker returns its decoded
+trees plus the per-run work counters; the parent merges chunks in source
+order, so the resulting :class:`~repro.core.routing.AllPairsResult` is
+identical — same paths, same dict iteration order, same aggregated
+``QueryStats`` — to a serial :meth:`LiangShenRouter.route_all_pairs` run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Hashable
+
+from repro.core.auxiliary import AllPairsGraph, build_all_pairs_graph
+from repro.core.instrumentation import QueryStats
+from repro.core.routing import AllPairsResult, run_tree
+from repro.core.semilightpath import Semilightpath
+from repro.shortestpath.flat import ScratchBuffers
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.network import WDMNetwork
+
+__all__ = ["route_all_pairs_parallel"]
+
+NodeId = Hashable
+
+#: Worker-side shared state: set by fork inheritance or the pool initializer.
+_SHARED: dict[str, object] = {}
+
+
+def _worker_init(payload: tuple[AllPairsGraph, str] | None) -> None:
+    """Pool initializer: install the shared graph (spawn/forkserver only).
+
+    Under fork the payload is ``None`` and the worker keeps the module
+    global it inherited from the parent.
+    """
+    if payload is not None:
+        _SHARED["aux"], _SHARED["heap"] = payload
+
+
+def _route_chunk(
+    job: tuple[int, list[NodeId]],
+) -> tuple[int, list[tuple[NodeId, dict[NodeId, Semilightpath]]], int, int, dict[str, int]]:
+    """Run one tree per source in the chunk against the shared ``G_all``."""
+    index, sources = job
+    aux: AllPairsGraph = _SHARED["aux"]  # type: ignore[assignment]
+    heap: str = _SHARED["heap"]  # type: ignore[assignment]
+    scratch = None
+    if heap == "flat":
+        scratch = _SHARED.get("scratch")
+        if scratch is None:
+            scratch = _SHARED["scratch"] = ScratchBuffers(aux.graph.num_nodes)
+    trees: list[tuple[NodeId, dict[NodeId, Semilightpath]]] = []
+    settled = relaxations = 0
+    heap_totals: dict[str, int] = {}
+    for source in sources:
+        tree, run = run_tree(aux, source, heap=heap, scratch=scratch)
+        trees.append((source, tree))
+        settled += run.settled
+        relaxations += run.relaxations
+        for key, value in run.heap_stats.items():
+            heap_totals[key] = heap_totals.get(key, 0) + value
+    return index, trees, settled, relaxations, heap_totals
+
+
+def _chunk(sources: list[NodeId], num_chunks: int) -> list[list[NodeId]]:
+    """Split *sources* into up to *num_chunks* contiguous, balanced chunks."""
+    num_chunks = max(1, min(num_chunks, len(sources)))
+    size, extra = divmod(len(sources), num_chunks)
+    chunks: list[list[NodeId]] = []
+    start = 0
+    for i in range(num_chunks):
+        end = start + size + (1 if i < extra else 0)
+        chunks.append(sources[start:end])
+        start = end
+    return chunks
+
+
+def route_all_pairs_parallel(
+    network: "WDMNetwork",
+    workers: int,
+    heap: str = "flat",
+    aux: AllPairsGraph | None = None,
+    chunks_per_worker: int = 4,
+) -> AllPairsResult:
+    """Corollary 1 with the ``n`` tree runs fanned across a process pool.
+
+    Parameters
+    ----------
+    network:
+        The network to route on (must match *aux* when one is given).
+    workers:
+        Process count.  ``1`` runs serially in this process (no pool).
+    heap:
+        Kernel per tree run, as in :class:`~repro.core.routing.LiangShenRouter`.
+        Addressable-heap *factories* cannot cross a process boundary; pass
+        a heap name.
+    aux:
+        A prebuilt ``G_all`` to share (e.g. a router's cached one);
+        built here when omitted.
+    chunks_per_worker:
+        Oversubscription factor for load balancing — tree runs on
+        high-degree sources settle more nodes than leaf sources.
+
+    Returns
+    -------
+    AllPairsResult
+        Identical paths and aggregated stats to the serial run.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if not isinstance(heap, str):
+        raise TypeError("parallel all-pairs requires a heap name, not a factory")
+    if aux is None:
+        aux = build_all_pairs_graph(network)
+    sources = network.nodes()
+
+    if workers == 1 or len(sources) <= 1:
+        paths: dict[tuple[NodeId, NodeId], Semilightpath] = {}
+        settled = relaxations = 0
+        heap_totals: dict[str, int] = {}
+        scratch = (
+            ScratchBuffers(aux.graph.num_nodes) if heap == "flat" else None
+        )
+        for source in sources:
+            tree, run = run_tree(aux, source, heap=heap, scratch=scratch)
+            for target, path in tree.items():
+                paths[(source, target)] = path
+            settled += run.settled
+            relaxations += run.relaxations
+            for key, value in run.heap_stats.items():
+                heap_totals[key] = heap_totals.get(key, 0) + value
+        return AllPairsResult(
+            paths=paths,
+            stats=QueryStats(
+                sizes=aux.sizes,
+                settled=settled,
+                relaxations=relaxations,
+                heap=heap_totals,
+            ),
+        )
+
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+    # Fork children inherit _SHARED through copy-on-write — no pickling at
+    # all.  Other start methods get the graph through the initializer,
+    # pickled once per worker rather than once per task.
+    payload = None if ctx.get_start_method() == "fork" else (aux, heap)
+    _SHARED["aux"] = aux
+    _SHARED["heap"] = heap
+    jobs = list(enumerate(_chunk(sources, workers * chunks_per_worker)))
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=ctx,
+            initializer=_worker_init,
+            initargs=(payload,),
+        ) as pool:
+            results = list(pool.map(_route_chunk, jobs))
+    finally:
+        _SHARED.clear()
+
+    paths = {}
+    settled = relaxations = 0
+    heap_totals = {}
+    results.sort(key=lambda chunk_result: chunk_result[0])
+    for _index, trees, chunk_settled, chunk_relaxations, chunk_heap in results:
+        for source, tree in trees:
+            for target, path in tree.items():
+                paths[(source, target)] = path
+        settled += chunk_settled
+        relaxations += chunk_relaxations
+        for key, value in chunk_heap.items():
+            heap_totals[key] = heap_totals.get(key, 0) + value
+    return AllPairsResult(
+        paths=paths,
+        stats=QueryStats(
+            sizes=aux.sizes,
+            settled=settled,
+            relaxations=relaxations,
+            heap=heap_totals,
+        ),
+    )

@@ -2,22 +2,36 @@
 
 :class:`LiangShenRouter` answers three kinds of query:
 
-* :meth:`~LiangShenRouter.route` — single pair ``(s, t)``: build
-  ``G_{s,t}``, run Dijkstra from ``s'`` with early stop at ``t''``, decode
-  the auxiliary path into a :class:`~repro.core.semilightpath.Semilightpath`
-  (Theorem 1's ``O(k²n + km + kn·log(kn))`` procedure).
-* :meth:`~LiangShenRouter.route_tree` — one source to all targets: build
-  ``G_all`` and run a full shortest-path tree from ``v'`` (the building
-  block of Corollary 1).
-* :meth:`~LiangShenRouter.route_all_pairs` — all pairs: one tree per node
-  over a single shared ``G_all``.
+* :meth:`~LiangShenRouter.route` — single pair ``(s, t)``.  The default
+  **overlay** path builds the layered graph ``G'`` once per router and
+  answers every query on it without mutation or copying: Dijkstra is
+  seeded multi-source on ``Y_s`` (all distance 0, exactly what the
+  virtual ``s'`` terminal's zero-weight fan-out achieves) and terminates
+  on the first settled node of ``X_t`` (nodes settle in nondecreasing
+  distance order, so that node attains ``min over X_t`` — what the
+  virtual ``t''`` terminal computes).  This drops the dominant
+  ``O(k²n + km)`` construction term from every warm query, leaving only
+  Theorem 1's ``O(kn·log(kn))`` search term.  ``overlay=False`` restores
+  the per-query ``G_{s,t}`` rebuild (Theorem 1's literal procedure —
+  kept for tests, teaching, and complexity accounting).
+* :meth:`~LiangShenRouter.route_tree` — one source to all targets: one
+  shortest-path tree over the cached ``G_all`` (the building block of
+  Corollary 1).
+* :meth:`~LiangShenRouter.route_all_pairs` — all pairs: one tree per
+  node over the shared cached ``G_all``, optionally fanned out across a
+  process pool (``workers=...``, see :mod:`repro.core.parallel`).
 
-The decode step relies on the structure of ``G_{s,t}`` paths: they
+A router instance treats its network as **frozen**: ``G'`` and ``G_all``
+are built lazily on first use and cached for the router's lifetime.
+Call :meth:`~LiangShenRouter.invalidate` (or build a new router, as the
+provisioning layers do per residual snapshot) after mutating the
+network.
+
+The decode step relies on the structure of auxiliary paths: they
 alternate between *conversion* edges (inside one node's ``G_v``, from an
 ``X_v`` node to a ``Y_v`` node) and *original* edges (``Y_u → X_v``, one
-per ``G_M`` link), book-ended by the zero-weight virtual edges at ``s'``
-and ``t''``.  Each original edge contributes a hop; conversion edges carry
-no hop but determine the wavelength switches, which the
+per ``G_M`` link).  Each original edge contributes a hop; conversion
+edges carry no hop but determine the wavelength switches, which the
 :class:`Semilightpath` recovers from consecutive hop wavelengths.
 """
 
@@ -32,20 +46,23 @@ from repro.core.auxiliary import (
     KIND_OUT,
     AllPairsGraph,
     AuxNode,
+    LayeredGraph,
     build_all_pairs_graph,
+    build_layered_graph,
     build_routing_graph,
 )
 from repro.core.instrumentation import QueryStats
 from repro.core.semilightpath import Hop, Semilightpath
-from repro.exceptions import NoPathError
+from repro.exceptions import InvalidPathError, NoPathError, UnknownNodeError
 from repro.shortestpath.dijkstra import DijkstraResult, dijkstra
+from repro.shortestpath.flat import ScratchBuffers, ScratchPool, flat_dijkstra
 from repro.shortestpath.heaps import AddressableHeap
 from repro.shortestpath.paths import reconstruct_path
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.network import WDMNetwork
 
-__all__ = ["RouteResult", "AllPairsResult", "LiangShenRouter"]
+__all__ = ["RouteResult", "AllPairsResult", "LiangShenRouter", "run_tree"]
 
 NodeId = Hashable
 
@@ -86,11 +103,21 @@ class LiangShenRouter:
     Parameters
     ----------
     network:
-        The :class:`~repro.core.network.WDMNetwork` to route on.
+        The :class:`~repro.core.network.WDMNetwork` to route on.  Treated
+        as frozen: the auxiliary graphs are cached per router instance
+        (see :meth:`invalidate`).
     heap:
-        Priority-queue implementation for the Dijkstra core: ``"binary"``
-        (default — fastest in CPython), ``"pairing"``, ``"fibonacci"``
-        (the structure Theorem 1's bound cites), or a factory callable.
+        Shortest-path kernel: ``"flat"`` (default — heapq + lazy deletion
+        over CSR arrays with reusable scratch buffers, the serving fast
+        path), ``"binary"``, ``"pairing"``, ``"fibonacci"`` (the
+        addressable structures Theorem 1's complexity accounting uses;
+        Fibonacci is the one the bound cites), or a factory callable
+        returning an addressable heap.
+    overlay:
+        When True (default), single-pair queries run on the shared
+        layered graph ``G'`` (built once, never mutated).  When False,
+        every query rebuilds ``G_{s,t}`` — Theorem 1's literal
+        construction, kept for tests and complexity accounting.
 
     Example
     -------
@@ -105,10 +132,34 @@ class LiangShenRouter:
     def __init__(
         self,
         network: "WDMNetwork",
-        heap: str | Callable[[], AddressableHeap] = "binary",
+        heap: str | Callable[[], AddressableHeap] = "flat",
+        overlay: bool = True,
     ) -> None:
         self.network = network
         self.heap = heap
+        self.overlay = overlay
+        self._layered: LayeredGraph | None = None
+        self._all_pairs: AllPairsGraph | None = None
+        self._pool = ScratchPool()
+
+    # -- cached auxiliary graphs ---------------------------------------------
+
+    def layered_graph(self) -> LayeredGraph:
+        """The shared ``G'`` overlay (built lazily, cached)."""
+        if self._layered is None:
+            self._layered = build_layered_graph(self.network)
+        return self._layered
+
+    def all_pairs_graph(self) -> AllPairsGraph:
+        """The shared ``G_all`` (built lazily, cached)."""
+        if self._all_pairs is None:
+            self._all_pairs = build_all_pairs_graph(self.network)
+        return self._all_pairs
+
+    def invalidate(self) -> None:
+        """Drop the cached auxiliary graphs after a network mutation."""
+        self._layered = None
+        self._all_pairs = None
 
     # -- single pair (Theorem 1) ---------------------------------------------
 
@@ -118,8 +169,31 @@ class LiangShenRouter:
         Raises :class:`~repro.exceptions.NoPathError` when no semilightpath
         exists (including when the endpoints have no usable wavelengths).
         """
+        if not self.overlay:
+            return self._route_rebuild(source, target)
+        if not self.network.has_node(source):
+            raise UnknownNodeError(source)
+        if not self.network.has_node(target):
+            raise UnknownNodeError(target)
+        if source == target:
+            raise ValueError("source and target must differ")
+        aux = self.layered_graph()
+        seeds = aux.y_by_node.get(source)
+        sinks = aux.x_by_node.get(target)
+        if not seeds or not sinks:
+            raise NoPathError(source, target)
+        run = self._run(aux.graph, seeds, targets=sinks)
+        if run.stopped_at < 0:
+            raise NoPathError(source, target)
+        best = run.dist[run.stopped_at]
+        aux_path = reconstruct_path(run.parent, run.stopped_at)
+        path = _decode(aux.decode, aux_path, best)
+        return RouteResult(path=path, stats=_stats(aux.sizes, run))
+
+    def _route_rebuild(self, source: NodeId, target: NodeId) -> RouteResult:
+        """Theorem 1 verbatim: build ``G_{s,t}``, search ``s' → t''``."""
         aux = build_routing_graph(self.network, source, target)
-        run = dijkstra(aux.graph, aux.source_id, target=aux.sink_id, heap=self.heap)
+        run = self._run(aux.graph, aux.source_id, target=aux.sink_id)
         if run.dist[aux.sink_id] == math.inf:
             raise NoPathError(source, target)
         aux_path = reconstruct_path(run.parent, aux.sink_id)
@@ -131,25 +205,43 @@ class LiangShenRouter:
     def route_tree(self, source: NodeId) -> dict[NodeId, Semilightpath]:
         """Optimal semilightpaths from *source* to every reachable node.
 
-        Builds ``G_all`` and runs a single full Dijkstra from ``source'``;
-        this is one iteration of Corollary 1.
+        One full Dijkstra from ``source'`` over the cached ``G_all``; this
+        is one iteration of Corollary 1.
         """
-        aux = build_all_pairs_graph(self.network)
-        return self._tree_from(aux, source)[0]
+        return self.tree_from(source)[0]
 
-    def route_all_pairs(self) -> AllPairsResult:
+    def tree_from(
+        self, source: NodeId
+    ) -> tuple[dict[NodeId, Semilightpath], DijkstraResult]:
+        """One Corollary 1 tree plus the run it took (for stats callers)."""
+        aux = self.all_pairs_graph()
+        return run_tree(
+            aux, source, heap=self.heap, scratch=self._pool.get(aux.graph.num_nodes)
+        )
+
+    def route_all_pairs(self, workers: int | None = None) -> AllPairsResult:
         """Corollary 1: optimal semilightpaths for all ordered pairs.
 
         One shared ``G_all`` build plus ``n`` shortest-path-tree runs:
-        ``O(k²n² + kmn + kn²·log(kn))`` total.
+        ``O(k²n² + kmn + kn²·log(kn))`` total.  With ``workers`` > 1 the
+        ``n`` independent tree runs are partitioned across a process pool
+        (:func:`repro.core.parallel.route_all_pairs_parallel`); results
+        are identical to the serial run.
         """
-        aux = build_all_pairs_graph(self.network)
+        aux = self.all_pairs_graph()
+        if workers is not None and workers > 1:
+            from repro.core.parallel import route_all_pairs_parallel
+
+            return route_all_pairs_parallel(
+                self.network, workers=workers, heap=self.heap, aux=aux
+            )
         paths: dict[tuple[NodeId, NodeId], Semilightpath] = {}
         settled = 0
         relaxations = 0
         heap_totals: dict[str, int] = {}
+        scratch = self._pool.get(aux.graph.num_nodes)
         for source in self.network.nodes():
-            tree, run = self._tree_from(aux, source)
+            tree, run = run_tree(aux, source, heap=self.heap, scratch=scratch)
             for target, path in tree.items():
                 paths[(source, target)] = path
             settled += run.settled
@@ -164,18 +256,54 @@ class LiangShenRouter:
         )
         return AllPairsResult(paths=paths, stats=stats)
 
+    # Backwards-compatible internal entry point: the service cache and the
+    # batch router drive tree construction over an explicitly shared aux.
     def _tree_from(
         self, aux: AllPairsGraph, source: NodeId
     ) -> tuple[dict[NodeId, Semilightpath], DijkstraResult]:
-        source_id = aux.source_ids[source]
-        run = dijkstra(aux.graph, source_id, heap=self.heap)
-        tree: dict[NodeId, Semilightpath] = {}
-        for target, sink_id in aux.sink_ids.items():
-            if target == source or run.dist[sink_id] == math.inf:
-                continue
-            aux_path = reconstruct_path(run.parent, sink_id)
-            tree[target] = _decode(aux.decode, aux_path, run.dist[sink_id])
-        return tree, run
+        return run_tree(
+            aux, source, heap=self.heap, scratch=self._pool.get(aux.graph.num_nodes)
+        )
+
+    # -- kernel dispatch -----------------------------------------------------
+
+    def _run(self, graph, sources, target=None, targets=None) -> DijkstraResult:
+        if self.heap == "flat":
+            return flat_dijkstra(
+                graph,
+                sources,
+                target=target,
+                targets=targets,
+                scratch=self._pool.get(graph.num_nodes),
+            )
+        return dijkstra(graph, sources, target=target, targets=targets, heap=self.heap)
+
+
+def run_tree(
+    aux: AllPairsGraph,
+    source: NodeId,
+    heap: str | Callable[[], AddressableHeap] = "flat",
+    scratch: ScratchBuffers | ScratchPool | None = None,
+) -> tuple[dict[NodeId, Semilightpath], DijkstraResult]:
+    """One Corollary 1 shortest-path tree over a shared ``G_all``.
+
+    Module-level so process-pool workers (:mod:`repro.core.parallel`) can
+    run trees against a forked/pickled ``aux`` without a router instance.
+    The tree is fully decoded before returning, so reusable *scratch* is
+    safe to pass.
+    """
+    source_id = aux.source_ids[source]
+    if heap == "flat":
+        run = flat_dijkstra(aux.graph, source_id, scratch=scratch)
+    else:
+        run = dijkstra(aux.graph, source_id, heap=heap)
+    tree: dict[NodeId, Semilightpath] = {}
+    for target, sink_id in aux.sink_ids.items():
+        if target == source or run.dist[sink_id] == math.inf:
+            continue
+        aux_path = reconstruct_path(run.parent, sink_id)
+        tree[target] = _decode(aux.decode, aux_path, run.dist[sink_id])
+    return tree, run
 
 
 def _stats(sizes, run: DijkstraResult) -> QueryStats:
@@ -199,7 +327,14 @@ def _decode(decode: list[AuxNode], aux_path: list[int], total: float) -> Semilig
         a = decode[aux_path[i]]
         b = decode[aux_path[i + 1]]
         if a.kind == KIND_OUT and b.kind == KIND_IN:
-            # By construction E_org edges preserve the wavelength.
-            assert a.wavelength == b.wavelength, "corrupt E_org edge"
+            # By construction E_org edges preserve the wavelength; a
+            # mismatch means the auxiliary graph or parent array is
+            # corrupt.  A real exception (not an assert) so the check
+            # survives ``python -O``.
+            if a.wavelength != b.wavelength:
+                raise InvalidPathError(
+                    f"corrupt E_org edge in auxiliary path: "
+                    f"{a.label()} -> {b.label()} changes wavelength"
+                )
             hops.append(Hop(tail=a.node, head=b.node, wavelength=a.wavelength))
     return Semilightpath(hops=tuple(hops), total_cost=total)

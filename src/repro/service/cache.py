@@ -36,7 +36,6 @@ import math
 import threading
 from typing import TYPE_CHECKING, Callable, Hashable
 
-from repro.core.auxiliary import build_all_pairs_graph
 from repro.core.routing import LiangShenRouter
 from repro.core.semilightpath import Semilightpath
 from repro.exceptions import NoPathError
@@ -84,7 +83,7 @@ class EpochRouterCache:
     def __init__(
         self,
         network: "WDMNetwork | Callable[[], WDMNetwork]",
-        heap: str = "binary",
+        heap: str = "flat",
         metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self._factory: Callable[[], "WDMNetwork"] = (
@@ -203,7 +202,9 @@ class EpochRouterCache:
             self._trees = survivors
         self._network = self._factory()
         self._inner = LiangShenRouter(self._network, heap=self._heap)
-        self._aux = build_all_pairs_graph(self._network)
+        # The router caches G_all for its lifetime; one rebuild = one
+        # construction, shared by every tree run until the next epoch.
+        self._aux = self._inner.all_pairs_graph()
         self._dirty.clear()
         self._full_dirty = False
         self._built_epoch = self._epoch

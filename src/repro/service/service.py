@@ -61,7 +61,9 @@ class RoutingService:
         Pending-request bound; excess submissions raise
         :class:`~repro.exceptions.ServiceOverloadError`.
     heap:
-        Dijkstra heap implementation for the underlying router.
+        Shortest-path kernel for the underlying router (default
+        ``"flat"``, the CSR fast path; see
+        :class:`~repro.core.routing.LiangShenRouter`).
     coalesce:
         Batch pending same-source queries onto one tree (default on).
     metrics:
@@ -80,7 +82,7 @@ class RoutingService:
         network: "WDMNetwork | Callable[[], WDMNetwork]",
         workers: int = 4,
         queue_limit: int = 256,
-        heap: str = "binary",
+        heap: str = "flat",
         coalesce: bool = True,
         metrics: MetricsRegistry | None = None,
     ) -> None:

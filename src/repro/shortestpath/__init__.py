@@ -10,13 +10,17 @@ routers.  It provides:
   :class:`~repro.shortestpath.heaps.PairingHeap`, and
   :class:`~repro.shortestpath.fibonacci.FibonacciHeap` (the structure
   Theorem 1 of the paper cites for its ``O(m' + n' log n')`` bound),
-* Dijkstra with a pluggable heap and early target stop, and
+* Dijkstra with a pluggable heap and early target stop,
+* a flat-array Dijkstra fast path (:mod:`repro.shortestpath.flat`) —
+  heapq with lazy deletion over the CSR arrays, with scratch buffers
+  reusable across queries (the routers' default kernel), and
 * Bellman–Ford (both classic synchronous rounds and SPFA queue forms).
 """
 
 from repro.shortestpath.bellman_ford import bellman_ford, spfa
 from repro.shortestpath.dijkstra import DijkstraResult, dijkstra
 from repro.shortestpath.fibonacci import FibonacciHeap
+from repro.shortestpath.flat import ScratchBuffers, ScratchPool, flat_dijkstra
 from repro.shortestpath.heaps import BinaryHeap, PairingHeap
 from repro.shortestpath.paths import ShortestPathTree, reconstruct_path
 from repro.shortestpath.structures import GraphBuilder, StaticGraph
@@ -29,6 +33,9 @@ __all__ = [
     "GraphBuilder",
     "dijkstra",
     "DijkstraResult",
+    "flat_dijkstra",
+    "ScratchBuffers",
+    "ScratchPool",
     "bellman_ford",
     "spfa",
     "reconstruct_path",

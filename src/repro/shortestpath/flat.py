@@ -1,0 +1,233 @@
+"""Flat-array Dijkstra fast path over :class:`StaticGraph` CSR arrays.
+
+The addressable-heap Dijkstra in :mod:`repro.shortestpath.dijkstra` is the
+reference implementation behind Theorem 1's complexity accounting: it
+reports exact push/pop/decrease-key counts for any of the three heap
+structures.  That generality costs real time in CPython — every heap
+operation crosses a method boundary, every node allocates dict entries,
+and every query allocates fresh ``dist``/``parent`` lists.
+
+This module is the serving-path alternative.  It trades the addressable
+heap for :mod:`heapq` with **lazy deletion** (a popped entry whose key is
+staler than ``dist`` is skipped instead of decreased in place) and keeps
+all per-node state in preallocated ``array('d')`` / ``array('q')``
+buffers that are **reused across queries**:
+
+* :class:`ScratchBuffers` — one set of dist/parent/tag buffers for a
+  fixed graph size, reset in time proportional to the *previous* query's
+  touched set (an early-stopped query touching 50 nodes pays a 50-node
+  reset, not an ``n``-node one).
+* :class:`ScratchPool` — a per-thread pool of buffers keyed by graph
+  size, so one router instance can serve concurrent threads without
+  locking.
+* :func:`flat_dijkstra` — the kernel itself, returning the same
+  :class:`~repro.shortestpath.dijkstra.DijkstraResult` shape as the
+  reference implementation.
+
+Lifetime contract
+-----------------
+When a query runs on reusable scratch (an explicit :class:`ScratchBuffers`
+or a :class:`ScratchPool`), the returned result's ``dist`` / ``parent`` /
+``parent_tag`` views are **valid only until the next query on the same
+scratch**.  Callers must finish decoding before issuing another query (the
+routers do), or pass ``scratch=None`` to get private buffers.
+
+Tie-breaking: the heap orders entries by ``(dist, node)``, so among
+equal-distance frontier nodes the smallest auxiliary id settles first.
+The addressable-heap kernels key their heaps the same way, so all four
+kernels return the same parent forest — identical hop sequences even
+when multiple shortest paths exist.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from array import array
+from heapq import heappop, heappush
+from typing import Iterable
+
+from repro.shortestpath.dijkstra import DijkstraResult
+from repro.shortestpath.structures import StaticGraph
+
+__all__ = ["ScratchBuffers", "ScratchPool", "flat_dijkstra"]
+
+INF = math.inf
+
+
+class ScratchBuffers:
+    """Preallocated per-query state for :func:`flat_dijkstra`.
+
+    One instance serves one graph size (``num_nodes``).  The arrays hold
+    the *most recent* query's results; :meth:`reset` restores only the
+    entries that query touched.
+    """
+
+    __slots__ = ("num_nodes", "dist", "parent", "parent_tag", "touched")
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 0:
+            raise ValueError("num_nodes must be >= 0")
+        self.num_nodes = num_nodes
+        self.dist: array = array("d", [INF]) * num_nodes
+        self.parent: array = array("q", [-1]) * num_nodes
+        self.parent_tag: array = array("q", [-1]) * num_nodes
+        self.touched: list[int] = []
+
+    def reset(self) -> None:
+        """Restore the entries touched by the previous query to pristine."""
+        dist = self.dist
+        parent = self.parent
+        parent_tag = self.parent_tag
+        for v in self.touched:
+            dist[v] = INF
+            parent[v] = -1
+            parent_tag[v] = -1
+        self.touched.clear()
+
+
+class ScratchPool:
+    """Per-thread :class:`ScratchBuffers`, keyed by graph size.
+
+    Routers keep one pool per instance; each worker thread lazily gets its
+    own buffers, so concurrent queries never share mutable state and no
+    lock is taken on the hot path.
+    """
+
+    __slots__ = ("_local",)
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+
+    def get(self, num_nodes: int) -> ScratchBuffers:
+        """The calling thread's buffers for graphs of *num_nodes* nodes."""
+        buffers: dict[int, ScratchBuffers] | None = getattr(
+            self._local, "buffers", None
+        )
+        if buffers is None:
+            buffers = self._local.buffers = {}
+        scratch = buffers.get(num_nodes)
+        if scratch is None:
+            scratch = buffers[num_nodes] = ScratchBuffers(num_nodes)
+        return scratch
+
+
+def flat_dijkstra(
+    graph: StaticGraph,
+    sources: int | Iterable[int],
+    target: int | None = None,
+    targets: Iterable[int] | None = None,
+    scratch: ScratchBuffers | ScratchPool | None = None,
+) -> DijkstraResult:
+    """Single- or multi-source shortest paths via heapq with lazy deletion.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`StaticGraph` with nonnegative edge weights.
+    sources:
+        One node id, or an iterable of ids all seeded at distance 0.
+    target:
+        Stop as soon as this node settles (its distance is then final).
+    targets:
+        Stop as soon as *any* member settles.  Because nodes settle in
+        nondecreasing distance order, the first settled member attains the
+        minimum distance over the whole set — this is what overlay
+        single-pair queries use to terminate on ``min over X_t`` without
+        a virtual sink node.  Mutually exclusive with *target*.
+    scratch:
+        ``None`` (private buffers, safe to keep), a :class:`ScratchBuffers`
+        of matching size, or a :class:`ScratchPool` (per-thread reuse).
+        See the module docstring for the reuse lifetime contract.
+
+    Returns
+    -------
+    DijkstraResult
+        ``stopped_at`` holds the settled target (-1 if the search ran to
+        exhaustion or the target was unreachable).  ``heap_stats`` reports
+        ``pushes`` / ``pops`` / ``stale`` (lazily deleted entries).
+    """
+    if isinstance(sources, int):
+        source_tuple: tuple[int, ...] = (sources,)
+    else:
+        source_tuple = tuple(sources)
+    if not source_tuple:
+        raise ValueError("at least one source is required")
+    n = graph.num_nodes
+    for s in source_tuple:
+        if not 0 <= s < n:
+            raise IndexError(f"source {s} out of range [0, {n})")
+    if target is not None and targets is not None:
+        raise ValueError("pass either target or targets, not both")
+    if target is not None and not 0 <= target < n:
+        raise IndexError(f"target {target} out of range [0, {n})")
+    target_set: frozenset[int] | None = None
+    if targets is not None:
+        target_set = frozenset(targets)
+        for t in target_set:
+            if not 0 <= t < n:
+                raise IndexError(f"target {t} out of range [0, {n})")
+
+    if scratch is None:
+        buffers = ScratchBuffers(n)
+    elif isinstance(scratch, ScratchPool):
+        buffers = scratch.get(n)
+    else:
+        buffers = scratch
+        if buffers.num_nodes != n:
+            raise ValueError(
+                f"scratch sized for {buffers.num_nodes} nodes, graph has {n}"
+            )
+    buffers.reset()
+    dist = buffers.dist
+    parent = buffers.parent
+    parent_tag = buffers.parent_tag
+    touched = buffers.touched
+
+    offsets, heads, weights, tags = graph.csr()
+    heap: list[tuple[float, int]] = []
+    pushes = pops = stale = relaxations = 0
+    stopped_at = -1
+
+    for s in source_tuple:
+        if dist[s] != 0.0:
+            dist[s] = 0.0
+            touched.append(s)
+            heappush(heap, (0.0, s))
+            pushes += 1
+
+    while heap:
+        du, u = heappop(heap)
+        if du > dist[u]:
+            stale += 1
+            continue
+        pops += 1
+        if target is not None and u == target:
+            stopped_at = u
+            break
+        if target_set is not None and u in target_set:
+            stopped_at = u
+            break
+        for i in range(offsets[u], offsets[u + 1]):
+            v = heads[i]
+            relaxations += 1
+            alt = du + weights[i]
+            if alt < dist[v]:
+                if dist[v] == INF:
+                    touched.append(v)
+                dist[v] = alt
+                parent[v] = u
+                parent_tag[v] = tags[i]
+                heappush(heap, (alt, v))
+                pushes += 1
+
+    return DijkstraResult(
+        source=source_tuple,
+        dist=dist,
+        parent=parent,
+        parent_tag=parent_tag,
+        settled=pops,
+        relaxations=relaxations,
+        heap_stats={"pushes": pushes, "pops": pops, "stale": stale},
+        stopped_at=stopped_at,
+    )

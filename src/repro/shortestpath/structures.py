@@ -160,6 +160,16 @@ class StaticGraph:
         for i in range(self._offsets[node], self._offsets[node + 1]):
             yield heads[i], weights[i], tags[i]
 
+    def csr(self) -> tuple[Sequence[int], Sequence[int], Sequence[float], Sequence[int]]:
+        """The raw CSR arrays ``(offsets, heads, weights, tags)``.
+
+        The out-edges of node ``u`` occupy slots ``offsets[u]`` to
+        ``offsets[u + 1]``.  Exposed for kernels (e.g. the flat Dijkstra
+        fast path) that hoist every attribute lookup out of their inner
+        loop; callers must treat the arrays as read-only.
+        """
+        return self._offsets, self._heads, self._weights, self._tags
+
     def neighbor_slices(self, node: int) -> tuple[range, Sequence[int], Sequence[float], Sequence[int]]:
         """Low-level access: the CSR slot range plus the backing arrays.
 

@@ -1,0 +1,85 @@
+"""Reference-topology identity: the hot path changes *speed*, not answers.
+
+The seed router answered single-pair queries by rebuilding ``G_{s,t}``
+per query over an addressable binary heap.  The overhauled default
+answers them on the shared ``G'`` overlay with the flat kernel.  On
+every reference topology the two must agree **exactly** — same float
+cost bit-for-bit and, because all kernels share the ascending-id
+tie-break, the same hop sequence — and the parallel all-pairs fan-out
+must reproduce the serial result verbatim.
+"""
+
+import pytest
+
+from repro.core.routing import LiangShenRouter
+from repro.exceptions import NoPathError
+from repro.topology.generators import grid_network, ring_network, waxman_network
+from repro.topology.reference import (
+    arpanet_network,
+    nsfnet_network,
+    paper_figure1_network,
+)
+
+TOPOLOGIES = {
+    "paper_fig1": lambda: paper_figure1_network(),
+    "nsfnet": lambda: nsfnet_network(num_wavelengths=4, seed=1),
+    "arpanet": lambda: arpanet_network(num_wavelengths=4, seed=2),
+    "ring16": lambda: ring_network(16, 4, seed=3),
+    "grid4x4": lambda: grid_network(4, 4, 3, seed=4),
+    "waxman20": lambda: waxman_network(20, 4, seed=5),
+}
+
+
+def try_route(router, s, t):
+    try:
+        return router.route(s, t)
+    except NoPathError:
+        return None
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+def test_default_path_identical_to_seed_configuration(name):
+    """Overlay + flat vs per-query rebuild + binary heap: exact agreement."""
+    net = TOPOLOGIES[name]()
+    seed_router = LiangShenRouter(net, heap="binary", overlay=False)
+    hot_router = LiangShenRouter(net)
+    for s in net.nodes():
+        for t in net.nodes():
+            if s == t:
+                continue
+            seed = try_route(seed_router, s, t)
+            hot = try_route(hot_router, s, t)
+            if seed is None:
+                assert hot is None, (name, s, t)
+            else:
+                assert hot is not None, (name, s, t)
+                # Exact float equality, not approx: both paths sum the
+                # same edge weights in the same order.
+                assert hot.cost == seed.cost, (name, s, t)
+                assert hot.path.hops == seed.path.hops, (name, s, t)
+
+
+@pytest.mark.parametrize("name", ["paper_fig1", "nsfnet", "ring16"])
+def test_all_pairs_serial_parallel_and_single_agree(name):
+    net = TOPOLOGIES[name]()
+    router = LiangShenRouter(net)
+    serial = router.route_all_pairs()
+    fanned = router.route_all_pairs(workers=2)
+    assert {p: (v.hops, v.total_cost) for p, v in serial.paths.items()} == {
+        p: (v.hops, v.total_cost) for p, v in fanned.paths.items()
+    }
+    assert serial.stats.settled == fanned.stats.settled
+    assert serial.stats.relaxations == fanned.stats.relaxations
+    for (s, t), path in serial.paths.items():
+        single = try_route(router, s, t)
+        assert single is not None
+        assert single.path.hops == path.hops
+        assert single.cost == path.total_cost
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+def test_routed_paths_validate_on_their_network(name):
+    net = TOPOLOGIES[name]()
+    router = LiangShenRouter(net)
+    for (_s, _t), path in router.route_all_pairs().paths.items():
+        path.validate(net)

@@ -1,0 +1,98 @@
+"""Property-based equivalence of every shortest-path kernel and query path.
+
+The hot-path overhaul leaves four kernels (``flat``, ``binary``,
+``pairing``, ``fibonacci``) and two single-pair query strategies (the
+shared-``G'`` overlay and the per-query ``G_{s,t}`` rebuild).  All of
+them share one tie-breaking rule — equal-distance nodes settle in
+ascending auxiliary-id order — so they must agree not just on optimal
+*cost* but on the exact *hop sequence*, even when many optima exist.
+
+These tests pin that equivalence on arbitrary hypothesis-generated
+networks, with the brute-force state-relaxation router as the cost
+oracle.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baseline.brute_force import brute_force_route
+from repro.core.routing import LiangShenRouter
+from repro.exceptions import NoPathError
+from tests.property.strategies import networks_with_endpoints, wdm_networks
+
+KERNELS = ["flat", "binary", "pairing", "fibonacci"]
+
+
+def try_route(router, s, t):
+    try:
+        return router.route(s, t)
+    except NoPathError:
+        return None
+
+
+@given(case=networks_with_endpoints())
+@settings(max_examples=60, deadline=None)
+def test_all_kernels_return_identical_paths(case):
+    net, s, t = case
+    results = {k: try_route(LiangShenRouter(net, heap=k), s, t) for k in KERNELS}
+    reference = results["flat"]
+    for kernel, result in results.items():
+        if reference is None:
+            assert result is None, kernel
+        else:
+            assert result is not None, kernel
+            assert result.cost == reference.cost, kernel
+            assert result.path.hops == reference.path.hops, kernel
+
+
+@given(case=networks_with_endpoints())
+@settings(max_examples=60, deadline=None)
+def test_overlay_matches_per_query_rebuild(case):
+    net, s, t = case
+    overlay = try_route(LiangShenRouter(net, overlay=True), s, t)
+    rebuild = try_route(LiangShenRouter(net, overlay=False), s, t)
+    if overlay is None:
+        assert rebuild is None
+    else:
+        assert rebuild is not None
+        assert overlay.cost == rebuild.cost
+        assert overlay.path.hops == rebuild.path.hops
+        # The overlay skips the per-query G_{s,t} construction but must
+        # search the same layered core: identical auxiliary sizes.
+        assert overlay.stats.sizes == rebuild.stats.sizes
+
+
+@given(case=networks_with_endpoints())
+@settings(max_examples=60, deadline=None)
+def test_flat_kernel_matches_brute_force_cost(case):
+    net, s, t = case
+    try:
+        expected = brute_force_route(net, s, t).total_cost
+    except NoPathError:
+        expected = None
+    actual = try_route(LiangShenRouter(net, heap="flat"), s, t)
+    if expected is None:
+        assert actual is None
+    else:
+        assert actual is not None
+        assert actual.cost == pytest.approx(expected)
+
+
+@given(net=wdm_networks())
+@settings(max_examples=40, deadline=None)
+def test_tree_queries_match_single_pair_queries_exactly(net):
+    """Corollary 1 trees and overlay single-pair queries agree hop-for-hop."""
+    router = LiangShenRouter(net)
+    for source in net.nodes():
+        tree = router.route_tree(source)
+        for target in net.nodes():
+            if target == source:
+                continue
+            single = try_route(router, source, target)
+            in_tree = tree.get(target)
+            if single is None:
+                assert in_tree is None
+            else:
+                assert in_tree is not None
+                assert in_tree.hops == single.path.hops
+                assert in_tree.total_cost == single.cost

@@ -1,0 +1,184 @@
+"""Unit tests for the flat-array Dijkstra kernel and its scratch buffers."""
+
+import math
+import random
+import threading
+
+import pytest
+
+from repro.shortestpath.bellman_ford import bellman_ford
+from repro.shortestpath.dijkstra import dijkstra
+from repro.shortestpath.flat import ScratchBuffers, ScratchPool, flat_dijkstra
+from repro.shortestpath.structures import GraphBuilder
+
+
+def diamond():
+    """0 -> {1, 2} -> 3 with a cheaper upper branch."""
+    b = GraphBuilder(4)
+    b.add_edge(0, 1, 1.0, tag=1)
+    b.add_edge(0, 2, 2.0, tag=2)
+    b.add_edge(1, 3, 1.0, tag=3)
+    b.add_edge(2, 3, 0.5, tag=4)
+    return b.build()
+
+
+def random_graph(trial, max_nodes=40):
+    rng = random.Random(trial)
+    n = rng.randint(2, max_nodes)
+    b = GraphBuilder(n)
+    for _ in range(rng.randint(0, 5 * n)):
+        b.add_edge(rng.randrange(n), rng.randrange(n), rng.uniform(0, 10))
+    return b.build()
+
+
+class TestFlatKernel:
+    def test_distances_and_parents(self):
+        run = flat_dijkstra(diamond(), 0)
+        assert list(run.dist) == [0.0, 1.0, 2.0, 2.0]
+        assert run.parent[3] == 1
+        assert run.parent_tag[3] == 3
+
+    def test_unreachable_is_inf(self):
+        b = GraphBuilder(3)
+        b.add_edge(0, 1, 1.0)
+        run = flat_dijkstra(b.build(), 0)
+        assert run.dist[2] == math.inf
+        assert run.stopped_at == -1
+
+    def test_multi_source(self):
+        b = GraphBuilder(4)
+        b.add_edge(0, 2, 5.0)
+        b.add_edge(1, 2, 1.0)
+        b.add_edge(2, 3, 1.0)
+        run = flat_dijkstra(b.build(), [0, 1])
+        assert list(run.dist) == [0.0, 0.0, 1.0, 2.0]
+
+    def test_early_stop_at_target(self):
+        b = GraphBuilder(100)
+        for i in range(99):
+            b.add_edge(i, i + 1, 1.0)
+        run = flat_dijkstra(b.build(), 0, target=2)
+        assert run.dist[2] == 2.0
+        assert run.stopped_at == 2
+        assert run.settled <= 4
+
+    def test_targets_stop_at_minimum_member(self):
+        # 0 -> 1 (1.0), 0 -> 2 (3.0): among {1, 2}, node 1 settles first.
+        b = GraphBuilder(3)
+        b.add_edge(0, 1, 1.0)
+        b.add_edge(0, 2, 3.0)
+        run = flat_dijkstra(b.build(), 0, targets=[1, 2])
+        assert run.stopped_at == 1
+        assert run.dist[1] == 1.0
+
+    def test_targets_unreachable_leaves_stopped_at_unset(self):
+        b = GraphBuilder(3)
+        b.add_edge(0, 1, 1.0)
+        run = flat_dijkstra(b.build(), 0, targets=[2])
+        assert run.stopped_at == -1
+
+    def test_target_and_targets_are_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            flat_dijkstra(diamond(), 0, target=3, targets=[3])
+
+    def test_heap_stats_report_lazy_deletion(self):
+        run = flat_dijkstra(diamond(), 0)
+        assert set(run.heap_stats) == {"pushes", "pops", "stale"}
+        assert run.heap_stats["pushes"] >= run.heap_stats["pops"]
+
+    @pytest.mark.parametrize("trial", range(20))
+    def test_agrees_with_bellman_ford(self, trial):
+        g = random_graph(trial)
+        reference = bellman_ford(g, 0).dist
+        assert list(flat_dijkstra(g, 0).dist) == pytest.approx(reference)
+
+    @pytest.mark.parametrize("trial", range(10))
+    def test_agrees_with_binary_heap_exactly(self, trial):
+        """Same distances AND same parent forest — shared tie-breaking."""
+        g = random_graph(trial)
+        flat = flat_dijkstra(g, 0)
+        binary = dijkstra(g, 0, heap="binary")
+        assert list(flat.dist) == list(binary.dist)
+        assert list(flat.parent) == list(binary.parent)
+        assert list(flat.parent_tag) == list(binary.parent_tag)
+
+    def test_dispatch_through_dijkstra_entry_point(self):
+        run = dijkstra(diamond(), 0, heap="flat")
+        assert list(run.dist) == [0.0, 1.0, 2.0, 2.0]
+        assert "stale" in run.heap_stats
+
+
+class TestScratchReuse:
+    def test_second_query_sees_pristine_state(self):
+        scratch = ScratchBuffers(4)
+        g = diamond()
+        flat_dijkstra(g, 0, scratch=scratch)
+        # Re-query from a different source: stale entries from the first
+        # run must not leak into the second run's results.
+        run = flat_dijkstra(g, 1, scratch=scratch)
+        assert list(run.dist) == [math.inf, 0.0, math.inf, 1.0]
+        assert run.parent[0] == -1
+
+    def test_reset_touches_only_previous_query(self):
+        b = GraphBuilder(1000)
+        b.add_edge(0, 1, 1.0)
+        scratch = ScratchBuffers(1000)
+        flat_dijkstra(b.build(), 0, scratch=scratch)
+        assert sorted(scratch.touched) == [0, 1]
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            flat_dijkstra(diamond(), 0, scratch=ScratchBuffers(3))
+
+    def test_private_buffers_survive_other_queries(self):
+        g = diamond()
+        first = flat_dijkstra(g, 0)  # scratch=None -> private buffers
+        flat_dijkstra(g, 1)
+        assert list(first.dist) == [0.0, 1.0, 2.0, 2.0]
+
+    def test_pool_reuses_buffers_per_size(self):
+        pool = ScratchPool()
+        assert pool.get(4) is pool.get(4)
+        assert pool.get(4) is not pool.get(5)
+
+    def test_pool_is_per_thread(self):
+        pool = ScratchPool()
+        mine = pool.get(4)
+        seen = []
+
+        def worker():
+            seen.append(pool.get(4))
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert seen[0] is not mine
+
+    def test_pool_accepted_by_kernel(self):
+        pool = ScratchPool()
+        g = diamond()
+        run = flat_dijkstra(g, 0, scratch=pool)
+        assert list(run.dist) == [0.0, 1.0, 2.0, 2.0]
+        assert run.dist is pool.get(4).dist
+
+
+class TestValidation:
+    def test_source_out_of_range(self):
+        with pytest.raises(IndexError):
+            flat_dijkstra(diamond(), 7)
+
+    def test_target_out_of_range(self):
+        with pytest.raises(IndexError):
+            flat_dijkstra(diamond(), 0, target=9)
+
+    def test_targets_member_out_of_range(self):
+        with pytest.raises(IndexError):
+            flat_dijkstra(diamond(), 0, targets=[9])
+
+    def test_no_sources(self):
+        with pytest.raises(ValueError):
+            flat_dijkstra(diamond(), [])
+
+    def test_negative_size_scratch(self):
+        with pytest.raises(ValueError):
+            ScratchBuffers(-1)
