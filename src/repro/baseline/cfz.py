@@ -28,7 +28,7 @@ from repro.core.instrumentation import QueryStats
 from repro.core.routing import RouteResult
 from repro.core.semilightpath import Hop, Semilightpath
 from repro.core.auxiliary import AuxiliarySizes
-from repro.exceptions import NoPathError
+from repro.exceptions import InvalidPathError, NoPathError
 from repro.shortestpath.dijkstra import dijkstra
 from repro.shortestpath.paths import reconstruct_path
 from repro.shortestpath.structures import StaticGraph
@@ -170,7 +170,14 @@ def _decode_wg_path(wg: WavelengthGraph, state_path: list[int]) -> Semilightpath
         u, lam_u = wg.decode_state(interior[i])
         v, lam_v = wg.decode_state(interior[i + 1])
         if u != v:
-            assert lam_u == lam_v, "corrupt WG link edge"
+            # Link edges preserve the wavelength by construction; a mismatch
+            # means WG or the parent array is corrupt.  A real exception so
+            # the check survives ``python -O``.
+            if lam_u != lam_v:
+                raise InvalidPathError(
+                    f"corrupt WG link edge: ({u!r}, λ{lam_u + 1}) -> "
+                    f"({v!r}, λ{lam_v + 1}) changes wavelength"
+                )
             hops.append(Hop(tail=u, head=v, wavelength=lam_u))
     path = Semilightpath(hops=tuple(hops))
     return Semilightpath(hops=path.hops, total_cost=path.evaluate_cost(wg.network))

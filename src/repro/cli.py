@@ -271,6 +271,66 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import DifferentialHarness, random_scenario, replay_corpus
+    from repro.verify.scenarios import ScenarioLimits
+
+    harness = DifferentialHarness()
+    failures = 0
+    replayed = 0
+    for case, report in replay_corpus(args.corpus, harness):
+        replayed += 1
+        if not report.ok:
+            failures += 1
+            print(f"corpus case {case.name} FAILED:")
+            print(report.format())
+    limits = ScenarioLimits(max_nodes=args.max_nodes)
+    checked = 0
+    for index in range(args.scenarios):
+        report = harness.run(random_scenario(args.seed + index, limits=limits))
+        checked += report.queries_checked
+        if not report.ok:
+            failures += 1
+            print(report.format())
+    print(
+        f"verify: {replayed} corpus case(s) replayed, {args.scenarios} seeded "
+        f"scenario(s) ({checked} queries) through {len(harness.oracles)} oracles; "
+        f"{failures} failure(s)"
+    )
+    return 0 if failures == 0 else 4
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.verify import DifferentialHarness, save_case, shrink_scenario
+    from repro.verify.scenarios import ScenarioLimits
+
+    if args.seconds <= 0:
+        print("--seconds must be > 0", file=sys.stderr)
+        return 1
+    harness = DifferentialHarness()
+    limits = ScenarioLimits(max_nodes=args.max_nodes)
+    result = harness.fuzz(seconds=args.seconds, seed=args.seed, limits=limits)
+    print(
+        f"fuzz: {result.scenarios_run} scenario(s), {result.queries_checked} "
+        f"queries through {len(harness.oracles)} oracles in "
+        f"{result.elapsed:.1f}s (seed {result.seed}); "
+        f"{len(result.failures)} failure(s)"
+    )
+    for report in result.failures:
+        print()
+        print(report.format())
+        scenario = report.scenario
+        if not args.no_shrink:
+            scenario = shrink_scenario(
+                scenario, lambda s: not harness.run(s).ok
+            )
+            print(f"shrunk to {scenario!r}")
+        disagreements = [d.summary() for d in harness.run(scenario).disagreements]
+        path = save_case(args.corpus, scenario, disagreements)
+        print(f"persisted to {path}")
+    return 0 if result.ok else 4
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.topology.traffic_matrices import gravity_demands, uniform_demands
     from repro.wdm.planner import Demand, StaticPlanner
@@ -439,6 +499,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="full cache invalidation every N requests (0 = never)",
     )
     p_serve.set_defaults(fn=_cmd_serve_bench)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="replay the golden corpus and a seeded scenario sweep "
+        "through the differential oracle matrix",
+    )
+    p_verify.add_argument(
+        "--corpus", default="tests/verify/corpus",
+        help="golden corpus directory (missing = empty corpus)",
+    )
+    p_verify.add_argument(
+        "--scenarios", type=int, default=25,
+        help="number of fresh seeded scenarios to sweep",
+    )
+    p_verify.add_argument("--seed", type=int, default=0)
+    p_verify.add_argument(
+        "--max-nodes", type=int, default=9, help="scenario size ceiling"
+    )
+    p_verify.set_defaults(fn=_cmd_verify)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="time-budgeted differential fuzzing; failures are shrunk "
+        "and persisted to the corpus",
+    )
+    p_fuzz.add_argument("--seconds", type=float, default=30.0)
+    p_fuzz.add_argument("--seed", type=int, default=0)
+    p_fuzz.add_argument(
+        "--corpus", default="tests/verify/corpus",
+        help="where shrunk counterexamples are written",
+    )
+    p_fuzz.add_argument(
+        "--max-nodes", type=int, default=9, help="scenario size ceiling"
+    )
+    p_fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="persist failing scenarios unshrunk (faster triage loop)",
+    )
+    p_fuzz.set_defaults(fn=_cmd_fuzz)
 
     p_plan = sub.add_parser("plan", help="static RWA planning over a demand matrix")
     p_plan.add_argument("network")

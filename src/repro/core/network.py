@@ -276,6 +276,21 @@ class WDMNetwork:
             raise WavelengthUnavailableError(tail, head, wavelength)
         return cost
 
+    @property
+    def default_conversion(self) -> ConversionModel:
+        """The model used by nodes without an explicit one."""
+        return self._default_conversion
+
+    def explicit_conversion(self, node: NodeId) -> ConversionModel | None:
+        """The node-specific model set via :meth:`add_node`/:meth:`set_conversion`.
+
+        ``None`` when the node falls back to :attr:`default_conversion` —
+        callers rebuilding a network (serializers, the verification
+        shrinker) use this to preserve the explicit/default distinction.
+        """
+        self._check_node(node)
+        return self._conversions.get(node)
+
     def conversion(self, node: NodeId) -> ConversionModel:
         """The conversion model of *node*."""
         self._check_node(node)

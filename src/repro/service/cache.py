@@ -219,7 +219,11 @@ class EpochRouterCache:
             self.misses += 1
             if self._metrics is not None:
                 self._metrics.counter("cache.misses").inc()
-            assert self._inner is not None
+            if self._inner is None:
+                # _refresh_locked always installs a router; a None here means
+                # _tree ran outside the lock/refresh protocol.  A real
+                # exception so the invariant holds under ``python -O``.
+                raise ValueError("epoch cache queried before refresh built a router")
             tree, run = self._inner._tree_from(self._aux, source)
             self._trees[source] = tree
             if self._metrics is not None:
@@ -264,7 +268,10 @@ class EpochRouterCache:
         """The network snapshot the current cache entries were built on."""
         with self._lock:
             self._refresh_locked()
-            assert self._network is not None
+            if self._network is None:
+                raise ValueError(
+                    "epoch cache refresh did not produce a network snapshot"
+                )
             return self._network
 
     def counters(self) -> dict[str, int]:

@@ -80,7 +80,12 @@ class QueryFuture:
             raise TimeoutError("query result not ready")
         if self._exception is not None:
             raise self._exception
-        assert self._path is not None
+        if self._path is None:
+            # The event is set exactly by _resolve/_fail; reaching here with
+            # neither a path nor an exception means the future was resolved
+            # incorrectly.  A real exception so the invariant holds under
+            # ``python -O``.
+            raise ValueError("query future resolved without a path or an error")
         return self._path
 
 

@@ -219,9 +219,15 @@ class PairingHeap:
         node.key = key
         if node is self._root:
             return
-        # Detach node from its sibling list.
+        # Detach node from its sibling list.  Every non-root node has a
+        # predecessor by construction; a None here means the heap structure
+        # is corrupt.  A real exception so the check survives ``python -O``.
         prev = node.prev
-        assert prev is not None
+        if prev is None:
+            raise ValueError(
+                f"corrupt pairing heap: non-root node {node.item!r} "
+                f"has no predecessor"
+            )
         if prev.child is node:
             prev.child = node.sibling
         else:

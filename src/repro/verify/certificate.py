@@ -1,0 +1,130 @@
+"""Independent Eq. (1) certificate checking.
+
+A routed :class:`~repro.core.semilightpath.Semilightpath` is a *certificate*:
+its hop/wavelength sequence plus implied converter settings determine the
+cost
+
+```
+C(P) = Σᵢ w(eᵢ, λᵢ)  +  Σᵢ c_{head(eᵢ)}(λᵢ, λᵢ₊₁)
+```
+
+from the network definition alone.  :func:`check_certificate` revalidates a
+returned path against that definition without trusting any router internals
+— it reads raw link cost tables and conversion models directly, never
+:meth:`Semilightpath.evaluate_cost` or router code, so a bug shared by a
+router and the path class cannot hide.
+
+Checks performed:
+
+* **endpoints** — the walk starts at the queried source, ends at the target;
+* **continuity** — consecutive hops chain head-to-tail;
+* **feasibility** — every hop's link exists and offers the hop's wavelength
+  (``λᵢ ∈ Λ(eᵢ)``), and every wavelength switch has finite conversion cost
+  at the intermediate node;
+* **cost** — the independently recomputed ``C(P)`` matches the router's
+  claimed ``total_cost`` within float tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Hashable
+
+from repro.core.semilightpath import Semilightpath
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.network import WDMNetwork
+
+__all__ = ["CertificateReport", "check_certificate"]
+
+NodeId = Hashable
+
+#: Relative/absolute tolerance for cost comparisons across backends.  Each
+#: backend may associate the Eq. (1) sum differently; anything beyond a few
+#: ulps indicates a real disagreement, not float noise.
+COST_RTOL = 1e-9
+COST_ATOL = 1e-9
+
+
+@dataclass(frozen=True)
+class CertificateReport:
+    """Outcome of one certificate check."""
+
+    ok: bool
+    recomputed_cost: float
+    violations: tuple[str, ...] = field(default_factory=tuple)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def costs_close(a: float, b: float) -> bool:
+    """Cross-backend cost equality under the shared tolerance."""
+    return math.isclose(a, b, rel_tol=COST_RTOL, abs_tol=COST_ATOL)
+
+
+def check_certificate(
+    network: "WDMNetwork",
+    path: Semilightpath,
+    source: NodeId | None = None,
+    target: NodeId | None = None,
+) -> CertificateReport:
+    """Revalidate *path* against *network* from first principles.
+
+    When *source*/*target* are given, the walk's endpoints are checked
+    against them.  Never raises on a bad certificate — every problem is
+    collected into :attr:`CertificateReport.violations` so the harness can
+    report all of them at once.
+    """
+    violations: list[str] = []
+    hops = path.hops
+    if source is not None and hops and hops[0].tail != source:
+        violations.append(f"walk starts at {hops[0].tail!r}, queried {source!r}")
+    if target is not None and hops and hops[-1].head != target:
+        violations.append(f"walk ends at {hops[-1].head!r}, queried {target!r}")
+
+    total = 0.0
+    for i, hop in enumerate(hops):
+        if i and hops[i - 1].head != hop.tail:
+            violations.append(
+                f"hop {i - 1} ends at {hops[i - 1].head!r} but hop {i} "
+                f"starts at {hop.tail!r}"
+            )
+        if not network.has_link(hop.tail, hop.head):
+            violations.append(f"hop {i}: no link {hop.tail!r} -> {hop.head!r}")
+            continue
+        link_costs = network.link(hop.tail, hop.head).costs
+        weight = link_costs.get(hop.wavelength)
+        if weight is None:
+            violations.append(
+                f"hop {i}: wavelength {hop.wavelength} not in Λ(e) of "
+                f"{hop.tail!r} -> {hop.head!r}"
+            )
+            continue
+        total += weight
+
+    for i in range(len(hops) - 1):
+        a, b = hops[i], hops[i + 1]
+        if not network.has_node(a.head):
+            continue  # already reported above via the missing link
+        conv = network.conversion(a.head).cost(a.wavelength, b.wavelength)
+        if math.isinf(conv):
+            violations.append(
+                f"node {a.head!r} cannot convert "
+                f"λ{a.wavelength + 1} -> λ{b.wavelength + 1}"
+            )
+            continue
+        total += conv
+
+    if not violations:
+        claimed = path.total_cost
+        if math.isnan(claimed):
+            violations.append("claimed total_cost is NaN")
+        elif not costs_close(total, claimed):
+            violations.append(
+                f"claimed cost {claimed!r} != recomputed Eq. (1) cost {total!r}"
+            )
+    return CertificateReport(
+        ok=not violations, recomputed_cost=total, violations=tuple(violations)
+    )

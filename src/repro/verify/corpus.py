@@ -1,0 +1,108 @@
+"""The golden corpus: shrunk counterexamples, persisted and replayed.
+
+Every failure the fuzzer finds is shrunk and written here as one JSON
+document — the scenario itself plus the disagreement summaries observed at
+capture time.  CI replays the corpus through the current oracle matrix on
+every run (``repro verify`` and ``tests/verify/test_corpus.py``), so a
+fixed bug stays fixed: the minimal scenario that once exposed it is checked
+forever after.
+
+File naming is content-addressed (``case-<sha1 prefix>.json`` over the
+canonical scenario document), so re-finding the same minimal counterexample
+is idempotent and corpus diffs are meaningful in review.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from repro.verify.scenarios import Scenario, scenario_from_dict, scenario_to_dict
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.verify.harness import DifferentialHarness, ScenarioReport
+
+__all__ = [
+    "CorpusCase",
+    "case_filename",
+    "save_case",
+    "load_case",
+    "iter_corpus",
+    "replay_corpus",
+]
+
+#: Default corpus location, relative to the repository root (the corpus is
+#: test data, versioned next to the suite that replays it).
+DEFAULT_CORPUS_DIR = Path("tests") / "verify" / "corpus"
+
+
+@dataclass(frozen=True)
+class CorpusCase:
+    """One persisted counterexample."""
+
+    scenario: Scenario
+    disagreements: tuple[str, ...]
+    path: Path | None = None
+
+    @property
+    def name(self) -> str:
+        return self.path.name if self.path is not None else "<unsaved>"
+
+
+def _canonical(scenario: Scenario) -> str:
+    return json.dumps(scenario_to_dict(scenario), sort_keys=True)
+
+
+def case_filename(scenario: Scenario) -> str:
+    """Content-addressed filename for *scenario*."""
+    digest = hashlib.sha1(_canonical(scenario).encode()).hexdigest()[:12]
+    return f"case-{digest}.json"
+
+
+def save_case(
+    directory: Path | str,
+    scenario: Scenario,
+    disagreements: Iterable[str] = (),
+) -> Path:
+    """Write *scenario* (plus capture-time disagreement summaries) to
+    *directory*, creating it if needed.  Returns the file path; saving the
+    same scenario twice overwrites the same file."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    document = scenario_to_dict(scenario)
+    document["disagreements"] = list(disagreements)
+    path = directory / case_filename(scenario)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_case(path: Path | str) -> CorpusCase:
+    """Parse one corpus file."""
+    path = Path(path)
+    document = json.loads(path.read_text())
+    return CorpusCase(
+        scenario=scenario_from_dict(document),
+        disagreements=tuple(document.get("disagreements", ())),
+        path=path,
+    )
+
+
+def iter_corpus(directory: Path | str) -> list[CorpusCase]:
+    """Load every case in *directory*, sorted by filename.
+
+    A missing directory is an empty corpus, not an error.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return [load_case(path) for path in sorted(directory.glob("case-*.json"))]
+
+
+def replay_corpus(
+    directory: Path | str, harness: "DifferentialHarness"
+) -> list[tuple[CorpusCase, "ScenarioReport"]]:
+    """Run every corpus case through *harness*; returns (case, report) pairs."""
+    return [(case, harness.run(case.scenario)) for case in iter_corpus(directory)]

@@ -1,0 +1,170 @@
+"""The oracle matrix: every routing backend behind one uniform interface.
+
+An :class:`Oracle` wraps one backend as ``prepare(network) -> route`` where
+``route(source, target)`` returns the optimal
+:class:`~repro.core.semilightpath.Semilightpath` or ``None`` when no
+semilightpath exists.  :func:`default_oracles` assembles the full matrix:
+
+====================================  =========  ==========================
+oracle                                hop-exact  applicability
+====================================  =========  ==========================
+``liang:{overlay,rebuild}:<kernel>``  yes        always (8 combinations)
+``liang:all-pairs:serial``            yes        always
+``liang:all-pairs:parallel``          yes        always (2-process pool)
+``cfz:{dense,heap}``                  no         chain-free conversion only
+``brute-force``                       no         small state spaces
+``distributed:bellman-ford``          no         small state spaces
+====================================  =========  ==========================
+
+**Hop-exact** oracles share the deterministic tie-break (equal-distance
+auxiliary nodes settle in ascending id order) and must agree on the exact
+hop sequence; the rest compute the same optimum by structurally different
+means and are compared on cost and certificate validity only.  CFZ joins
+the matrix only for chain-free conversion models — for others its
+wavelength graph legitimately prices chained conversions Eq. (1) does not
+(see :mod:`repro.baseline.wavelength_graph`), which would be a modeling
+difference, not a bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Hashable
+
+from repro.baseline.brute_force import brute_force_route
+from repro.baseline.cfz import CFZRouter
+from repro.core.routing import LiangShenRouter
+from repro.core.semilightpath import Semilightpath
+from repro.distributed.semilightpath_dist import DistributedSemilightpathRouter
+from repro.exceptions import NoPathError
+from repro.verify.scenarios import Scenario
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.network import WDMNetwork
+
+__all__ = ["Oracle", "RouteFn", "default_oracles", "KERNELS"]
+
+NodeId = Hashable
+RouteFn = Callable[[NodeId, NodeId], "Semilightpath | None"]
+
+KERNELS = ("flat", "binary", "pairing", "fibonacci")
+
+#: ``n * k`` ceiling for the slow exact oracles (brute force enumerates
+#: ``(node, wavelength)`` states; the synchronous simulator rounds scale
+#: with ``kn``).  Generated scenarios always fit; corpus imports might not.
+SMALL_STATE_LIMIT = 128
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """One backend of the differential matrix.
+
+    ``prepare`` may do arbitrary per-network work (build overlays, run the
+    whole all-pairs sweep) — the harness calls it once per scenario and the
+    returned closure once per query.  ``exact_hops`` marks membership in
+    the tie-break-pinned family that must agree hop-for-hop.
+    """
+
+    name: str
+    prepare: Callable[["WDMNetwork"], RouteFn]
+    exact_hops: bool = False
+
+    def applies(self, scenario: Scenario) -> bool:
+        """Whether this oracle participates for *scenario* (see module doc)."""
+        network = scenario.network
+        if self.name.startswith("cfz:"):
+            return scenario.chain_free
+        if self.name in ("brute-force", "distributed:bellman-ford"):
+            return network.num_nodes * network.num_wavelengths <= SMALL_STATE_LIMIT
+        return True
+
+    def __repr__(self) -> str:
+        return f"Oracle({self.name!r})"
+
+
+def _none_on_nopath(route: Callable[[NodeId, NodeId], Semilightpath]) -> RouteFn:
+    def wrapped(source: NodeId, target: NodeId) -> Semilightpath | None:
+        try:
+            return route(source, target)
+        except NoPathError:
+            return None
+
+    return wrapped
+
+
+def _liang_single(heap: str, overlay: bool) -> Callable[["WDMNetwork"], RouteFn]:
+    def prepare(network: "WDMNetwork") -> RouteFn:
+        router = LiangShenRouter(network, heap=heap, overlay=overlay)
+        return _none_on_nopath(lambda s, t: router.route(s, t).path)
+
+    return prepare
+
+
+def _liang_all_pairs(workers: int | None) -> Callable[["WDMNetwork"], RouteFn]:
+    def prepare(network: "WDMNetwork") -> RouteFn:
+        result = LiangShenRouter(network).route_all_pairs(workers=workers)
+
+        def route(source: NodeId, target: NodeId) -> Semilightpath | None:
+            return result.paths.get((source, target))
+
+        return route
+
+    return prepare
+
+
+def _cfz(engine: str) -> Callable[["WDMNetwork"], RouteFn]:
+    def prepare(network: "WDMNetwork") -> RouteFn:
+        router = CFZRouter(network, engine=engine)
+        return _none_on_nopath(lambda s, t: router.route(s, t).path)
+
+    return prepare
+
+
+def _brute_force(network: "WDMNetwork") -> RouteFn:
+    return _none_on_nopath(lambda s, t: brute_force_route(network, s, t))
+
+
+def _distributed(network: "WDMNetwork") -> RouteFn:
+    router = DistributedSemilightpathRouter(network)
+    return _none_on_nopath(lambda s, t: router.route(s, t).path)
+
+
+def default_oracles(parallel_workers: int = 2) -> tuple[Oracle, ...]:
+    """The full matrix, reference oracle (``liang:overlay:flat``) first.
+
+    ``parallel_workers=0`` drops the process-pool oracle (useful inside
+    environments where spawning pools per scenario is too slow).
+    """
+    oracles: list[Oracle] = []
+    for overlay in (True, False):
+        mode = "overlay" if overlay else "rebuild"
+        for kernel in KERNELS:
+            oracles.append(
+                Oracle(
+                    name=f"liang:{mode}:{kernel}",
+                    prepare=_liang_single(kernel, overlay),
+                    exact_hops=True,
+                )
+            )
+    oracles.append(
+        Oracle(
+            name="liang:all-pairs:serial",
+            prepare=_liang_all_pairs(None),
+            exact_hops=True,
+        )
+    )
+    if parallel_workers > 1:
+        oracles.append(
+            Oracle(
+                name="liang:all-pairs:parallel",
+                prepare=_liang_all_pairs(parallel_workers),
+                exact_hops=True,
+            )
+        )
+    oracles.append(Oracle(name="cfz:dense", prepare=_cfz("dense")))
+    oracles.append(Oracle(name="cfz:heap", prepare=_cfz("heap")))
+    oracles.append(Oracle(name="brute-force", prepare=_brute_force))
+    oracles.append(
+        Oracle(name="distributed:bellman-ford", prepare=_distributed)
+    )
+    return tuple(oracles)

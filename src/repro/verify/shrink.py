@@ -1,0 +1,231 @@
+"""Delta-debugging reduction of failing scenarios.
+
+Given a scenario on which some predicate fails (normally "the differential
+harness found a disagreement"), :func:`shrink_scenario` greedily removes
+structure while the failure persists, cycling through reduction passes
+until a fixed point:
+
+1. **queries** — keep a single still-failing query when one suffices;
+2. **nodes** — drop each node (with its incident links) in turn;
+3. **links** — drop each directed link in turn;
+4. **wavelengths** — drop each per-link wavelength entry in turn;
+5. **universe** — cut ``k`` down to the largest wavelength still used;
+6. **simplify** — try unit link costs, then a flat 0.5-cost converter
+   everywhere (cosmetic passes that make the counterexample readable).
+
+Every candidate is validated by re-running the *caller's* predicate — the
+shrinker never assumes which oracles disagreed, so it works unchanged for
+injected-fault fixtures and for real bugs.  The predicate is called
+``O(passes × (n + m + m₁ + q))`` times; scenarios are generator-sized, so
+this stays comfortably sub-second per reduction step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Hashable, Mapping
+
+from repro.core.conversion import ConversionModel, FixedCostConversion
+from repro.core.network import WDMNetwork
+from repro.verify.scenarios import Scenario
+
+__all__ = ["shrink_scenario"]
+
+NodeId = Hashable
+FailsFn = Callable[[Scenario], bool]
+
+
+# -- surgical network edits ---------------------------------------------------
+
+
+def _rebuild(
+    network: WDMNetwork,
+    keep_nodes: set[NodeId] | None = None,
+    link_costs: Callable[[NodeId, NodeId, Mapping[int, float]], Mapping[int, float] | None]
+    | None = None,
+    num_wavelengths: int | None = None,
+    conversion: ConversionModel | None = None,
+) -> WDMNetwork:
+    """Copy *network* with nodes/links/costs filtered or transformed.
+
+    ``link_costs`` maps ``(tail, head, costs)`` to the new cost table, or
+    ``None`` to drop the link.  ``conversion`` replaces every model
+    (explicit ones included) when given.
+    """
+    clone = WDMNetwork(
+        num_wavelengths=(
+            num_wavelengths if num_wavelengths is not None else network.num_wavelengths
+        ),
+        default_conversion=(
+            conversion if conversion is not None else network.default_conversion
+        ),
+    )
+    for node in network.nodes():
+        if keep_nodes is not None and node not in keep_nodes:
+            continue
+        explicit = None if conversion is not None else network.explicit_conversion(node)
+        clone.add_node(node, explicit)
+    for link in network.links():
+        if not (clone.has_node(link.tail) and clone.has_node(link.head)):
+            continue
+        costs: Mapping[int, float] | None = link.costs
+        if link_costs is not None:
+            costs = link_costs(link.tail, link.head, link.costs)
+            if costs is None:
+                continue
+        clone.add_link(link.tail, link.head, dict(costs))
+    return clone
+
+
+def _surviving_queries(
+    scenario: Scenario, network: WDMNetwork
+) -> tuple[tuple[NodeId, NodeId], ...]:
+    return tuple(
+        (s, t)
+        for s, t in scenario.queries
+        if network.has_node(s) and network.has_node(t)
+    )
+
+
+def _candidate(scenario: Scenario, network: WDMNetwork) -> Scenario:
+    return replace(
+        scenario, network=network, queries=_surviving_queries(scenario, network)
+    )
+
+
+# -- reduction passes ---------------------------------------------------------
+
+
+def _shrink_queries(scenario: Scenario, fails: FailsFn) -> Scenario:
+    if len(scenario.queries) <= 1:
+        return scenario
+    for query in scenario.queries:
+        candidate = scenario.with_queries((query,))
+        if fails(candidate):
+            return candidate
+    # No single query reproduces (e.g. a stateful interaction); drop
+    # queries one at a time instead.
+    queries = list(scenario.queries)
+    index = 0
+    while index < len(queries) and len(queries) > 1:
+        candidate = scenario.with_queries(
+            tuple(queries[:index] + queries[index + 1 :])
+        )
+        if fails(candidate):
+            del queries[index]
+            scenario = candidate
+        else:
+            index += 1
+    return scenario
+
+
+def _shrink_nodes(scenario: Scenario, fails: FailsFn) -> Scenario:
+    pinned = {node for query in scenario.queries for node in query}
+    for node in scenario.network.nodes():
+        if node in pinned:
+            continue
+        keep = set(scenario.network.nodes()) - {node}
+        candidate = _candidate(scenario, _rebuild(scenario.network, keep_nodes=keep))
+        if candidate.queries and fails(candidate):
+            scenario = candidate
+    return scenario
+
+
+def _shrink_links(scenario: Scenario, fails: FailsFn) -> Scenario:
+    for link in list(scenario.network.links()):
+        def drop(tail, head, costs, _link=link):
+            if (tail, head) == (_link.tail, _link.head):
+                return None
+            return costs
+
+        candidate = _candidate(scenario, _rebuild(scenario.network, link_costs=drop))
+        if candidate.queries and fails(candidate):
+            scenario = candidate
+    return scenario
+
+
+def _shrink_wavelength_entries(scenario: Scenario, fails: FailsFn) -> Scenario:
+    for link in list(scenario.network.links()):
+        for wavelength in sorted(link.costs):
+            def drop_entry(tail, head, costs, _link=link, _w=wavelength):
+                if (tail, head) == (_link.tail, _link.head):
+                    return {w: c for w, c in costs.items() if w != _w}
+                return costs
+
+            candidate = _candidate(
+                scenario, _rebuild(scenario.network, link_costs=drop_entry)
+            )
+            if fails(candidate):
+                scenario = candidate
+    return scenario
+
+
+def _shrink_universe(scenario: Scenario, fails: FailsFn) -> Scenario:
+    used = [w for link in scenario.network.links() for w in link.costs]
+    k = max(used) + 1 if used else 1
+    if k >= scenario.network.num_wavelengths:
+        return scenario
+    candidate = _candidate(
+        scenario, _rebuild(scenario.network, num_wavelengths=k)
+    )
+    return candidate if fails(candidate) else scenario
+
+
+def _simplify(scenario: Scenario, fails: FailsFn) -> Scenario:
+    unit = _candidate(
+        scenario,
+        _rebuild(scenario.network, link_costs=lambda t, h, costs: {w: 1.0 for w in costs}),
+    )
+    if fails(unit):
+        scenario = unit
+    flat = _candidate(
+        scenario, _rebuild(scenario.network, conversion=FixedCostConversion(0.5))
+    )
+    if fails(flat):
+        scenario = flat
+    return scenario
+
+
+_PASSES = (
+    _shrink_queries,
+    _shrink_nodes,
+    _shrink_links,
+    _shrink_wavelength_entries,
+    _shrink_universe,
+    _simplify,
+)
+
+
+def _size(scenario: Scenario) -> tuple[int, int, int, int, int]:
+    network = scenario.network
+    return (
+        network.num_nodes,
+        network.num_links,
+        network.total_link_wavelengths,
+        network.num_wavelengths,
+        len(scenario.queries),
+    )
+
+
+def shrink_scenario(
+    scenario: Scenario, fails: FailsFn, max_rounds: int = 8
+) -> Scenario:
+    """Reduce *scenario* to a (locally) minimal one on which *fails* holds.
+
+    *fails* must return True for *scenario* itself (raises ``ValueError``
+    otherwise — shrinking a passing scenario would silently return junk).
+    The result is 1-minimal with respect to the passes above: removing any
+    single remaining node, link, wavelength entry, or query makes the
+    failure disappear.
+    """
+    if not fails(scenario):
+        raise ValueError("refusing to shrink: the scenario does not fail")
+    for _ in range(max_rounds):
+        before = _size(scenario)
+        for reduction_pass in _PASSES:
+            scenario = reduction_pass(scenario, fails)
+        if _size(scenario) == before:
+            break
+    if not scenario.description.endswith(" (shrunk)"):
+        scenario = replace(scenario, description=scenario.description + " (shrunk)")
+    return scenario

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.network import WDMNetwork
 from repro.core.parallel import _chunk, route_all_pairs_parallel
 from repro.core.routing import LiangShenRouter
 from repro.topology.generators import waxman_network
@@ -65,6 +66,52 @@ class TestParallelMatchesSerial:
         aux = router.all_pairs_graph()
         result = route_all_pairs_parallel(net, workers=1, aux=aux)
         assert result.stats.sizes == aux.sizes
+
+
+class TestEdgeCases:
+    def test_single_worker_skips_the_pool(self):
+        # workers=1 must answer in-process (no executor), yet through the
+        # same merge path as the fanned run.
+        net = paper_figure1_network()
+        result = route_all_pairs_parallel(net, workers=1)
+        assert _as_comparable(result) == _as_comparable(
+            LiangShenRouter(net).route_all_pairs()
+        )
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_empty_network(self, workers):
+        net = WDMNetwork(num_wavelengths=2)
+        result = route_all_pairs_parallel(net, workers=workers)
+        assert result.paths == {}
+        assert result.stats.settled == 0
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_single_node_network(self, workers):
+        net = WDMNetwork(num_wavelengths=2)
+        net.add_node("solo")
+        result = route_all_pairs_parallel(net, workers=workers)
+        assert result.paths == {}
+
+    @pytest.mark.parametrize("heap", ["binary", "pairing", "fibonacci"])
+    def test_non_flat_kernels_single_worker(self, heap):
+        net = paper_figure1_network()
+        result = route_all_pairs_parallel(net, workers=1, heap=heap)
+        assert _as_comparable(result)[0] == _as_comparable(
+            LiangShenRouter(net).route_all_pairs()
+        )[0]
+
+    def test_worker_failure_propagates_instead_of_hanging(self):
+        # An unknown heap name is only resolved inside the worker (run_tree
+        # dispatch), so the raise happens mid-chunk in a child process.  The
+        # pool must surface it to the caller and release its workers.
+        with pytest.raises(KeyError, match="bogus"):
+            route_all_pairs_parallel(
+                paper_figure1_network(), workers=2, heap="bogus"
+            )
+        # The shared-state global must not leak after the failure.
+        from repro.core.parallel import _SHARED
+
+        assert _SHARED == {}
 
 
 class TestValidation:

@@ -18,7 +18,7 @@ from hypothesis import given, settings
 from repro.baseline.brute_force import brute_force_route
 from repro.core.routing import LiangShenRouter
 from repro.exceptions import NoPathError
-from tests.property.strategies import networks_with_endpoints, wdm_networks
+from tests.strategies import networks_with_endpoints, wdm_networks
 
 KERNELS = ["flat", "binary", "pairing", "fibonacci"]
 

@@ -1,0 +1,83 @@
+"""Shared hypothesis strategies: random WDM networks.
+
+Hoisted out of ``tests/property/`` so every suite — the kernel-equivalence
+properties and the differential-verification tests in ``tests/verify/`` —
+draws from the same distribution.  Networks are built from drawn primitives
+(node count, arc set, per-arc wavelength subsets and costs, a metric
+conversion model) so that shrinking works: hypothesis minimizes failing
+networks to a few nodes and channels.  Conversion costs are drawn from
+*metric* models only (flat cost or range-limited linear), keeping CFZ's
+chained conversions equivalent to Eq. (1) — see
+``repro/baseline/wavelength_graph.py``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.conversion import (
+    FixedCostConversion,
+    NoConversion,
+    RangeLimitedConversion,
+)
+from repro.core.network import WDMNetwork
+
+__all__ = ["conversion_models", "wdm_networks", "networks_with_endpoints"]
+
+costs = st.floats(0.0, 100.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def conversion_models(draw, num_wavelengths: int, chain_free: bool = False):
+    """Draw a conversion model.
+
+    With ``chain_free=True`` only models where a *chain* of conversions
+    never beats (in cost) or extends (in support) the direct conversion are
+    drawn — the regime in which the CFZ wavelength graph computes exactly
+    Eq. (1).  ``RangeLimitedConversion`` is excluded there: its costs are
+    metric but its *support* is not transitive (λ₁→λ₂→λ₃ chains past the
+    range limit).
+    """
+    kinds = ["fixed", "none"] if chain_free else ["fixed", "none", "range"]
+    kind = draw(st.sampled_from(kinds))
+    if kind == "none":
+        return NoConversion()
+    if kind == "range":
+        limit = draw(st.integers(0, num_wavelengths))
+        step = draw(st.floats(0.0, 5.0, allow_nan=False))
+        return RangeLimitedConversion(limit, cost_per_step=step)
+    return FixedCostConversion(draw(st.floats(0.0, 10.0, allow_nan=False)))
+
+
+@st.composite
+def wdm_networks(
+    draw, max_nodes: int = 7, max_wavelengths: int = 4, chain_free: bool = False
+):
+    """Draw a small random WDMNetwork."""
+    n = draw(st.integers(2, max_nodes))
+    k = draw(st.integers(1, max_wavelengths))
+    model = draw(conversion_models(k, chain_free=chain_free))
+    net = WDMNetwork(num_wavelengths=k, default_conversion=model)
+    for v in range(n):
+        net.add_node(v)
+    possible_arcs = [(u, v) for u in range(n) for v in range(n) if u != v]
+    arcs = draw(
+        st.lists(st.sampled_from(possible_arcs), unique=True, max_size=3 * n)
+    )
+    for tail, head in arcs:
+        wavelengths = draw(
+            st.lists(st.integers(0, k - 1), unique=True, min_size=0, max_size=k)
+        )
+        table = {w: draw(costs) for w in wavelengths}
+        net.add_link(tail, head, table)
+    return net
+
+
+@st.composite
+def networks_with_endpoints(draw, **kw):
+    """A network plus a distinct (source, target) pair."""
+    net = draw(wdm_networks(**kw))
+    n = net.num_nodes
+    source = draw(st.integers(0, n - 1))
+    target = draw(st.integers(0, n - 1).filter(lambda t: t != source))
+    return net, source, target

@@ -159,6 +159,43 @@ class TestVersion:
         assert repro.__version__ in capsys.readouterr().out
 
 
+class TestVerify:
+    def test_verify_clean_sweep(self, tmp_path, capsys):
+        assert main([
+            "verify", "--corpus", str(tmp_path / "empty"),
+            "--scenarios", "3", "--seed", "0", "--max-nodes", "6",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 corpus case(s) replayed" in out
+        assert "3 seeded scenario(s)" in out
+        assert "0 failure(s)" in out
+
+    def test_verify_replays_golden_corpus(self, capsys):
+        assert main([
+            "verify", "--corpus", "tests/verify/corpus", "--scenarios", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "corpus case(s) replayed" in out
+        assert "0 corpus" not in out
+
+
+class TestFuzz:
+    def test_fuzz_smoke(self, tmp_path, capsys):
+        assert main([
+            "fuzz", "--seconds", "0.5", "--seed", "0",
+            "--corpus", str(tmp_path / "corpus"), "--max-nodes", "6",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "scenario(s)" in out
+        assert "0 failure(s)" in out
+        # A clean run must not create corpus files.
+        assert not (tmp_path / "corpus").exists()
+
+    def test_fuzz_rejects_bad_budget(self, capsys):
+        assert main(["fuzz", "--seconds", "0"]) == 1
+        assert "--seconds" in capsys.readouterr().err
+
+
 class TestServeBench:
     def test_serve_bench_prints_metrics(self, fig1_file, capsys):
         assert main([

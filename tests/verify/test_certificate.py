@@ -1,0 +1,108 @@
+"""The independent Eq. (1) certificate checker."""
+
+import math
+
+import pytest
+
+from repro.core.conversion import FixedCostConversion, NoConversion
+from repro.core.network import WDMNetwork
+from repro.core.routing import LiangShenRouter
+from repro.core.semilightpath import Hop, Semilightpath
+from repro.verify.certificate import check_certificate, costs_close
+
+
+@pytest.fixture
+def net():
+    """a -> b -> c with a forced conversion at b (cost 0.5)."""
+    net = WDMNetwork(num_wavelengths=2, default_conversion=FixedCostConversion(0.5))
+    for node in "abc":
+        net.add_node(node)
+    net.add_link("a", "b", {0: 1.0})
+    net.add_link("b", "c", {1: 2.0})
+    return net
+
+
+def path(hops, cost):
+    return Semilightpath(hops=tuple(hops), total_cost=cost)
+
+
+class TestValidCertificates:
+    def test_exact_cost_passes(self, net):
+        cert = check_certificate(
+            net,
+            path([Hop("a", "b", 0), Hop("b", "c", 1)], 3.5),
+            source="a",
+            target="c",
+        )
+        assert cert.ok and bool(cert)
+        assert cert.recomputed_cost == 3.5
+        assert cert.violations == ()
+
+    def test_router_output_always_certifies(self, net):
+        result = LiangShenRouter(net).route("a", "c")
+        assert check_certificate(net, result.path, "a", "c").ok
+
+    def test_endpoints_optional(self, net):
+        assert check_certificate(net, path([Hop("a", "b", 0)], 1.0)).ok
+
+
+class TestViolations:
+    def test_wrong_claimed_cost(self, net):
+        cert = check_certificate(net, path([Hop("a", "b", 0)], 1.25))
+        assert not cert.ok
+        assert "claimed cost" in cert.violations[0]
+        assert cert.recomputed_cost == 1.0
+
+    def test_nan_claimed_cost(self, net):
+        cert = check_certificate(net, path([Hop("a", "b", 0)], math.nan))
+        assert not cert.ok
+        assert "NaN" in cert.violations[0]
+
+    def test_endpoint_mismatch(self, net):
+        cert = check_certificate(net, path([Hop("a", "b", 0)], 1.0), "b", "a")
+        assert not cert.ok
+        assert len(cert.violations) == 2  # wrong start and wrong end
+
+    def test_missing_link(self, net):
+        cert = check_certificate(net, path([Hop("c", "a", 0)], 1.0))
+        assert not cert.ok
+        assert "no link" in cert.violations[0]
+
+    def test_wavelength_not_available(self, net):
+        cert = check_certificate(net, path([Hop("a", "b", 1)], 1.0))
+        assert not cert.ok
+        assert "not in Λ(e)" in cert.violations[0]
+
+    def test_unsupported_conversion(self, net):
+        net.set_conversion("b", NoConversion())
+        cert = check_certificate(
+            net, path([Hop("a", "b", 0), Hop("b", "c", 1)], 3.0)
+        )
+        assert not cert.ok
+        assert "cannot convert" in cert.violations[0]
+
+    def test_broken_hop_chain_reported(self, net):
+        # Build hops that do not chain by bypassing Semilightpath validation.
+        broken = Semilightpath.__new__(Semilightpath)
+        object.__setattr__(
+            broken, "hops", (Hop("a", "b", 0), Hop("c", "b", 0))
+        )
+        object.__setattr__(broken, "total_cost", 2.0)
+        cert = check_certificate(net, broken)
+        assert not cert.ok
+        assert any("hop 0 ends at" in v for v in cert.violations)
+        assert any("no link" in v for v in cert.violations)
+
+    def test_cost_not_checked_when_infeasible(self, net):
+        # A feasibility violation makes the recomputed total meaningless;
+        # the cost line must not be reported on top of it.
+        cert = check_certificate(net, path([Hop("a", "b", 1)], 123.0))
+        assert all("claimed cost" not in v for v in cert.violations)
+
+
+class TestCostsClose:
+    def test_tolerates_ulp_noise(self):
+        assert costs_close(0.1 + 0.2, 0.3)
+
+    def test_rejects_real_differences(self):
+        assert not costs_close(1.0, 1.0 + 1e-6)
