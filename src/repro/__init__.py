@@ -70,8 +70,11 @@ from repro.core.ksp import k_shortest_semilightpaths
 from repro.core.routing import AllPairsResult, LiangShenRouter, RouteResult
 from repro.core.semilightpath import Conversion, Hop, Semilightpath
 from repro.exceptions import (
+    CircuitOpenError,
     ConversionError,
+    DeadlineExceeded,
     DeadlineExpiredError,
+    InjectedFaultError,
     InvalidPathError,
     NetworkStructureError,
     NoPathError,
@@ -80,6 +83,7 @@ from repro.exceptions import (
     ServiceClosedError,
     ServiceError,
     ServiceOverloadError,
+    TransientBackendError,
     WavelengthError,
 )
 from repro.service import (
@@ -146,6 +150,10 @@ __all__ = [
     "RestrictionViolation",
     "ServiceError",
     "ServiceOverloadError",
+    "DeadlineExceeded",
     "DeadlineExpiredError",
     "ServiceClosedError",
+    "TransientBackendError",
+    "InjectedFaultError",
+    "CircuitOpenError",
 ]

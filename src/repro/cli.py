@@ -41,7 +41,24 @@ from repro.io.serialization import network_from_json, network_to_json, path_to_j
 
 from repro import __version__
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "EXIT_OK",
+    "EXIT_ERROR",
+    "EXIT_BOUNDS",
+    "EXIT_REJECTED",
+    "EXIT_DISAGREEMENT",
+    "EXIT_VIOLATION",
+]
+
+# Unified exit codes across subcommands (documented in docs/verification.md).
+EXIT_OK = 0  #: success
+EXIT_ERROR = 1  #: usage error, missing file, or no route found
+EXIT_BOUNDS = 2  #: `sizes`: an auxiliary-graph size exceeds its paper bound
+EXIT_REJECTED = 3  #: `plan`: some demands could not be carried
+EXIT_DISAGREEMENT = 4  #: `verify`/`fuzz`: differential oracles disagreed
+EXIT_VIOLATION = 5  #: `chaos`: a soak invariant was violated
 
 
 def _parse_node(raw: str):
@@ -90,14 +107,14 @@ def _cmd_route(args: argparse.Namespace) -> int:
             paths = [LiangShenRouter(network).route(source, target).path]
     except NoPathError:
         print(f"no semilightpath from {source!r} to {target!r}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
     if args.json:
         print(json.dumps([json.loads(path_to_json(p)) for p in paths], indent=2))
     else:
         for rank, path in enumerate(paths, 1):
             prefix = f"#{rank}: " if len(paths) > 1 else ""
             print(prefix + _format_path(path))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_all_pairs(args: argparse.Namespace) -> int:
@@ -120,7 +137,7 @@ def _cmd_all_pairs(args: argparse.Namespace) -> int:
         }
         Path(args.output).write_text(json.dumps(document, indent=2))
         print(f"wrote {len(document)} pair costs to {args.output}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -169,14 +186,14 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         print(f"wrote {net!r} to {args.output}")
     else:
         print(text)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_sizes(args: argparse.Namespace) -> int:
     network = _load_network(args.network)
     report = measure_sizes(network)
     print(report.format())
-    return 0 if report.all_within else 2
+    return EXIT_OK if report.all_within else EXIT_BOUNDS
 
 
 def _cmd_provision(args: argparse.Namespace) -> int:
@@ -198,7 +215,7 @@ def _cmd_provision(args: argparse.Namespace) -> int:
         f"blocked={stats.blocked} P_block={stats.blocking_probability:.4f} "
         f"hops/conn={stats.mean_hops:.2f} conv/conn={stats.mean_conversions:.2f}"
     )
-    return 0
+    return EXIT_OK
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
@@ -210,15 +227,15 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
     if args.workers < 0:
         print("--workers must be >= 0", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
     if args.queue_limit < 1:
         print("--queue-limit must be positive", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
     network = _load_network(args.network)
     nodes = network.nodes()
     if len(nodes) < 2:
         print("network needs at least two nodes", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
     rng = random.Random(args.seed)
     pairs = []
     while len(pairs) < args.requests:
@@ -268,7 +285,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         )
         print()
         print(service.render_metrics())
-    return 0
+    return EXIT_OK
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -297,7 +314,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         f"scenario(s) ({checked} queries) through {len(harness.oracles)} oracles; "
         f"{failures} failure(s)"
     )
-    return 0 if failures == 0 else 4
+    return EXIT_OK if failures == 0 else EXIT_DISAGREEMENT
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -306,7 +323,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
     if args.seconds <= 0:
         print("--seconds must be > 0", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
     harness = DifferentialHarness()
     limits = ScenarioLimits(max_nodes=args.max_nodes)
     result = harness.fuzz(seconds=args.seconds, seed=args.seed, limits=limits)
@@ -328,7 +345,86 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         disagreements = [d.summary() for d in harness.run(scenario).disagreements]
         path = save_case(args.corpus, scenario, disagreements)
         print(f"persisted to {path}")
-    return 0 if result.ok else 4
+    return EXIT_OK if result.ok else EXIT_DISAGREEMENT
+
+
+def _chaos_networks(args: argparse.Namespace) -> list[tuple[str, WDMNetwork]]:
+    """The networks one chaos run soaks: explicit file, else the golden
+    corpus scenarios, else the built-in reference topologies."""
+    if args.network:
+        return [(args.network, _load_network(args.network))]
+    from repro.verify.corpus import iter_corpus
+
+    networks = [
+        (case.name, case.scenario.network)
+        for case in iter_corpus(args.corpus)
+        if len(case.scenario.network.nodes()) >= 2
+    ]
+    if networks:
+        return networks
+    from repro.topology.reference import nsfnet_network, paper_figure1_network
+
+    return [
+        ("paper-fig1", paper_figure1_network()),
+        ("nsfnet", nsfnet_network(num_wavelengths=4, seed=args.seed)),
+    ]
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import ChaosSoak
+
+    if args.seconds <= 0:
+        print("--seconds must be > 0", file=sys.stderr)
+        return EXIT_ERROR
+    if args.faults < 1:
+        print("--faults must be >= 1", file=sys.stderr)
+        return EXIT_ERROR
+    networks = _chaos_networks(args)
+    budget = args.seconds / len(networks)
+    perturbation = 0.125 if args.inject_cost_bug else 0.0
+    total_violations = 0
+    caught = persisted = 0
+    for index, (name, network) in enumerate(networks):
+        soak = ChaosSoak(
+            network,
+            seed=args.seed + index,
+            duration=budget,
+            workers=args.workers,
+            num_faults=args.faults,
+            cost_perturbation=perturbation,
+            corpus_dir=args.repro_dir,
+        )
+        report = soak.run()
+        print(f"[{name}]")
+        print(report.format())
+        print()
+        total_violations += report.violations_total
+        if report.violations_total:
+            caught += 1
+        persisted += len(report.persisted)
+    if args.inject_cost_bug:
+        # Self-test mode: the soak must CATCH the intentionally broken
+        # backend (and persist a shrunk repro), or the guardrail is dead.
+        if caught == len(networks) and persisted:
+            print(
+                f"chaos self-test: injected cost bug caught on all "
+                f"{len(networks)} network(s), {persisted} repro(s) persisted"
+            )
+            return EXIT_OK
+        print(
+            "chaos self-test FAILED: injected cost bug went undetected",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
+    if total_violations:
+        print(
+            f"chaos: {total_violations} invariant violation(s) across "
+            f"{len(networks)} network(s)",
+            file=sys.stderr,
+        )
+        return EXIT_VIOLATION
+    print(f"chaos: all invariants held across {len(networks)} network(s)")
+    return EXIT_OK
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
@@ -355,7 +451,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     )
     for demand in plan.rejected:
         print(f"  rejected: {demand.source!r} -> {demand.target!r} x{demand.count}")
-    return 0 if not plan.rejected else 3
+    return EXIT_OK if not plan.rejected else EXIT_REJECTED
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -369,7 +465,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
                 f"available: {sorted(EXPERIMENTS)}",
                 file=sys.stderr,
             )
-            return 1
+            return EXIT_ERROR
     report = run_all(scale=args.scale, only=args.only)
     if args.markdown:
         from repro.analysis.reporting import render_markdown
@@ -382,7 +478,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         print(f"wrote {len(report)} experiment results to {args.output}")
     else:
         print(text)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_dot(args: argparse.Namespace) -> int:
@@ -395,18 +491,18 @@ def _cmd_dot(args: argparse.Namespace) -> int:
     elif figure == "fig3":
         if args.node is None:
             print("--node is required for fig3", file=sys.stderr)
-            return 1
+            return EXIT_ERROR
         print(bipartite_to_dot(network, _parse_node(args.node)))
     elif figure == "gst":
         if args.source is None or args.target is None:
             print("--source and --target are required for gst", file=sys.stderr)
-            return 1
+            return EXIT_ERROR
         print(
             routing_graph_to_dot(
                 network, _parse_node(args.source), _parse_node(args.target)
             )
         )
-    return 0
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -539,6 +635,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fuzz.set_defaults(fn=_cmd_fuzz)
 
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="time-budgeted fault-injection soak asserting serving invariants",
+    )
+    p_chaos.add_argument(
+        "network", nargs="?", default=None,
+        help="network JSON file (default: golden corpus networks, else "
+        "built-in reference topologies)",
+    )
+    p_chaos.add_argument(
+        "--seconds", type=float, default=30.0,
+        help="total wall-clock budget, split across the soaked networks",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument(
+        "--faults", type=int, default=20,
+        help="injected faults per network (recoveries are implied)",
+    )
+    p_chaos.add_argument(
+        "--workers", type=int, default=2, help="query-engine worker threads"
+    )
+    p_chaos.add_argument(
+        "--corpus", default="tests/verify/corpus",
+        help="golden corpus whose networks are soaked when no network "
+        "file is given",
+    )
+    p_chaos.add_argument(
+        "--repro-dir", default="chaos-repros",
+        help="where shrunk violation repros are persisted",
+    )
+    p_chaos.add_argument(
+        "--inject-cost-bug", action="store_true",
+        help="self-test: run with an intentionally mispricing backend and "
+        "succeed only if the soak catches and persists it",
+    )
+    p_chaos.set_defaults(fn=_cmd_chaos)
+
     p_plan = sub.add_parser("plan", help="static RWA planning over a demand matrix")
     p_plan.add_argument("network")
     p_plan.add_argument(
@@ -592,7 +725,7 @@ def main(argv: list[str] | None = None) -> int:
         return args.fn(args)
     except SemilightError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR

@@ -47,14 +47,14 @@ NodeId = Hashable
 _SHARED: dict[str, object] = {}
 
 
-def _worker_init(payload: tuple[AllPairsGraph, str] | None) -> None:
+def _worker_init(payload: tuple[AllPairsGraph, str, object] | None) -> None:
     """Pool initializer: install the shared graph (spawn/forkserver only).
 
     Under fork the payload is ``None`` and the worker keeps the module
     global it inherited from the parent.
     """
     if payload is not None:
-        _SHARED["aux"], _SHARED["heap"] = payload
+        _SHARED["aux"], _SHARED["heap"], _SHARED["fault_hook"] = payload
 
 
 def _route_chunk(
@@ -64,6 +64,9 @@ def _route_chunk(
     index, sources = job
     aux: AllPairsGraph = _SHARED["aux"]  # type: ignore[assignment]
     heap: str = _SHARED["heap"]  # type: ignore[assignment]
+    fault_hook = _SHARED.get("fault_hook")
+    if fault_hook is not None:
+        fault_hook(index)  # chaos layer: may raise inside this worker
     scratch = None
     if heap == "flat":
         scratch = _SHARED.get("scratch")
@@ -101,6 +104,7 @@ def route_all_pairs_parallel(
     heap: str = "flat",
     aux: AllPairsGraph | None = None,
     chunks_per_worker: int = 4,
+    fault_hook=None,
 ) -> AllPairsResult:
     """Corollary 1 with the ``n`` tree runs fanned across a process pool.
 
@@ -120,6 +124,13 @@ def route_all_pairs_parallel(
     chunks_per_worker:
         Oversubscription factor for load balancing — tree runs on
         high-degree sources settle more nodes than leaf sources.
+    fault_hook:
+        Optional picklable ``hook(chunk_index)`` called at the start of
+        every worker chunk — the chaos layer's worker-crash injection
+        point (e.g. :class:`repro.faults.injector.ChunkCrash`).  Applied
+        only on the pool path (``workers > 1``); a hook that raises
+        surfaces the exception through the pool exactly like a real
+        worker crash.
 
     Returns
     -------
@@ -164,9 +175,12 @@ def route_all_pairs_parallel(
     # Fork children inherit _SHARED through copy-on-write — no pickling at
     # all.  Other start methods get the graph through the initializer,
     # pickled once per worker rather than once per task.
-    payload = None if ctx.get_start_method() == "fork" else (aux, heap)
+    payload = (
+        None if ctx.get_start_method() == "fork" else (aux, heap, fault_hook)
+    )
     _SHARED["aux"] = aux
     _SHARED["heap"] = heap
+    _SHARED["fault_hook"] = fault_hook
     jobs = list(enumerate(_chunk(sources, workers * chunks_per_worker)))
     try:
         with ProcessPoolExecutor(

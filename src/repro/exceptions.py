@@ -23,8 +23,12 @@ __all__ = [
     "SerializationError",
     "ServiceError",
     "ServiceOverloadError",
+    "DeadlineExceeded",
     "DeadlineExpiredError",
     "ServiceClosedError",
+    "TransientBackendError",
+    "InjectedFaultError",
+    "CircuitOpenError",
 ]
 
 
@@ -129,16 +133,65 @@ class ServiceOverloadError(ServiceError):
         self.queue_limit = queue_limit
 
 
-class DeadlineExpiredError(ServiceError):
-    """A queued query's deadline passed before it could be answered."""
+class DeadlineExceeded(ServiceError):
+    """A query's deadline passed before it could be answered.
 
-    def __init__(self, source: object, target: object) -> None:
+    Raised both when the deadline expires while the request is still
+    queued and when the caller's wait on the result outlives it — one
+    typed error for every way a deadline can be missed.  ``elapsed`` is
+    the seconds spent between submission and expiry when known.
+    """
+
+    def __init__(
+        self, source: object, target: object, elapsed: float | None = None
+    ) -> None:
+        detail = f" after {elapsed:.3f}s" if elapsed is not None else ""
         super().__init__(
-            f"deadline expired before routing {source!r} -> {target!r}"
+            f"deadline exceeded{detail} routing {source!r} -> {target!r}"
         )
         self.source = source
         self.target = target
+        self.elapsed = elapsed
+
+
+#: Backwards-compatible name for :class:`DeadlineExceeded`.
+DeadlineExpiredError = DeadlineExceeded
 
 
 class ServiceClosedError(ServiceError):
     """A query was submitted to a service that has been shut down."""
+
+
+class TransientBackendError(ServiceError):
+    """A routing backend failed in a way that is safe to retry.
+
+    The query had no side effects; callers (and the query engine's retry
+    policy) may re-issue it, ideally after a backoff.
+    """
+
+
+class InjectedFaultError(TransientBackendError):
+    """A fault deliberately injected by the chaos layer (:mod:`repro.faults`).
+
+    Subclasses :class:`TransientBackendError` so injected exceptions
+    exercise exactly the retry/breaker paths a real transient failure
+    would.
+    """
+
+    def __init__(self, detail: str = "injected fault") -> None:
+        super().__init__(detail)
+
+
+class CircuitOpenError(ServiceError):
+    """The circuit breaker around the routing backend is open.
+
+    The query was rejected *before* reaching the backend; callers should
+    degrade (serve stale, fall back to a rebuild) or retry after
+    ``retry_after`` seconds.
+    """
+
+    def __init__(self, retry_after: float) -> None:
+        super().__init__(
+            f"routing backend circuit open; retry after {retry_after:.3f}s"
+        )
+        self.retry_after = retry_after

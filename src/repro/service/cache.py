@@ -243,13 +243,43 @@ class EpochRouterCache:
 
         Raises :class:`~repro.exceptions.NoPathError` when unreachable.
         """
+        return self.route_with_epoch(source, target)[0]
+
+    def route_with_epoch(
+        self, source: NodeId, target: NodeId
+    ) -> tuple[Semilightpath, int]:
+        """Like :meth:`route`, also returning the epoch the answer was
+        computed on.
+
+        The epoch is read under the same lock that served the tree, so it
+        is exactly the ``built_epoch`` of the ``G_all`` behind the answer
+        — the serving layer's staleness flag and the chaos soak's
+        certificate check both key on it.
+        """
         if source == target:
             raise ValueError("source and target must differ")
         with self._lock:
             path = self._tree(source).get(target)
+            epoch = self._built_epoch
         if path is None:
             raise NoPathError(source, target)
-        return path
+        return path, epoch
+
+    def route_rebuild(
+        self, source: NodeId, target: NodeId
+    ) -> tuple[Semilightpath, "WDMNetwork"]:
+        """Degraded-mode fallback: Theorem-1 rebuild, no shared state.
+
+        Builds ``G_{s,t}`` for this one query on a *fresh* network
+        snapshot — no cache lock, no shared overlay, no tree cache — so
+        it stays available while the shared ``G'``/``G_all`` is
+        mid-invalidation or a fault storm has the epoch cache churning.
+        Returns the path together with the snapshot it was computed on
+        (the caller's certificate check needs exactly that network).
+        """
+        network = self._factory()
+        router = LiangShenRouter(network, heap=self._heap, overlay=False)
+        return router.route(source, target).path, network
 
     def cost(self, source: NodeId, target: NodeId) -> float:
         """Optimal cost at the current epoch, ``math.inf`` if unreachable."""

@@ -10,10 +10,20 @@
   ``workers=0`` nothing drains automatically; call
   :meth:`~QueryEngine.run_pending` to process inline (deterministic
   single-threaded mode, used by tests and the synchronous CLI path).
-* **Deadlines** — a per-request timeout; requests whose deadline passes
-  while still queued fail with
-  :class:`~repro.exceptions.DeadlineExpiredError` instead of consuming a
-  tree build.
+* **Deadlines** — a per-request timeout; every way a deadline can be
+  missed (expiry while queued, the caller's wait outliving the request)
+  surfaces as one typed :class:`~repro.exceptions.DeadlineExceeded`
+  carrying the elapsed time, counted under ``engine.deadline_exceeded``.
+* **Retry with backoff** — an optional
+  :class:`~repro.faults.resilience.RetryPolicy` re-issues backend calls
+  that fail with :class:`~repro.exceptions.TransientBackendError`
+  (exponential backoff, full jitter, never sleeping past the request's
+  deadline).
+* **Circuit breaker** — an optional
+  :class:`~repro.faults.resilience.CircuitBreaker` around the routing
+  backend fails fast with :class:`~repro.exceptions.CircuitOpenError`
+  while the backend is known-bad, so a fault storm cannot pile every
+  worker onto a failing cache rebuild.
 * **Same-source coalescing** — when a worker dequeues a request it also
   claims every other pending request with the same source, answering the
   whole group from one shortest-path tree.  Under bursty fan-out from one
@@ -30,17 +40,19 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Hashable
+from typing import TYPE_CHECKING, Callable, Hashable
 
 from repro.core.semilightpath import Semilightpath
 from repro.exceptions import (
-    DeadlineExpiredError,
+    DeadlineExceeded,
     NoPathError,
     ServiceClosedError,
     ServiceOverloadError,
+    TransientBackendError,
 )
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.resilience import CircuitBreaker, RetryPolicy
     from repro.service.cache import EpochRouterCache
     from repro.service.metrics import MetricsRegistry
 
@@ -52,18 +64,25 @@ NodeId = Hashable
 class QueryFuture:
     """Completion handle for one submitted query."""
 
-    __slots__ = ("_event", "_path", "_exception")
+    __slots__ = ("_event", "_path", "_exception", "_epoch")
 
     def __init__(self) -> None:
         self._event = threading.Event()
         self._path: Semilightpath | None = None
         self._exception: BaseException | None = None
+        self._epoch = -1
 
     def done(self) -> bool:
         return self._event.is_set()
 
-    def _resolve(self, path: Semilightpath) -> None:
+    @property
+    def epoch(self) -> int:
+        """Cache epoch the answer was computed on (-1 until resolved)."""
+        return self._epoch
+
+    def _resolve(self, path: Semilightpath, epoch: int = -1) -> None:
         self._path = path
+        self._epoch = epoch
         self._event.set()
 
     def _fail(self, exc: BaseException) -> None:
@@ -114,6 +133,17 @@ class QueryEngine:
         Claim same-source pending requests together (default on).
     metrics:
         Optional registry for queue/latency/coalescing instruments.
+    retry:
+        Optional :class:`~repro.faults.resilience.RetryPolicy` applied to
+        transient backend failures (off by default — plain serving keeps
+        its historical fail-fast behavior).
+    breaker:
+        Optional :class:`~repro.faults.resilience.CircuitBreaker` guarding
+        the backend call.
+
+    The public ``fault_hook`` attribute, when set, is invoked inside a
+    worker before every backend attempt — the chaos layer's injection
+    point (:meth:`repro.faults.injector.FaultInjector.worker_hook`).
     """
 
     def __init__(
@@ -123,6 +153,8 @@ class QueryEngine:
         queue_limit: int = 256,
         coalesce: bool = True,
         metrics: "MetricsRegistry | None" = None,
+        retry: "RetryPolicy | None" = None,
+        breaker: "CircuitBreaker | None" = None,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
@@ -131,6 +163,9 @@ class QueryEngine:
         self.cache = cache
         self.queue_limit = queue_limit
         self.coalesce = coalesce
+        self.retry = retry
+        self.breaker = breaker
+        self.fault_hook: "Callable[[], None] | None" = None
         self._metrics = metrics
         self._cond = threading.Condition()
         self._queue: deque[_Request] = deque()
@@ -189,12 +224,36 @@ class QueryEngine:
         self, source: NodeId, target: NodeId, timeout: float | None = None
     ) -> Semilightpath:
         """Submit and wait; in synchronous mode also drains the queue."""
+        return self.route_with_epoch(source, target, timeout=timeout)[0]
+
+    def route_with_epoch(
+        self, source: NodeId, target: NodeId, timeout: float | None = None
+    ) -> tuple[Semilightpath, int]:
+        """Like :meth:`route` but also returns the cache epoch the answer
+        was computed on (the serving layer's staleness bookkeeping).
+
+        Every way *timeout* can be missed — expiry while queued, or this
+        wait outliving the request — raises the same typed
+        :class:`~repro.exceptions.DeadlineExceeded` with the elapsed
+        time, counted once under ``engine.deadline_exceeded``.
+        """
+        start = time.monotonic()
         future = self.submit(source, target, timeout=timeout)
         if not self._threads:
             self.run_pending()
         # Wait a little past the request deadline: an expired request still
         # needs a worker to *observe* the expiry and resolve the future.
-        return future.result(None if timeout is None else timeout + 1.0)
+        try:
+            path = future.result(None if timeout is None else timeout + 1.0)
+        except TimeoutError:
+            # The request outlived even the grace period (e.g. a worker
+            # wedged mid-build).  Same failure mode as queue expiry.
+            if self._metrics is not None:
+                self._metrics.counter("engine.deadline_exceeded").inc()
+            raise DeadlineExceeded(
+                source, target, elapsed=time.monotonic() - start
+            ) from None
+        return path, future.epoch
 
     # -- execution -----------------------------------------------------------
 
@@ -220,12 +279,17 @@ class QueryEngine:
         if request.deadline is not None and now > request.deadline:
             if self._metrics is not None:
                 self._metrics.counter("engine.expired").inc()
+                self._metrics.counter("engine.deadline_exceeded").inc()
             request.future._fail(
-                DeadlineExpiredError(request.source, request.target)
+                DeadlineExceeded(
+                    request.source,
+                    request.target,
+                    elapsed=now - request.enqueued_at,
+                )
             )
             return
         try:
-            path = self.cache.route(request.source, request.target)
+            path, epoch = self._call_backend(request)
         except BaseException as exc:  # noqa: BLE001 - forwarded to the caller
             if isinstance(exc, NoPathError) and self._metrics is not None:
                 self._metrics.counter("engine.no_path").inc()
@@ -236,7 +300,52 @@ class QueryEngine:
             self._metrics.histogram("engine.latency_ms").observe(
                 (time.monotonic() - request.enqueued_at) * 1e3
             )
-        request.future._resolve(path)
+        request.future._resolve(path, epoch)
+
+    def _call_backend(self, request: _Request) -> tuple[Semilightpath, int]:
+        """One guarded backend call: breaker admission, fault hook, retry.
+
+        :class:`~repro.exceptions.NoPathError` counts as backend *success*
+        for the breaker (the backend answered; unreachable is a valid
+        answer).  :class:`~repro.exceptions.CircuitOpenError` from the
+        admission check propagates without retry — failing fast is the
+        point of the breaker.
+        """
+
+        def attempt() -> tuple[Semilightpath, int]:
+            if self.breaker is not None:
+                self.breaker.before_call()
+            try:
+                if self.fault_hook is not None:
+                    self.fault_hook()
+                result = self.cache.route_with_epoch(
+                    request.source, request.target
+                )
+            except TransientBackendError:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                if self._metrics is not None:
+                    self._metrics.counter("engine.backend_faults").inc()
+                raise
+            except NoPathError:
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                raise
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return result
+
+        if self.retry is None:
+            return attempt()
+
+        def on_retry(attempt_index: int, exc: BaseException) -> None:
+            del attempt_index, exc
+            if self._metrics is not None:
+                self._metrics.counter("engine.retries").inc()
+
+        return self.retry.call(
+            attempt, deadline=request.deadline, on_retry=on_retry
+        )
 
     def _serve_batch(self, batch: list[_Request]) -> None:
         for request in batch:

@@ -42,6 +42,11 @@ class Counter:
         with self._lock:
             self._value += amount
 
+    def reset(self) -> None:
+        """Zero the counter (soak-run bookkeeping; not a decrement API)."""
+        with self._lock:
+            self._value = 0
+
     @property
     def value(self) -> int:
         return self._value
@@ -67,6 +72,10 @@ class Gauge:
     def dec(self, amount: float = 1.0) -> None:
         with self._lock:
             self._value -= amount
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
 
     @property
     def value(self) -> float:
@@ -99,6 +108,9 @@ class Histogram:
         self.maximum = float("-inf")
 
     def observe(self, value: float) -> None:
+        value = float(value)
+        if value != value:
+            raise ValueError("histogram observations must not be NaN")
         with self._lock:
             self.count += 1
             self.total += value
@@ -110,10 +122,34 @@ class Histogram:
             self._arrivals.append(value)
             bisect.insort(self._sorted, value)
 
+    def reset(self) -> None:
+        """Drop the window and the running totals (between soak phases)."""
+        with self._lock:
+            self._sorted.clear()
+            self._arrivals.clear()
+            self.count = 0
+            self.total = 0.0
+            self.minimum = float("inf")
+            self.maximum = float("-inf")
+
     @property
     def mean(self) -> float:
         with self._lock:
             return self.total / self.count if self.count else 0.0
+
+    def _percentile_locked(self, q: float) -> float:
+        """Percentile of the window; caller holds the lock.
+
+        Safe on an empty or partially-filled window: returns 0.0 for
+        empty, interpolates over however many observations exist.
+        """
+        if not self._sorted:
+            return 0.0
+        rank = q / 100.0 * (len(self._sorted) - 1)
+        lower = int(rank)
+        upper = min(lower + 1, len(self._sorted) - 1)
+        frac = rank - lower
+        return self._sorted[lower] * (1 - frac) + self._sorted[upper] * frac
 
     def percentile(self, q: float) -> float:
         """The *q*-th percentile (0 <= q <= 100) of the recent window.
@@ -124,30 +160,26 @@ class Histogram:
         if not 0.0 <= q <= 100.0:
             raise ValueError("percentile must be in [0, 100]")
         with self._lock:
-            if not self._sorted:
-                return 0.0
-            rank = q / 100.0 * (len(self._sorted) - 1)
-            lower = int(rank)
-            upper = min(lower + 1, len(self._sorted) - 1)
-            frac = rank - lower
-            return self._sorted[lower] * (1 - frac) + self._sorted[upper] * frac
+            return self._percentile_locked(q)
 
     def summary(self) -> dict[str, float]:
-        """count / mean / min / max plus p50, p90, p99 of the window."""
+        """count / mean / min / max plus p50, p90, p99 of the window.
+
+        One lock acquisition for the whole summary, so concurrent
+        ``observe`` calls cannot tear it (count and percentiles always
+        describe the same instant).
+        """
         with self._lock:
             count = self.count
-            mean = self.total / count if count else 0.0
-            minimum = self.minimum if count else 0.0
-            maximum = self.maximum if count else 0.0
-        return {
-            "count": count,
-            "mean": mean,
-            "min": minimum,
-            "max": maximum,
-            "p50": self.percentile(50),
-            "p90": self.percentile(90),
-            "p99": self.percentile(99),
-        }
+            return {
+                "count": count,
+                "mean": self.total / count if count else 0.0,
+                "min": self.minimum if count else 0.0,
+                "max": self.maximum if count else 0.0,
+                "p50": self._percentile_locked(50),
+                "p90": self._percentile_locked(90),
+                "p99": self._percentile_locked(99),
+            }
 
 
 class MetricsRegistry:
@@ -209,6 +241,22 @@ class MetricsRegistry:
         self.register_callback(
             f"{prefix}.cached_sources", lambda: router.cached_sources
         )
+
+    def reset(self) -> None:
+        """Zero every counter, gauge, and histogram (instruments and
+        callback registrations survive).
+
+        Soak runs reset between phases so per-phase assertions (retries,
+        stale serves, breaker trips) see only their own window.
+        """
+        with self._lock:
+            instruments = (
+                list(self._counters.values())
+                + list(self._gauges.values())
+                + list(self._histograms.values())
+            )
+        for instrument in instruments:
+            instrument.reset()
 
     # -- router work aggregation ---------------------------------------------
 

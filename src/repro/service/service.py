@@ -23,26 +23,74 @@ were reserved; the cache keeps every tree that avoids them (reserving
 can only remove resources, so untouched trees stay optimal) and bumps
 the epoch for the rest.  Releases invalidate fully — freed channels can
 improve arbitrary routes.
+
+Degraded-mode serving
+---------------------
+:meth:`RoutingService.route_resilient` answers through a three-step
+degrade chain and reports *how* it answered in a :class:`RouteOutcome`:
+
+1. **fresh** — the normal engine path (retry/backoff and circuit breaker
+   included when configured);
+2. **stale** — when the backend fails transiently or the breaker is
+   open, the last-good answer for the pair is served with an explicit
+   staleness flag (``outcome.stale``) and counted under
+   ``service.stale_served``; a background revalidation is submitted so
+   the cache re-warms as soon as the backend heals;
+3. **rebuild** — with no last-good answer, the query falls back to a
+   shared-state-free Theorem-1 rebuild on a fresh snapshot
+   (:meth:`~repro.service.cache.EpochRouterCache.route_rebuild`), which
+   stays available while the shared ``G'``/``G_all`` is
+   mid-invalidation.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 import time
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Hashable
 
 from repro.core.semilightpath import Semilightpath
-from repro.exceptions import NoPathError
+from repro.exceptions import (
+    CircuitOpenError,
+    NoPathError,
+    ServiceClosedError,
+    ServiceOverloadError,
+    TransientBackendError,
+)
 from repro.service.cache import EpochRouterCache
 from repro.service.engine import QueryEngine, QueryFuture
 from repro.service.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.network import WDMNetwork
+    from repro.faults.resilience import CircuitBreaker, RetryPolicy
 
-__all__ = ["RoutingService"]
+__all__ = ["RouteOutcome", "RoutingService"]
 
 NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class RouteOutcome:
+    """One :meth:`RoutingService.route_resilient` answer, with provenance.
+
+    ``mode`` is ``"fresh"`` / ``"stale"`` / ``"rebuild"``; ``epoch`` is
+    the cache epoch the path was computed on (``-1`` for rebuild answers,
+    which carry their own ``snapshot`` network instead).
+    """
+
+    path: Semilightpath
+    epoch: int
+    mode: str = "fresh"
+    snapshot: "WDMNetwork | None" = None
+
+    @property
+    def stale(self) -> bool:
+        """Explicit staleness flag: the answer predates the current epoch."""
+        return self.mode == "stale"
 
 
 class RoutingService:
@@ -68,6 +116,18 @@ class RoutingService:
         Batch pending same-source queries onto one tree (default on).
     metrics:
         Bring-your-own registry; a private one is created otherwise.
+    retry:
+        Optional :class:`~repro.faults.resilience.RetryPolicy` for
+        transient backend failures, forwarded to the engine.
+    breaker:
+        Optional :class:`~repro.faults.resilience.CircuitBreaker` around
+        the routing backend; its state is published as the
+        ``engine.breaker_state`` gauge (0 closed, 1 half-open, 2 open).
+    allow_stale:
+        Whether :meth:`route_resilient` may serve last-good answers when
+        the backend is down (default on).
+    last_good_limit:
+        Bound on the last-good answer store (LRU-evicted).
 
     Example
     -------
@@ -85,7 +145,13 @@ class RoutingService:
         heap: str = "flat",
         coalesce: bool = True,
         metrics: MetricsRegistry | None = None,
+        retry: "RetryPolicy | None" = None,
+        breaker: "CircuitBreaker | None" = None,
+        allow_stale: bool = True,
+        last_good_limit: int = 65536,
     ) -> None:
+        if last_good_limit < 1:
+            raise ValueError("last_good_limit must be positive")
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cache = EpochRouterCache(network, heap=heap, metrics=self.metrics)
         self.engine = QueryEngine(
@@ -94,7 +160,20 @@ class RoutingService:
             queue_limit=queue_limit,
             coalesce=coalesce,
             metrics=self.metrics,
+            retry=retry,
+            breaker=breaker,
         )
+        self.allow_stale = allow_stale
+        self._last_good_limit = last_good_limit
+        self._last_good: OrderedDict[
+            tuple[NodeId, NodeId], tuple[Semilightpath, int]
+        ] = OrderedDict()
+        self._last_good_lock = threading.Lock()
+        if breaker is not None:
+            states = {"closed": 0.0, "half-open": 1.0, "open": 2.0}
+            self.metrics.register_callback(
+                "engine.breaker_state", lambda: states.get(breaker.state, -1.0)
+            )
 
     # -- queries -------------------------------------------------------------
 
@@ -105,16 +184,88 @@ class RoutingService:
 
         Raises :class:`~repro.exceptions.NoPathError` when unreachable,
         :class:`~repro.exceptions.ServiceOverloadError` on a full queue,
-        :class:`~repro.exceptions.DeadlineExpiredError` when *timeout*
-        elapses while the request is still queued.
+        :class:`~repro.exceptions.DeadlineExceeded` when *timeout*
+        elapses before an answer arrives.
         """
         start = time.monotonic()
         try:
-            return self.engine.route(source, target, timeout=timeout)
+            path, epoch = self.engine.route_with_epoch(
+                source, target, timeout=timeout
+            )
+            self._remember(source, target, path, epoch)
+            return path
         finally:
             self.metrics.histogram("service.admission_ms").observe(
                 (time.monotonic() - start) * 1e3
             )
+
+    def route_resilient(
+        self, source: NodeId, target: NodeId, timeout: float | None = None
+    ) -> RouteOutcome:
+        """Degraded-mode routing: fresh, else stale, else rebuild.
+
+        Semantic outcomes (:class:`~repro.exceptions.NoPathError`,
+        deadline/overload rejections) propagate unchanged — degradation
+        only engages when the *backend* fails
+        (:class:`~repro.exceptions.TransientBackendError` surviving the
+        engine's retries, or :class:`~repro.exceptions.CircuitOpenError`
+        from an open breaker).  See the module docstring for the chain.
+        """
+        start = time.monotonic()
+        try:
+            path, epoch = self.engine.route_with_epoch(
+                source, target, timeout=timeout
+            )
+            self._remember(source, target, path, epoch)
+            return RouteOutcome(path=path, epoch=epoch, mode="fresh")
+        except (TransientBackendError, CircuitOpenError):
+            outcome = self._degraded(source, target)
+            if outcome is None:
+                raise
+            return outcome
+        finally:
+            self.metrics.histogram("service.admission_ms").observe(
+                (time.monotonic() - start) * 1e3
+            )
+
+    def _degraded(self, source: NodeId, target: NodeId) -> RouteOutcome | None:
+        """Stale-while-revalidate, then shared-state-free rebuild."""
+        if self.allow_stale:
+            with self._last_good_lock:
+                entry = self._last_good.get((source, target))
+            if entry is not None:
+                path, epoch = entry
+                self.metrics.counter("service.stale_served").inc()
+                self._revalidate(source, target)
+                return RouteOutcome(path=path, epoch=epoch, mode="stale")
+        try:
+            path, snapshot = self.cache.route_rebuild(source, target)
+        except TransientBackendError:
+            return None  # rebuild hit the same fault; caller re-raises fresh error
+        self.metrics.counter("service.rebuild_fallback").inc()
+        return RouteOutcome(path=path, epoch=-1, mode="rebuild", snapshot=snapshot)
+
+    def _revalidate(self, source: NodeId, target: NodeId) -> None:
+        """Fire-and-forget refresh behind a stale answer (workers only)."""
+        if self.engine.num_workers == 0:
+            return
+        try:
+            self.engine.submit(source, target)
+            self.metrics.counter("service.revalidations").inc()
+        except (ServiceOverloadError, ServiceClosedError):
+            pass  # shedding revalidation load is fine; staleness was flagged
+
+    def _remember(
+        self, source: NodeId, target: NodeId, path: Semilightpath, epoch: int
+    ) -> None:
+        with self._last_good_lock:
+            store = self._last_good
+            store[(source, target)] = (path, epoch)
+            store.move_to_end((source, target))
+            while len(store) > self._last_good_limit:
+                store.popitem(last=False)
+            size = len(store)
+        self.metrics.gauge("service.last_good_size").set(size)
 
     def try_route(
         self, source: NodeId, target: NodeId, timeout: float | None = None

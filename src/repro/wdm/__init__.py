@@ -22,7 +22,12 @@ from repro.wdm.optimal_protection import route_optimal_channel_disjoint_pair
 from repro.wdm.planner import Demand, Plan, StaticPlanner
 from repro.wdm.protection import ProtectedPath, route_disjoint_pair
 from repro.wdm.provisioning import Connection, SemilightpathProvisioner
-from repro.wdm.restoration import RestorationReport, cut_fiber, restore
+from repro.wdm.restoration import (
+    RestorationReport,
+    cut_fiber,
+    restore,
+    restore_channels,
+)
 from repro.wdm.simulation import BlockingStats, DynamicSimulation
 from repro.wdm.state import WavelengthState
 from repro.wdm.traffic import TrafficGenerator, TrafficRequest
@@ -45,4 +50,5 @@ __all__ = [
     "RestorationReport",
     "cut_fiber",
     "restore",
+    "restore_channels",
 ]

@@ -14,12 +14,18 @@ against a live :class:`~repro.wdm.provisioning.SemilightpathProvisioner`:
 
 Restoration here is *reactive path restoration* (no pre-planned backup);
 pre-planned 1+1 protection lives in :mod:`repro.wdm.protection`.
+
+Two failure granularities are supported, matching the fault kinds the
+chaos layer (:mod:`repro.faults`) injects live: whole-fiber cuts
+(:func:`restore`) and individual ``(tail, head, λ)`` channel drops
+(:func:`restore_channels` — a transponder or filter dying on one
+wavelength while the fiber stays lit).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable
+from typing import Hashable, Iterable
 
 from repro.core.network import WDMNetwork
 from repro.core.routing import LiangShenRouter
@@ -27,16 +33,18 @@ from repro.core.semilightpath import Semilightpath
 from repro.exceptions import NoPathError, UnknownLinkError
 from repro.wdm.provisioning import Connection, SemilightpathProvisioner
 
-__all__ = ["RestorationReport", "cut_fiber", "restore"]
+__all__ = ["RestorationReport", "cut_fiber", "restore", "restore_channels"]
 
 NodeId = Hashable
+Channel = tuple[NodeId, NodeId, int]  # (tail, head, wavelength)
 
 
 @dataclass
 class RestorationReport:
-    """Outcome of one fiber-cut restoration episode."""
+    """Outcome of one restoration episode (fiber cut or channel drops)."""
 
-    fiber: tuple[NodeId, NodeId]
+    fiber: tuple[NodeId, NodeId] | None = None
+    channels: tuple[Channel, ...] = ()
     affected: list[Connection] = field(default_factory=list)
     restored: list[Connection] = field(default_factory=list)
     lost: list[Connection] = field(default_factory=list)
@@ -77,32 +85,50 @@ def cut_fiber(
     ]
 
 
-def restore(
-    provisioner: SemilightpathProvisioner, tail: NodeId, head: NodeId
-) -> RestorationReport:
-    """Cut the fiber ``{tail, head}`` and re-route the victims.
+def _residual_network(
+    provisioner: SemilightpathProvisioner,
+    failed_fibers: frozenset = frozenset(),
+    failed_channels: frozenset = frozenset(),
+) -> WDMNetwork:
+    """Full network minus failed resources minus surviving reservations.
 
-    The provisioner is mutated: victims are torn down, survivors keep
-    their channels, restored victims get fresh connections routed on a
-    residual network with the cut fiber removed.  Lost victims stay down.
+    ``failed_fibers`` holds ``frozenset({tail, head})`` pairs (both
+    directions die together); ``failed_channels`` holds directed
+    ``(tail, head, wavelength)`` triples.  A link losing every channel
+    stays as a dark link — topology survives, capacity does not.
     """
-    victims = cut_fiber(provisioner, tail, head)
-    report = RestorationReport(fiber=(tail, head), affected=list(victims))
-    for victim in victims:
-        provisioner.teardown(victim)
+    residual = WDMNetwork(provisioner.network.num_wavelengths)
+    for node in provisioner.network.nodes():
+        residual.add_node(node, provisioner.network.conversion(node))
+    for link in provisioner.network.links():
+        if frozenset((link.tail, link.head)) in failed_fibers:
+            continue
+        occupied = provisioner.state.occupied_on(link.tail, link.head)
+        costs = {
+            w: c
+            for w, c in link.costs.items()
+            if w not in occupied
+            and (link.tail, link.head, w) not in failed_channels
+        }
+        residual.add_link(link.tail, link.head, costs)
+    return residual
 
-    # Residual = full network minus cut fiber minus surviving reservations.
-    fiber = frozenset((tail, head))
-    for victim in victims:
-        residual = WDMNetwork(provisioner.network.num_wavelengths)
-        for node in provisioner.network.nodes():
-            residual.add_node(node, provisioner.network.conversion(node))
-        for link in provisioner.network.links():
-            if frozenset((link.tail, link.head)) == fiber:
-                continue
-            occupied = provisioner.state.occupied_on(link.tail, link.head)
-            costs = {w: c for w, c in link.costs.items() if w not in occupied}
-            residual.add_link(link.tail, link.head, costs)
+
+def _reroute_victims(
+    provisioner: SemilightpathProvisioner,
+    report: RestorationReport,
+    failed_fibers: frozenset = frozenset(),
+    failed_channels: frozenset = frozenset(),
+) -> RestorationReport:
+    """Tear down the report's victims and re-route each on the residual.
+
+    The residual is rebuilt per victim because each successful
+    restoration reserves channels the next victim must avoid.
+    """
+    for victim in report.affected:
+        provisioner.teardown(victim)
+    for victim in report.affected:
+        residual = _residual_network(provisioner, failed_fibers, failed_channels)
         try:
             path = LiangShenRouter(residual).route(victim.source, victim.target).path
         except NoPathError:
@@ -116,3 +142,48 @@ def restore(
         report.cost_before += victim.path.total_cost
         report.cost_after += path.total_cost
     return report
+
+
+def restore(
+    provisioner: SemilightpathProvisioner, tail: NodeId, head: NodeId
+) -> RestorationReport:
+    """Cut the fiber ``{tail, head}`` and re-route the victims.
+
+    The provisioner is mutated: victims are torn down, survivors keep
+    their channels, restored victims get fresh connections routed on a
+    residual network with the cut fiber removed.  Lost victims stay down.
+    """
+    victims = cut_fiber(provisioner, tail, head)
+    report = RestorationReport(fiber=(tail, head), affected=list(victims))
+    return _reroute_victims(
+        provisioner, report, failed_fibers=frozenset({frozenset((tail, head))})
+    )
+
+
+def restore_channels(
+    provisioner: SemilightpathProvisioner, channels: Iterable[Channel]
+) -> RestorationReport:
+    """Drop individual ``(tail, head, λ)`` channels and re-route the victims.
+
+    The finer-grained sibling of :func:`restore`: the fibers stay lit,
+    only the listed wavelength channels die (matching the chaos layer's
+    ``channel_fail`` events).  Victims are connections whose working path
+    occupies any dropped channel; they are torn down and re-routed on a
+    residual network without the dropped channels.
+    """
+    failed = frozenset(channels)
+    for tail, head, _wavelength in failed:
+        if not provisioner.network.has_link(tail, head):
+            raise UnknownLinkError(tail, head)
+    victims = [
+        connection
+        for connection in provisioner.active_connections()
+        if any(
+            (hop.tail, hop.head, hop.wavelength) in failed
+            for hop in connection.path.hops
+        )
+    ]
+    report = RestorationReport(
+        channels=tuple(sorted(failed)), affected=list(victims)
+    )
+    return _reroute_victims(provisioner, report, failed_channels=failed)

@@ -70,6 +70,15 @@ class WavelengthState:
             w for (t, h, w) in self._occupied if t == tail and h == head
         )
 
+    def occupied_channels(self) -> frozenset[Channel]:
+        """Snapshot of every reserved ``(tail, head, wavelength)`` channel.
+
+        A frozen copy, safe to hold across later reserves/releases —
+        restoration and fault-injection tooling diff these snapshots to
+        find which connections a failure touched.
+        """
+        return frozenset(self._occupied)
+
     def free_on(self, tail: NodeId, head: NodeId) -> frozenset[int]:
         """Available-and-free wavelengths on one link."""
         link = self.network.link(tail, head)

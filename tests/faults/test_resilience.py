@@ -1,0 +1,165 @@
+"""Tests for the retry policy and circuit breaker (repro.faults.resilience)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import CircuitOpenError, NoPathError, TransientBackendError
+from repro.faults.resilience import CircuitBreaker, RetryPolicy
+
+
+def flaky(failures: int, result: object = "ok"):
+    """A callable failing transiently *failures* times, then answering."""
+    state = {"calls": 0}
+
+    def fn():
+        state["calls"] += 1
+        if state["calls"] <= failures:
+            raise TransientBackendError(f"flake #{state['calls']}")
+        return result
+
+    fn.state = state
+    return fn
+
+
+class TestRetryPolicy:
+    def test_succeeds_after_transient_failures(self):
+        sleeps: list[float] = []
+        policy = RetryPolicy(
+            max_attempts=3, base_delay=0.01, seed=7, sleep=sleeps.append
+        )
+        fn = flaky(2)
+        assert policy.call(fn) == "ok"
+        assert fn.state["calls"] == 3
+        assert len(sleeps) <= 2  # zero-length jitter draws skip the sleep
+
+    def test_exhausting_attempts_reraises_last_error(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, seed=0)
+        fn = flaky(99)
+        with pytest.raises(TransientBackendError, match="flake #3"):
+            policy.call(fn)
+        assert fn.state["calls"] == 3
+
+    def test_non_transient_errors_propagate_immediately(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.0)
+
+        def fn():
+            raise NoPathError("a", "b")
+
+        with pytest.raises(NoPathError):
+            policy.call(fn)
+
+    def test_deadline_abandons_retry(self):
+        policy = RetryPolicy(max_attempts=10, base_delay=0.01, seed=1)
+        fn = flaky(99)
+        # A deadline already in the past: the first backoff would land
+        # beyond it, so exactly one attempt is made.
+        with pytest.raises(TransientBackendError, match="flake #1"):
+            policy.call(fn, deadline=100.0, clock=lambda: 100.0)
+        assert fn.state["calls"] == 1
+
+    def test_on_retry_observer_sees_each_attempt(self):
+        seen: list[int] = []
+        policy = RetryPolicy(
+            max_attempts=4, base_delay=0.0, sleep=lambda _: None
+        )
+        policy.call(flaky(3), on_retry=lambda attempt, exc: seen.append(attempt))
+        assert seen == [1, 2, 3]
+
+    def test_delay_respects_exponential_cap(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.3, seed=11)
+        for attempt in range(6):
+            cap = min(0.3, 0.1 * 2**attempt)
+            assert 0.0 <= policy.delay(attempt) <= cap
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=3, reset=10.0, transitions=None):
+        now = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=threshold,
+            reset_timeout=reset,
+            clock=lambda: now[0],
+            on_transition=(
+                None
+                if transitions is None
+                else lambda old, new: transitions.append((old, new))
+            ),
+        )
+        return breaker, now
+
+    def trip(self, breaker):
+        for _ in range(breaker.failure_threshold):
+            breaker.before_call()
+            breaker.record_failure()
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker, _ = self.make(threshold=3)
+        breaker.before_call()
+        breaker.record_failure()
+        breaker.before_call()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.before_call()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = self.make(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.consecutive_failures == 1
+
+    def test_open_breaker_fails_fast_with_retry_after(self):
+        breaker, now = self.make(threshold=1, reset=10.0)
+        self.trip(breaker)
+        now[0] = 4.0
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.before_call()
+        assert excinfo.value.retry_after == pytest.approx(6.0)
+
+    def test_half_open_admits_one_probe_and_success_closes(self):
+        transitions: list[tuple[str, str]] = []
+        breaker, now = self.make(threshold=1, reset=10.0, transitions=transitions)
+        self.trip(breaker)
+        now[0] = 11.0
+        breaker.before_call()  # the probe is admitted
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        # A concurrent call while the probe is in flight fails fast.
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert transitions == [
+            (CircuitBreaker.CLOSED, CircuitBreaker.OPEN),
+            (CircuitBreaker.OPEN, CircuitBreaker.HALF_OPEN),
+            (CircuitBreaker.HALF_OPEN, CircuitBreaker.CLOSED),
+        ]
+
+    def test_probe_failure_reopens_and_restarts_the_timer(self):
+        breaker, now = self.make(threshold=1, reset=10.0)
+        self.trip(breaker)
+        now[0] = 11.0
+        breaker.before_call()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        now[0] = 20.0  # 9s after the re-open: still within the new window
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+        now[0] = 21.5
+        breaker.before_call()
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout=0.0)

@@ -6,11 +6,15 @@ import time
 import pytest
 
 from repro.exceptions import (
+    CircuitOpenError,
+    DeadlineExceeded,
     DeadlineExpiredError,
     NoPathError,
     ServiceClosedError,
     ServiceOverloadError,
+    TransientBackendError,
 )
+from repro.faults.resilience import CircuitBreaker, RetryPolicy
 from repro.service.cache import EpochRouterCache
 from repro.service.engine import QueryEngine
 from repro.service.metrics import MetricsRegistry
@@ -100,6 +104,22 @@ class TestDeadlines:
         time.sleep(0.01)
         engine.run_pending()
         assert registry.snapshot()["engine.expired"] == 1
+        assert registry.snapshot()["engine.deadline_exceeded"] == 1
+
+    def test_deadline_error_is_typed_with_elapsed(self, paper_net):
+        engine = sync_engine(paper_net)
+        future = engine.submit(1, 7, timeout=0.0)
+        time.sleep(0.01)
+        engine.run_pending()
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            future.result()
+        error = excinfo.value
+        assert error.source == 1 and error.target == 7
+        assert error.elapsed is not None and error.elapsed > 0.0
+        assert "after" in str(error)
+
+    def test_legacy_alias_is_the_same_class(self):
+        assert DeadlineExpiredError is DeadlineExceeded
 
 
 class TestCoalescing:
@@ -183,3 +203,79 @@ class TestWorkerPool:
         engine = QueryEngine(EpochRouterCache(paper_net), workers=1)
         engine.shutdown()
         engine.shutdown()
+
+
+class TestResilienceWiring:
+    def test_retry_absorbs_transient_faults(self, paper_net):
+        registry = MetricsRegistry()
+        engine = sync_engine(
+            paper_net,
+            metrics=registry,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.0, sleep=lambda _: None),
+        )
+        faults = [TransientBackendError("flake"), TransientBackendError("flake")]
+
+        def hook():
+            if faults:
+                raise faults.pop()
+
+        engine.fault_hook = hook
+        assert engine.route(1, 7).total_cost == 2.0
+        snapshot = registry.snapshot()
+        assert snapshot["engine.retries"] == 2
+        assert snapshot["engine.backend_faults"] == 2
+
+    def test_retry_exhaustion_surfaces_the_fault(self, paper_net):
+        engine = sync_engine(
+            paper_net,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0, sleep=lambda _: None),
+        )
+        engine.fault_hook = lambda: (_ for _ in ()).throw(
+            TransientBackendError("always down")
+        )
+        with pytest.raises(TransientBackendError):
+            engine.route(1, 7)
+
+    def test_open_breaker_fails_fast(self, paper_net):
+        now = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=60.0, clock=lambda: now[0]
+        )
+        engine = sync_engine(paper_net, breaker=breaker)
+        engine.fault_hook = lambda: (_ for _ in ()).throw(
+            TransientBackendError("down")
+        )
+        with pytest.raises(TransientBackendError):
+            engine.route(1, 7)
+        assert breaker.state == CircuitBreaker.OPEN
+        # The hook is no longer reached: the breaker rejects at admission.
+        engine.fault_hook = lambda: pytest.fail("backend must not be called")
+        with pytest.raises(CircuitOpenError):
+            engine.route(1, 7)
+
+    def test_breaker_closes_after_successful_probe(self, paper_net):
+        now = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=10.0, clock=lambda: now[0]
+        )
+        engine = sync_engine(paper_net, breaker=breaker)
+        faulty = [TransientBackendError("down")]
+
+        def hook():
+            if faulty:
+                raise faulty.pop()
+
+        engine.fault_hook = hook
+        with pytest.raises(TransientBackendError):
+            engine.route(1, 7)
+        now[0] = 11.0  # past the reset timeout: next call is the probe
+        assert engine.route(1, 7).total_cost == 2.0
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_no_path_counts_as_backend_success(self, paper_net):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=60.0)
+        engine = sync_engine(paper_net, breaker=breaker)
+        with pytest.raises(NoPathError):
+            engine.route(7, 1)
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.consecutive_failures == 0

@@ -151,3 +151,49 @@ class TestMetricsRegistry:
         assert lines[0].startswith("a: 2")
         assert lines[-1].startswith("z: 1")
         assert any("count=1" in line for line in lines)
+
+
+class TestReset:
+    def test_counter_reset(self):
+        counter = Counter()
+        counter.inc(5)
+        counter.reset()
+        assert counter.value == 0
+
+    def test_gauge_reset(self):
+        gauge = Gauge()
+        gauge.set(3.5)
+        gauge.reset()
+        assert gauge.value == 0.0
+
+    def test_histogram_reset_clears_window_and_totals(self):
+        histogram = Histogram(window=4)
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        histogram.reset()
+        assert histogram.count == 0
+        assert histogram.total == 0.0
+        assert histogram.percentile(0.5) == 0.0
+        histogram.observe(7.0)  # still usable afterwards
+        assert histogram.count == 1
+        assert histogram.minimum == 7.0
+
+    def test_histogram_rejects_nan(self):
+        histogram = Histogram()
+        with pytest.raises(ValueError):
+            histogram.observe(float("nan"))
+        assert histogram.count == 0
+
+    def test_registry_reset_keeps_instruments_and_callbacks(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        counter.inc(9)
+        registry.histogram("lat").observe(2.0)
+        registry.register_callback("live", lambda: 42.0)
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap["hits"] == 0
+        assert snap["live"] == 42.0  # callbacks survive a reset
+        assert registry.counter("hits") is counter  # identity preserved
+        counter.inc()
+        assert registry.snapshot()["hits"] == 1

@@ -217,3 +217,52 @@ class TestServeBench:
 
     def test_serve_bench_missing_file(self, capsys):
         assert main(["serve-bench", "/nonexistent.json"]) == 1
+
+
+class TestExitCodes:
+    def test_constants_are_stable_and_distinct(self):
+        from repro import cli
+
+        codes = {
+            cli.EXIT_OK: 0,
+            cli.EXIT_ERROR: 1,
+            cli.EXIT_BOUNDS: 2,
+            cli.EXIT_REJECTED: 3,
+            cli.EXIT_DISAGREEMENT: 4,
+            cli.EXIT_VIOLATION: 5,
+        }
+        assert all(actual == expected for actual, expected in codes.items())
+        assert len(codes) == 6  # pairwise distinct
+
+
+class TestChaos:
+    def test_short_soak_holds_invariants(self, fig1_file, tmp_path, capsys):
+        assert main([
+            "chaos", fig1_file, "--seconds", "1", "--faults", "5",
+            "--workers", "2", "--seed", "11",
+            "--repro-dir", str(tmp_path / "repros"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "all invariants held" in out
+        assert "faults applied" in out
+        # A clean soak must not persist any repro case.
+        assert not (tmp_path / "repros").exists()
+
+    def test_inject_cost_bug_self_test(self, fig1_file, tmp_path, capsys):
+        assert main([
+            "chaos", fig1_file, "--seconds", "0.8", "--faults", "4",
+            "--workers", "2",
+            "--repro-dir", str(tmp_path / "repros"),
+            "--inject-cost-bug",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "injected cost bug caught" in out
+        assert list((tmp_path / "repros").glob("case-*.json"))
+
+    def test_rejects_bad_budget(self, capsys):
+        assert main(["chaos", "--seconds", "0"]) == 1
+        assert "--seconds" in capsys.readouterr().err
+
+    def test_rejects_bad_fault_count(self, capsys):
+        assert main(["chaos", "--faults", "0"]) == 1
+        assert "--faults" in capsys.readouterr().err

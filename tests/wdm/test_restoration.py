@@ -7,7 +7,7 @@ from repro.core.network import WDMNetwork
 from repro.exceptions import UnknownLinkError
 from repro.topology.reference import cost239_network, nsfnet_network
 from repro.wdm.provisioning import SemilightpathProvisioner
-from repro.wdm.restoration import cut_fiber, restore
+from repro.wdm.restoration import cut_fiber, restore, restore_channels
 
 
 def ring5() -> WDMNetwork:
@@ -118,3 +118,64 @@ class TestRestore:
             prov.establish(s, t)
         report = restore(prov, "IL", "PA")
         assert len(report.affected) == len(report.restored) + len(report.lost)
+
+
+class TestRestoreChannels:
+    def test_reroutes_victims_of_a_single_channel(self):
+        prov = SemilightpathProvisioner(ring5())
+        conn = prov.establish(0, 2)  # takes 0-1-2
+        hop = conn.path.hops[0]
+        report = restore_channels(
+            prov, [(hop.tail, hop.head, hop.wavelength)]
+        )
+        assert report.affected == [conn]
+        assert len(report.restored) == 1
+        assert not report.lost
+        assert report.fiber is None
+        assert report.channels == ((hop.tail, hop.head, hop.wavelength),)
+        # The replacement avoids the failed channel.
+        restored_channels = {
+            (h.tail, h.head, h.wavelength) for h in report.restored[0].path.hops
+        }
+        assert (hop.tail, hop.head, hop.wavelength) not in restored_channels
+
+    def test_sibling_wavelength_survives(self):
+        """Dropping λ0 on one link must not disturb a λ1 connection there."""
+        prov = SemilightpathProvisioner(ring5())
+        first = prov.establish(0, 2)  # grabs λ on 0-1 and 1-2
+        second = prov.establish(0, 2)  # forced onto the other wavelength
+        victim_hop = first.path.hops[0]
+        report = restore_channels(
+            prov, [(victim_hop.tail, victim_hop.head, victim_hop.wavelength)]
+        )
+        assert second in prov.active_connections()
+        assert second not in report.affected
+
+    def test_lost_when_no_residual_capacity(self):
+        net = WDMNetwork(num_wavelengths=1, default_conversion=NoConversion())
+        net.add_nodes(["a", "b"])
+        net.add_link("a", "b", {0: 1.0})
+        prov = SemilightpathProvisioner(net)
+        prov.establish("a", "b")
+        report = restore_channels(prov, [("a", "b", 0)])
+        assert len(report.lost) == 1
+        assert prov.num_active == 0
+
+    def test_no_victims_noop(self):
+        prov = SemilightpathProvisioner(ring5())
+        conn = prov.establish(0, 2)
+        free_wavelength = next(
+            w
+            for w in prov.network.link(3, 4).costs
+            if (3, 4, w)
+            not in {(h.tail, h.head, h.wavelength) for h in conn.path.hops}
+        )
+        report = restore_channels(prov, [(3, 4, free_wavelength)])
+        assert not report.affected
+        assert report.restoration_ratio == 1.0
+        assert prov.num_active == 1
+
+    def test_unknown_link_rejected(self):
+        prov = SemilightpathProvisioner(ring5())
+        with pytest.raises(UnknownLinkError):
+            restore_channels(prov, [(0, 3, 0)])

@@ -38,6 +38,16 @@ class TestQueries:
     def test_total_channels(self, state):
         assert state.total_channels == 24
 
+    def test_occupied_channels_snapshot_is_frozen(self, state):
+        assert state.occupied_channels() == frozenset()
+        state.reserve_channels([(1, 2, 0), (1, 4, 1)])
+        snapshot = state.occupied_channels()
+        assert snapshot == frozenset({(1, 2, 0), (1, 4, 1)})
+        # Later mutations do not bleed into an already-taken snapshot.
+        state.release_channels([(1, 2, 0)])
+        assert snapshot == frozenset({(1, 2, 0), (1, 4, 1)})
+        assert state.occupied_channels() == frozenset({(1, 4, 1)})
+
 
 class TestReserveRelease:
     def test_round_trip(self, state):
