@@ -14,9 +14,19 @@ It measures three things and writes ``BENCH_routing.json``:
   process-parallel path, with the measured worker count recorded next
   to the machine's CPU count (a 1-CPU container cannot show a parallel
   win; the numbers say so honestly).
+* **Fault churn** — an alternating degrade/recover + query stream served
+  by two epoch caches: full invalidation (every fault rebuilds
+  ``G_all``) against incremental delta-epoch patching (CSR masking +
+  warm-run repair).  Both sides answer the identical stream; answers
+  are compared hop-for-hop and a sample is certificate-checked against
+  the degraded network of the moment.
 * **Result identity** — every timed query is cross-checked: exact cost
   equality and identical hop sequences between the seed and hot paths,
   and all-pairs parallel output equal to serial.
+
+``--churn-smoke`` runs only the churn scenario in a time-budgeted loop
+(``--churn-seconds``, default 30) and exits nonzero on any
+patched-vs-rebuilt mismatch — the CI guardrail for the delta layer.
 
 The exit code reflects **correctness only**: mismatching results exit
 nonzero, slow results never do (CI boxes are noisy; timings are data,
@@ -40,6 +50,10 @@ from conftest import sparse_wan  # noqa: E402
 from repro.core.parallel import route_all_pairs_parallel  # noqa: E402
 from repro.core.routing import LiangShenRouter  # noqa: E402
 from repro.exceptions import NoPathError  # noqa: E402
+from repro.faults.injector import FaultInjector  # noqa: E402
+from repro.faults.plan import FaultEvent  # noqa: E402
+from repro.service.cache import EpochRouterCache  # noqa: E402
+from repro.verify.certificate import check_certificate  # noqa: E402
 
 
 def _try(router, s, t):
@@ -123,6 +137,151 @@ def bench_all_pairs(net, name: str, workers: int) -> tuple[dict, list[str]]:
     }, errors
 
 
+def _churn_schedule(net, events: int, queries_per_event: int):
+    """Deterministic alternating degrade/recover stream with query pairs.
+
+    Both cache configurations replay exactly this schedule, so their
+    timings and answers are directly comparable.
+    """
+    channels = [
+        (link.tail, link.head, w)
+        for link in net.links()
+        for w in sorted(link.costs)
+    ]
+    nodes = net.nodes()
+    pairs = [(s, t) for s in nodes for t in nodes if s != t]
+    schedule = []
+    for i in range(events):
+        channel = channels[(i * 7919) % len(channels)]
+        for kind in ("channel_fail", "channel_recover"):
+            queries = [
+                pairs[(i * queries_per_event * 2 + j * 997) % len(pairs)]
+                for j in range(queries_per_event)
+            ]
+            schedule.append((kind, channel, queries))
+    return schedule
+
+
+def _run_churn(net, schedule, incremental: bool, certificate_every: int = 0):
+    """Replay *schedule* through one cache configuration.
+
+    Returns the answers (for cross-checking), the cache counters, the
+    total churn wall time, the average fault-to-first-answer latency,
+    and any certificate violations found on the sampled answers.
+    """
+    injector = FaultInjector(net)
+    cache = EpochRouterCache(injector.network_view, incremental=incremental)
+    first = schedule[0][2][0]
+    try:
+        cache.route(*first)  # initial build is not churn; keep it untimed
+    except NoPathError:
+        pass
+    answers = []
+    errors: list[str] = []
+    samples = []  # (step, s, t, path, view) checked after timing stops
+    first_answer_seconds = 0.0
+    start = time.perf_counter()
+    for step, (kind, (tail, head, w), queries) in enumerate(schedule):
+        fault_start = time.perf_counter()
+        injector.apply(FaultEvent(0.5, kind, tail=tail, head=head, wavelength=w))
+        if kind == "channel_fail":
+            cache.mark_channel_degraded(tail, head, w)
+        else:
+            cache.mark_channel_recovered(tail, head, w)
+        for j, (s, t) in enumerate(queries):
+            try:
+                path = cache.route(s, t)
+            except NoPathError:
+                path = None
+            if j == 0:
+                first_answer_seconds += time.perf_counter() - fault_start
+            answers.append(path)
+            if (
+                certificate_every
+                and path is not None
+                and len(answers) % certificate_every == 0
+            ):
+                samples.append((step, s, t, path))
+    total = time.perf_counter() - start
+    # Eq.1 certificate checks run outside the timed loop so verification
+    # cost never skews the serving comparison; each sampled answer is
+    # checked against its own degraded view, reconstructed by replaying
+    # the schedule prefix on a fresh injector.
+    for step, s, t, path in samples:
+        replay = FaultInjector(net)
+        for kind, (tail, head, w), _ in schedule[: step + 1]:
+            replay.apply(FaultEvent(0.5, kind, tail=tail, head=head, wavelength=w))
+        cert = check_certificate(replay.network_view(), path, s, t)
+        if not cert.ok:
+            errors.append(
+                f"churn certificate violation at step {step} "
+                f"{s}->{t}: " + "; ".join(cert.violations)
+            )
+    return answers, cache.counters(), total, first_answer_seconds, len(samples), errors
+
+
+def bench_fault_churn(
+    net, name: str, events: int = 25, queries_per_event: int = 3
+) -> tuple[dict, list[str]]:
+    """Full-invalidation vs delta-patched serving on one churn stream."""
+    schedule = _churn_schedule(net, events, queries_per_event)
+    full_answers, full_counters, t_full, t_full_first, _, errs_full = _run_churn(
+        net, schedule, incremental=False
+    )
+    (
+        delta_answers,
+        delta_counters,
+        t_delta,
+        t_delta_first,
+        certs,
+        errs_delta,
+    ) = _run_churn(net, schedule, incremental=True, certificate_every=5)
+
+    errors = errs_full + errs_delta
+    for i, (full, delta) in enumerate(zip(full_answers, delta_answers)):
+        if (full is None) != (delta is None):
+            errors.append(f"{name}: churn reachability differs at answer {i}")
+        elif full is not None and (
+            full.hops != delta.hops or full.total_cost != delta.total_cost
+        ):
+            errors.append(f"{name}: churn answer {i} differs patched vs rebuilt")
+
+    fault_count = len(schedule)
+    return {
+        "topology": name,
+        "nodes": len(net.nodes()),
+        "wavelengths": net.num_wavelengths,
+        "fault_events": fault_count,
+        "queries": len(full_answers),
+        "full_invalidation_seconds": t_full,
+        "delta_seconds": t_delta,
+        "churn_speedup": t_full / t_delta if t_delta > 0 else float("inf"),
+        "full_fault_to_answer_us": t_full_first / fault_count * 1e6,
+        "delta_fault_to_answer_us": t_delta_first / fault_count * 1e6,
+        "fault_to_answer_speedup": (
+            t_full_first / t_delta_first if t_delta_first > 0 else float("inf")
+        ),
+        "full_rebuilds": full_counters["rebuilds"],
+        "delta_rebuilds": delta_counters["rebuilds"],
+        "delta_patches": delta_counters["patches"],
+        "delta_tree_patches": delta_counters["tree_patches"],
+        "certificates_checked": certs,
+    }, errors
+
+
+def _print_churn_row(row: dict) -> None:
+    print(
+        f"{row['topology']}: churn {row['fault_events']} faults / "
+        f"{row['queries']} queries  "
+        f"full {row['full_invalidation_seconds'] * 1e3:8.1f} ms  "
+        f"delta {row['delta_seconds'] * 1e3:8.1f} ms  "
+        f"({row['churn_speedup']:.1f}x; fault->answer "
+        f"{row['fault_to_answer_speedup']:.1f}x; "
+        f"{row['delta_patches']} patches vs {row['full_rebuilds']} rebuilds; "
+        f"{row['certificates_checked']} certs ok)"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -143,14 +302,31 @@ def main(argv: list[str] | None = None) -> int:
         default=Path(__file__).resolve().parents[1] / "BENCH_routing.json",
         help="where to write the JSON report",
     )
+    parser.add_argument(
+        "--churn-smoke",
+        action="store_true",
+        help="CI mode: loop only the fault-churn scenario for "
+        "--churn-seconds, failing on any patched-vs-rebuilt mismatch",
+    )
+    parser.add_argument(
+        "--churn-seconds",
+        type=float,
+        default=30.0,
+        help="time budget for --churn-smoke (default 30)",
+    )
     args = parser.parse_args(argv)
+
+    if args.churn_smoke:
+        return churn_smoke(args.churn_seconds)
 
     if args.quick:
         single_sizes = [24, 32]
         all_pairs_sizes = [32]
+        churn_sizes = [32]
     else:
         single_sizes = [32, 48, 64]
         all_pairs_sizes = [48, 64]
+        churn_sizes = [48, 64]
 
     report = {
         "machine": {
@@ -161,6 +337,7 @@ def main(argv: list[str] | None = None) -> int:
         "quick": args.quick,
         "single_pair": [],
         "all_pairs": [],
+        "fault_churn": [],
     }
     errors: list[str] = []
 
@@ -187,6 +364,13 @@ def main(argv: list[str] | None = None) -> int:
             f"({row['parallel_speedup']:.2f}x on {os.cpu_count()} CPU(s))"
         )
 
+    for n in churn_sizes:
+        name = f"sparse_wan_n{n}"
+        row, errs = bench_fault_churn(sparse_wan(n, seed=n), name)
+        report["fault_churn"].append(row)
+        errors.extend(errs)
+        _print_churn_row(row)
+
     report["verified"] = not errors
     report["errors"] = errors
     args.output.write_text(json.dumps(report, indent=2) + "\n")
@@ -196,7 +380,28 @@ def main(argv: list[str] | None = None) -> int:
         for line in errors:
             print(f"MISMATCH: {line}", file=sys.stderr)
         return 1
-    print("result identity verified: seed == overlay+flat, serial == parallel")
+    print(
+        "result identity verified: seed == overlay+flat, "
+        "serial == parallel, patched == rebuilt"
+    )
+    return 0
+
+
+def churn_smoke(budget: float) -> int:
+    """Time-budgeted churn loop: correctness gate only, no report file."""
+    deadline = time.perf_counter() + budget
+    rounds = 0
+    while time.perf_counter() < deadline:
+        n = (24, 32)[rounds % 2]
+        net = sparse_wan(n, seed=n + rounds)
+        row, errors = bench_fault_churn(net, f"sparse_wan_n{n}_r{rounds}")
+        _print_churn_row(row)
+        if errors:
+            for line in errors:
+                print(f"MISMATCH: {line}", file=sys.stderr)
+            return 1
+        rounds += 1
+    print(f"churn smoke: {rounds} round(s), patched == rebuilt throughout")
     return 0
 
 

@@ -232,8 +232,12 @@ class MatrixConversion(ConversionModel):
     ) -> Iterator[tuple[int, int, float]]:
         ins = set(in_wavelengths)
         outs = set(out_wavelengths)
-        # Same-wavelength pass-through is always free.
-        for p in ins & outs:
+        # Same-wavelength pass-through is always free.  Sorted, not set
+        # order: enumeration order decides auxiliary-edge insertion
+        # order, and the delta-overlay byte-parity oracle requires that
+        # a filtered wavelength set enumerate as a subsequence of the
+        # full one (hash order does not guarantee that; sorted does).
+        for p in sorted(ins & outs):
             yield p, p, 0.0
         for (p, q), c in self._table.items():
             if p != q and p in ins and q in outs:

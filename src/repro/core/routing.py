@@ -62,7 +62,14 @@ from repro.shortestpath.paths import reconstruct_path
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.network import WDMNetwork
 
-__all__ = ["RouteResult", "AllPairsResult", "LiangShenRouter", "run_tree"]
+__all__ = [
+    "RouteResult",
+    "AllPairsResult",
+    "LiangShenRouter",
+    "run_tree",
+    "decode_warm_tree",
+    "decode_warm_targets",
+]
 
 NodeId = Hashable
 
@@ -200,6 +207,34 @@ class LiangShenRouter:
         path = _decode(aux.decode, aux_path, run.dist[aux.sink_id])
         return RouteResult(path=path, stats=_stats(aux.sizes, run))
 
+    def route_via_all_pairs(self, source: NodeId, target: NodeId) -> RouteResult:
+        """Single-pair query over the cached ``G_all`` (no graph build).
+
+        Answers are hop-for-hop identical to :meth:`route`: ``G_all``
+        shares the ``X``/``Y`` id space with ``G'`` (terminals are
+        appended after), the virtual ``source'`` fans out to ``Y_s`` at
+        distance 0 exactly like the overlay's multi-source seeding, and
+        the strict-improvement relaxation makes ``parent[t'']`` the first
+        — i.e. minimum ``(dist, id)`` — settling member of ``X_t``, the
+        very node the overlay query stops at.  The degraded-mode fallback
+        uses this to serve Theorem-1 rebuild semantics off one cached
+        ``G_all`` instead of reconstructing ``G_{s,t}`` per query.
+        """
+        if not self.network.has_node(source):
+            raise UnknownNodeError(source)
+        if not self.network.has_node(target):
+            raise UnknownNodeError(target)
+        if source == target:
+            raise ValueError("source and target must differ")
+        aux = self.all_pairs_graph()
+        sink = aux.sink_ids[target]
+        run = self._run(aux.graph, aux.source_ids[source], target=sink)
+        if run.dist[sink] == math.inf:
+            raise NoPathError(source, target)
+        aux_path = reconstruct_path(run.parent, sink)
+        path = _decode(aux.decode, aux_path, run.dist[sink])
+        return RouteResult(path=path, stats=_stats(aux.sizes, run))
+
     # -- one-to-all / all pairs (Corollary 1) -----------------------------------
 
     def route_tree(self, source: NodeId) -> dict[NodeId, Semilightpath]:
@@ -304,6 +339,51 @@ def run_tree(
         aux_path = reconstruct_path(run.parent, sink_id)
         tree[target] = _decode(aux.decode, aux_path, run.dist[sink_id])
     return tree, run
+
+
+def decode_warm_tree(
+    aux: AllPairsGraph, source: NodeId, run
+) -> dict[NodeId, Semilightpath]:
+    """Decode a full Corollary 1 tree from a warm run's parent forest.
+
+    *run* is anything exposing ``dist`` / ``parent`` arrays over
+    ``aux.graph`` ids after running to exhaustion (in practice a
+    :class:`~repro.shortestpath.flat.WarmRun`); the decode mirrors
+    :func:`run_tree` exactly.
+    """
+    tree: dict[NodeId, Semilightpath] = {}
+    for target, sink_id in aux.sink_ids.items():
+        if target == source or run.dist[sink_id] == math.inf:
+            continue
+        aux_path = reconstruct_path(run.parent, sink_id)
+        tree[target] = _decode(aux.decode, aux_path, run.dist[sink_id])
+    return tree
+
+
+def decode_warm_targets(
+    aux: AllPairsGraph,
+    source: NodeId,
+    run,
+    targets,
+    tree: dict[NodeId, Semilightpath],
+) -> None:
+    """Re-decode only *targets* of a warm tree, updating *tree* in place.
+
+    After a fail-only delta, :meth:`WarmRun.repair` reports which
+    auxiliary nodes were damaged; only paths ending in a damaged sink
+    need re-decoding — the incremental cache keeps every other decoded
+    path, which is what keeps patched tree refreshes proportional to
+    the damage.  A target that became unreachable is removed.
+    """
+    for target in targets:
+        if target == source:
+            continue
+        sink_id = aux.sink_ids[target]
+        if run.dist[sink_id] == math.inf:
+            tree.pop(target, None)
+        else:
+            aux_path = reconstruct_path(run.parent, sink_id)
+            tree[target] = _decode(aux.decode, aux_path, run.dist[sink_id])
 
 
 def _stats(sizes, run: DijkstraResult) -> QueryStats:

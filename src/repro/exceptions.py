@@ -29,6 +29,7 @@ __all__ = [
     "TransientBackendError",
     "InjectedFaultError",
     "CircuitOpenError",
+    "DeltaParityError",
 ]
 
 
@@ -180,6 +181,17 @@ class InjectedFaultError(TransientBackendError):
 
     def __init__(self, detail: str = "injected fault") -> None:
         super().__init__(detail)
+
+
+class DeltaParityError(SemilightError):
+    """A patched delta overlay diverged from a fresh rebuild.
+
+    Raised by the incremental-maintenance oracles and tests when a
+    fail/recover sequence that nets out to zero leaves masked edges
+    behind, or when a patched overlay's materialization is not
+    byte-identical to an overlay built fresh from the degraded network.
+    Either means the in-place patching machinery corrupted the CSR.
+    """
 
 
 class CircuitOpenError(ServiceError):

@@ -65,6 +65,17 @@ __all__ = ["ChaosSoak", "SoakReport"]
 
 NodeId = Hashable
 
+#: Fault kinds that change the network (vs engine-level latency/exception
+#: faults).  In incremental mode each one triggers a parity probe.
+_NETWORK_FAULT_KINDS = frozenset({
+    "link_fail",
+    "link_recover",
+    "channel_fail",
+    "channel_recover",
+    "converter_fail",
+    "converter_recover",
+})
+
 #: Legal circuit-breaker transitions (old state -> new state).
 _LEGAL_TRANSITIONS = {
     (CircuitBreaker.CLOSED, CircuitBreaker.OPEN),
@@ -95,6 +106,11 @@ class SoakReport:
     persisted: list[str] = field(default_factory=list)
     recovery_pairs_checked: int = 0
     recovery_seconds: float = 0.0
+    incremental: bool = False
+    parity_checks: int = 0
+    parity_mismatches: int = 0
+    cache_patches: int = 0
+    cache_rebuilds: int = 0
     event_log: EventLog | None = None
 
     #: Stored-violation cap; ``violations_total`` keeps the true count.
@@ -132,6 +148,12 @@ class SoakReport:
             f"  recovery: {self.recovery_pairs_checked} pair(s) byte-identical "
             f"vs fresh router in {self.recovery_seconds:.2f}s",
         ]
+        if self.incremental:
+            lines.append(
+                f"  incremental: {self.parity_checks} parity probe(s), "
+                f"{self.parity_mismatches} mismatch(es); cache patched "
+                f"{self.cache_patches}x, rebuilt {self.cache_rebuilds}x"
+            )
         if self.violations_total:
             shown = len(self.violations)
             label = (
@@ -207,6 +229,14 @@ class ChaosSoak:
         reproducible).  ``None`` disables persistence.
     max_recovery_pairs:
         Cap on the pairs compared against a fresh router at the end.
+    incremental:
+        Run the service's epoch cache in incremental (delta-overlay)
+        mode.  Every network-resource fault is then followed by a parity
+        probe: the cache's next answer — usually served off a *patched*
+        overlay rather than a rebuild — must agree hop-for-hop with a
+        fresh router on the current degraded view.  Probes are logged to
+        the event log as ``parity_check`` events, tagged ``patched`` or
+        ``rebuilt``, and any mismatch is a violation.
     """
 
     def __init__(
@@ -223,6 +253,7 @@ class ChaosSoak:
         max_recovery_pairs: int = 64,
         retry: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
+        incremental: bool = False,
     ) -> None:
         if duration <= 0:
             raise ValueError("duration must be > 0")
@@ -239,7 +270,10 @@ class ChaosSoak:
         self.cost_perturbation = cost_perturbation
         self.corpus_dir = corpus_dir
         self.max_recovery_pairs = max_recovery_pairs
-        self.report = SoakReport(seed=seed, duration=duration)
+        self.incremental = incremental
+        self.report = SoakReport(
+            seed=seed, duration=duration, incremental=incremental
+        )
 
         self.event_log = EventLog()
         self.injector = FaultInjector(self.base, observer=self.event_log)
@@ -269,6 +303,7 @@ class ChaosSoak:
             retry=self.retry,
             breaker=self.breaker,
             allow_stale=True,
+            incremental=incremental,
         )
         if cost_perturbation:
             self.service.engine.cache = _PerturbedCache(
@@ -326,6 +361,9 @@ class ChaosSoak:
                 f"stale accounting mismatch: soak saw {self.report.served_stale} "
                 f"stale answers, service.stale_served metric says {stale_metric}"
             )
+        cache_counters = self.service.cache.counters()
+        self.report.cache_patches = cache_counters.get("patches", 0)
+        self.report.cache_rebuilds = cache_counters.get("rebuilds", 0)
         self.report.elapsed = time.monotonic() - started
         self.report.event_log = self.event_log
         return self.report
@@ -357,10 +395,82 @@ class ChaosSoak:
             self._apply_event(event)
 
     def _apply_event(self, event: FaultEvent) -> None:
+        epoch_before = self.service.epoch
         self.injector.apply(event)
+        if event.kind in _NETWORK_FAULT_KINDS:
+            # Patched refreshes never call the cache factory (the serving
+            # path skips the snapshot copy), so the epoch-keyed audit map
+            # is fed here instead: the injector mutates fault state before
+            # notifying, hence the post-event view is exactly the network
+            # at every epoch this event's notifications bumped through.
+            view = self.injector.network_view()
+            for epoch in range(epoch_before + 1, self.service.epoch + 1):
+                self.snapshots[epoch] = view
         if event.kind == "worker_crash":
             self.injector.take_pending_crash()
             self._exercise_worker_crash()
+        elif self.incremental and event.kind in _NETWORK_FAULT_KINDS:
+            self._parity_probe(event)
+
+    def _parity_probe(self, event: FaultEvent) -> None:
+        """Incremental-mode oracle: patched answers == fresh-router answers.
+
+        Runs right after a network-resource fault lands.  The next cache
+        query applies the queued delta (or falls back to a rebuild); its
+        answer for a couple of pairs must match — hop for hop — a fresh
+        :class:`LiangShenRouter` built on the injector's current view.
+        The probe goes through ``service.cache`` directly, bypassing the
+        engine, so injected latency/exception faults and the perturbed
+        self-test backend cannot blur what is being measured.
+        """
+        cache = self.service.cache
+        view = self.injector.network_view()
+        fresh = LiangShenRouter(view)
+        before = cache.counters()
+        mode = None
+        pairs = (self._reachable or self._pairs)[:2]
+        for source, target in pairs:
+            try:
+                served = cache.route(source, target)
+            except NoPathError:
+                served = None
+            if mode is None:
+                after = cache.counters()
+                if after["patches"] > before["patches"]:
+                    mode = "patched"
+                elif after["rebuilds"] > before["rebuilds"]:
+                    mode = "rebuilt"
+                else:
+                    mode = "reused"  # epoch unchanged since last refresh
+            try:
+                expected = fresh.route(source, target).path
+            except NoPathError:
+                expected = None
+            ok = (served is None) == (expected is None) and (
+                served is None
+                or (
+                    served.hops == expected.hops
+                    and costs_close(served.total_cost, expected.total_cost)
+                )
+            )
+            self.report.parity_checks += 1
+            self.event_log(
+                "parity_check",
+                event.at,
+                source=source,
+                target=target,
+                fault=event.kind,
+                mode=mode,
+                ok=ok,
+            )
+            if not ok:
+                self.report.parity_mismatches += 1
+                self.report.add_violation(
+                    f"incremental parity mismatch ({mode}, after "
+                    f"{event.kind}) for {source!r}->{target!r}: cache "
+                    f"{served.hops if served else None}, fresh router "
+                    f"{expected.hops if expected else None}"
+                )
 
     def _observe_epoch(self) -> None:
         epoch = self.service.epoch

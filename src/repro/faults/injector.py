@@ -227,27 +227,33 @@ class FaultInjector:
     def _notify(self, event: FaultEvent) -> None:
         """Drive the attached service's epoch machinery for *event*.
 
-        Failures *remove* resources, so the fine-grained degradation path
-        applies (cached trees avoiding the resource survive).  Recoveries
-        add resources back and converter changes are not channel-keyed —
-        both take the full-invalidation path.
+        Every network-resource event maps to its own fine-grained
+        notification so caches that can patch in place (incremental
+        mode) see exactly which resource changed.  Against a
+        non-incremental cache the recovery/converter notifications
+        degrade to the historical full invalidation.  Fiber events cover
+        both directions — the injector fails fibers, not directed links.
         """
         service = self._service
         if service is None:
             return
         kind = event.kind
         if kind == "link_fail":
-            service.notify_link_degraded(event.tail, event.head, None)
-            service.notify_link_degraded(event.head, event.tail, None)
+            for tail, head in ((event.tail, event.head), (event.head, event.tail)):
+                if self.base.has_link(tail, head):
+                    service.notify_link_degraded(tail, head, None)
         elif kind == "channel_fail":
             service.notify_link_degraded(event.tail, event.head, event.wavelength)
-        elif kind in (
-            "link_recover",
-            "channel_recover",
-            "converter_fail",
-            "converter_recover",
-        ):
-            service.invalidate()
+        elif kind == "link_recover":
+            for tail, head in ((event.tail, event.head), (event.head, event.tail)):
+                if self.base.has_link(tail, head):
+                    service.notify_link_recovered(tail, head, None)
+        elif kind == "channel_recover":
+            service.notify_link_recovered(event.tail, event.head, event.wavelength)
+        elif kind == "converter_fail":
+            service.notify_converter_degraded(event.node)
+        elif kind == "converter_recover":
+            service.notify_converter_recovered(event.node)
         # Engine-level faults (latency/exception/worker_crash) do not
         # change the network; no epoch bump.
 

@@ -128,6 +128,11 @@ class RoutingService:
         the backend is down (default on).
     last_good_limit:
         Bound on the last-good answer store (LRU-evicted).
+    incremental:
+        Opt-in delta-epoch cache maintenance: fault/recovery
+        notifications patch the shared ``G_all`` overlay in place instead
+        of rebuilding it (see
+        :class:`~repro.service.cache.EpochRouterCache`).  Default off.
 
     Example
     -------
@@ -149,11 +154,14 @@ class RoutingService:
         breaker: "CircuitBreaker | None" = None,
         allow_stale: bool = True,
         last_good_limit: int = 65536,
+        incremental: bool = False,
     ) -> None:
         if last_good_limit < 1:
             raise ValueError("last_good_limit must be positive")
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.cache = EpochRouterCache(network, heap=heap, metrics=self.metrics)
+        self.cache = EpochRouterCache(
+            network, heap=heap, metrics=self.metrics, incremental=incremental
+        )
         self.engine = QueryEngine(
             self.cache,
             workers=workers,
@@ -314,6 +322,20 @@ class RoutingService:
     ) -> None:
         """A link (or one of its channels) lost capacity or got pricier."""
         self.cache.mark_channel_degraded(tail, head, wavelength)
+
+    def notify_link_recovered(
+        self, tail: NodeId, head: NodeId, wavelength: int | None = None
+    ) -> None:
+        """A link (or one of its channels) came back into service."""
+        self.cache.mark_channel_recovered(tail, head, wavelength)
+
+    def notify_converter_degraded(self, node: NodeId) -> None:
+        """The converter bank at *node* failed (continuity only)."""
+        self.cache.mark_converter_failed(node)
+
+    def notify_converter_recovered(self, node: NodeId) -> None:
+        """The converter bank at *node* recovered."""
+        self.cache.mark_converter_recovered(node)
 
     # -- reporting / lifecycle -----------------------------------------------
 

@@ -18,9 +18,15 @@ routers.  It provides:
 """
 
 from repro.shortestpath.bellman_ford import bellman_ford, spfa
+from repro.shortestpath.delta import DeltaOverlay, MaterializedOverlay
 from repro.shortestpath.dijkstra import DijkstraResult, dijkstra
 from repro.shortestpath.fibonacci import FibonacciHeap
-from repro.shortestpath.flat import ScratchBuffers, ScratchPool, flat_dijkstra
+from repro.shortestpath.flat import (
+    ScratchBuffers,
+    ScratchPool,
+    WarmRun,
+    flat_dijkstra,
+)
 from repro.shortestpath.heaps import BinaryHeap, PairingHeap
 from repro.shortestpath.paths import ShortestPathTree, reconstruct_path
 from repro.shortestpath.structures import GraphBuilder, StaticGraph
@@ -36,6 +42,9 @@ __all__ = [
     "flat_dijkstra",
     "ScratchBuffers",
     "ScratchPool",
+    "WarmRun",
+    "DeltaOverlay",
+    "MaterializedOverlay",
     "bellman_ford",
     "spfa",
     "reconstruct_path",

@@ -1,0 +1,393 @@
+"""Incremental overlay maintenance: delta-epoch CSR patching.
+
+The shared overlays (``G'`` / ``G_all``) drop the dominant
+``O(k²n + km)`` construction term from warm queries, but any fault or
+recovery still invalidated them wholesale — exactly the steady state the
+chaos layer creates, where channel/link/converter events arrive
+continuously.  :class:`DeltaOverlay` closes that gap: it maps every
+network *resource* to the CSR edge slots it induces and services
+fail/recover events by masking/unmasking edge weights **in place**, in
+time proportional to the affected edges rather than the whole network.
+
+Masking semantics
+-----------------
+A masked edge has its CSR weight set to ``math.inf``.  Both Dijkstra
+kernels relax with a strict ``alt < dist[v]`` test, and ``du + inf`` is
+never ``<`` anything finite, so a masked edge is exactly as unreachable
+as an absent edge — no kernel changes are needed, and the parent forests
+(hence hop sequences) match a fresh build from the degraded network
+because the surviving edges keep their relative CSR order and the
+monotone ``(dist, node)`` tie-break makes identical choices over them.
+Masked-but-present auxiliary nodes are harmless dead ends: only
+``E_org`` edges enter ``X`` nodes or leave ``Y`` nodes, so a complete
+auxiliary path can only use surviving structure.
+
+Resources and reasons
+---------------------
+Three resource kinds map onto edge slots:
+
+* a **channel** ``(u, v, λ)`` — the unique ``E_org`` slot
+  ``Y_u(λ) → X_v(λ)``;
+* a **directed link** ``(u, v)`` — every channel slot on that link;
+* a **converter** at ``v`` — every off-diagonal conversion edge inside
+  ``G_v`` (masking them leaves exactly the diagonal, i.e. the edges
+  :class:`~repro.core.conversion.NoConversion` would have built — the
+  same substitution the fault injector's degraded view performs).
+
+Fail/recover events compose: each masked slot carries a *reason set*
+(link outage, channel outage, converter outage), and the weight is
+restored only when the last reason is removed — mirroring the fault
+injector's set semantics, where a channel stays dark while either its
+own fault or its link's fault is active.
+
+Every applied event bumps a monotone **delta epoch**, so cache layers
+can version patched overlays the same way they version full rebuilds.
+
+An event the overlay cannot express as a patch — recovering a resource
+the overlay never saw (it was already failed when the overlay was
+built) — returns ``None``; the caller falls back to a full rebuild,
+which remains both the fallback and the correctness oracle
+(:meth:`DeltaOverlay.materialize` reproduces, byte-for-byte, the CSR
+arrays a fresh build from the degraded network would produce).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable
+
+from repro.shortestpath.structures import GraphBuilder, StaticGraph
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.auxiliary import AuxNode, LayeredGraph
+
+__all__ = ["DeltaOverlay", "MaterializedOverlay"]
+
+NodeId = Hashable
+INF = math.inf
+
+#: Mask reasons (the first tuple element of each reason key).
+_R_CHANNEL = "channel"
+_R_LINK = "link"
+_R_CONVERTER = "converter"
+
+
+@dataclass(frozen=True)
+class MaterializedOverlay:
+    """A patched overlay re-emitted as the equivalent fresh build.
+
+    ``graph`` / ``decode`` / ``x_ids`` / ``y_ids`` (and, for ``G_all``
+    inputs, ``source_ids`` / ``sink_ids``) are byte-for-byte what
+    :func:`~repro.core.auxiliary.build_layered_graph` /
+    :func:`~repro.core.auxiliary.build_all_pairs_graph` would produce on
+    the degraded network — the property the tests and fuzz oracles pin.
+    """
+
+    graph: StaticGraph
+    decode: list[AuxNode]
+    x_ids: dict[tuple[NodeId, int], int]
+    y_ids: dict[tuple[NodeId, int], int]
+    source_ids: dict[NodeId, int] | None
+    sink_ids: dict[NodeId, int] | None
+
+
+class DeltaOverlay:
+    """Resource-indexed in-place patching of one layered-graph overlay.
+
+    Parameters
+    ----------
+    layered:
+        The :class:`~repro.core.auxiliary.LayeredGraph` (or
+        ``AllPairsGraph``) whose :class:`StaticGraph` this overlay owns.
+        The overlay becomes the sanctioned mutator of that graph's
+        weights array; all other callers keep treating it as read-only.
+
+    One overlay instance is bound to one graph build: after a full
+    rebuild, construct a new overlay.  Not thread-safe on its own — the
+    epoch cache drives it under its lock.
+    """
+
+    def __init__(self, layered: LayeredGraph) -> None:
+        # Imported here, not at module scope: ``core.auxiliary`` imports
+        # the shortest-path structures, and this module is re-exported
+        # from the package ``__init__`` — a top-level import would cycle.
+        from repro.core.auxiliary import KIND_IN, KIND_OUT
+
+        self.layered = layered
+        graph = layered.graph
+        self._graph = graph
+        offsets, heads, self._weights, _tags = graph.csr()
+        decode = layered.decode
+        #: (u, v, λ) -> the unique E_org CSR slot Y_u(λ) -> X_v(λ).
+        self._channel_slots: dict[tuple[NodeId, NodeId, int], int] = {}
+        #: (u, v) -> wavelengths this directed link carries in the overlay.
+        self._link_channels: dict[tuple[NodeId, NodeId], list[int]] = {}
+        #: node -> off-diagonal conversion-edge slots inside G_v.
+        self._conv_cross: dict[NodeId, list[int]] = {}
+        #: slot -> tail aux id (CSR stores only heads).
+        self._tails: list[int] = [0] * graph.num_edges
+        for tail in range(graph.num_nodes):
+            a = decode[tail]
+            for slot in range(offsets[tail], offsets[tail + 1]):
+                self._tails[slot] = tail
+                b = decode[heads[slot]]
+                if a.kind == KIND_OUT and b.kind == KIND_IN:
+                    # E_org: one channel == one slot (the network is a
+                    # simple digraph and the aux node encodes λ).
+                    key = (a.node, b.node, a.wavelength)
+                    self._channel_slots[key] = slot
+                    self._link_channels.setdefault(
+                        (a.node, b.node), []
+                    ).append(a.wavelength)
+                elif a.kind == KIND_IN and b.kind == KIND_OUT:
+                    if a.wavelength != b.wavelength:
+                        self._conv_cross.setdefault(a.node, []).append(slot)
+                # Virtual terminal edges (source/sink kinds) are never
+                # masked: terminals exist for every network node and
+                # their zero-weight edges die with their X/Y endpoint.
+        #: slot -> saved pristine weight (presence == masked).
+        self._saved: dict[int, float] = {}
+        #: slot -> active mask reasons.
+        self._reasons: dict[int, set[tuple]] = {}
+        #: Converters failed *through this overlay* (recovering any
+        #: other converter needs a full rebuild).
+        self._down_converters: set[NodeId] = set()
+        #: Monotone event counter; bumped by every applied event.
+        self.delta_epoch = 0
+        self._reverse: list[list[tuple[int, int]]] | None = None
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def masked_edges(self) -> int:
+        """Number of currently masked CSR slots."""
+        return len(self._saved)
+
+    def slot_pairs(self, slots: list[int]) -> list[tuple[int, int]]:
+        """``(tail, head)`` aux-id pairs for *slots* (for warm repair)."""
+        heads = self._graph.csr()[1]
+        return [(self._tails[slot], heads[slot]) for slot in slots]
+
+    def in_edges(self, head: int) -> list[tuple[int, int]]:
+        """Reverse adjacency: ``(tail, slot)`` for every in-edge of *head*.
+
+        Built lazily on first use (one O(m) pass); warm-run repair uses
+        it to find the settled boundary around an affected region.
+        """
+        if self._reverse is None:
+            reverse: list[list[tuple[int, int]]] = [
+                [] for _ in range(self._graph.num_nodes)
+            ]
+            heads = self._graph.csr()[1]
+            for slot, tail in enumerate(self._tails):
+                reverse[heads[slot]].append((tail, slot))
+            self._reverse = reverse
+        return self._reverse[head]
+
+    # -- mask plumbing --------------------------------------------------------
+
+    def _mask(self, slot: int, reason: tuple) -> bool:
+        """Add *reason* to *slot*; True when the slot just became masked."""
+        reasons = self._reasons.get(slot)
+        if reasons is None:
+            reasons = self._reasons[slot] = set()
+        reasons.add(reason)
+        if slot not in self._saved:
+            self._saved[slot] = self._weights[slot]
+            self._weights[slot] = INF
+            return True
+        return False
+
+    def _unmask(self, slot: int, reason: tuple) -> bool:
+        """Drop *reason* from *slot*; True when the weight was restored."""
+        reasons = self._reasons.get(slot)
+        if reasons is None or reason not in reasons:
+            return False
+        reasons.discard(reason)
+        if reasons:
+            return False
+        del self._reasons[slot]
+        self._weights[slot] = self._saved.pop(slot)
+        return True
+
+    # -- events ---------------------------------------------------------------
+    #
+    # Each method returns the list of slots whose masked state actually
+    # changed (possibly empty — duplicate events are no-ops, matching the
+    # injector's set semantics), or ``None`` when the event cannot be
+    # expressed as a patch and the caller must fall back to a full
+    # rebuild.  Failing a resource the overlay does not know is a safe
+    # no-op: the resource was already absent when the overlay was built,
+    # so the degraded view is unchanged.
+
+    def fail_channel(
+        self, tail: NodeId, head: NodeId, wavelength: int
+    ) -> list[int] | None:
+        self.delta_epoch += 1
+        slot = self._channel_slots.get((tail, head, wavelength))
+        if slot is None:
+            return []
+        reason = (_R_CHANNEL, tail, head, wavelength)
+        return [slot] if self._mask(slot, reason) else []
+
+    def recover_channel(
+        self, tail: NodeId, head: NodeId, wavelength: int
+    ) -> list[int] | None:
+        self.delta_epoch += 1
+        slot = self._channel_slots.get((tail, head, wavelength))
+        if slot is None:
+            # Either the channel was already dark when this overlay was
+            # built (its slot was never emitted — recovery must add
+            # structure, which a patch cannot) or it never existed.  The
+            # overlay cannot tell the two apart, so it must assume the
+            # former: rebuild.
+            return None
+        reason = (_R_CHANNEL, tail, head, wavelength)
+        return [slot] if self._unmask(slot, reason) else []
+
+    def fail_link(self, tail: NodeId, head: NodeId) -> list[int] | None:
+        self.delta_epoch += 1
+        lams = self._link_channels.get((tail, head))
+        if lams is None:
+            return []
+        reason = (_R_LINK, tail, head)
+        changed: list[int] = []
+        for lam in lams:
+            slot = self._channel_slots[(tail, head, lam)]
+            if self._mask(slot, reason):
+                changed.append(slot)
+        return changed
+
+    def recover_link(self, tail: NodeId, head: NodeId) -> list[int] | None:
+        self.delta_epoch += 1
+        lams = self._link_channels.get((tail, head))
+        if lams is None:
+            return None  # dark at build time (or nonexistent): rebuild
+        reason = (_R_LINK, tail, head)
+        changed: list[int] = []
+        for lam in lams:
+            slot = self._channel_slots[(tail, head, lam)]
+            if self._unmask(slot, reason):
+                changed.append(slot)
+        return changed
+
+    def fail_converter(self, node: NodeId) -> list[int] | None:
+        self.delta_epoch += 1
+        slots = self._conv_cross.get(node)
+        if slots is None:
+            # The node had no cross-wavelength edges when this overlay
+            # was built — it cannot convert, or its converter was already
+            # down.  Do NOT record it as down: that would make a later
+            # recover look patchable when it actually has to re-add
+            # edges the overlay never emitted (rebuild territory).
+            # Masking-wise the fail is a no-op either way.
+            return []
+        self._down_converters.add(node)
+        reason = (_R_CONVERTER, node)
+        changed: list[int] = []
+        for slot in slots:
+            if self._mask(slot, reason):
+                changed.append(slot)
+        return changed
+
+    def recover_converter(self, node: NodeId) -> list[int] | None:
+        self.delta_epoch += 1
+        if node not in self._down_converters:
+            # The converter may have been down before this overlay was
+            # built (its cross edges were never emitted): rebuild.
+            return None
+        self._down_converters.discard(node)
+        reason = (_R_CONVERTER, node)
+        changed: list[int] = []
+        for slot in self._conv_cross.get(node, ()):
+            if self._unmask(slot, reason):
+                changed.append(slot)
+        return changed
+
+    # -- the correctness oracle ----------------------------------------------
+
+    def materialize(self) -> MaterializedOverlay:
+        """Re-emit the patched overlay as the equivalent fresh build.
+
+        Reconstructs exactly what ``build_layered_graph`` (or
+        ``build_all_pairs_graph``) would produce on the degraded
+        network: auxiliary nodes that lost every channel disappear, ids
+        are renumbered order-preservingly, and surviving edges are
+        re-emitted in their original insertion order (recovered through
+        the CSR's ``edge_ids``).  Byte-identical CSR arrays are the
+        load-bearing guarantee — they imply the patched overlay and a
+        fresh degraded build make identical tie-break decisions, hence
+        return hop-for-hop identical routes.
+        """
+        from repro.core.auxiliary import KIND_SINK, KIND_SOURCE
+
+        graph = self._graph
+        offsets, heads, weights, tags = graph.csr()
+        decode = self.layered.decode
+        n = graph.num_nodes
+
+        # An X_v(λ) node exists iff some in-channel on λ survives; a
+        # Y_v(λ) node iff some out-channel survives.  Only E_org edges
+        # touch that membership; virtual terminals always exist.
+        alive = bytearray(n)
+        for aid, node in enumerate(decode):
+            if node.kind in (KIND_SOURCE, KIND_SINK):
+                alive[aid] = 1
+        for slot in self._channel_slots.values():
+            if slot not in self._saved:
+                alive[self._tails[slot]] = 1
+                alive[heads[slot]] = 1
+
+        new_id = [-1] * n
+        new_decode: list[AuxNode] = []
+        for aid in range(n):
+            if alive[aid]:
+                new_id[aid] = len(new_decode)
+                new_decode.append(decode[aid])
+
+        builder = GraphBuilder(len(new_decode))
+        order = sorted(range(graph.num_edges), key=graph.edge_ids.__getitem__)
+        for slot in order:
+            if slot in self._saved:
+                continue
+            tail = self._tails[slot]
+            head = heads[slot]
+            if not (alive[tail] and alive[head]):
+                continue
+            builder.add_edge(new_id[tail], new_id[head], weights[slot], tags[slot])
+
+        x_ids = {
+            key: new_id[aid]
+            for key, aid in self.layered.x_ids.items()
+            if alive[aid]
+        }
+        y_ids = {
+            key: new_id[aid]
+            for key, aid in self.layered.y_ids.items()
+            if alive[aid]
+        }
+        source_ids = sink_ids = None
+        if hasattr(self.layered, "source_ids"):
+            source_ids = {
+                node: new_id[aid]
+                for node, aid in self.layered.source_ids.items()
+            }
+            sink_ids = {
+                node: new_id[aid]
+                for node, aid in self.layered.sink_ids.items()
+            }
+        return MaterializedOverlay(
+            graph=builder.build(),
+            decode=new_decode,
+            x_ids=x_ids,
+            y_ids=y_ids,
+            source_ids=source_ids,
+            sink_ids=sink_ids,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DeltaOverlay(delta_epoch={self.delta_epoch}, "
+            f"masked={self.masked_edges}/{self._graph.num_edges})"
+        )

@@ -44,13 +44,13 @@ from __future__ import annotations
 import math
 import threading
 from array import array
-from heapq import heappop, heappush
-from typing import Iterable
+from heapq import heapify, heappop, heappush
+from typing import Callable, Iterable
 
 from repro.shortestpath.dijkstra import DijkstraResult
 from repro.shortestpath.structures import StaticGraph
 
-__all__ = ["ScratchBuffers", "ScratchPool", "flat_dijkstra"]
+__all__ = ["ScratchBuffers", "ScratchPool", "WarmRun", "flat_dijkstra"]
 
 INF = math.inf
 
@@ -110,6 +110,282 @@ class ScratchPool:
         if scratch is None:
             scratch = buffers[num_nodes] = ScratchBuffers(num_nodes)
         return scratch
+
+
+class WarmRun:
+    """A resumable, repairable single-/multi-source Dijkstra over CSR arrays.
+
+    Where :func:`flat_dijkstra` answers one query and throws its state
+    away, a ``WarmRun`` *keeps* the search state — distances, parents,
+    the settled set, and the live frontier heap — so that:
+
+    * **grouped same-source queries** are answered from one run: a
+      target that already settled costs O(1), an unsettled one resumes
+      the search exactly where it stopped;
+    * after a **fail-only delta** (edges masked to ``inf`` by the
+      delta-overlay layer), :meth:`repair` rewinds only the affected
+      region — the subtree hanging off masked tree edges — and reseeds
+      the frontier from the settled boundary, so the next query pays
+      time proportional to the damage, not to the graph
+      (Ramalingam–Reps-style decremental maintenance).
+
+    Tie-break parity
+    ----------------
+    The heap keys are ``(dist, node)`` like every other kernel, and the
+    repair reseeds by re-pushing settled *boundary nodes* (which
+    re-relax their out-edges when popped, without resettling) rather
+    than pushing precomputed tentative entries.  Relaxation events
+    therefore fire in exactly the ascending ``(dist, node)`` order a
+    cold run on the patched graph would produce, so parents — and hence
+    decoded hop sequences — are identical to a from-scratch
+    :func:`flat_dijkstra` on the same masked graph.  This is the
+    invariant the delta property tests pin.
+
+    Masking only ever *removes* reachability; recoveries (weights
+    restored) can lower distances and are not repairable — callers drop
+    the warm run and start fresh.
+
+    Not thread-safe; owned by one cache/router under its lock.
+    """
+
+    __slots__ = (
+        "graph",
+        "sources",
+        "dist",
+        "parent",
+        "parent_tag",
+        "settled_flags",
+        "heap",
+        "touched",
+        "exhausted",
+        "pushes",
+        "pops",
+        "stale",
+        "relaxations",
+        "repairs",
+        "_offsets",
+        "_heads",
+        "_weights",
+        "_tags",
+    )
+
+    def __init__(self, graph: StaticGraph, sources: int | Iterable[int]) -> None:
+        if isinstance(sources, int):
+            source_tuple: tuple[int, ...] = (sources,)
+        else:
+            source_tuple = tuple(sources)
+        if not source_tuple:
+            raise ValueError("at least one source is required")
+        n = graph.num_nodes
+        for s in source_tuple:
+            if not 0 <= s < n:
+                raise IndexError(f"source {s} out of range [0, {n})")
+        self.graph = graph
+        self.sources = source_tuple
+        self._offsets, self._heads, self._weights, self._tags = graph.csr()
+        self.dist: array = array("d", [INF]) * n
+        self.parent: array = array("q", [-1]) * n
+        self.parent_tag: array = array("q", [-1]) * n
+        self.settled_flags = bytearray(n)
+        self.heap: list[tuple[float, int]] = []
+        self.touched: list[int] = []
+        self.exhausted = False
+        self.pushes = self.pops = self.stale = self.relaxations = 0
+        self.repairs = 0
+        for s in source_tuple:
+            if self.dist[s] != 0.0:
+                self.dist[s] = 0.0
+                self.touched.append(s)
+                heappush(self.heap, (0.0, s))
+                self.pushes += 1
+
+    # -- queries --------------------------------------------------------------
+
+    def is_settled(self, node: int) -> bool:
+        """True when *node*'s distance is final."""
+        return bool(self.settled_flags[node])
+
+    def run(
+        self,
+        target: int | None = None,
+        targets: Iterable[int] | None = None,
+    ) -> int:
+        """Resume the search; return the settled target id (-1 if none).
+
+        With no target the run continues to exhaustion (a full tree).
+        With ``target``, an already-settled target returns immediately.
+        With ``targets``, the answer is the member attaining the minimum
+        ``(dist, id)`` — the search resumes only while an unsettled node
+        could still beat the best already-settled member, which makes
+        repeated mixed queries on one run safe even after repairs.
+        """
+        if target is not None and targets is not None:
+            raise ValueError("pass either target or targets, not both")
+        if target is not None and self.settled_flags[target]:
+            return target
+        tset: frozenset[int] | None = None
+        bound: tuple[float, int] | None = None
+        best = -1
+        if targets is not None:
+            tset = (
+                targets
+                if isinstance(targets, frozenset)
+                else frozenset(targets)
+            )
+            for t in tset:
+                if self.settled_flags[t]:
+                    key = (self.dist[t], t)
+                    if bound is None or key < bound:
+                        bound = key
+                        best = t
+        dist = self.dist
+        parent = self.parent
+        parent_tag = self.parent_tag
+        settled = self.settled_flags
+        touched = self.touched
+        heap = self.heap
+        offsets = self._offsets
+        heads = self._heads
+        weights = self._weights
+        tags = self._tags
+        while heap:
+            if bound is not None and heap[0] >= bound:
+                return best
+            du, u = heappop(heap)
+            if du > dist[u]:
+                self.stale += 1
+                continue
+            if not settled[u]:
+                settled[u] = 1
+                self.pops += 1
+                if (target is not None and u == target) or (
+                    tset is not None and u in tset
+                ):
+                    # Stop *before* relaxing u's out-edges, exactly like
+                    # the one-shot kernel; re-push so the next resume
+                    # pops u again and relaxes them then.
+                    heappush(heap, (du, u))
+                    return u
+            # else: a re-pushed stop node, a repair boundary seed, or a
+            # duplicate entry — re-relax out-edges without resettling.
+            for i in range(offsets[u], offsets[u + 1]):
+                v = heads[i]
+                self.relaxations += 1
+                alt = du + weights[i]
+                if alt < dist[v]:
+                    if dist[v] == INF:
+                        touched.append(v)
+                    dist[v] = alt
+                    parent[v] = u
+                    parent_tag[v] = tags[i]
+                    heappush(heap, (alt, v))
+                    self.pushes += 1
+        self.exhausted = True
+        return best
+
+    # -- decremental repair ---------------------------------------------------
+
+    def repair(
+        self,
+        masked_pairs: Iterable[tuple[int, int]],
+        in_edges: Callable[[int], Iterable[tuple[int, int]]],
+    ) -> list[int]:
+        """Rewind the region invalidated by masking *masked_pairs*.
+
+        ``masked_pairs`` are the ``(tail, head)`` node pairs of edges
+        whose weights were just set to ``inf`` (the graph must have no
+        parallel edges between a pair, which holds for every auxiliary
+        graph).  ``in_edges(node)`` yields ``(tail, slot)`` reverse
+        adjacency (the delta overlay provides it).
+
+        Nodes whose shortest-path tree ran through a masked edge — the
+        masked heads and, transitively, their tree descendants — are
+        reset to undiscovered, their frontier entries are purged, and
+        every settled non-affected node with a live edge into the region
+        is re-pushed as a boundary seed.  Returns the affected node
+        list (callers use it to re-decode only damaged paths).
+        """
+        dist = self.dist
+        parent = self.parent
+        parent_tag = self.parent_tag
+        settled = self.settled_flags
+        affected: set[int] = set()
+        stack: list[int] = []
+        for u, v in masked_pairs:
+            if parent[v] == u and v not in affected:
+                affected.add(v)
+                stack.append(v)
+        if not affected:
+            return []
+        children: dict[int, list[int]] = {}
+        for v in self.touched:
+            p = parent[v]
+            if p >= 0:
+                children.setdefault(p, []).append(v)
+        order: list[int] = []
+        while stack:
+            v = stack.pop()
+            order.append(v)
+            for child in children.get(v, ()):
+                if child not in affected:
+                    affected.add(child)
+                    stack.append(child)
+        weights = self._weights
+        boundary: set[int] = set()
+        for a in order:
+            for w, slot in in_edges(a):
+                if weights[slot] != INF and settled[w] and w not in affected:
+                    boundary.add(w)
+        for a in order:
+            dist[a] = INF
+            parent[a] = -1
+            parent_tag[a] = -1
+            settled[a] = 0
+        self.touched = [v for v in self.touched if v not in affected]
+        # Purge stale frontier entries for reset nodes: after the reset
+        # their dist is inf again, so an old entry would wrongly pass
+        # the lazy-deletion staleness test.
+        self.heap = [entry for entry in self.heap if entry[1] not in affected]
+        for w in boundary:
+            self.heap.append((dist[w], w))
+            self.pushes += 1
+        heapify(self.heap)
+        self.exhausted = False
+        self.repairs += 1
+        return order
+
+    # -- reporting ------------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        """Cumulative work counters (snapshot/diff for per-query stats)."""
+        return {
+            "pushes": self.pushes,
+            "pops": self.pops,
+            "stale": self.stale,
+            "relaxations": self.relaxations,
+            "repairs": self.repairs,
+        }
+
+    def result(self, stopped_at: int = -1) -> DijkstraResult:
+        """The current state as a :class:`DijkstraResult` (live views).
+
+        The arrays are the run's own buffers, not copies — valid until
+        the next :meth:`run`/:meth:`repair` on this instance.
+        """
+        return DijkstraResult(
+            source=self.sources,
+            dist=self.dist,
+            parent=self.parent,
+            parent_tag=self.parent_tag,
+            settled=self.pops,
+            relaxations=self.relaxations,
+            heap_stats={
+                "pushes": self.pushes,
+                "pops": self.pops,
+                "stale": self.stale,
+            },
+            stopped_at=stopped_at,
+        )
 
 
 def flat_dijkstra(

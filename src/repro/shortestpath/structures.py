@@ -160,6 +160,17 @@ class StaticGraph:
         for i in range(self._offsets[node], self._offsets[node + 1]):
             yield heads[i], weights[i], tags[i]
 
+    @property
+    def edge_ids(self) -> Sequence[int]:
+        """``edge_ids[slot]`` is the builder insertion id of that CSR slot.
+
+        The counting sort in :meth:`GraphBuilder.build` is stable, so the
+        insertion order is fully recoverable — the delta-overlay layer
+        uses it to re-emit a patched graph in the exact order a fresh
+        build would have produced.
+        """
+        return self._edge_ids
+
     def csr(self) -> tuple[Sequence[int], Sequence[int], Sequence[float], Sequence[int]]:
         """The raw CSR arrays ``(offsets, heads, weights, tags)``.
 

@@ -11,10 +11,18 @@ oracle                                hop-exact  applicability
 ``liang:{overlay,rebuild}:<kernel>``  yes        always (8 combinations)
 ``liang:all-pairs:serial``            yes        always
 ``liang:all-pairs:parallel``          yes        always (2-process pool)
+``liang:delta:churn``                 yes        always
+``cache:incremental``                 yes        always
 ``cfz:{dense,heap}``                  no         chain-free conversion only
 ``brute-force``                       no         small state spaces
 ``distributed:bellman-ford``          no         small state spaces
 ====================================  =========  ==========================
+
+``liang:delta:churn`` and ``cache:incremental`` answer from state that
+survived a *net-zero* fail/recover churn through the incremental
+maintenance layer (:class:`~repro.shortestpath.DeltaOverlay`, warm-run
+repair) — a patched overlay must be indistinguishable from a pristine
+one, so any masking residue surfaces as a hop disagreement.
 
 **Hop-exact** oracles share the deterministic tie-break (equal-distance
 auxiliary nodes settle in ascending id order) and must agree on the exact
@@ -36,7 +44,7 @@ from repro.baseline.cfz import CFZRouter
 from repro.core.routing import LiangShenRouter
 from repro.core.semilightpath import Semilightpath
 from repro.distributed.semilightpath_dist import DistributedSemilightpathRouter
-from repro.exceptions import NoPathError
+from repro.exceptions import DeltaParityError, NoPathError
 from repro.verify.scenarios import Scenario
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -120,6 +128,96 @@ def _cfz(engine: str) -> Callable[["WDMNetwork"], RouteFn]:
     return prepare
 
 
+def _churn_resources(network: "WDMNetwork"):
+    """A deterministic net-zero churn sample: channels, links, a converter.
+
+    Every third ``(link, λ)`` channel (capped), every fifth link, and the
+    lowest-id node — each failed and later recovered, so the overlay must
+    end exactly where it started.
+    """
+    channels = [
+        (link.tail, link.head, w)
+        for link in network.links()
+        for w in sorted(link.costs)
+    ]
+    links = sorted({(t, h) for t, h, _ in channels})
+    nodes = sorted(network.nodes(), key=repr)
+    return channels[::3][:12], links[::5][:4], nodes[:1]
+
+
+def _liang_delta_churn(network: "WDMNetwork") -> RouteFn:
+    """Route on an overlay that survived a net-zero fail/recover churn.
+
+    Builds the all-pairs overlay once, masks a deterministic sample of
+    channels/links/converters through :class:`DeltaOverlay`, recovers
+    every one of them, and only then hands out the route closure.  If the
+    in-place patching is sound this is indistinguishable from a pristine
+    overlay — any residue shows up as a hop-for-hop disagreement, and a
+    leftover mask is reported eagerly as :class:`DeltaParityError`.
+    """
+    from repro.shortestpath import DeltaOverlay
+
+    router = LiangShenRouter(network, heap="flat")
+    delta = DeltaOverlay(router.all_pairs_graph())
+    channels, links, converters = _churn_resources(network)
+    for tail, head, w in channels:
+        delta.fail_channel(tail, head, w)
+    for tail, head in links:
+        delta.fail_link(tail, head)
+    for node in converters:
+        delta.fail_converter(node)
+    for node in converters:
+        delta.recover_converter(node)
+    for tail, head in links:
+        delta.recover_link(tail, head)
+    for tail, head, w in channels:
+        delta.recover_channel(tail, head, w)
+    if delta.masked_edges:
+        raise DeltaParityError(
+            f"net-zero churn left {delta.masked_edges} edge(s) masked"
+        )
+    return _none_on_nopath(lambda s, t: router.route_via_all_pairs(s, t).path)
+
+
+def _cache_incremental(network: "WDMNetwork") -> RouteFn:
+    """Route through an incremental epoch cache after a net-zero churn.
+
+    Exercises the whole patched-serving stack — queued delta ops, warm
+    Dijkstra runs repaired in place, recovery batches — and ends on a
+    state equivalent to the pristine network, so the cache must agree
+    hop-for-hop with every other oracle.
+    """
+    from repro.service.cache import EpochRouterCache
+
+    cache = EpochRouterCache(lambda: network, heap="flat", incremental=True)
+    nodes = sorted(network.nodes(), key=repr)
+    probe = _none_on_nopath(cache.route)
+
+    def touch() -> None:
+        # Force a refresh so the queued ops are patch-applied now, not
+        # lazily bundled with the recoveries into one no-op batch.
+        if len(nodes) >= 2:
+            probe(nodes[0], nodes[1])
+
+    channels, links, converters = _churn_resources(network)
+    touch()
+    for tail, head, w in channels:
+        cache.mark_channel_degraded(tail, head, w)
+    for tail, head in links:
+        cache.mark_channel_degraded(tail, head, None)
+    for node in converters:
+        cache.mark_converter_failed(node)
+    touch()
+    for node in converters:
+        cache.mark_converter_recovered(node)
+    for tail, head in links:
+        cache.mark_channel_recovered(tail, head, None)
+    for tail, head, w in channels:
+        cache.mark_channel_recovered(tail, head, w)
+    touch()
+    return probe
+
+
 def _brute_force(network: "WDMNetwork") -> RouteFn:
     return _none_on_nopath(lambda s, t: brute_force_route(network, s, t))
 
@@ -150,6 +248,20 @@ def default_oracles(parallel_workers: int = 2) -> tuple[Oracle, ...]:
         Oracle(
             name="liang:all-pairs:serial",
             prepare=_liang_all_pairs(None),
+            exact_hops=True,
+        )
+    )
+    oracles.append(
+        Oracle(
+            name="liang:delta:churn",
+            prepare=_liang_delta_churn,
+            exact_hops=True,
+        )
+    )
+    oracles.append(
+        Oracle(
+            name="cache:incremental",
+            prepare=_cache_incremental,
             exact_hops=True,
         )
     )

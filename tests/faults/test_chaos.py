@@ -71,6 +71,32 @@ class TestChaosSoak:
         assert len(cases) == 1
         assert len(cases[0].scenario.queries) == 1  # shrunk to one query
 
+    def test_incremental_soak_parity_probes_hold(self, paper_net):
+        soak = ChaosSoak(
+            paper_net,
+            seed=11,
+            duration=1.0,
+            workers=2,
+            num_faults=8,
+            incremental=True,
+        )
+        report = soak.run()
+        assert report.ok, "\n".join(report.violations)
+        assert report.incremental
+        # Every network-resource fault triggered a probe, none diverged.
+        assert report.parity_checks > 0
+        assert report.parity_mismatches == 0
+        # The delta layer actually carried load (recoveries of resources
+        # dark at build time still legitimately rebuild).
+        assert report.cache_patches > 0
+        probes = report.event_log.of_kind("parity_check")
+        assert len(probes) == report.parity_checks
+        assert all(p["ok"] for p in probes)
+        assert any(p["mode"] == "patched" for p in probes)
+        # The byte-identical post-recovery invariant still holds.
+        assert report.recovery_pairs_checked > 0
+        assert "parity probe" in report.format()
+
     def test_event_log_audits_every_fault(self, paper_net):
         soak = ChaosSoak(paper_net, seed=5, duration=0.5, num_faults=5)
         report = soak.run()

@@ -139,10 +139,14 @@ class TestServiceWiring:
         with RoutingService(injector.network_view, workers=0) as service:
             injector.attach(service)
             before = service.epoch
+            # The fiber {1, 2} fails both directions, but only the
+            # directed links that exist in the base network are notified
+            # (incremental caches patch per resource); figure 1's 1->2
+            # has no reverse link, so the fail is a single notification.
             injector.apply(FaultEvent(0.1, "link_fail", tail=1, head=2))
-            assert service.epoch == before + 2
+            assert service.epoch == before + 1
             injector.apply(FaultEvent(0.9, "link_recover", tail=1, head=2))
-            assert service.epoch == before + 3  # recovery = full invalidation
+            assert service.epoch == before + 2
 
     def test_engine_faults_do_not_bump_epochs(self, paper_net):
         injector = FaultInjector(paper_net)
@@ -153,6 +157,56 @@ class TestServiceWiring:
             injector.apply(FaultEvent(0.2, "exception", amount=1.0))
             injector.apply(FaultEvent(0.3, "worker_crash"))
             assert service.epoch == before
+
+    def test_incremental_service_round_trips_faults(self, paper_net):
+        """Against an incremental service, a fail/recover cycle is served
+        entirely by patches (after the initial build) and ends on the
+        exact pristine routes."""
+        injector = FaultInjector(paper_net)
+        with RoutingService(
+            injector.network_view, workers=0, incremental=True
+        ) as service:
+            injector.attach(service)
+            baseline = service.route(1, 7)
+            hop = baseline.hops[0]
+            injector.apply(
+                FaultEvent(
+                    0.1,
+                    "channel_fail",
+                    tail=hop.tail,
+                    head=hop.head,
+                    wavelength=hop.wavelength,
+                )
+            )
+            degraded = service.route(1, 7)
+            assert degraded.hops != baseline.hops
+            injector.apply(
+                FaultEvent(
+                    0.9,
+                    "channel_recover",
+                    tail=hop.tail,
+                    head=hop.head,
+                    wavelength=hop.wavelength,
+                )
+            )
+            restored = service.route(1, 7)
+            assert restored.hops == baseline.hops
+            assert restored.total_cost == baseline.total_cost
+            counters = service.cache.counters()
+            assert counters["rebuilds"] == 1
+            assert counters["patches"] == 2
+
+    def test_converter_faults_notify_incremental_service(self, paper_net):
+        injector = FaultInjector(paper_net)
+        with RoutingService(
+            injector.network_view, workers=0, incremental=True
+        ) as service:
+            injector.attach(service)
+            before = service.epoch
+            injector.apply(FaultEvent(0.1, "converter_fail", node=2))
+            assert service.epoch == before + 1
+            injector.apply(FaultEvent(0.9, "converter_recover", node=2))
+            assert service.epoch == before + 2
 
     def test_observer_records_the_fault_history(self, paper_net):
         log = EventLog()

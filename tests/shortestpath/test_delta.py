@@ -1,0 +1,201 @@
+"""Unit tests for DeltaOverlay: resource-indexed in-place CSR patching."""
+
+import math
+
+import pytest
+
+from repro.core.conversion import FixedCostConversion, NoConversion
+from repro.core.network import WDMNetwork
+from repro.core.routing import LiangShenRouter
+from repro.exceptions import NoPathError
+from repro.shortestpath import DeltaOverlay
+from repro.topology.reference import paper_figure1_network
+
+INF = math.inf
+
+
+def two_path_network():
+    """0 -> 2 via 1 (cheap, λ0) or via 3 (pricier, λ1); k=2.
+
+    Node 1 sees both wavelengths in and out, so the overlay carries its
+    cross-wavelength conversion edges (the pruned build emits them only
+    where both endpoints exist).
+    """
+    net = WDMNetwork(num_wavelengths=2, default_conversion=FixedCostConversion(0.5))
+    for v in range(4):
+        net.add_node(v)
+    net.add_link(0, 1, {0: 1.0, 1: 5.0})
+    net.add_link(1, 2, {0: 1.0, 1: 1.0})
+    net.add_link(0, 3, {1: 2.0})
+    net.add_link(3, 2, {1: 2.0})
+    return net
+
+
+def overlay_for(net):
+    router = LiangShenRouter(net, heap="flat")
+    return router, DeltaOverlay(router.all_pairs_graph())
+
+
+def route_hops(router, s, t):
+    try:
+        return router.route_via_all_pairs(s, t).path.hops
+    except NoPathError:
+        return None
+
+
+class TestEvents:
+    def test_fail_and_recover_channel_round_trips(self):
+        router, delta = overlay_for(two_path_network())
+        before = route_hops(router, 0, 2)
+        slots = delta.fail_channel(0, 1, 0)
+        assert len(slots) == 1
+        assert delta.masked_edges == 1
+        degraded = route_hops(router, 0, 2)
+        assert degraded != before  # forced onto the λ1 branch
+        assert delta.recover_channel(0, 1, 0) == slots
+        assert delta.masked_edges == 0
+        assert route_hops(router, 0, 2) == before
+
+    def test_duplicate_fail_is_a_noop(self):
+        _, delta = overlay_for(two_path_network())
+        assert len(delta.fail_channel(0, 1, 0)) == 1
+        assert delta.fail_channel(0, 1, 0) == []
+        assert delta.masked_edges == 1
+
+    def test_link_fail_masks_every_channel(self):
+        net = paper_figure1_network()
+        _, delta = overlay_for(net)
+        num_channels = len(net.link(1, 2).costs)
+        slots = delta.fail_link(1, 2)
+        assert len(slots) == num_channels
+        assert delta.recover_link(1, 2) == slots
+        assert delta.masked_edges == 0
+
+    def test_reason_sets_compose(self):
+        # A channel dark for two reasons stays dark until both clear.
+        _, delta = overlay_for(two_path_network())
+        assert len(delta.fail_link(0, 1)) == 2  # λ0 and λ1
+        assert delta.fail_channel(0, 1, 0) == []  # already masked
+        # Link recovery frees λ1; λ0 keeps its own channel reason.
+        assert len(delta.recover_link(0, 1)) == 1
+        assert delta.masked_edges == 1
+        assert len(delta.recover_channel(0, 1, 0)) == 1
+        assert delta.masked_edges == 0
+
+    def test_fail_converter_masks_only_cross_wavelength_edges(self):
+        router, delta = overlay_for(two_path_network())
+        slots = delta.fail_converter(1)
+        assert slots  # node 1 could convert λ0 <-> λ1
+        # λ0 continuity through node 1 must survive the converter outage.
+        assert route_hops(router, 0, 2) is not None
+        assert delta.recover_converter(1) == slots
+        assert delta.masked_edges == 0
+
+    def test_fail_of_unknown_resource_is_safe_noop(self):
+        _, delta = overlay_for(two_path_network())
+        assert delta.fail_channel(0, 3, 0) == []  # link carries only λ1
+        assert delta.fail_link(2, 0) == []  # no such directed link
+        assert delta.masked_edges == 0
+
+    def test_recover_of_unknown_resource_demands_rebuild(self):
+        _, delta = overlay_for(two_path_network())
+        assert delta.recover_channel(0, 3, 0) is None
+        assert delta.recover_link(2, 0) is None
+        assert delta.recover_converter(1) is None  # never failed here
+
+    def test_converter_without_cross_edges_is_never_recorded(self):
+        # Regression: a node that cannot convert (or whose converter was
+        # already down at build time) must not become "recoverable" —
+        # the recovery would have to add edges the overlay never had.
+        net = two_path_network()
+        net.set_conversion(1, NoConversion())
+        _, delta = overlay_for(net)
+        assert delta.fail_converter(1) == []
+        assert delta.recover_converter(1) is None
+
+    def test_delta_epoch_counts_every_event(self):
+        _, delta = overlay_for(two_path_network())
+        assert delta.delta_epoch == 0
+        delta.fail_channel(0, 1, 0)
+        delta.fail_channel(9, 9, 9)  # unknown still bumps
+        delta.recover_channel(0, 1, 0)
+        assert delta.delta_epoch == 3
+
+
+class TestRepairPlumbing:
+    def test_slot_pairs_and_in_edges_agree_with_csr(self):
+        _, delta = overlay_for(two_path_network())
+        slots = delta.fail_channel(0, 1, 0)
+        ((tail, head),) = delta.slot_pairs(slots)
+        assert (tail, slots[0]) in delta.in_edges(head)
+
+    def test_masked_weight_is_inf_and_restored_exactly(self):
+        _, delta = overlay_for(two_path_network())
+        graph = delta.layered.graph
+        (slot,) = delta.fail_channel(0, 1, 0)
+        assert graph.csr()[2][slot] == INF
+        delta.recover_channel(0, 1, 0)
+        assert graph.csr()[2][slot] == 1.0
+
+
+class TestMaterialize:
+    def degraded_view(self, net, failed_channels=(), failed_converters=()):
+        view = WDMNetwork(net.num_wavelengths, net.default_conversion)
+        for node in net.nodes():
+            if node in failed_converters:
+                view.add_node(node, NoConversion())
+            else:
+                view.add_node(node, net.explicit_conversion(node))
+        for link in net.links():
+            costs = {
+                w: c
+                for w, c in link.costs.items()
+                if (link.tail, link.head, w) not in failed_channels
+            }
+            view.add_link(link.tail, link.head, costs)
+        return view
+
+    def assert_byte_identical(self, delta, view):
+        fresh = LiangShenRouter(view, heap="flat").all_pairs_graph()
+        patched = delta.materialize()
+        assert patched.graph.num_nodes == fresh.graph.num_nodes
+        assert patched.graph.csr() == fresh.graph.csr()
+        assert list(patched.decode) == list(fresh.decode)
+        assert patched.x_ids == fresh.x_ids
+        assert patched.y_ids == fresh.y_ids
+        assert patched.source_ids == fresh.source_ids
+        assert patched.sink_ids == fresh.sink_ids
+
+    def test_pristine_materialization_is_identity(self):
+        net = paper_figure1_network()
+        _, delta = overlay_for(net)
+        self.assert_byte_identical(delta, net)
+
+    def test_channel_fail_materializes_like_degraded_build(self):
+        net = paper_figure1_network()
+        _, delta = overlay_for(net)
+        wavelength = min(net.link(1, 2).costs)
+        delta.fail_channel(1, 2, wavelength)
+        self.assert_byte_identical(
+            delta, self.degraded_view(net, failed_channels={(1, 2, wavelength)})
+        )
+
+    def test_converter_fail_materializes_like_degraded_build(self):
+        net = two_path_network()
+        _, delta = overlay_for(net)
+        delta.fail_converter(1)
+        self.assert_byte_identical(
+            delta, self.degraded_view(net, failed_converters={1})
+        )
+
+    def test_net_zero_churn_materializes_pristine(self):
+        net = two_path_network()
+        _, delta = overlay_for(net)
+        delta.fail_link(0, 1)
+        delta.fail_channel(0, 3, 1)
+        delta.fail_converter(1)
+        delta.recover_converter(1)
+        delta.recover_channel(0, 3, 1)
+        delta.recover_link(0, 1)
+        assert delta.masked_edges == 0
+        self.assert_byte_identical(delta, net)
