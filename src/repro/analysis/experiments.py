@@ -154,6 +154,70 @@ def _exp_rwa(scale: int) -> dict[str, Any]:
     return {"requests": requests, "curve": curve}
 
 
+def _exp_multicast(scale: int) -> dict[str, Any]:
+    """Light-hierarchy cost/usage/blocking vs splitter density.
+
+    For each density, every node draws MC with that probability (the
+    remainder split between TAC and MI), and a fixed seeded batch of
+    multicast requests is routed on NSFNET.  Reported per density:
+    mean hierarchy cost and channel count over the requests joinable at
+    *every* density (so the cost column is comparable), plus how many of
+    the full batch were blocked.
+    """
+    import random as _random
+
+    from repro.exceptions import MulticastBlockedError
+    from repro.multicast.hierarchy import MulticastRequest
+    from repro.multicast.router import MulticastRouter
+    from repro.topology.generators import assign_splitters
+
+    net = nsfnet_network(num_wavelengths=4)
+    nodes = net.nodes()
+    rng = _random.Random(1998)
+    requests = []
+    while len(requests) < 10 * scale:
+        source, *members = rng.sample(nodes, 1 + rng.randint(2, 4))
+        requests.append(MulticastRequest(source=source, members=tuple(members)))
+
+    densities = (0.0, 0.25, 0.5, 0.75, 1.0)
+    routed: dict[float, dict[int, Any]] = {}
+    blocked: dict[float, int] = {}
+    for density in densities:
+        splitters = assign_splitters(net, density=density, tap_share=0.5, seed=7)
+        routed[density] = {}
+        blocked[density] = 0
+        router = MulticastRouter(net, splitters=splitters)
+        for index, request in enumerate(requests):
+            try:
+                hierarchy = router.route(request).hierarchy
+            except MulticastBlockedError:
+                blocked[density] += 1
+                continue
+            routed[density][index] = hierarchy
+    always = [
+        i for i in range(len(requests))
+        if all(i in routed[d] for d in densities)
+    ]
+    rows = []
+    for density in densities:
+        common = [routed[density][i] for i in always]
+        rows.append(
+            {
+                "density": density,
+                "blocked": blocked[density],
+                "mean_cost": (
+                    sum(h.total_cost for h in common) / len(common)
+                    if common else math.nan
+                ),
+                "mean_channels": (
+                    sum(len(h.channel_keys()) for h in common) / len(common)
+                    if common else math.nan
+                ),
+            }
+        )
+    return {"requests": len(requests), "comparable": len(always), "rows": rows}
+
+
 #: Experiment registry: id -> callable(scale) -> result dict.
 EXPERIMENTS: dict[str, Callable[[int], dict[str, Any]]] = {
     "FIG1-4": _exp_fig_example,
@@ -162,6 +226,7 @@ EXPERIMENTS: dict[str, Callable[[int], dict[str, Any]]] = {
     "THM3": _exp_thm3,
     "THM4": _exp_thm4,
     "RWA": _exp_rwa,
+    "MCAST": _exp_multicast,
 }
 
 

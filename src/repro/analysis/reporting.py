@@ -87,6 +87,22 @@ def _render_rwa(result: dict[str, Any]) -> str:
     )
 
 
+def _render_multicast(result: dict[str, Any]) -> str:
+    rows = [
+        [r["density"], r["mean_cost"], r["mean_channels"], r["blocked"]]
+        for r in result["rows"]
+    ]
+    table = _table(
+        ["MC density", "mean hierarchy cost", "mean channels", "blocked"],
+        rows,
+    )
+    return (
+        f"{result['requests']} seeded requests on NSFNET; cost/channel "
+        f"means over the {result['comparable']} joinable at every "
+        f"density\n\n" + table
+    )
+
+
 _RENDERERS = {
     "FIG1-4": ("Figures 1-4 — the worked example", _render_fig),
     "THM1": ("Theorem 1 — single-pair scaling", _render_thm1),
@@ -94,6 +110,7 @@ _RENDERERS = {
     "THM3": ("Theorem 3 — distributed costs", _render_thm3),
     "THM4": ("Theorem 4 — k-independence", _render_thm4),
     "RWA": ("Dynamic provisioning — blocking", _render_rwa),
+    "MCAST": ("Multicast — splitter density vs hierarchy cost", _render_multicast),
 }
 
 

@@ -8,6 +8,8 @@ python -m repro all-pairs net.json --workers 4
 python -m repro sizes net.json
 python -m repro provision net.json --load 30 --requests 500 --policy first-fit
 python -m repro serve-bench net.json --requests 1000 --workers 4
+python -m repro multicast net.json --source 1 --member 4 --member 6
+python -m repro multicast --seconds 60 --seed 1998
 python -m repro dot net.json --figure fig3 --node 3
 python -m repro --version
 ```
@@ -428,6 +430,184 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_multicast(args: argparse.Namespace) -> int:
+    from repro.multicast import (
+        MulticastHarness,
+        MulticastRequest,
+        MulticastRouter,
+        random_multicast_scenario,
+        save_multicast_case,
+        shrink_multicast_scenario,
+    )
+
+    # One-shot route mode: a network file plus --source/--member.
+    if args.network:
+        if args.source is None or not args.member:
+            print("--source and at least one --member are required with a "
+                  "network file", file=sys.stderr)
+            return EXIT_ERROR
+        network = _load_network(args.network)
+        splitters = None
+        if args.splitter_density is not None:
+            from repro.topology.generators import assign_splitters
+
+            splitters = assign_splitters(
+                network, density=args.splitter_density, seed=args.seed
+            )
+        request = MulticastRequest(
+            source=_parse_node(args.source),
+            members=tuple(_parse_node(m) for m in args.member),
+        )
+        try:
+            result = MulticastRouter(network, splitters=splitters).route(request)
+        except NoPathError as exc:
+            print(f"multicast blocked: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+        hierarchy = result.hierarchy
+        print(
+            f"light-hierarchy cost {hierarchy.total_cost:g}  "
+            f"channels {len(hierarchy.channel_keys())}  "
+            f"grafts {result.grafts}  taps {result.taps}"
+        )
+        for member in hierarchy.members:
+            print(f"-> {member!r}: " + _format_path(hierarchy.paths[member]))
+        from repro.verify.certificate import check_hierarchy_certificate
+
+        cert = check_hierarchy_certificate(
+            network, hierarchy, splitters=splitters,
+            source=request.source, members=request.members,
+        )
+        if not cert.ok:
+            for violation in cert.violations:
+                print(f"certificate violation: {violation}", file=sys.stderr)
+            return EXIT_VIOLATION
+        print("certificate: valid")
+        return EXIT_OK
+
+    if args.seconds <= 0:
+        print("--seconds must be > 0", file=sys.stderr)
+        return EXIT_ERROR
+
+    # Churn-soak mode: seeded fault + membership churn over the reference
+    # topologies until the budget runs out.
+    if args.churn:
+        import time as _time
+
+        from repro.multicast import MulticastChurnSoak
+        from repro.topology.reference import nsfnet_network, paper_figure1_network
+
+        networks = [
+            ("paper-fig1", paper_figure1_network()),
+            ("nsfnet", nsfnet_network(num_wavelengths=4, seed=args.seed)),
+        ]
+        deadline = _time.monotonic() + args.seconds
+        soaks = violations = blocked_at_end = 0
+        round_seed = args.seed
+        while True:
+            for index, (name, network) in enumerate(networks):
+                soak = MulticastChurnSoak(
+                    network,
+                    seed=round_seed + index,
+                    num_groups=args.groups,
+                    num_faults=args.faults,
+                    num_membership_events=args.faults,
+                )
+                report = soak.run()
+                soaks += 1
+                violations += len(report.violations)
+                blocked_at_end += report.final_blocked
+                if not report.ok:
+                    print(f"[{name} seed={round_seed + index}]")
+                    print(report.format())
+                    print()
+            round_seed += len(networks)
+            if _time.monotonic() >= deadline:
+                break
+        if violations or blocked_at_end:
+            print(
+                f"multicast churn: {violations} certificate violation(s), "
+                f"{blocked_at_end} unrecovered group(s) across {soaks} soak(s)",
+                file=sys.stderr,
+            )
+            return EXIT_VIOLATION
+        print(
+            f"multicast churn: {soaks} soak(s) clean — severed branches "
+            f"rerouted, per-epoch certificates valid"
+        )
+        return EXIT_OK
+
+    # Self-test mode: an intentionally mispriced hierarchy must be caught
+    # on every scenario that routed, and at least one failure must shrink
+    # and persist.
+    if args.inject_cost_bug:
+        harness = MulticastHarness(cost_perturbation=0.125)
+        missed = routed_scenarios = 0
+        persisted = None
+        for index in range(args.scenarios):
+            scenario = random_multicast_scenario(args.seed + index)
+            report = harness.run(scenario)
+            if not report.routed:
+                continue
+            routed_scenarios += 1
+            if report.ok:
+                missed += 1
+                print(f"seed {args.seed + index}: bug went undetected")
+            elif persisted is None:
+                shrunk = shrink_multicast_scenario(
+                    scenario, lambda s: not harness.run(s).ok
+                )
+                disagreements = tuple(
+                    d.summary() for d in harness.run(shrunk).disagreements
+                )
+                persisted = save_multicast_case(args.corpus, shrunk, disagreements)
+                members = max(
+                    (len(r.members) for r in shrunk.requests), default=0
+                )
+                print(
+                    f"shrunk to {shrunk.network.num_nodes} node(s), "
+                    f"{len(shrunk.requests)} request(s), minimal member "
+                    f"set of {members}; persisted to {persisted}"
+                )
+        if missed == 0 and routed_scenarios and persisted is not None:
+            print(
+                f"multicast self-test: injected cost bug caught on all "
+                f"{routed_scenarios} routed scenario(s)"
+            )
+            return EXIT_OK
+        print(
+            "multicast self-test FAILED: injected cost bug went undetected",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
+
+    # Default: time-budgeted fuzz of the heuristic against the exact
+    # small-instance oracle plus the hierarchy certificate.
+    harness = MulticastHarness()
+    result = harness.fuzz(seconds=args.seconds, seed=args.seed)
+    print(
+        f"multicast fuzz: {result.scenarios_run} scenario(s), "
+        f"{result.requests_checked} request(s) "
+        f"({result.oracle_checked} oracle-compared, {result.blocked} "
+        f"heuristic-blocked) in {result.elapsed:.1f}s (seed {result.seed}); "
+        f"{len(result.failures)} failure(s)"
+    )
+    for report in result.failures:
+        print()
+        print(report.format())
+        scenario = report.scenario
+        if not args.no_shrink:
+            scenario = shrink_multicast_scenario(
+                scenario, lambda s: not harness.run(s).ok
+            )
+            print(f"shrunk to {scenario!r}")
+        disagreements = tuple(
+            d.summary() for d in harness.run(scenario).disagreements
+        )
+        path = save_multicast_case(args.corpus, scenario, disagreements)
+        print(f"persisted to {path}")
+    return EXIT_OK if result.ok else EXIT_DISAGREEMENT
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.topology.traffic_matrices import gravity_demands, uniform_demands
     from repro.wdm.planner import Demand, StaticPlanner
@@ -677,6 +857,60 @@ def build_parser() -> argparse.ArgumentParser:
         "succeed only if the soak catches and persists it",
     )
     p_chaos.set_defaults(fn=_cmd_chaos)
+
+    p_mc = sub.add_parser(
+        "multicast",
+        help="light-hierarchy multicast: route one-to-many demands, fuzz "
+        "the heuristic against the exact oracle, or soak under churn",
+    )
+    p_mc.add_argument(
+        "network", nargs="?", default=None,
+        help="network JSON file for one-shot routing (omit to fuzz)",
+    )
+    p_mc.add_argument("--source", default=None, help="multicast source node")
+    p_mc.add_argument(
+        "--member", action="append", default=[], metavar="NODE",
+        help="destination member (repeatable)",
+    )
+    p_mc.add_argument(
+        "--splitter-density", type=float, default=None, metavar="D",
+        help="fraction of multicast-capable nodes for one-shot routing "
+        "(default: all nodes fully capable)",
+    )
+    p_mc.add_argument(
+        "--seconds", type=float, default=30.0,
+        help="fuzz/churn wall-clock budget",
+    )
+    p_mc.add_argument("--seed", type=int, default=0)
+    p_mc.add_argument(
+        "--corpus", default="tests/multicast/corpus",
+        help="where shrunk counterexamples are written",
+    )
+    p_mc.add_argument(
+        "--no-shrink", action="store_true",
+        help="persist failing scenarios unshrunk (faster triage loop)",
+    )
+    p_mc.add_argument(
+        "--scenarios", type=int, default=25,
+        help="seeded scenarios swept by --inject-cost-bug",
+    )
+    p_mc.add_argument(
+        "--inject-cost-bug", action="store_true",
+        help="self-test: misprice every hierarchy by +0.125 and succeed "
+        "only if the certificate catches it and a shrunk repro persists",
+    )
+    p_mc.add_argument(
+        "--churn", action="store_true",
+        help="fault + membership churn soak instead of fuzzing",
+    )
+    p_mc.add_argument(
+        "--groups", type=int, default=2, help="multicast groups per churn soak"
+    )
+    p_mc.add_argument(
+        "--faults", type=int, default=10,
+        help="faults (and membership events) per churn soak",
+    )
+    p_mc.set_defaults(fn=_cmd_multicast)
 
     p_plan = sub.add_parser("plan", help="static RWA planning over a demand matrix")
     p_plan.add_argument("network")

@@ -241,7 +241,9 @@ class LiangShenRouter:
         """Optimal semilightpaths from *source* to every reachable node.
 
         One full Dijkstra from ``source'`` over the cached ``G_all``; this
-        is one iteration of Corollary 1.
+        is one iteration of Corollary 1.  A known node with no usable
+        outgoing wavelengths yields an empty tree; an unknown node raises
+        :class:`~repro.exceptions.UnknownNodeError` (matching :meth:`route`).
         """
         return self.tree_from(source)[0]
 
@@ -249,6 +251,8 @@ class LiangShenRouter:
         self, source: NodeId
     ) -> tuple[dict[NodeId, Semilightpath], DijkstraResult]:
         """One Corollary 1 tree plus the run it took (for stats callers)."""
+        if not self.network.has_node(source):
+            raise UnknownNodeError(source)
         aux = self.all_pairs_graph()
         return run_tree(
             aux, source, heap=self.heap, scratch=self._pool.get(aux.graph.num_nodes)

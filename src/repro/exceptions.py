@@ -16,6 +16,7 @@ __all__ = [
     "WavelengthUnavailableError",
     "ConversionError",
     "NoPathError",
+    "MulticastBlockedError",
     "InvalidPathError",
     "RestrictionViolation",
     "ReservationError",
@@ -94,6 +95,26 @@ class NoPathError(SemilightError):
         super().__init__(f"no semilightpath from {source!r} to {target!r}")
         self.source = source
         self.target = target
+
+
+class MulticastBlockedError(NoPathError):
+    """A multicast request could not join every member.
+
+    Subclasses :class:`NoPathError` so admission paths that treat
+    blocking as a normal outcome (``try_establish`` and friends) handle
+    multicast blocking identically.  ``unjoined`` lists the members the
+    joiner could not graft under the splitter constraints.
+    """
+
+    def __init__(self, source: object, unjoined: tuple) -> None:
+        SemilightError.__init__(
+            self,
+            f"multicast from {source!r} blocked; unjoined members: "
+            f"{sorted(unjoined, key=repr)!r}",
+        )
+        self.source = source
+        self.target = None
+        self.unjoined = tuple(unjoined)
 
 
 class InvalidPathError(SemilightError):

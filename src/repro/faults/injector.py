@@ -113,6 +113,12 @@ class FaultInjector:
         self._engine_faults: deque[tuple[str, float]] = deque()
         self._pending_crashes = 0
         self._service: "RoutingService | None" = None
+        #: Replayed multicast membership events, in application order.
+        self.membership_events: list[FaultEvent] = []
+        #: Optional callable invoked (outside the lock) with each
+        #: membership event — the multicast churn soak maintains its
+        #: group model here.
+        self.membership_hook: Callable[[FaultEvent], None] | None = None
         self.applied = 0
 
     # -- wiring ---------------------------------------------------------------
@@ -213,9 +219,16 @@ class FaultInjector:
                     self._engine_faults.append(("exception", 0.0))
             elif kind == "worker_crash":
                 self._pending_crashes += 1
+            elif kind in ("member_join", "member_leave"):
+                # Membership churn never touches network resources; the
+                # injector just records and forwards it.
+                self.membership_events.append(event)
             else:
                 raise ValueError(f"unknown fault event kind: {kind!r}")
             self.applied += 1
+        if kind in ("member_join", "member_leave"):
+            if self.membership_hook is not None:
+                self.membership_hook(event)
         self._notify(event)
         if self.observer is not None:
             self.observer(kind, event.at, **{
@@ -254,8 +267,9 @@ class FaultInjector:
             service.notify_converter_degraded(event.node)
         elif kind == "converter_recover":
             service.notify_converter_recovered(event.node)
-        # Engine-level faults (latency/exception/worker_crash) do not
-        # change the network; no epoch bump.
+        # Engine-level faults (latency/exception/worker_crash) and
+        # membership events (member_join/member_leave) do not change the
+        # network; no epoch bump.
 
     # -- engine-side hook ------------------------------------------------------
 

@@ -27,10 +27,23 @@ Event kinds
 ``worker_crash``
     One worker process in a :func:`repro.core.parallel` run raises
     mid-chunk (exercises pool error propagation and recovery).
+``member_join`` / ``member_leave``
+    Multicast group-membership churn: ``node`` joins or leaves the group
+    indexed by ``amount`` (reusing the existing numeric field keeps the
+    event schema — and therefore every seeded v1 plan — byte-stable).
+    These events never touch network state; the injector records them
+    and forwards them to an optional ``membership_hook``.  They are
+    drawn by :func:`generate_member_churn`, not :func:`generate_plan`,
+    so existing seeded plans are unchanged.
 
 Every ``*_fail`` drawn by :func:`generate_plan` gets a matching
 ``*_recover`` before the end of the plan, so a completed soak ends on the
 pristine network and can assert byte-identical re-convergence.
+
+Serialized schedules carry ``"format": 2`` (format 1 documents — written
+before membership events existed — omit the field).  The decoder accepts
+both, and takes an ``on_unknown`` policy so old readers can either reject
+or drop event kinds introduced after they shipped.
 """
 
 from __future__ import annotations
@@ -43,11 +56,28 @@ from typing import TYPE_CHECKING, Any, Hashable, Iterable, Sequence
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.network import WDMNetwork
 
-__all__ = ["FaultEvent", "FaultPlan", "generate_plan", "FAULT_KINDS"]
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "generate_plan",
+    "generate_member_churn",
+    "FAULT_KINDS",
+    "MEMBER_KINDS",
+    "SCHEDULE_FORMAT",
+]
 
 NodeId = Hashable
 
+#: Serialization format written by :meth:`FaultPlan.to_json`.  Format 1
+#: (implicit — no ``format`` field) predates membership events; format 2
+#: added the ``member_join``/``member_leave`` kinds without changing the
+#: event schema.
+SCHEDULE_FORMAT = 2
+
 #: Failure kinds a generated plan can draw from (recoveries are implied).
+#: Deliberately unchanged by format 2: the cycling draw order in
+#: :func:`generate_plan` indexes into this tuple, so appending here would
+#: silently reshuffle every seeded plan already pinned in CI.
 FAULT_KINDS = (
     "link",
     "channel",
@@ -57,9 +87,21 @@ FAULT_KINDS = (
     "worker_crash",
 )
 
+#: Multicast membership event kinds (format 2), drawn only by
+#: :func:`generate_member_churn`.
+MEMBER_KINDS = ("member_join", "member_leave")
+
 #: Event kinds that target a network resource and therefore pair with a
 #: recovery event.
 _RESOURCE_KINDS = ("link", "channel", "converter")
+
+#: Every concrete event kind a format-2 document may contain.
+_KNOWN_EVENT_KINDS = frozenset(
+    [f"{k}_fail" for k in _RESOURCE_KINDS]
+    + [f"{k}_recover" for k in _RESOURCE_KINDS]
+    + ["latency", "exception", "worker_crash"]
+    + list(MEMBER_KINDS)
+)
 
 
 @dataclass(frozen=True, order=True)
@@ -147,6 +189,7 @@ class FaultPlan:
 
     def to_json(self, indent: int | None = None) -> str:
         document = {
+            "format": SCHEDULE_FORMAT,
             "seed": self.seed,
             "description": self.description,
             "events": [e.to_dict() for e in self.events],
@@ -154,12 +197,39 @@ class FaultPlan:
         return json.dumps(document, indent=indent, sort_keys=True)
 
     @staticmethod
-    def from_json(text: str) -> "FaultPlan":
+    def from_json(text: str, on_unknown: str = "error") -> "FaultPlan":
+        """Decode a serialized schedule.
+
+        Format-1 documents (no ``format`` field, written before
+        membership events existed) decode unchanged.  *on_unknown*
+        controls what happens to event kinds this reader does not know:
+        ``"error"`` (default) raises ``ValueError`` naming them;
+        ``"drop"`` silently skips them, so an old consumer can replay
+        the fault subset of a newer schedule.
+        """
+        if on_unknown not in ("error", "drop"):
+            raise ValueError(
+                f"on_unknown must be 'error' or 'drop', got {on_unknown!r}"
+            )
         document = json.loads(text)
+        fmt = document.get("format", 1)
+        if not isinstance(fmt, int) or fmt < 1:
+            raise ValueError(f"bad schedule format marker: {fmt!r}")
+        events = []
+        unknown: list[str] = []
+        for raw in document.get("events", ()):
+            event = FaultEvent.from_dict(raw)
+            if event.kind not in _KNOWN_EVENT_KINDS:
+                unknown.append(event.kind)
+                continue
+            events.append(event)
+        if unknown and on_unknown == "error":
+            raise ValueError(
+                f"schedule (format {fmt}) contains unknown event kinds "
+                f"{sorted(set(unknown))!r}; pass on_unknown='drop' to skip them"
+            )
         return FaultPlan(
-            events=tuple(
-                FaultEvent.from_dict(e) for e in document.get("events", ())
-            ),
+            events=tuple(events),
             seed=document.get("seed"),
             description=document.get("description", ""),
         )
@@ -288,5 +358,63 @@ def generate_plan(
         description=(
             f"{drawn} fault(s) over {network!r} "
             f"(kinds={','.join(kinds)}, seed={seed})"
+        ),
+    )
+
+
+def generate_member_churn(
+    network: "WDMNetwork",
+    seed: int = 0,
+    num_groups: int = 2,
+    num_events: int = 10,
+    window: tuple[float, float] = (0.05, 0.95),
+) -> FaultPlan:
+    """Draw a seeded multicast membership schedule against *network*.
+
+    Each event toggles one node in or out of a group; ``amount`` carries
+    the group index (see the module docstring for why the field is
+    reused).  Joins and leaves are drawn against a tracked membership
+    model so a leave always targets a current member and a join a
+    non-member — every event is meaningful when replayed in order.
+    Merge with a :func:`generate_plan` schedule by concatenating event
+    tuples; :class:`FaultPlan` re-sorts by time.
+    """
+    if num_groups < 1:
+        raise ValueError("num_groups must be >= 1")
+    if num_events < 0:
+        raise ValueError("num_events must be >= 0")
+    rng = random.Random(seed)
+    lo, hi = window
+    nodes = sorted(network.nodes(), key=repr)
+    members: list[set[NodeId]] = [set() for _ in range(num_groups)]
+
+    events: list[FaultEvent] = []
+    for _ in range(num_events):
+        gid = rng.randrange(num_groups)
+        current = members[gid]
+        outside = [n for n in nodes if n not in current]
+        leave = current and (not outside or rng.random() < 0.5)
+        if leave:
+            node = rng.choice(sorted(current, key=repr))
+            current.remove(node)
+            kind = "member_leave"
+        elif outside:
+            node = rng.choice(outside)
+            current.add(node)
+            kind = "member_join"
+        else:
+            continue  # empty network
+        events.append(
+            FaultEvent(
+                rng.uniform(lo, hi), kind, node=node, amount=float(gid)
+            )
+        )
+
+    return FaultPlan(
+        events=tuple(events),
+        seed=seed,
+        description=(
+            f"{len(events)} membership event(s) across {num_groups} "
+            f"group(s) over {network!r} (seed={seed})"
         ),
     )

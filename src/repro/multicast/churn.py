@@ -1,0 +1,301 @@
+"""Chaos soak for multicast groups: fault churn plus member churn.
+
+:class:`MulticastChurnSoak` replays a merged schedule of network faults
+(fiber cuts, channel drops — :func:`~repro.faults.plan.generate_plan`)
+and group-membership events
+(:func:`~repro.faults.plan.generate_member_churn`) against live multicast
+groups.  After every event each group's hierarchy is revalidated on the
+injector's *degraded* network view:
+
+* a hierarchy whose channels were severed by a fault (or whose member
+  set changed) is rerouted on the degraded view — severed branches must
+  come back through surviving capacity;
+* every surviving or rerouted hierarchy must pass the router-independent
+  certificate (:func:`~repro.verify.certificate.check_hierarchy_certificate`)
+  against the current degraded view, *every epoch* — a stale branch
+  silently riding a failed channel is a violation, not a reroute;
+* a group whose members are genuinely unreachable in the degraded view
+  may block; blocking is counted and retried at the next epoch, and the
+  soak asserts it clears by the end of the plan (all faults recover).
+
+``cost_perturbation`` is the end-to-end self-test hook: shifting every
+rerouted hierarchy's claimed cost must produce certificate violations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Hashable
+
+from repro.core.routing import LiangShenRouter
+from repro.exceptions import MulticastBlockedError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, generate_member_churn, generate_plan
+from repro.multicast.hierarchy import LightHierarchy, MulticastRequest
+from repro.multicast.router import MulticastRouter
+from repro.multicast.splitters import SplitterMap
+from repro.verify.certificate import check_hierarchy_certificate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.network import WDMNetwork
+
+__all__ = ["ChurnViolation", "MulticastChurnReport", "MulticastChurnSoak"]
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class ChurnViolation:
+    """One per-epoch certificate failure during the soak."""
+
+    at: float
+    group: int
+    detail: str
+
+    def summary(self) -> str:
+        return f"[t={self.at:.3f} group={self.group}] {self.detail}"
+
+
+@dataclass
+class MulticastChurnReport:
+    """Aggregate outcome of one churn soak."""
+
+    epochs: int = 0
+    events_applied: int = 0
+    membership_events: int = 0
+    reroutes: int = 0
+    severed: int = 0
+    blocked_epochs: int = 0
+    final_blocked: int = 0
+    violations: list[ChurnViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and self.final_blocked == 0
+
+    def format(self) -> str:
+        lines = [
+            f"epochs: {self.epochs} (events applied: {self.events_applied}, "
+            f"membership: {self.membership_events})",
+            f"reroutes: {self.reroutes} (severed: {self.severed}, "
+            f"blocked epochs: {self.blocked_epochs})",
+            f"groups still blocked at end: {self.final_blocked}",
+        ]
+        if self.violations:
+            lines.append(f"{len(self.violations)} certificate violation(s):")
+            lines.extend(f"  {v.summary()}" for v in self.violations)
+        else:
+            lines.append("per-epoch certificates all valid")
+        return "\n".join(lines)
+
+
+class _Group:
+    __slots__ = ("source", "members", "hierarchy", "dirty")
+
+    def __init__(self, source: NodeId) -> None:
+        self.source = source
+        self.members: set[NodeId] = set()
+        self.hierarchy: LightHierarchy | None = None
+        self.dirty = True
+
+
+class MulticastChurnSoak:
+    """Drive multicast groups through a seeded fault + membership churn.
+
+    Parameters
+    ----------
+    network:
+        The pristine network; faults degrade views of it, never mutate it.
+    seed:
+        Drives the fault plan, the membership plan, the initial group
+        membership, and the splitter assignment — one seed reproduces the
+        whole soak.
+    num_groups / num_faults / num_membership_events:
+        Schedule sizing.  Faults are limited to ``link``/``channel``
+        kinds so link weights and conversion models stay comparable
+        across epochs (converter faults change the cost structure itself,
+        which belongs to the unicast chaos soak).
+    splitters:
+        Capability map; defaults to a seeded 0.5-density assignment.
+    cost_perturbation:
+        Added to every rerouted hierarchy's claimed cost (self-test).
+    """
+
+    def __init__(
+        self,
+        network: "WDMNetwork",
+        seed: int = 0,
+        num_groups: int = 2,
+        num_faults: int = 8,
+        num_membership_events: int = 8,
+        splitters: SplitterMap | None = None,
+        cost_perturbation: float = 0.0,
+    ) -> None:
+        if num_groups < 1:
+            raise ValueError("num_groups must be >= 1")
+        self.network = network
+        self.seed = seed
+        self.cost_perturbation = cost_perturbation
+        if splitters is None:
+            from repro.topology.generators import assign_splitters
+
+            splitters = assign_splitters(network, density=0.5, seed=seed)
+        self.splitters = splitters
+
+        rng = random.Random(seed)
+        nodes = list(network.nodes())
+        # Group membership must stay *pristinely routable*: the topology
+        # may be directed, and sparse splitters can make a member set
+        # un-joinable for the greedy even with every fault recovered.
+        # Admitting such a member would leave the group blocked forever
+        # and void the end-of-plan convergence assertion.  Degraded-view
+        # blocking stays possible and is exactly what the soak exercises.
+        unicast = LiangShenRouter(network)
+        self._reachable: dict[NodeId, set[NodeId]] = {}
+        self.groups: dict[int, _Group] = {}
+        for gid in range(num_groups):
+            source = rng.choice(nodes)
+            if source not in self._reachable:
+                self._reachable[source] = set(unicast.route_tree(source))
+            reachable = sorted(self._reachable[source], key=repr)
+            group = _Group(source)
+            if reachable:
+                for member in rng.sample(
+                    reachable, min(len(reachable), rng.randint(1, 3))
+                ):
+                    if self._routable(source, group.members | {member}):
+                        group.members.add(member)
+            self.groups[gid] = group
+
+        faults = generate_plan(
+            network,
+            seed=rng.randrange(2**31),
+            num_faults=num_faults,
+            kinds=("link", "channel"),
+        )
+        membership = generate_member_churn(
+            network,
+            seed=rng.randrange(2**31),
+            num_groups=num_groups,
+            num_events=num_membership_events,
+        )
+        self.plan = FaultPlan(
+            events=tuple(faults.events) + tuple(membership.events),
+            seed=seed,
+            description=f"multicast churn over {network!r} (seed={seed})",
+        )
+
+    # -- the soak -----------------------------------------------------------
+
+    def run(self) -> MulticastChurnReport:
+        report = MulticastChurnReport()
+        injector = FaultInjector(self.network)
+        injector.membership_hook = lambda event: self._membership(event, report)
+        for event in self.plan.events:
+            injector.apply(event)
+            report.events_applied += 1
+            view = injector.network_view()
+            self._settle(view, event.at, report)
+            report.epochs += 1
+        # One post-plan settle on the (now pristine) network: a group that
+        # blocked during the last outage epochs gets its recovery retry.
+        self._settle(injector.network_view(), 1.0, report)
+        report.epochs += 1
+        report.final_blocked = sum(
+            1
+            for group in self.groups.values()
+            if group.members and group.hierarchy is None
+        )
+        return report
+
+    def _membership(self, event, report: MulticastChurnReport) -> None:
+        report.membership_events += 1
+        gid = int(event.amount or 0) % len(self.groups)
+        group = self.groups[gid]
+        if event.node == group.source or not self.network.has_node(event.node):
+            return
+        if event.node not in self._reachable.get(group.source, ()):
+            return  # pristinely unreachable: joining would block forever
+        if event.kind == "member_join":
+            if event.node not in group.members and self._routable(
+                group.source, group.members | {event.node}
+            ):
+                group.members.add(event.node)
+                group.dirty = True
+        else:
+            if event.node in group.members:
+                group.members.remove(event.node)
+                group.dirty = True
+
+    def _routable(self, source: NodeId, members: set[NodeId]) -> bool:
+        """Can the greedy join *members* on the pristine network?"""
+        if not members:
+            return True
+        request = MulticastRequest(
+            source=source, members=tuple(sorted(members, key=repr))
+        )
+        try:
+            MulticastRouter(self.network, splitters=self.splitters).route(request)
+        except MulticastBlockedError:
+            return False
+        return True
+
+    def _severed(self, hierarchy: LightHierarchy, view) -> bool:
+        for tail, head, wavelength in hierarchy.channel_keys():
+            if not view.has_link(tail, head):
+                return True
+            if wavelength not in view.link(tail, head).costs:
+                return True
+        return False
+
+    def _settle(self, view, at: float, report: MulticastChurnReport) -> None:
+        for gid, group in self.groups.items():
+            if not group.members:
+                group.hierarchy = None
+                group.dirty = False
+                continue
+            needs_reroute = group.dirty or group.hierarchy is None
+            if not needs_reroute and self._severed(group.hierarchy, view):
+                report.severed += 1
+                needs_reroute = True
+            if needs_reroute:
+                group.hierarchy = self._reroute(view, group)
+                group.dirty = False
+                if group.hierarchy is None:
+                    report.blocked_epochs += 1
+                    continue
+                report.reroutes += 1
+            cert = check_hierarchy_certificate(
+                view,
+                group.hierarchy,
+                splitters=self.splitters,
+                source=group.source,
+                members=tuple(group.members),
+            )
+            if not cert.ok:
+                report.violations.append(
+                    ChurnViolation(
+                        at=at, group=gid, detail="; ".join(cert.violations)
+                    )
+                )
+                # Drop the bad hierarchy so the next epoch retries clean.
+                group.hierarchy = None
+
+    def _reroute(self, view, group: _Group) -> LightHierarchy | None:
+        request = MulticastRequest(
+            source=group.source, members=tuple(sorted(group.members, key=repr))
+        )
+        router = MulticastRouter(view, splitters=self.splitters)
+        try:
+            hierarchy = router.route(request).hierarchy
+        except MulticastBlockedError:
+            return None
+        if self.cost_perturbation:
+            hierarchy = LightHierarchy(
+                source=hierarchy.source,
+                members=hierarchy.members,
+                paths=hierarchy.paths,
+                total_cost=hierarchy.total_cost + self.cost_perturbation,
+            )
+        return hierarchy

@@ -1,0 +1,226 @@
+"""Multicast requests and light-hierarchy results.
+
+A *light-hierarchy* generalizes the light-tree exactly the way the paper's
+semilightpaths generalize simple paths: nodes may be visited repeatedly,
+but every **channel** — a directed link on one wavelength — carries the
+signal at most once.  Under sparse splitters this relaxation is necessary
+for optimality (Zhou–Molnár, PAPERS.md): a multicast-incapable node is
+"branched around" by re-entering it on a different channel instead of
+splitting inside it.
+
+The representation here is member-centric: a :class:`LightHierarchy`
+stores, for every destination, the full semilightpath the signal takes
+from the source to that member.  Member paths overlap on shared channels;
+the hierarchy's channel set is the union, and its Eq. (1) cost charges
+every channel's weight once plus, per channel, the conversion from its
+*parent* channel's wavelength at the channel's tail node.  The parent
+relation is derived from the member paths — each channel must be preceded
+by the same channel in every path that uses it (otherwise two signals
+would drive one channel), which is exactly the tree-in-channel-space
+invariant the certificate checker revalidates independently.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Hashable, Mapping
+
+from repro.core.semilightpath import Hop, Semilightpath
+from repro.exceptions import InvalidPathError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.network import WDMNetwork
+
+__all__ = ["Channel", "MulticastRequest", "LightHierarchy", "derive_parents"]
+
+NodeId = Hashable
+
+#: A channel key: one directed link on one wavelength.
+Channel = tuple[NodeId, NodeId, int]
+
+
+def _channel(hop: Hop) -> Channel:
+    return (hop.tail, hop.head, hop.wavelength)
+
+
+@dataclass(frozen=True)
+class MulticastRequest:
+    """One one-to-many demand: deliver from *source* to every *member*."""
+
+    source: NodeId
+    members: tuple[NodeId, ...]
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("a multicast request needs at least one member")
+        if len(set(self.members)) != len(self.members):
+            raise ValueError(f"duplicate members in {self.members!r}")
+        if self.source in self.members:
+            raise ValueError(
+                f"source {self.source!r} cannot be one of its own members"
+            )
+
+    def __repr__(self) -> str:
+        members = ", ".join(repr(m) for m in self.members)
+        return f"MulticastRequest({self.source!r} -> {{{members}}})"
+
+
+def derive_parents(
+    paths: Mapping[NodeId, Semilightpath],
+) -> tuple[dict[Channel, Channel | None], list[str]]:
+    """Derive the channel parent relation from overlapping member paths.
+
+    Returns ``(parents, violations)``: ``parents[c]`` is the channel that
+    feeds ``c`` (``None`` for channels driven directly by the source
+    transmitter), and *violations* lists every structural inconsistency —
+    a channel fed by two different predecessors, or a channel reachable
+    only through a parent cycle.  An empty violation list certifies the
+    unique-parent (tree-in-channel-space) invariant.
+    """
+    parents: dict[Channel, Channel | None] = {}
+    violations: list[str] = []
+    for member in sorted(paths, key=repr):
+        previous: Channel | None = None
+        for hop in paths[member].hops:
+            channel = _channel(hop)
+            if channel in parents:
+                if parents[channel] != previous:
+                    violations.append(
+                        f"channel {channel!r} is driven by both "
+                        f"{parents[channel]!r} and {previous!r}"
+                    )
+            else:
+                parents[channel] = previous
+            previous = channel
+    # The parent pointers must form a forest rooted at the source
+    # transmitter; a cycle would mean a channel (transitively) feeds
+    # itself — e.g. one member path traversing the same channel twice.
+    grounded: set[Channel] = set()
+    frontier = [c for c, p in parents.items() if p is None]
+    while frontier:
+        grounded.update(frontier)
+        frontier = [
+            c
+            for c, p in parents.items()
+            if c not in grounded and p in grounded
+        ]
+    for channel in sorted(set(parents) - grounded, key=repr):
+        violations.append(
+            f"channel {channel!r} is not reachable from the source "
+            f"through the parent relation (cycle or dangling parent)"
+        )
+    return parents, violations
+
+
+@dataclass(frozen=True, eq=False)
+class LightHierarchy:
+    """A routed light-hierarchy plus its (claimed) Eq. (1) total cost.
+
+    ``paths[member]`` is the full semilightpath from ``source`` to that
+    member; ``total_cost`` is the router's claim over the whole hierarchy
+    (channel weights once each, plus per-channel conversions), which
+    :meth:`evaluate_cost` recomputes from first principles and the
+    router-independent :func:`~repro.verify.certificate.check_hierarchy_certificate`
+    revalidates without trusting this class.
+    """
+
+    source: NodeId
+    members: tuple[NodeId, ...]
+    paths: Mapping[NodeId, Semilightpath]
+    total_cost: float = field(default=math.nan)
+
+    def __post_init__(self) -> None:
+        if set(self.paths) != set(self.members):
+            raise InvalidPathError(
+                f"paths cover {sorted(self.paths, key=repr)!r} but members "
+                f"are {sorted(self.members, key=repr)!r}"
+            )
+        for member, path in self.paths.items():
+            if path.source != self.source:
+                raise InvalidPathError(
+                    f"path to {member!r} starts at {path.source!r}, "
+                    f"not the source {self.source!r}"
+                )
+            if path.target != member:
+                raise InvalidPathError(
+                    f"path to {member!r} ends at {path.target!r}"
+                )
+
+    # -- structure ----------------------------------------------------------
+
+    def channels(self) -> list[Hop]:
+        """Distinct channels in first-use order (member order, then hop
+        order within each path)."""
+        seen: set[Channel] = set()
+        out: list[Hop] = []
+        for member in self.members:
+            for hop in self.paths[member].hops:
+                key = _channel(hop)
+                if key not in seen:
+                    seen.add(key)
+                    out.append(hop)
+        return out
+
+    @property
+    def num_channels(self) -> int:
+        return len(self.channels())
+
+    def channel_keys(self) -> set[Channel]:
+        return {_channel(h) for member in self.members for h in self.paths[member].hops}
+
+    def parents(self) -> dict[Channel, Channel | None]:
+        """The channel parent relation (raises on structural violations)."""
+        parents, violations = derive_parents(self.paths)
+        if violations:
+            raise InvalidPathError("; ".join(violations))
+        return parents
+
+    def nodes(self) -> set[NodeId]:
+        """Every node the hierarchy touches (source included)."""
+        out = {self.source}
+        for member in self.members:
+            out.update(self.paths[member].nodes())
+        return out
+
+    def branch_degrees(self) -> dict[Channel, int]:
+        """Per channel, how many child channels its signal drives."""
+        degrees: dict[Channel, int] = {}
+        for channel, parent in self.parents().items():
+            degrees.setdefault(channel, 0)
+            if parent is not None:
+                degrees[parent] = degrees.get(parent, 0) + 1
+        return degrees
+
+    # -- cost ---------------------------------------------------------------
+
+    def evaluate_cost(self, network: "WDMNetwork") -> float:
+        """Recompute Eq. (1) summed over the hierarchy's channel uses.
+
+        Each channel's link weight is charged once; each channel driven by
+        a parent on a different wavelength is charged the conversion at
+        its tail node.  Raises when the hierarchy uses an unavailable
+        wavelength or an unsupported conversion — mirror of
+        :meth:`~repro.core.semilightpath.Semilightpath.evaluate_cost`.
+        """
+        parents = self.parents()
+        total = 0.0
+        for (tail, head, wavelength), parent in sorted(
+            parents.items(), key=repr
+        ):
+            total += network.link_cost(tail, head, wavelength)
+            if parent is not None:
+                conv = network.conversion_cost(tail, parent[2], wavelength)
+                if math.isinf(conv):
+                    from repro.exceptions import ConversionError
+
+                    raise ConversionError(tail, parent[2], wavelength)
+                total += conv
+        return total
+
+    def __repr__(self) -> str:
+        cost = "nan" if math.isnan(self.total_cost) else f"{self.total_cost:g}"
+        return (
+            f"LightHierarchy({self.source!r} -> {len(self.members)} member(s), "
+            f"{self.num_channels} channel(s), cost={cost})"
+        )

@@ -1,0 +1,160 @@
+"""Exact small-instance reference for light-hierarchy costs.
+
+:func:`optimal_hierarchy_cost` runs a Dreyfus–Wagner–style Steiner dynamic
+program over the **channel graph**: one DP node per channel (a directed
+link on one wavelength) plus a virtual root at the source transmitter,
+with an edge ``c₁ → c₂`` whenever ``head(c₁) == tail(c₂)``, priced
+``c_{head(c₁)}(λ₁, λ₂) + w(c₂)`` — exactly Eq. (1)'s per-channel charge in
+a light-hierarchy.  Working in channel space (not auxiliary ``(v, λ)``
+states) matters: an optimal hierarchy may legitimately arrive at the same
+``(v, λ)`` state twice over two different channels, which no tree over
+aux states can express, while every valid light-hierarchy is exactly a
+tree over its channels (the unique-parent invariant the certificate
+checks).
+
+The classical DW recurrences are gated by the splitter model:
+
+* **merge** (a signal drives ≥ 2 child subtrees) requires ``MC`` at the
+  channel's head — merges at the virtual root are always free (electronic
+  replication at the transmitter);
+* **tap** (deliver to the head and keep going) requires ``TAC``/``MC``;
+  a terminal tap (deliver and stop) is free for every capability;
+* **extend** (exactly one continuation) is free for every capability and
+  is closed per subset by one Dijkstra over the reversed channel graph.
+
+Soundness caveat, stated precisely: like every DW relaxation over a
+graph, the DP may assemble two merged branches that *share* a channel,
+paying its weight twice — a structure no valid hierarchy can realize
+(one channel carries one signal).  Every valid hierarchy is expressible
+at its exact cost, so the returned value is a **lower bound on the true
+constrained optimum, tight whenever the optimum's branches are
+channel-disjoint** (always, in practice, at fuzz sizes).  The harness
+therefore treats ``heuristic cost < oracle cost`` and ``heuristic found
+a hierarchy where the oracle proves infeasibility`` as disagreements —
+both impossible when the implementations are correct — while a blocked
+heuristic against a finite oracle value is recorded as greedy
+incompleteness, not a bug (see :mod:`repro.multicast.verify`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import TYPE_CHECKING, Hashable
+
+from repro.multicast.hierarchy import MulticastRequest
+from repro.multicast.splitters import SplitterMap
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.network import WDMNetwork
+
+__all__ = ["optimal_hierarchy_cost", "MAX_ORACLE_MEMBERS"]
+
+NodeId = Hashable
+
+#: Member-set ceiling for the DP (3^q subset merges; beyond this the
+#: verify harness simply skips the exact comparison).
+MAX_ORACLE_MEMBERS = 4
+
+
+def optimal_hierarchy_cost(
+    network: "WDMNetwork",
+    request: MulticastRequest,
+    splitters: SplitterMap | None = None,
+) -> float:
+    """The optimal light-hierarchy cost for *request*, ``inf`` if infeasible.
+
+    Exponential in ``len(request.members)`` (capped by callers at
+    :data:`MAX_ORACLE_MEMBERS`) and pseudo-polynomial in the channel
+    count; intended for the verify harness's small instances only.
+    """
+    splitters = splitters if splitters is not None else SplitterMap.all_mc()
+    members = request.members
+    q = len(members)
+    if q > MAX_ORACLE_MEMBERS:
+        raise ValueError(
+            f"{q} members exceed the oracle ceiling of {MAX_ORACLE_MEMBERS}"
+        )
+
+    # -- the channel graph --------------------------------------------------
+    channels: list[tuple[NodeId, NodeId, int, float]] = []
+    for link in network.links():
+        for wavelength in sorted(link.costs):
+            channels.append(
+                (link.tail, link.head, wavelength, link.costs[wavelength])
+            )
+    m1 = len(channels)
+    root = m1  # virtual transmitter node, "located" at the source
+    size = m1 + 1
+
+    by_tail: dict[NodeId, list[int]] = {}
+    by_head: dict[NodeId, list[int]] = {}
+    for index, (tail, head, _w, _c) in enumerate(channels):
+        by_tail.setdefault(tail, []).append(index)
+        by_head.setdefault(head, []).append(index)
+
+    # Reverse adjacency for the extension Dijkstra: predecessors[j] holds
+    # (i, cost(i -> j)) for every channel i whose head feeds channel j.
+    predecessors: list[list[tuple[int, float]]] = [[] for _ in range(size)]
+    for j, (tail_j, _head_j, lam_j, weight_j) in enumerate(channels):
+        for i in by_head.get(tail_j, ()):
+            lam_i = channels[i][2]
+            conv = network.conversion_cost(tail_j, lam_i, lam_j)
+            if math.isfinite(conv):
+                predecessors[j].append((i, conv + weight_j))
+        if tail_j == request.source:
+            predecessors[j].append((root, weight_j))
+
+    can_branch = [splitters.can_branch(head) for _t, head, _l, _c in channels]
+    can_branch.append(True)  # the root merges freely
+    can_tap = [
+        splitters.can_tap_and_continue(head) for _t, head, _l, _c in channels
+    ]
+
+    member_index = {member: i for i, member in enumerate(members)}
+    full = (1 << q) - 1
+    inf = math.inf
+    # best[mask][c]: cheapest delivery of *mask* using only structure
+    # strictly downstream of channel c (c's own weight/conversion are
+    # charged by the edge that reaches c).
+    best = [[inf] * size for _ in range(full + 1)]
+
+    for mask in range(1, full + 1):
+        row = best[mask]
+        # Taps: deliver head(c)'s membership out of this signal.
+        for member, idx in member_index.items():
+            if not mask >> idx & 1:
+                continue
+            rest = mask & ~(1 << idx)
+            for c in by_head.get(member, ()):
+                if rest == 0:
+                    row[c] = 0.0  # terminal drop: legal at any capability
+                elif can_tap[c] and best[rest][c] < row[c]:
+                    row[c] = best[rest][c]
+        # Merges: the signal at c splits into two cheaper-mask subtrees.
+        sub = (mask - 1) & mask
+        while sub:
+            rest = mask ^ sub
+            if sub <= rest:  # each unordered split once
+                left, right = best[sub], best[rest]
+                for c in range(size):
+                    if can_branch[c]:
+                        combined = left[c] + right[c]
+                        if combined < row[c]:
+                            row[c] = combined
+            sub = (sub - 1) & mask
+        # Extensions: close the subset under single-continuation moves
+        # with one multi-source Dijkstra on the reversed channel graph.
+        heap = [(value, c) for c, value in enumerate(row) if value < inf]
+        heapq.heapify(heap)
+        while heap:
+            dist, c = heapq.heappop(heap)
+            if dist > row[c]:
+                continue
+            for i, cost in predecessors[c]:
+                candidate = dist + cost
+                if candidate < row[i]:
+                    row[i] = candidate
+                    heapq.heappush(heap, (candidate, i))
+
+    return best[full][root]

@@ -1,0 +1,287 @@
+"""Nearest-member-first light-hierarchy routing over the auxiliary graph.
+
+:class:`MulticastRouter` grows a light-hierarchy one destination at a
+time, the multicast analog of the paper's Corollary 1 machinery:
+
+1. **Tap pass** — any unjoined member that the hierarchy already passes
+   through on some channel joins for free, provided its node may tap the
+   signal (``MC``/``TAC``).  Taps cost 0 under Eq. (1), so taking every
+   available tap before searching preserves nearest-member-first order.
+2. **Graft pass** — one *multi-source* Dijkstra over the cached ``G_all``
+   (:func:`~repro.core.auxiliary.build_all_pairs_graph`), seeded at
+   distance 0 from every legal attachment state: the source terminal
+   ``s'`` (the transmitter replicates electronically, so the source
+   always accepts another branch) and every hierarchy arrival ``X_v(λ)``
+   whose splitter still permits driving one more outgoing channel.  The
+   search stops at the first settled member sink ``u''`` — nodes settle
+   in nondecreasing distance order, so that member is the *globally*
+   nearest unjoined destination over all attachment points, and the
+   decoded auxiliary path is its cheapest graft.  Conversion at the
+   attachment point is priced naturally by the ``X_v(λ) → Y_v(λ')``
+   conversion edges, and channels already in the hierarchy are masked
+   through a :class:`~repro.shortestpath.DeltaOverlay` so a graft can
+   re-traverse *links* (hierarchy semantics) but never reuse a channel.
+
+Sparse-splitter constraints are enforced on the seed set, not inside the
+search: a ``TAC`` arrival may extend only while its signal drives no
+other outgoing channel, an ``MI`` arrival never accepts a tap while
+continuing, and only ``MC`` arrivals accept unlimited branches.  Each
+graft updates the per-arrival drive counts, so constraint state is exact
+at every step.
+
+The router shares :class:`~repro.core.routing.LiangShenRouter`'s frozen-
+network contract and is not safe for concurrent use of one instance: a
+query temporarily masks hierarchy channels in the shared overlay and
+restores them before returning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable
+
+from repro.core.auxiliary import KIND_SOURCE
+from repro.core.instrumentation import QueryStats
+from repro.core.routing import LiangShenRouter, _decode
+from repro.core.semilightpath import Hop, Semilightpath
+from repro.exceptions import InvalidPathError, MulticastBlockedError, UnknownNodeError
+from repro.multicast.hierarchy import LightHierarchy, MulticastRequest
+from repro.multicast.splitters import SplitterMap
+from repro.shortestpath.delta import DeltaOverlay
+from repro.shortestpath.flat import flat_dijkstra
+from repro.shortestpath.paths import reconstruct_path
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.network import WDMNetwork
+
+__all__ = ["MulticastRouteResult", "MulticastRouter"]
+
+NodeId = Hashable
+
+
+class _Arrival:
+    """One hierarchy channel's delivery state at its head node."""
+
+    __slots__ = ("hop", "prefix", "drives", "delivers")
+
+    def __init__(self, hop: Hop, prefix: tuple[Hop, ...], drives: int, delivers: bool) -> None:
+        self.hop = hop
+        self.prefix = prefix  # hops from the source up to and including ``hop``
+        self.drives = drives  # outgoing channels this signal currently feeds
+        self.delivers = delivers  # True when this arrival drops to a member
+
+
+@dataclass(frozen=True)
+class MulticastRouteResult:
+    """A routed light-hierarchy plus the work it took to find it."""
+
+    hierarchy: LightHierarchy
+    stats: QueryStats
+    taps: int
+    grafts: int
+
+    @property
+    def cost(self) -> float:
+        return self.hierarchy.total_cost
+
+
+class MulticastRouter:
+    """Route one-to-many demands as light-hierarchies.
+
+    Parameters
+    ----------
+    network:
+        The network to route on; treated as frozen (see
+        :class:`~repro.core.routing.LiangShenRouter`).
+    splitters:
+        Per-node capability map; defaults to every node ``MC`` (the
+        classical fully splitter-equipped assumption).
+    heap:
+        Shortest-path kernel for the graft searches; only ``"flat"``
+        supports the masked-overlay fast path and is the default.
+    """
+
+    def __init__(
+        self,
+        network: "WDMNetwork",
+        splitters: SplitterMap | None = None,
+        heap: str = "flat",
+    ) -> None:
+        self.network = network
+        self.splitters = splitters if splitters is not None else SplitterMap.all_mc()
+        self._router = LiangShenRouter(network, heap=heap)
+        self._delta: DeltaOverlay | None = None
+
+    def invalidate(self) -> None:
+        """Drop cached auxiliary state after a network mutation."""
+        self._router.invalidate()
+        self._delta = None
+
+    def _overlay(self) -> DeltaOverlay:
+        if self._delta is None:
+            self._delta = DeltaOverlay(self._router.all_pairs_graph())
+        return self._delta
+
+    # -- the joiner ---------------------------------------------------------
+
+    def route(self, request: MulticastRequest) -> MulticastRouteResult:
+        """Join every member of *request* onto a growing light-hierarchy.
+
+        Raises :class:`~repro.exceptions.MulticastBlockedError` when some
+        member cannot be grafted — either genuinely unreachable or
+        unreachable under the splitter constraints given the greedy
+        join order (the joiner is a heuristic; see
+        :func:`~repro.multicast.oracle.optimal_hierarchy_cost` for the
+        exact small-instance reference).
+        """
+        network = self.network
+        if not network.has_node(request.source):
+            raise UnknownNodeError(request.source)
+        for member in request.members:
+            if not network.has_node(member):
+                raise UnknownNodeError(member)
+        aux = self._router.all_pairs_graph()
+        delta = self._overlay()
+        masked: list[tuple[NodeId, NodeId, int]] = []
+        try:
+            return self._join_all(request, aux, delta, masked)
+        finally:
+            for tail, head, wavelength in masked:
+                delta.recover_channel(tail, head, wavelength)
+
+    def _join_all(self, request, aux, delta, masked) -> MulticastRouteResult:
+        source = request.source
+        splitters = self.splitters
+        unjoined: list[NodeId] = list(request.members)
+        joined: dict[NodeId, tuple[Hop, ...]] = {}
+        arrivals: list[_Arrival] = []
+        total_cost = 0.0
+        taps = 0
+        grafts = 0
+        settled = 0
+        relaxations = 0
+        heap_totals: dict[str, int] = {}
+
+        def take_taps() -> None:
+            nonlocal taps
+            for member in list(unjoined):
+                if not splitters.can_tap_and_continue(member):
+                    # TAC/MC may drop the passing signal; MI arrivals
+                    # already drive their one continuation, so a tap
+                    # would be a second use of the signal.
+                    continue
+                candidates = [
+                    a
+                    for a in arrivals
+                    if a.hop.head == member and not a.delivers
+                ]
+                if not candidates:
+                    continue
+                best = min(candidates, key=lambda a: len(a.prefix))
+                best.delivers = True
+                joined[member] = best.prefix
+                unjoined.remove(member)
+                taps += 1
+
+        while True:
+            take_taps()
+            if not unjoined:
+                break
+
+            # Seed every attachment state the splitter constraints allow.
+            seeds: list[int] = []
+            seed_owner: dict[int, _Arrival | None] = {}
+            source_id = aux.source_ids[source]
+            seeds.append(source_id)
+            seed_owner[source_id] = None
+            for arrival in arrivals:
+                node = arrival.hop.head
+                if splitters.can_branch(node):
+                    legal = True
+                elif splitters.can_tap_and_continue(node):
+                    # TAC: one continuation total; a delivered leaf
+                    # (drives == 0) may extend into tap-and-continue.
+                    legal = arrival.drives == 0
+                else:
+                    # MI: the signal either terminates or already
+                    # continues on its single branch — never extendable.
+                    legal = False
+                if not legal:
+                    continue
+                x_id = aux.x_ids[(node, arrival.hop.wavelength)]
+                other = seed_owner.get(x_id)
+                if other is None and x_id not in seed_owner:
+                    seeds.append(x_id)
+                    seed_owner[x_id] = arrival
+                elif other is not None and len(arrival.prefix) < len(other.prefix):
+                    # Two hierarchy channels arrive at the same (v, λ)
+                    # state; either is a legal attach point at the same
+                    # graft cost — keep the shorter member-path prefix.
+                    seed_owner[x_id] = arrival
+
+            sink_to_member = {aux.sink_ids[u]: u for u in unjoined}
+            run = flat_dijkstra(
+                aux.graph, seeds, targets=list(sink_to_member), scratch=None
+            )
+            settled += run.settled
+            relaxations += run.relaxations
+            for key, value in run.heap_stats.items():
+                heap_totals[key] = heap_totals.get(key, 0) + value
+            if run.stopped_at < 0:
+                raise MulticastBlockedError(source, tuple(unjoined))
+
+            member = sink_to_member[run.stopped_at]
+            graft_cost = run.dist[run.stopped_at]
+            aux_path = reconstruct_path(run.parent, run.stopped_at)
+            attach = (
+                None
+                if aux.decode[aux_path[0]].kind == KIND_SOURCE
+                else seed_owner[aux_path[0]]
+            )
+            graft = _decode(aux.decode, aux_path, graft_cost)
+            if not graft.hops:
+                raise InvalidPathError(
+                    f"empty graft decoded joining {member!r} from {source!r}"
+                )
+            if attach is not None:
+                attach.drives += 1
+            prefix = list(attach.prefix) if attach is not None else []
+            last = len(graft.hops) - 1
+            for i, hop in enumerate(graft.hops):
+                prefix.append(hop)
+                delta.fail_channel(hop.tail, hop.head, hop.wavelength)
+                masked.append((hop.tail, hop.head, hop.wavelength))
+                arrivals.append(
+                    _Arrival(
+                        hop=hop,
+                        prefix=tuple(prefix),
+                        drives=0 if i == last else 1,
+                        delivers=i == last,
+                    )
+                )
+            joined[member] = tuple(prefix)
+            unjoined.remove(member)
+            total_cost += graft_cost
+            grafts += 1
+
+        paths: dict[NodeId, Semilightpath] = {}
+        for member, hops in joined.items():
+            path = Semilightpath(hops=hops)
+            paths[member] = Semilightpath(
+                hops=hops, total_cost=path.evaluate_cost(self.network)
+            )
+        hierarchy = LightHierarchy(
+            source=source,
+            members=request.members,
+            paths=paths,
+            total_cost=total_cost,
+        )
+        stats = QueryStats(
+            sizes=aux.sizes,
+            settled=settled,
+            relaxations=relaxations,
+            heap=heap_totals,
+        )
+        return MulticastRouteResult(
+            hierarchy=hierarchy, stats=stats, taps=taps, grafts=grafts
+        )

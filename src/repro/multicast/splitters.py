@@ -1,0 +1,136 @@
+"""Per-node light-splitter capabilities for multicast routing.
+
+Optical multicast replicates a signal in the optical domain, and real WDM
+nodes differ in how much replication their switch fabric supports (Zhou–
+Molnár–Cousin, PAPERS.md).  Three capability classes cover the literature:
+
+``MC`` (multicast-capable)
+    A full light splitter: one incoming channel's signal may drive any
+    number of outgoing channels and be tapped (dropped locally) at the
+    same time.
+``TAC`` (tap-and-continue)
+    A 1×2 drop element: the signal can be tapped locally *and* continue on
+    at most one outgoing channel — but never split toward two outgoing
+    channels.
+``MI`` (multicast-incapable)
+    No replication at all: the signal either terminates here (delivery to
+    a local member) or continues on exactly one outgoing channel, never
+    both.
+
+The *source* of a multicast request is exempt: replication there happens
+electronically at the transmitter (the standard assumption in the light-
+hierarchy papers), so a request may fan out of its source freely
+regardless of the source node's optical capability.
+
+These constraints are per *signal*, i.e. per incoming channel use.  A node
+may be traversed by several distinct channels of the same hierarchy (that
+is exactly what makes the structure a light-*hierarchy* rather than a
+light-tree); each traversal is constrained independently.
+
+:class:`SplitterMap` mirrors the immutable, shareable design of
+:class:`~repro.core.conversion.ConversionModel`: build once, hand to
+routers/checkers, never mutate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Mapping
+
+__all__ = ["MC", "MI", "TAC", "CAPABILITIES", "SplitterMap"]
+
+NodeId = Hashable
+
+MC = "mc"  #: multicast-capable (full light splitter)
+MI = "mi"  #: multicast-incapable (1 in, 1 out, no local tap while continuing)
+TAC = "tac"  #: tap-and-continue (local drop + at most one continuation)
+
+CAPABILITIES = (MC, TAC, MI)
+
+
+class SplitterMap:
+    """Immutable node → splitter-capability assignment.
+
+    Nodes absent from the explicit table fall back to *default* (``MC``
+    unless overridden), so the empty map models the classical fully
+    splitter-equipped network and sparse-splitter studies only list the
+    exceptions.
+    """
+
+    __slots__ = ("_table", "_default")
+
+    def __init__(
+        self,
+        capabilities: Mapping[NodeId, str] | None = None,
+        default: str = MC,
+    ) -> None:
+        if default not in CAPABILITIES:
+            raise ValueError(
+                f"unknown default capability {default!r}; known: {CAPABILITIES}"
+            )
+        table = dict(capabilities or {})
+        for node, capability in table.items():
+            if capability not in CAPABILITIES:
+                raise ValueError(
+                    f"unknown capability {capability!r} for node {node!r}; "
+                    f"known: {CAPABILITIES}"
+                )
+        self._table = table
+        self._default = default
+
+    @classmethod
+    def all_mc(cls) -> "SplitterMap":
+        """The fully splitter-equipped network (every node ``MC``)."""
+        return cls()
+
+    @property
+    def default(self) -> str:
+        return self._default
+
+    def capability(self, node: NodeId) -> str:
+        """The capability class of *node*."""
+        return self._table.get(node, self._default)
+
+    def can_branch(self, node: NodeId) -> bool:
+        """May one signal at *node* drive two or more outgoing channels?"""
+        return self.capability(node) == MC
+
+    def can_tap_and_continue(self, node: NodeId) -> bool:
+        """May one signal be dropped locally *and* continue onward?"""
+        return self.capability(node) in (MC, TAC)
+
+    def counts(self, nodes: Iterable[NodeId]) -> dict[str, int]:
+        """Capability histogram over *nodes*."""
+        out = {capability: 0 for capability in CAPABILITIES}
+        for node in nodes:
+            out[self.capability(node)] += 1
+        return out
+
+    # -- serialization (pair list: JSON objects would stringify int keys) ----
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "default": self._default,
+            "capabilities": sorted(
+                ([node, capability] for node, capability in self._table.items()),
+                key=repr,
+            ),
+        }
+
+    @staticmethod
+    def from_dict(document: Mapping[str, Any]) -> "SplitterMap":
+        return SplitterMap(
+            capabilities={
+                node: capability
+                for node, capability in document.get("capabilities", ())
+            },
+            default=document.get("default", MC),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SplitterMap):
+            return NotImplemented
+        return self._default == other._default and self._table == other._table
+
+    def __repr__(self) -> str:
+        explicit = len(self._table)
+        return f"SplitterMap(default={self._default!r}, explicit={explicit})"

@@ -1,0 +1,631 @@
+"""Differential verification for light-hierarchy multicast routing.
+
+The multicast analog of :mod:`repro.verify.harness`: seeded random
+scenarios (network + splitter map + member sets), a harness that checks
+the heuristic joiner against the exact channel-graph oracle and the
+router-independent certificate, and a delta-debugging shrinker whose
+extra passes minimize *member sets* — the knob unicast shrinking does not
+have.
+
+Disagreement semantics (see :mod:`repro.multicast.oracle` for why these
+are exactly the provable-bug set):
+
+* **error** — the router raised anything other than
+  :class:`~repro.exceptions.MulticastBlockedError`;
+* **certificate** — a returned hierarchy fails the independent Eq. (1)
+  + splitter-constraint revalidation;
+* **reachability** — the router returned a hierarchy although the oracle
+  proves the request infeasible;
+* **cost** — the router's claimed cost beats the oracle's optimum (a
+  valid hierarchy can never cost less than the relaxation's minimum).
+
+A router that *blocks* where the oracle finds a finite optimum is greedy
+incompleteness, not a bug: nearest-member-first commits to attachment
+points without lookahead.  Those events are counted in
+``MulticastScenarioReport.blocked`` so fuzz output keeps the heuristic
+honest without failing CI on known heuristic limits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import random
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable, Hashable
+
+from repro.io.serialization import network_from_json, network_to_json
+from repro.exceptions import MulticastBlockedError
+from repro.multicast.hierarchy import LightHierarchy, MulticastRequest
+from repro.multicast.oracle import MAX_ORACLE_MEMBERS, optimal_hierarchy_cost
+from repro.multicast.router import MulticastRouter
+from repro.multicast.splitters import MC, SplitterMap
+from repro.verify.certificate import check_hierarchy_certificate, costs_close
+from repro.verify.oracles import SMALL_STATE_LIMIT
+from repro.verify.scenarios import ScenarioLimits, random_scenario
+from repro.verify.shrink import rebuild_network
+
+__all__ = [
+    "MulticastScenario",
+    "MulticastDisagreement",
+    "MulticastScenarioReport",
+    "MulticastFuzzResult",
+    "MulticastHarness",
+    "random_multicast_scenario",
+    "multicast_scenario_to_dict",
+    "multicast_scenario_from_dict",
+    "shrink_multicast_scenario",
+    "save_multicast_case",
+    "load_multicast_case",
+    "iter_multicast_corpus",
+]
+
+NodeId = Hashable
+
+#: JSON schema version for serialized multicast scenarios.
+MULTICAST_SCENARIO_FORMAT = 1
+
+#: Splitter densities the generator sweeps (fraction of MC nodes).
+DENSITIES = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+@dataclass(frozen=True, eq=False)
+class MulticastScenario:
+    """One multicast verification work item."""
+
+    network: Any  # WDMNetwork
+    splitters: SplitterMap
+    requests: tuple[MulticastRequest, ...]
+    seed: int | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        for request in self.requests:
+            if not self.network.has_node(request.source):
+                raise ValueError(f"source off the network: {request.source!r}")
+            for member in request.members:
+                if not self.network.has_node(member):
+                    raise ValueError(f"member off the network: {member!r}")
+
+    def with_requests(
+        self, requests: tuple[MulticastRequest, ...]
+    ) -> "MulticastScenario":
+        return replace(self, requests=requests)
+
+    def with_network(self, network) -> "MulticastScenario":
+        return replace(self, network=network)
+
+    def __repr__(self) -> str:
+        return (
+            f"MulticastScenario(n={self.network.num_nodes}, "
+            f"m={self.network.num_links}, k={self.network.num_wavelengths}, "
+            f"requests={len(self.requests)}, seed={self.seed!r})"
+        )
+
+
+@dataclass(frozen=True)
+class MulticastDisagreement:
+    """One verified multicast routing bug witness."""
+
+    kind: str  # "error" | "certificate" | "reachability" | "cost"
+    source: NodeId
+    members: tuple[NodeId, ...]
+    detail: str
+
+    def summary(self) -> str:
+        members = ", ".join(repr(m) for m in self.members)
+        return f"[{self.kind}] {self.source!r} -> {{{members}}}: {self.detail}"
+
+
+@dataclass
+class MulticastScenarioReport:
+    """Everything one multicast scenario run produced."""
+
+    scenario: MulticastScenario
+    requests_checked: int = 0
+    routed: int = 0  # requests for which a hierarchy was produced
+    blocked: int = 0  # heuristic blocked, oracle feasible (not a bug)
+    oracle_checked: int = 0
+    disagreements: list[MulticastDisagreement] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements
+
+    def format(self) -> str:
+        lines = [
+            f"multicast scenario seed={self.scenario.seed!r} "
+            f"{self.scenario.description} ({self.scenario!r})",
+            f"requests checked: {self.requests_checked} "
+            f"(routed: {self.routed}, "
+            f"oracle-compared: {self.oracle_checked}, "
+            f"heuristic-blocked: {self.blocked})",
+        ]
+        if self.ok:
+            lines.append("no disagreements")
+        else:
+            lines.append(f"{len(self.disagreements)} disagreement(s):")
+            lines.extend(f"  {d.summary()}" for d in self.disagreements)
+        return "\n".join(lines)
+
+
+@dataclass
+class MulticastFuzzResult:
+    """Aggregate outcome of one :meth:`MulticastHarness.fuzz` run."""
+
+    scenarios_run: int
+    requests_checked: int
+    oracle_checked: int
+    blocked: int
+    failures: list[MulticastScenarioReport]
+    elapsed: float
+    seed: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+class MulticastHarness:
+    """Check the joiner against the exact oracle and the certificate.
+
+    ``cost_perturbation`` is a self-test hook: every returned hierarchy's
+    claimed cost is shifted by that amount before checking, so a nonzero
+    value *must* produce certificate disagreements — this is how the CLI
+    proves the multicast pipeline can catch a mispricing bug end to end.
+    """
+
+    def __init__(self, cost_perturbation: float = 0.0) -> None:
+        self.cost_perturbation = cost_perturbation
+
+    def run(self, scenario: MulticastScenario) -> MulticastScenarioReport:
+        report = MulticastScenarioReport(scenario=scenario)
+        network = scenario.network
+        oracle_applies = (
+            network.num_nodes * network.num_wavelengths <= SMALL_STATE_LIMIT
+        )
+        for request in scenario.requests:
+            report.requests_checked += 1
+            router = MulticastRouter(network, splitters=scenario.splitters)
+            hierarchy: LightHierarchy | None = None
+            try:
+                hierarchy = router.route(request).hierarchy
+            except MulticastBlockedError:
+                pass
+            except Exception as exc:
+                report.disagreements.append(
+                    MulticastDisagreement(
+                        kind="error",
+                        source=request.source,
+                        members=request.members,
+                        detail=f"router raised {type(exc).__name__}: {exc}",
+                    )
+                )
+                continue
+            if hierarchy is not None:
+                report.routed += 1
+            if hierarchy is not None and self.cost_perturbation:
+                hierarchy = LightHierarchy(
+                    source=hierarchy.source,
+                    members=hierarchy.members,
+                    paths=hierarchy.paths,
+                    total_cost=hierarchy.total_cost + self.cost_perturbation,
+                )
+            if hierarchy is not None:
+                cert = check_hierarchy_certificate(
+                    network,
+                    hierarchy,
+                    splitters=scenario.splitters,
+                    source=request.source,
+                    members=request.members,
+                )
+                if not cert.ok:
+                    report.disagreements.append(
+                        MulticastDisagreement(
+                            kind="certificate",
+                            source=request.source,
+                            members=request.members,
+                            detail="; ".join(cert.violations),
+                        )
+                    )
+            if not oracle_applies or len(request.members) > MAX_ORACLE_MEMBERS:
+                continue
+            report.oracle_checked += 1
+            optimum = optimal_hierarchy_cost(
+                network, request, splitters=scenario.splitters
+            )
+            if hierarchy is None:
+                if math.isfinite(optimum):
+                    report.blocked += 1
+            elif math.isinf(optimum):
+                report.disagreements.append(
+                    MulticastDisagreement(
+                        kind="reachability",
+                        source=request.source,
+                        members=request.members,
+                        detail=(
+                            f"router built a hierarchy costing "
+                            f"{hierarchy.total_cost!r} but the oracle "
+                            f"proves the request infeasible"
+                        ),
+                    )
+                )
+            elif hierarchy.total_cost < optimum and not costs_close(
+                hierarchy.total_cost, optimum
+            ):
+                report.disagreements.append(
+                    MulticastDisagreement(
+                        kind="cost",
+                        source=request.source,
+                        members=request.members,
+                        detail=(
+                            f"claimed cost {hierarchy.total_cost!r} beats "
+                            f"the exact optimum {optimum!r}"
+                        ),
+                    )
+                )
+        return report
+
+    def fuzz(
+        self,
+        seconds: float,
+        seed: int = 0,
+        limits: ScenarioLimits = ScenarioLimits(),
+        max_failures: int = 10,
+        on_scenario: Callable[[MulticastScenarioReport], None] | None = None,
+    ) -> MulticastFuzzResult:
+        """Generate-and-check scenarios until the time budget runs out.
+
+        Mirrors :meth:`~repro.verify.harness.DifferentialHarness.fuzz`:
+        at least one scenario always runs, per-scenario seeds derive
+        deterministically from the base seed, and the loop stops early
+        after *max_failures* failing scenarios.
+        """
+        if seconds <= 0:
+            raise ValueError(f"seconds must be > 0, got {seconds}")
+        rng = random.Random(seed)
+        deadline = time.monotonic() + seconds
+        scenarios_run = 0
+        requests_checked = 0
+        oracle_checked = 0
+        blocked = 0
+        failures: list[MulticastScenarioReport] = []
+        while scenarios_run == 0 or (
+            time.monotonic() < deadline and len(failures) < max_failures
+        ):
+            scenario_seed = rng.randrange(2**63)
+            report = self.run(
+                random_multicast_scenario(scenario_seed, limits=limits)
+            )
+            scenarios_run += 1
+            requests_checked += report.requests_checked
+            oracle_checked += report.oracle_checked
+            blocked += report.blocked
+            if not report.ok:
+                failures.append(report)
+            if on_scenario is not None:
+                on_scenario(report)
+        return MulticastFuzzResult(
+            scenarios_run=scenarios_run,
+            requests_checked=requests_checked,
+            oracle_checked=oracle_checked,
+            blocked=blocked,
+            failures=failures,
+            elapsed=seconds - max(0.0, deadline - time.monotonic()),
+            seed=seed,
+        )
+
+
+# -- scenario generation ------------------------------------------------------
+
+
+def random_multicast_scenario(
+    seed: int, limits: ScenarioLimits = ScenarioLimits()
+) -> MulticastScenario:
+    """Draw one reproducible multicast scenario from *seed*.
+
+    Reuses the unicast generator's topology/conversion/availability axes
+    (:func:`~repro.verify.scenarios.random_scenario`) and adds the two
+    multicast axes: splitter density (fraction of ``MC`` nodes, with the
+    non-MC remainder split between ``TAC`` and ``MI``) and member sets of
+    1–4 destinations per request.
+    """
+    from repro.topology.generators import assign_splitters
+
+    rng = random.Random(seed)
+    base = random_scenario(rng.randrange(2**63), limits=limits)
+    network = base.network
+    density = rng.choice(DENSITIES)
+    tap_share = rng.choice((0.0, 0.5, 1.0))
+    splitters = assign_splitters(
+        network,
+        density=density,
+        tap_share=tap_share,
+        seed=rng.randrange(2**31),
+    )
+    nodes = network.nodes()
+    requests: list[MulticastRequest] = []
+    for _ in range(rng.randint(1, 3)):
+        source = rng.choice(nodes)
+        others = [node for node in nodes if node != source]
+        if not others:
+            continue
+        count = rng.randint(1, min(MAX_ORACLE_MEMBERS, len(others)))
+        members = tuple(rng.sample(others, count))
+        requests.append(MulticastRequest(source=source, members=members))
+    description = (
+        f"{base.description} splitter-density={density:g} "
+        f"tap-share={tap_share:g}"
+    )
+    return MulticastScenario(
+        network=network,
+        splitters=splitters,
+        requests=tuple(requests),
+        seed=seed,
+        description=description,
+    )
+
+
+# -- serialization ------------------------------------------------------------
+
+
+def multicast_scenario_to_dict(scenario: MulticastScenario) -> dict[str, Any]:
+    return {
+        "format": MULTICAST_SCENARIO_FORMAT,
+        "multicast": True,
+        "seed": scenario.seed,
+        "description": scenario.description,
+        "network": json.loads(network_to_json(scenario.network)),
+        "splitters": scenario.splitters.to_dict(),
+        "requests": [
+            [request.source, list(request.members)]
+            for request in scenario.requests
+        ],
+    }
+
+
+def multicast_scenario_from_dict(document: dict[str, Any]) -> MulticastScenario:
+    if document.get("format") != MULTICAST_SCENARIO_FORMAT or not document.get(
+        "multicast"
+    ):
+        raise ValueError(
+            f"unsupported multicast scenario format: {document.get('format')!r}"
+        )
+    return MulticastScenario(
+        network=network_from_json(json.dumps(document["network"])),
+        splitters=SplitterMap.from_dict(document.get("splitters", {})),
+        requests=tuple(
+            MulticastRequest(source=source, members=tuple(members))
+            for source, members in document["requests"]
+        ),
+        seed=document.get("seed"),
+        description=document.get("description", ""),
+    )
+
+
+def save_multicast_case(
+    directory: Path | str,
+    scenario: MulticastScenario,
+    disagreements: tuple[str, ...] = (),
+) -> Path:
+    """Persist a shrunk counterexample, content-addressed like the unicast
+    corpus (``mcase-<sha1 prefix>.json``)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    document = multicast_scenario_to_dict(scenario)
+    document["disagreements"] = list(disagreements)
+    canonical = json.dumps(multicast_scenario_to_dict(scenario), sort_keys=True)
+    digest = hashlib.sha1(canonical.encode()).hexdigest()[:12]
+    path = directory / f"mcase-{digest}.json"
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_multicast_case(path: Path | str) -> MulticastScenario:
+    return multicast_scenario_from_dict(json.loads(Path(path).read_text()))
+
+
+def iter_multicast_corpus(directory: Path | str) -> list[MulticastScenario]:
+    """Load every multicast case in *directory* (missing dir == empty)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return [
+        load_multicast_case(path)
+        for path in sorted(directory.glob("mcase-*.json"))
+    ]
+
+
+# -- shrinking ----------------------------------------------------------------
+
+FailsFn = Callable[[MulticastScenario], bool]
+
+
+def _surviving_requests(
+    scenario: MulticastScenario, network
+) -> tuple[MulticastRequest, ...]:
+    out = []
+    for request in scenario.requests:
+        if not network.has_node(request.source):
+            continue
+        members = tuple(m for m in request.members if network.has_node(m))
+        if members:
+            out.append(MulticastRequest(source=request.source, members=members))
+    return tuple(out)
+
+
+def _network_candidate(scenario: MulticastScenario, network) -> MulticastScenario:
+    return replace(
+        scenario,
+        network=network,
+        requests=_surviving_requests(scenario, network),
+    )
+
+
+def _shrink_requests(scenario: MulticastScenario, fails: FailsFn) -> MulticastScenario:
+    if len(scenario.requests) > 1:
+        for request in scenario.requests:
+            candidate = scenario.with_requests((request,))
+            if fails(candidate):
+                scenario = candidate
+                break
+    requests = list(scenario.requests)
+    index = 0
+    while index < len(requests) and len(requests) > 1:
+        candidate = scenario.with_requests(
+            tuple(requests[:index] + requests[index + 1 :])
+        )
+        if fails(candidate):
+            del requests[index]
+            scenario = candidate
+        else:
+            index += 1
+    return scenario
+
+
+def _shrink_members(scenario: MulticastScenario, fails: FailsFn) -> MulticastScenario:
+    """The multicast-specific pass: drop members one at a time.
+
+    The fixed point is member-minimal — removing any single member from
+    any request makes the failure disappear.
+    """
+    for i, request in enumerate(scenario.requests):
+        members = list(request.members)
+        j = 0
+        while j < len(members) and len(members) > 1:
+            reduced = MulticastRequest(
+                source=request.source,
+                members=tuple(members[:j] + members[j + 1 :]),
+            )
+            requests = list(scenario.requests)
+            requests[i] = reduced
+            candidate = scenario.with_requests(tuple(requests))
+            if fails(candidate):
+                del members[j]
+                scenario = candidate
+                request = reduced
+            else:
+                j += 1
+    return scenario
+
+
+def _shrink_nodes(scenario: MulticastScenario, fails: FailsFn) -> MulticastScenario:
+    pinned = {
+        node
+        for request in scenario.requests
+        for node in (request.source, *request.members)
+    }
+    for node in scenario.network.nodes():
+        if node in pinned:
+            continue
+        keep = set(scenario.network.nodes()) - {node}
+        candidate = _network_candidate(
+            scenario, rebuild_network(scenario.network, keep_nodes=keep)
+        )
+        if candidate.requests and fails(candidate):
+            scenario = candidate
+    return scenario
+
+
+def _shrink_links(scenario: MulticastScenario, fails: FailsFn) -> MulticastScenario:
+    for link in list(scenario.network.links()):
+        def drop(tail, head, costs, _link=link):
+            if (tail, head) == (_link.tail, _link.head):
+                return None
+            return costs
+
+        candidate = _network_candidate(
+            scenario, rebuild_network(scenario.network, link_costs=drop)
+        )
+        if candidate.requests and fails(candidate):
+            scenario = candidate
+    return scenario
+
+
+def _shrink_wavelength_entries(
+    scenario: MulticastScenario, fails: FailsFn
+) -> MulticastScenario:
+    for link in list(scenario.network.links()):
+        for wavelength in sorted(link.costs):
+            def drop_entry(tail, head, costs, _link=link, _w=wavelength):
+                if (tail, head) == (_link.tail, _link.head):
+                    return {w: c for w, c in costs.items() if w != _w}
+                return costs
+
+            candidate = _network_candidate(
+                scenario, rebuild_network(scenario.network, link_costs=drop_entry)
+            )
+            if candidate.requests and fails(candidate):
+                scenario = candidate
+    return scenario
+
+
+def _simplify_splitters(
+    scenario: MulticastScenario, fails: FailsFn
+) -> MulticastScenario:
+    """Promote non-MC nodes back to MC where the failure survives — the
+    remaining constrained nodes are exactly the ones the bug needs."""
+    for node in scenario.network.nodes():
+        if scenario.splitters.capability(node) == MC:
+            continue
+        table = {
+            n: scenario.splitters.capability(n)
+            for n in scenario.network.nodes()
+            if scenario.splitters.capability(n) != MC and n != node
+        }
+        candidate = replace(scenario, splitters=SplitterMap(table))
+        if fails(candidate):
+            scenario = candidate
+    return scenario
+
+
+_MULTICAST_PASSES = (
+    _shrink_requests,
+    _shrink_members,
+    _shrink_nodes,
+    _shrink_links,
+    _shrink_wavelength_entries,
+    _simplify_splitters,
+)
+
+
+def _size(scenario: MulticastScenario) -> tuple[int, ...]:
+    network = scenario.network
+    return (
+        network.num_nodes,
+        network.num_links,
+        network.total_link_wavelengths,
+        len(scenario.requests),
+        sum(len(r.members) for r in scenario.requests),
+        sum(
+            1
+            for node in network.nodes()
+            if scenario.splitters.capability(node) != MC
+        ),
+    )
+
+
+def shrink_multicast_scenario(
+    scenario: MulticastScenario, fails: FailsFn, max_rounds: int = 8
+) -> MulticastScenario:
+    """Reduce *scenario* to a locally minimal failing one.
+
+    Same contract as :func:`~repro.verify.shrink.shrink_scenario`; the
+    member pass guarantees the result's member sets are 1-minimal.
+    """
+    if not fails(scenario):
+        raise ValueError("refusing to shrink: the scenario does not fail")
+    for _ in range(max_rounds):
+        before = _size(scenario)
+        for reduction_pass in _MULTICAST_PASSES:
+            scenario = reduction_pass(scenario, fails)
+        if _size(scenario) == before:
+            break
+    if not scenario.description.endswith(" (shrunk)"):
+        scenario = replace(
+            scenario, description=scenario.description + " (shrunk)"
+        )
+    return scenario

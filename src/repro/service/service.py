@@ -297,6 +297,29 @@ class RoutingService:
         path = self.try_route(source, target)
         return math.inf if path is None else path.total_cost
 
+    def route_tree(self, source: NodeId) -> dict[NodeId, Semilightpath]:
+        """Optimal semilightpaths from *source* to every reachable node.
+
+        The Corollary 1 one-to-all tree at the current epoch, served from
+        the same cached trees :meth:`route` reads — one call warms the
+        cache for every pair out of *source*.  Unreachable nodes are
+        simply absent (no :class:`~repro.exceptions.NoPathError`; a
+        one-to-all answer is partial by design).  Every returned path is
+        remembered for stale-serving, so a tree call also refreshes the
+        degraded-mode safety net.
+        """
+        start = time.monotonic()
+        try:
+            tree = self.cache.tree(source)
+            epoch = self.cache.epoch
+            for target, path in tree.items():
+                self._remember(source, target, path, epoch)
+            return tree
+        finally:
+            self.metrics.histogram("service.admission_ms").observe(
+                (time.monotonic() - start) * 1e3
+            )
+
     # -- invalidation hooks --------------------------------------------------
 
     @property

@@ -34,6 +34,7 @@ __all__ = [
     "complete_network",
     "dumbbell_network",
     "build_network",
+    "assign_splitters",
 ]
 
 NodeId = Hashable
@@ -320,3 +321,38 @@ def dumbbell_network(
     for a, c in zip(chain, chain[1:]):
         edges.append((a, c))
     return build_network(nodes, _bidirect(edges), num_wavelengths, **kw)
+
+
+def assign_splitters(
+    network: WDMNetwork,
+    density: float = 1.0,
+    tap_share: float = 0.5,
+    seed: int = 0,
+):
+    """Draw a seeded per-node splitter-capability map for *network*.
+
+    *density* is the fraction of multicast-capable (``MC``) nodes — the
+    knob the sparse-splitter literature sweeps.  Each remaining node is
+    tap-and-continue (``TAC``) with probability *tap_share* and multicast
+    incapable (``MI``) otherwise.  Deterministic in ``(network node
+    order, density, tap_share, seed)``; returns a
+    :class:`~repro.multicast.splitters.SplitterMap`.
+    """
+    # Imported lazily: the multicast package sits *above* topology (its
+    # verify module builds scenarios through these generators).
+    from repro.multicast.splitters import MC, MI, TAC, SplitterMap
+
+    check_probability(density, "density")
+    check_probability(tap_share, "tap_share")
+    rng = random.Random(seed)
+    table: dict[NodeId, str] = {}
+    for node in network.nodes():
+        if rng.random() < density:
+            capability = MC
+        elif rng.random() < tap_share:
+            capability = TAC
+        else:
+            capability = MI
+        if capability != MC:
+            table[node] = capability
+    return SplitterMap(table)

@@ -35,8 +35,14 @@ from repro.core.semilightpath import Semilightpath
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.network import WDMNetwork
+    from repro.multicast.hierarchy import LightHierarchy
+    from repro.multicast.splitters import SplitterMap
 
-__all__ = ["CertificateReport", "check_certificate"]
+__all__ = [
+    "CertificateReport",
+    "check_certificate",
+    "check_hierarchy_certificate",
+]
 
 NodeId = Hashable
 
@@ -124,6 +130,168 @@ def check_certificate(
         elif not costs_close(total, claimed):
             violations.append(
                 f"claimed cost {claimed!r} != recomputed Eq. (1) cost {total!r}"
+            )
+    return CertificateReport(
+        ok=not violations, recomputed_cost=total, violations=tuple(violations)
+    )
+
+
+def check_hierarchy_certificate(
+    network: "WDMNetwork",
+    hierarchy: "LightHierarchy",
+    splitters: "SplitterMap | None" = None,
+    source: NodeId | None = None,
+    members=None,
+) -> CertificateReport:
+    """Revalidate a light-hierarchy against *network* from first principles.
+
+    The multicast analog of :func:`check_certificate`: *hierarchy* is read
+    purely as data (per-member hop sequences plus a claimed total cost) —
+    none of its derived methods are trusted.  The checker independently
+
+    * re-derives the **channel parent relation** from the member paths and
+      rejects any channel fed by two different predecessors or reachable
+      only through a parent cycle (a channel carries one signal: the
+      hierarchy must be a tree in channel space);
+    * checks **feasibility** of every channel (link exists, ``λ ∈ Λ(e)``)
+      and of every parent→child conversion at the child's tail node;
+    * enforces the **splitter constraints**: a signal driving two or more
+      child channels needs a multicast-capable (``can_branch``) head, and
+      a signal that both delivers to a member and continues needs at
+      least tap-and-continue capability.  *splitters* is duck-typed
+      (``can_branch(node)`` / ``can_tap_and_continue(node)``); ``None``
+      means every node is fully capable.  The source transmitter's
+      fan-out is never constrained (electronic replication);
+    * recomputes the **Eq. (1) hierarchy cost** — every channel's weight
+      once, plus per-channel conversion from its parent's wavelength —
+      and compares it with the claimed ``total_cost``.
+
+    When *source*/*members* are given, path endpoints and member coverage
+    are checked against them.  Never raises on a bad certificate.
+    """
+    violations: list[str] = []
+    paths = dict(hierarchy.paths)
+    if source is None:
+        source = hierarchy.source
+    if members is not None and set(paths) != set(members):
+        violations.append(
+            f"hierarchy covers {sorted(paths, key=repr)!r}, "
+            f"queried members {sorted(members, key=repr)!r}"
+        )
+
+    # Per-member walk checks (endpoints + continuity), trusting nothing.
+    for member in sorted(paths, key=repr):
+        hops = paths[member].hops
+        if not hops:
+            violations.append(f"empty path to member {member!r}")
+            continue
+        if hops[0].tail != source:
+            violations.append(
+                f"path to {member!r} starts at {hops[0].tail!r}, "
+                f"queried source {source!r}"
+            )
+        if hops[-1].head != member:
+            violations.append(
+                f"path to {member!r} ends at {hops[-1].head!r}"
+            )
+        for i in range(len(hops) - 1):
+            if hops[i].head != hops[i + 1].tail:
+                violations.append(
+                    f"path to {member!r}: hop {i} ends at {hops[i].head!r} "
+                    f"but hop {i + 1} starts at {hops[i + 1].tail!r}"
+                )
+
+    # Independent parent derivation over channel keys (tail, head, λ).
+    parents: dict[tuple, tuple | None] = {}
+    delivers: set[tuple] = set()
+    for member in sorted(paths, key=repr):
+        previous = None
+        for hop in paths[member].hops:
+            channel = (hop.tail, hop.head, hop.wavelength)
+            if channel in parents:
+                if parents[channel] != previous:
+                    violations.append(
+                        f"channel {channel!r} is driven by both "
+                        f"{parents[channel]!r} and {previous!r} "
+                        f"(one channel, one signal)"
+                    )
+            else:
+                parents[channel] = previous
+            previous = channel
+        if previous is not None:
+            delivers.add(previous)
+
+    grounded: set[tuple] = set()
+    frontier = [c for c, p in parents.items() if p is None]
+    while frontier:
+        grounded.update(frontier)
+        frontier = [
+            c for c, p in parents.items() if c not in grounded and p in grounded
+        ]
+    for channel in sorted(set(parents) - grounded, key=repr):
+        violations.append(
+            f"channel {channel!r} is not grounded at the source "
+            f"(parent cycle or dangling parent)"
+        )
+
+    # Feasibility + Eq. (1) cost from the raw tables.
+    total = 0.0
+    for channel in sorted(parents, key=repr):
+        tail, head, wavelength = channel
+        if not network.has_link(tail, head):
+            violations.append(f"no link {tail!r} -> {head!r}")
+            continue
+        weight = network.link(tail, head).costs.get(wavelength)
+        if weight is None:
+            violations.append(
+                f"wavelength {wavelength} not in Λ(e) of {tail!r} -> {head!r}"
+            )
+            continue
+        total += weight
+        parent = parents[channel]
+        if parent is not None and network.has_node(tail):
+            conv = network.conversion(tail).cost(parent[2], wavelength)
+            if math.isinf(conv):
+                violations.append(
+                    f"node {tail!r} cannot convert "
+                    f"λ{parent[2] + 1} -> λ{wavelength + 1}"
+                )
+                continue
+            total += conv
+
+    # Splitter constraints per channel signal.
+    children: dict[tuple, int] = {}
+    for channel, parent in parents.items():
+        if parent is not None:
+            children[parent] = children.get(parent, 0) + 1
+    for channel in sorted(parents, key=repr):
+        head = channel[1]
+        branches = children.get(channel, 0)
+        if branches >= 2 and not (
+            splitters is None or splitters.can_branch(head)
+        ):
+            violations.append(
+                f"channel {channel!r} drives {branches} branches but "
+                f"{head!r} is not multicast-capable"
+            )
+        elif (
+            branches >= 1
+            and channel in delivers
+            and not (splitters is None or splitters.can_tap_and_continue(head))
+        ):
+            violations.append(
+                f"channel {channel!r} delivers to {head!r} and continues, "
+                f"but {head!r} cannot tap-and-continue"
+            )
+
+    if not violations:
+        claimed = hierarchy.total_cost
+        if math.isnan(claimed):
+            violations.append("claimed total_cost is NaN")
+        elif not costs_close(total, claimed):
+            violations.append(
+                f"claimed cost {claimed!r} != recomputed Eq. (1) "
+                f"hierarchy cost {total!r}"
             )
     return CertificateReport(
         ok=not violations, recomputed_cost=total, violations=tuple(violations)

@@ -280,3 +280,22 @@ def default_oracles(parallel_workers: int = 2) -> tuple[Oracle, ...]:
         Oracle(name="distributed:bellman-ford", prepare=_distributed)
     )
     return tuple(oracles)
+
+
+def multicast_oracle_cost(network, request, splitters=None):
+    """Exact small-instance cost of an optimal light-hierarchy.
+
+    The multicast analog of the ``brute-force`` unicast oracle: a
+    Dreyfus–Wagner dynamic program over the channel graph, exponential in
+    the member count and therefore gated behind
+    :data:`repro.multicast.oracle.MAX_ORACLE_MEMBERS` by callers.
+    Re-exported here (lazily — the multicast package imports this module's
+    siblings) so differential-verification consumers find every reference
+    implementation in one place.  Returns ``math.inf`` when infeasible.
+    """
+    from repro.multicast.oracle import optimal_hierarchy_cost
+
+    return optimal_hierarchy_cost(network, request, splitters=splitters)
+
+
+__all__.append("multicast_oracle_cost")

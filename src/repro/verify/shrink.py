@@ -29,7 +29,7 @@ from repro.core.conversion import ConversionModel, FixedCostConversion
 from repro.core.network import WDMNetwork
 from repro.verify.scenarios import Scenario
 
-__all__ = ["shrink_scenario"]
+__all__ = ["shrink_scenario", "rebuild_network"]
 
 NodeId = Hashable
 FailsFn = Callable[[Scenario], bool]
@@ -75,6 +75,11 @@ def _rebuild(
                 continue
         clone.add_link(link.tail, link.head, dict(costs))
     return clone
+
+
+#: Public name for the surgical network-rebuild helper — the multicast
+#: shrinker (:mod:`repro.multicast.verify`) shares the same passes.
+rebuild_network = _rebuild
 
 
 def _surviving_queries(

@@ -22,9 +22,11 @@ from repro.exceptions import NoPathError, ReservationError
 from repro.wdm.state import WavelengthState
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.multicast.hierarchy import LightHierarchy
+    from repro.multicast.splitters import SplitterMap
     from repro.service.service import RoutingService
 
-__all__ = ["Connection", "SemilightpathProvisioner"]
+__all__ = ["Connection", "MulticastConnection", "SemilightpathProvisioner"]
 
 NodeId = Hashable
 
@@ -37,6 +39,16 @@ class Connection:
     source: NodeId
     target: NodeId
     path: Semilightpath
+
+
+@dataclass(frozen=True)
+class MulticastConnection:
+    """A live admitted one-to-many connection (a light-hierarchy)."""
+
+    connection_id: int
+    source: NodeId
+    members: tuple[NodeId, ...]
+    hierarchy: "LightHierarchy"
 
 
 class SemilightpathProvisioner:
@@ -91,6 +103,7 @@ class SemilightpathProvisioner:
         self._router_factory = router_factory or LiangShenRouter
         self._ids = itertools.count(1)
         self._active: dict[int, Connection] = {}
+        self._active_multicast: dict[int, MulticastConnection] = {}
         self._service: "RoutingService | None" = None
 
     @property
@@ -177,6 +190,9 @@ class SemilightpathProvisioner:
         for connection in self._active.values():
             for hop in connection.path.hops:
                 usage[hop.wavelength] += 1
+        for mconn in self._active_multicast.values():
+            for _tail, _head, wavelength in mconn.hierarchy.channel_keys():
+                usage[wavelength] += 1
         floor = self.network.min_link_cost()
         if not (0 < floor < float("inf")):
             floor = 1.0
@@ -261,4 +277,104 @@ class SemilightpathProvisioner:
         try:
             return self.establish(source, target)
         except NoPathError:
+            return None
+
+    # -- multicast admissions -------------------------------------------------
+
+    @property
+    def num_active_multicast(self) -> int:
+        """Number of currently admitted multicast connections."""
+        return len(self._active_multicast)
+
+    def active_multicast_connections(self) -> list[MulticastConnection]:
+        """Snapshot of live multicast connections."""
+        return list(self._active_multicast.values())
+
+    def establish_multicast(
+        self,
+        source: NodeId,
+        members: "tuple[NodeId, ...] | list[NodeId]",
+        splitters: "SplitterMap | None" = None,
+    ) -> MulticastConnection:
+        """Admit a one-to-many connection as a light-hierarchy.
+
+        The hierarchy is routed on the *residual* network (occupied
+        channels absent) under the node splitter constraints, re-priced
+        against the full network, and its channels reserved atomically —
+        a conflicting reservation rolls the admission back without
+        partial effect.  Raises
+        :class:`~repro.exceptions.MulticastBlockedError` (a
+        :class:`~repro.exceptions.NoPathError`) when the residual network
+        cannot join every member.
+        """
+        # Imported lazily: multicast builds on core/verify and must stay
+        # optional for unicast-only deployments of this module.
+        from repro.multicast.hierarchy import LightHierarchy, MulticastRequest
+        from repro.multicast.router import MulticastRouter
+
+        request = MulticastRequest(source=source, members=tuple(members))
+        residual = self.residual_network()
+        router = MulticastRouter(residual, splitters=splitters)
+        hierarchy = router.route(request).hierarchy
+        # Re-price on the full network (packing bias off, real costs on).
+        repriced_paths = {
+            member: Semilightpath(
+                hops=path.hops, total_cost=path.evaluate_cost(self.network)
+            )
+            for member, path in hierarchy.paths.items()
+        }
+        repriced = LightHierarchy(
+            source=hierarchy.source,
+            members=hierarchy.members,
+            paths=repriced_paths,
+        )
+        hierarchy = LightHierarchy(
+            source=repriced.source,
+            members=repriced.members,
+            paths=repriced.paths,
+            total_cost=repriced.evaluate_cost(self.network),
+        )
+        channels = sorted(hierarchy.channel_keys(), key=repr)
+        self.state.reserve_channels(channels)
+        if self._service is not None:
+            if self.packing == "none":
+                # Per-channel degradation: cached trees not using the
+                # reserved channels survive (same rule as unicast).
+                for tail, head, wavelength in channels:
+                    self._service.notify_link_degraded(tail, head, wavelength)
+            else:
+                self._service.invalidate()
+        connection = MulticastConnection(
+            connection_id=next(self._ids),
+            source=source,
+            members=request.members,
+            hierarchy=hierarchy,
+        )
+        self._active_multicast[connection.connection_id] = connection
+        return connection
+
+    def teardown_multicast(self, connection: MulticastConnection) -> None:
+        """Release a live multicast connection's channels."""
+        if connection.connection_id not in self._active_multicast:
+            raise ReservationError(
+                f"multicast connection {connection.connection_id} is not active"
+            )
+        self.state.release_channels(
+            sorted(connection.hierarchy.channel_keys(), key=repr)
+        )
+        del self._active_multicast[connection.connection_id]
+        if self._service is not None:
+            # Freed channels can improve any cached route: full refresh.
+            self._service.invalidate()
+
+    def try_establish_multicast(
+        self,
+        source: NodeId,
+        members: "tuple[NodeId, ...] | list[NodeId]",
+        splitters: "SplitterMap | None" = None,
+    ) -> MulticastConnection | None:
+        """Like :meth:`establish_multicast` but returns None on blocking."""
+        try:
+            return self.establish_multicast(source, members, splitters=splitters)
+        except NoPathError:  # MulticastBlockedError subclasses NoPathError
             return None

@@ -1,0 +1,82 @@
+"""Edge cases for Corollary 1 trees (LiangShenRouter.route_tree) and the
+service-level exposure (RoutingService.route_tree)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conversion import FixedCostConversion
+from repro.core.network import WDMNetwork
+from repro.core.routing import LiangShenRouter
+from repro.exceptions import NoPathError, UnknownNodeError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent
+from repro.service.service import RoutingService
+
+
+def _line() -> WDMNetwork:
+    """a -> b -> c on one wavelength, with z dark (no usable channels)."""
+    net = WDMNetwork(num_wavelengths=1,
+                     default_conversion=FixedCostConversion(0.5))
+    for node in "abcz":
+        net.add_node(node)
+    net.add_link("a", "b", {0: 1.0})
+    net.add_link("b", "c", {0: 1.0})
+    return net
+
+
+class TestRouteTreeEdges:
+    def test_dark_source_yields_empty_tree(self):
+        tree = LiangShenRouter(_line()).route_tree("z")
+        assert tree == {}
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(UnknownNodeError):
+            LiangShenRouter(_line()).route_tree("ghost")
+
+    def test_tree_omits_source_and_unreachable(self):
+        tree = LiangShenRouter(_line()).route_tree("b")
+        assert set(tree) == {"c"}  # not a (upstream), not z (dark), not b
+
+    def test_tree_paths_match_single_pair_routes(self, paper_net):
+        router = LiangShenRouter(paper_net)
+        tree = router.route_tree(1)
+        assert tree  # figure 1 is connected from node 1
+        for target, path in tree.items():
+            single = router.route(1, target).path
+            assert path.total_cost == pytest.approx(single.total_cost)
+            # Hop-identity, not just cost equality: the tree decodes the
+            # exact same semilightpaths the pairwise query would.
+            assert path.hops == single.hops
+
+    def test_tree_shrinks_under_degraded_overlay(self):
+        net = _line()
+        injector = FaultInjector(net)
+        injector.apply(FaultEvent(0.1, "link_fail", tail="b", head="c"))
+        degraded = injector.network_view()
+        tree = LiangShenRouter(degraded).route_tree("a")
+        assert set(tree) == {"b"}  # c fell off with the severed b->c fiber
+        with pytest.raises(NoPathError):
+            LiangShenRouter(degraded).route("a", "c")
+
+
+class TestServiceRouteTree:
+    def test_matches_the_router(self, paper_net):
+        service = RoutingService(lambda: paper_net)
+        tree = service.route_tree(1)
+        direct = LiangShenRouter(paper_net).route_tree(1)
+        assert set(tree) == set(direct)
+        for target, path in tree.items():
+            assert path.hops == direct[target].hops
+            assert path.total_cost == pytest.approx(direct[target].total_cost)
+
+    def test_tree_primes_single_pair_queries(self, paper_net):
+        service = RoutingService(lambda: paper_net)
+        tree = service.route_tree(1)
+        for target in tree:
+            # Every tree entry must now serve (and agree with) route().
+            assert service.route(1, target).hops == tree[target].hops
+
+    def test_dark_source_is_empty_at_the_service_too(self):
+        service = RoutingService(_line)
+        assert service.route_tree("z") == {}

@@ -1,0 +1,61 @@
+"""Tests for the multicast chaos soak (repro.multicast.churn)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.multicast.churn import MulticastChurnSoak
+from repro.topology.reference import nsfnet_network, paper_figure1_network
+
+
+class TestChurnSoak:
+    @pytest.mark.parametrize("seed", [0, 3, 9, 1998])
+    def test_soak_converges_clean(self, seed):
+        soak = MulticastChurnSoak(paper_figure1_network(), seed=seed)
+        report = soak.run()
+        assert report.ok, report.format()
+        # One settle per event plus the final pristine-view convergence pass.
+        assert report.epochs == report.events_applied + 1
+        assert report.final_blocked == 0
+
+    def test_membership_events_are_processed(self):
+        # Enough churn that at least one join/leave lands on every seed.
+        soak = MulticastChurnSoak(
+            nsfnet_network(num_wavelengths=4),
+            seed=5,
+            num_membership_events=12,
+        )
+        report = soak.run()
+        assert report.ok, report.format()
+        assert report.membership_events > 0
+        assert report.reroutes > 0
+
+    def test_faults_force_reroutes(self):
+        soak = MulticastChurnSoak(
+            nsfnet_network(num_wavelengths=4), seed=2, num_faults=16
+        )
+        report = soak.run()
+        assert report.ok, report.format()
+        assert report.events_applied >= 16
+        # With 16 faults on NSFNET some hierarchy channel gets severed.
+        assert report.severed + report.reroutes > 0
+
+    def test_cost_perturbation_trips_the_certificate(self):
+        soak = MulticastChurnSoak(
+            paper_figure1_network(), seed=0, cost_perturbation=0.125
+        )
+        report = soak.run()
+        assert not report.ok
+        assert report.violations
+        assert all("cost" in v.detail.lower() or "certificate"
+                   in v.detail.lower() or v.detail
+                   for v in report.violations)
+
+    def test_soak_is_deterministic(self):
+        runs = [
+            MulticastChurnSoak(paper_figure1_network(), seed=7).run()
+            for _ in range(2)
+        ]
+        assert runs[0].epochs == runs[1].epochs
+        assert runs[0].reroutes == runs[1].reroutes
+        assert runs[0].membership_events == runs[1].membership_events

@@ -1,0 +1,128 @@
+"""Tests for multicast requests and light-hierarchies
+(repro.multicast.hierarchy)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.conversion import FixedCostConversion
+from repro.core.network import WDMNetwork
+from repro.core.semilightpath import Hop, Semilightpath
+from repro.exceptions import InvalidPathError
+from repro.multicast.hierarchy import (
+    LightHierarchy,
+    MulticastRequest,
+    derive_parents,
+)
+
+
+def _path(*hops: tuple) -> Semilightpath:
+    return Semilightpath(hops=tuple(Hop(*h) for h in hops))
+
+
+class TestMulticastRequest:
+    def test_needs_members(self):
+        with pytest.raises(ValueError):
+            MulticastRequest(source=1, members=())
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            MulticastRequest(source=1, members=(2, 2))
+
+    def test_rejects_source_as_member(self):
+        with pytest.raises(ValueError):
+            MulticastRequest(source=1, members=(2, 1))
+
+
+class TestDeriveParents:
+    def test_shared_prefix_forms_chain(self):
+        paths = {
+            "c": _path(("a", "b", 0), ("b", "c", 0)),
+            "d": _path(("a", "b", 0), ("b", "d", 1)),
+        }
+        parents, violations = derive_parents(paths)
+        assert violations == []
+        assert parents[("a", "b", 0)] is None
+        assert parents[("b", "c", 0)] == ("a", "b", 0)
+        assert parents[("b", "d", 1)] == ("a", "b", 0)
+
+    def test_conflicting_parent_is_flagged(self):
+        # Both members reach b->c λ1, but through different predecessors:
+        # the channel would carry two signals.
+        paths = {
+            "c1": _path(("a", "b", 0), ("b", "c", 0)),
+            "c2": _path(("a", "b", 1), ("b", "c", 0), ("c", "x", 0)),
+        }
+        _parents, violations = derive_parents(paths)
+        assert any("driven by both" in v for v in violations)
+
+    def test_channel_repeated_in_one_path_is_a_cycle(self):
+        paths = {
+            "b": _path(("a", "b", 0), ("b", "a", 0), ("a", "b", 0)),
+        }
+        _parents, violations = derive_parents(paths)
+        assert violations  # conflicting parent or ungrounded cycle
+
+    def test_hierarchy_may_revisit_a_node_on_distinct_channels(self):
+        # The light-hierarchy signature move: pass through b twice on
+        # different channels (branching *around* an MI node).
+        paths = {
+            "x": _path(("a", "b", 0), ("b", "x", 0)),
+            "y": _path(("a", "b", 1), ("b", "y", 1)),
+        }
+        _parents, violations = derive_parents(paths)
+        assert violations == []
+
+
+class TestLightHierarchy:
+    def test_paths_must_cover_members(self):
+        with pytest.raises(InvalidPathError):
+            LightHierarchy(source="a", members=("b", "c"),
+                           paths={"b": _path(("a", "b", 0))})
+
+    def test_paths_must_start_at_source_and_end_at_member(self):
+        with pytest.raises(InvalidPathError):
+            LightHierarchy(source="a", members=("b",),
+                           paths={"b": _path(("x", "b", 0))})
+        with pytest.raises(InvalidPathError):
+            LightHierarchy(source="a", members=("b",),
+                           paths={"b": _path(("a", "c", 0))})
+
+    def test_channels_are_deduplicated(self):
+        h = LightHierarchy(
+            source="a", members=("c", "d"),
+            paths={
+                "c": _path(("a", "b", 0), ("b", "c", 0)),
+                "d": _path(("a", "b", 0), ("b", "d", 0)),
+            },
+        )
+        assert h.num_channels == 3
+        assert h.channel_keys() == {
+            ("a", "b", 0), ("b", "c", 0), ("b", "d", 0)
+        }
+        assert h.branch_degrees()[("a", "b", 0)] == 2
+
+    def test_evaluate_cost_charges_channels_once_plus_conversions(self):
+        net = WDMNetwork(num_wavelengths=2,
+                         default_conversion=FixedCostConversion(0.5))
+        for node in "abcd":
+            net.add_node(node)
+        net.add_link("a", "b", {0: 1.0})
+        net.add_link("b", "c", {0: 2.0})
+        net.add_link("b", "d", {1: 4.0})
+        h = LightHierarchy(
+            source="a", members=("c", "d"),
+            paths={
+                "c": _path(("a", "b", 0), ("b", "c", 0)),
+                "d": _path(("a", "b", 0), ("b", "d", 1)),
+            },
+        )
+        # Shared a->b charged once (1), b->c (2), b->d (4) + λ1->λ2 at b (0.5).
+        assert h.evaluate_cost(net) == pytest.approx(7.5)
+
+    def test_default_claimed_cost_is_nan(self):
+        h = LightHierarchy(source="a", members=("b",),
+                           paths={"b": _path(("a", "b", 0))})
+        assert math.isnan(h.total_cost)

@@ -1,0 +1,102 @@
+"""Tests for multicast admissions in the provisioner
+(repro.wdm.provisioning.SemilightpathProvisioner)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conversion import FixedCostConversion
+from repro.core.network import WDMNetwork
+from repro.exceptions import MulticastBlockedError, ReservationError
+from repro.multicast.splitters import MI, SplitterMap
+from repro.wdm.provisioning import SemilightpathProvisioner
+
+
+def _tiny() -> WDMNetwork:
+    """a -> b on one wavelength, then b fans out to x and y."""
+    net = WDMNetwork(num_wavelengths=2,
+                     default_conversion=FixedCostConversion(0.5))
+    for node in "abxy":
+        net.add_node(node)
+    net.add_link("a", "b", {0: 1.0, 1: 1.0})
+    net.add_link("b", "x", {0: 1.0})
+    net.add_link("b", "y", {1: 1.0})
+    return net
+
+
+class TestEstablishMulticast:
+    def test_reserves_every_hierarchy_channel(self):
+        prov = SemilightpathProvisioner(_tiny())
+        conn = prov.establish_multicast("a", ("x", "y"))
+        assert prov.num_active_multicast == 1
+        assert conn.members == ("x", "y")
+        residual = prov.residual_network()
+        for tail, head, wavelength in conn.hierarchy.channel_keys():
+            if residual.has_link(tail, head):
+                assert wavelength not in residual.link(tail, head).costs
+
+    def test_cost_is_repriced_on_the_full_network(self, paper_net):
+        prov = SemilightpathProvisioner(paper_net, packing="most-used")
+        conn = prov.establish_multicast(1, (4, 6, 7))
+        # The packing bias steers routing but must not leak into the
+        # admitted cost: Eq. (1) on the real network.
+        assert conn.hierarchy.total_cost == pytest.approx(
+            conn.hierarchy.evaluate_cost(paper_net)
+        )
+
+    def test_second_multicast_is_channel_disjoint(self, paper_net):
+        prov = SemilightpathProvisioner(paper_net)
+        first = prov.establish_multicast(1, (4, 7))
+        second = prov.try_establish_multicast(1, (4, 7))
+        if second is not None:  # enough spare channels to admit both
+            assert not (
+                first.hierarchy.channel_keys()
+                & second.hierarchy.channel_keys()
+            )
+
+    def test_blocked_when_channels_exhausted(self):
+        prov = SemilightpathProvisioner(_tiny())
+        prov.establish_multicast("a", ("x", "y"))  # claims both a->b channels
+        with pytest.raises(MulticastBlockedError):
+            prov.establish_multicast("a", ("x",))
+        assert prov.try_establish_multicast("a", ("x",)) is None
+
+    def test_splitter_constraints_apply(self):
+        net = _tiny()
+        prov = SemilightpathProvisioner(net)
+        # b cannot split: joining x and y takes both a->b channels.
+        conn = prov.establish_multicast(
+            "a", ("x", "y"), splitters=SplitterMap({"b": MI})
+        )
+        assert len(conn.hierarchy.channel_keys()) == 4
+
+
+class TestTeardownMulticast:
+    def test_releases_channels(self):
+        net = _tiny()
+        prov = SemilightpathProvisioner(net)
+        conn = prov.establish_multicast("a", ("x", "y"))
+        prov.teardown_multicast(conn)
+        assert prov.num_active_multicast == 0
+        # Everything is free again: the same admission succeeds.
+        again = prov.establish_multicast("a", ("x", "y"))
+        assert again.hierarchy.channel_keys() == conn.hierarchy.channel_keys()
+
+    def test_double_teardown_raises(self):
+        prov = SemilightpathProvisioner(_tiny())
+        conn = prov.establish_multicast("a", ("x", "y"))
+        prov.teardown_multicast(conn)
+        with pytest.raises(ReservationError):
+            prov.teardown_multicast(conn)
+
+
+class TestCoexistence:
+    def test_unicast_and_multicast_share_the_channel_pool(self):
+        net = _tiny()
+        prov = SemilightpathProvisioner(net)
+        uni = prov.establish("a", "x")  # claims a->b and b->x on some λ
+        conn = prov.try_establish_multicast("a", ("x", "y"))
+        if conn is not None:
+            used = {(h.tail, h.head, h.wavelength) for h in uni.path.hops}
+            assert not (used & conn.hierarchy.channel_keys())
+        assert prov.num_active == 1

@@ -1,0 +1,71 @@
+"""Tests for the splitter capability model (repro.multicast.splitters)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.multicast.splitters import CAPABILITIES, MC, MI, TAC, SplitterMap
+from repro.topology.generators import assign_splitters
+from repro.topology.reference import paper_figure1_network
+
+
+class TestSplitterMap:
+    def test_default_is_fully_capable(self):
+        splitters = SplitterMap.all_mc()
+        assert splitters.capability("anything") == MC
+        assert splitters.can_branch(1)
+        assert splitters.can_tap_and_continue(1)
+
+    def test_capability_semantics(self):
+        splitters = SplitterMap({1: MI, 2: TAC, 3: MC})
+        assert not splitters.can_branch(1) and not splitters.can_tap_and_continue(1)
+        assert not splitters.can_branch(2) and splitters.can_tap_and_continue(2)
+        assert splitters.can_branch(3) and splitters.can_tap_and_continue(3)
+
+    def test_rejects_unknown_capability(self):
+        with pytest.raises(ValueError):
+            SplitterMap({1: "splitty"})
+        with pytest.raises(ValueError):
+            SplitterMap({}, default="nope")
+
+    def test_counts(self):
+        splitters = SplitterMap({1: MI, 2: TAC})
+        assert splitters.counts([1, 2, 3]) == {MC: 1, TAC: 1, MI: 1}
+
+    def test_dict_round_trip(self):
+        splitters = SplitterMap({1: MI, "hub": TAC}, default=MC)
+        clone = SplitterMap.from_dict(splitters.to_dict())
+        assert clone == splitters
+        assert clone.capability(1) == MI
+        assert clone.capability("hub") == TAC
+        assert clone.capability("other") == MC
+
+    def test_capability_constants_are_distinct(self):
+        assert len(set(CAPABILITIES)) == 3
+
+
+class TestAssignSplitters:
+    def test_density_one_is_all_mc(self):
+        net = paper_figure1_network()
+        splitters = assign_splitters(net, density=1.0, seed=3)
+        assert splitters.counts(net.nodes()) == {MC: net.num_nodes, TAC: 0, MI: 0}
+
+    def test_density_zero_splits_by_tap_share(self):
+        net = paper_figure1_network()
+        all_tac = assign_splitters(net, density=0.0, tap_share=1.0, seed=3)
+        assert all_tac.counts(net.nodes())[TAC] == net.num_nodes
+        all_mi = assign_splitters(net, density=0.0, tap_share=0.0, seed=3)
+        assert all_mi.counts(net.nodes())[MI] == net.num_nodes
+
+    def test_seeded_and_deterministic(self):
+        net = paper_figure1_network()
+        a = assign_splitters(net, density=0.5, seed=11)
+        b = assign_splitters(net, density=0.5, seed=11)
+        assert a == b
+
+    def test_rejects_bad_probabilities(self):
+        net = paper_figure1_network()
+        with pytest.raises(ValueError):
+            assign_splitters(net, density=1.5)
+        with pytest.raises(ValueError):
+            assign_splitters(net, tap_share=-0.1)

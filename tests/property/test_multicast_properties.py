@@ -1,0 +1,115 @@
+"""Property-based tests for light-hierarchy multicast (hypothesis).
+
+The central properties:
+
+* **Harness cleanliness** — on arbitrary networks the greedy joiner never
+  produces a certificate, reachability, or cost disagreement (blocked
+  requests against a feasible oracle are allowed: greedy incompleteness).
+* **Oracle lower bound** — a routed hierarchy's cost never undercuts the
+  channel-graph DP optimum and re-evaluates (Eq. 1) to its claimed cost.
+* **Constraint monotonicity** — tightening splitter capabilities never
+  makes routing cheaper.
+* **Tree degeneration** — a single-member multicast is exactly unicast.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.routing import LiangShenRouter
+from repro.exceptions import MulticastBlockedError
+from repro.multicast.hierarchy import MulticastRequest
+from repro.multicast.oracle import optimal_hierarchy_cost
+from repro.multicast.router import MulticastRouter
+from repro.multicast.splitters import MI, TAC, SplitterMap
+from repro.multicast.verify import MulticastHarness, random_multicast_scenario
+from repro.verify.certificate import check_hierarchy_certificate, costs_close
+from tests.property.strategies import wdm_networks
+
+
+@st.composite
+def multicast_cases(draw):
+    """A network plus a multicast request over its nodes."""
+    net = draw(wdm_networks(max_nodes=6, max_wavelengths=3))
+    nodes = net.nodes()
+    source = draw(st.sampled_from(nodes))
+    others = [node for node in nodes if node != source]
+    if not others:
+        net.add_node("extra")
+        others = ["extra"]
+    members = tuple(
+        draw(
+            st.lists(
+                st.sampled_from(others),
+                unique=True,
+                min_size=1,
+                max_size=min(3, len(others)),
+            )
+        )
+    )
+    return net, MulticastRequest(source=source, members=members)
+
+
+@given(case=multicast_cases())
+@settings(max_examples=60, deadline=None)
+def test_routed_hierarchies_are_certified_and_never_beat_the_oracle(case):
+    net, request = case
+    try:
+        result = MulticastRouter(net).route(request)
+    except MulticastBlockedError:
+        return
+    cert = check_hierarchy_certificate(
+        net, result.hierarchy, source=request.source, members=request.members
+    )
+    assert cert.ok, cert.violations
+    assert costs_close(cert.recomputed_cost, result.cost)
+    optimum = optimal_hierarchy_cost(net, request)
+    assert result.cost >= optimum or costs_close(result.cost, optimum)
+
+
+@given(case=multicast_cases(), tightened=st.sampled_from([TAC, MI]))
+@settings(max_examples=40, deadline=None)
+def test_tightening_splitters_never_helps(case, tightened):
+    net, request = case
+    try:
+        free_cost = MulticastRouter(net).route(request).cost
+    except MulticastBlockedError:
+        return
+    constrained = SplitterMap({node: tightened for node in net.nodes()})
+    try:
+        tight_cost = MulticastRouter(net, splitters=constrained).route(
+            request
+        ).cost
+    except MulticastBlockedError:
+        return  # blocking under tighter constraints is legal
+    assert tight_cost >= free_cost or costs_close(tight_cost, free_cost)
+
+
+@given(case=multicast_cases())
+@settings(max_examples=40, deadline=None)
+def test_single_member_multicast_is_unicast(case):
+    net, request = case
+    single = MulticastRequest(
+        source=request.source, members=request.members[:1]
+    )
+    target = single.members[0]
+    unicast = LiangShenRouter(net)
+    try:
+        tree = unicast.route_tree(single.source)
+    except Exception:
+        tree = {}
+    try:
+        result = MulticastRouter(net).route(single)
+    except MulticastBlockedError:
+        assert target not in tree
+        return
+    assert target in tree
+    assert costs_close(result.cost, tree[target].total_cost)
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_seeded_scenario_sweep_is_clean(seed):
+    report = MulticastHarness().run(random_multicast_scenario(seed))
+    assert report.ok, report.format()
