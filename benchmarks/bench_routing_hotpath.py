@@ -4,12 +4,20 @@ Standalone script (argparse, no pytest) so CI can run it as a smoke job::
 
     PYTHONPATH=src python benchmarks/bench_routing_hotpath.py --quick
 
-It measures three things and writes ``BENCH_routing.json``:
+It measures four things and writes ``BENCH_routing.json``:
 
-* **Single-pair warm queries** — the seed configuration (per-query
-  ``G_{s,t}`` rebuild over an addressable binary heap) against the
-  overhauled default (shared ``G'`` overlay + flat-array kernel with
-  reused scratch buffers) on the same query stream.
+* **Single-pair warm queries, per kernel** — the seed configuration
+  (per-query ``G_{s,t}`` rebuild over an addressable binary heap)
+  against the overlay hot path under each raw-speed kernel: ``flat``
+  (heapq + scratch reuse), ``bucket`` (Dial bucket queue on the
+  lattice-cost overlay), and the forest-batched mode (one exhausted
+  run per source through :class:`BatchRouter`, lazily decoded).  Every
+  kernel's answers are checked hop-for-hop against the seed path.
+* **Restricted crossover** — the Theorem 4 regime: at fixed ``n`` and a
+  large wavelength universe ``k``, sweep the per-link bound ``k₀`` and
+  compare terminal-free trees on the fused restricted ``G'`` against
+  ``G_all`` trees, locating the crossover behind
+  ``RESTRICTED_K0_CROSSOVER``.
 * **All-pairs fan-out** — serial ``route_all_pairs`` against the
   process-parallel path, with the measured worker count recorded next
   to the machine's CPU count (a 1-CPU container cannot show a parallel
@@ -45,11 +53,13 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from conftest import sparse_wan  # noqa: E402
+from conftest import restricted_wan, sparse_wan  # noqa: E402
 
+from repro.core.batch import BatchRouter  # noqa: E402
 from repro.core.parallel import route_all_pairs_parallel  # noqa: E402
 from repro.core.routing import LiangShenRouter  # noqa: E402
 from repro.exceptions import NoPathError  # noqa: E402
+from repro.shortestpath.restricted import RESTRICTED_K0_CROSSOVER  # noqa: E402
 from repro.faults.injector import FaultInjector  # noqa: E402
 from repro.faults.plan import FaultEvent  # noqa: E402
 from repro.service.cache import EpochRouterCache  # noqa: E402
@@ -63,46 +73,102 @@ def _try(router, s, t):
         return None
 
 
+def _check_identity(name, kernel, pairs, reference, candidate, errors):
+    """Hop-for-hop identity between two result streams (flat is the law)."""
+    for (s, t), ref, got in zip(pairs, reference, candidate):
+        if (ref is None) != (got is None):
+            errors.append(f"{name}: {kernel}: reachability differs for {s}->{t}")
+        elif ref is not None:
+            ref_cost, ref_hops = ref
+            got_cost, got_hops = got
+            if got_cost != ref_cost:
+                errors.append(
+                    f"{name}: {kernel}: cost differs for {s}->{t}: "
+                    f"{ref_cost!r} vs {got_cost!r}"
+                )
+            elif got_hops != ref_hops:
+                errors.append(f"{name}: {kernel}: hop sequence differs for {s}->{t}")
+
+
+def _view(result):
+    """(cost, hops) of a RouteResult / Semilightpath, or None."""
+    if result is None:
+        return None
+    path = getattr(result, "path", result)
+    return (path.total_cost, path.hops)
+
+
 def bench_single_pair(net, name: str) -> tuple[dict, list[str]]:
-    """Time the full query stream on the seed path and the hot path."""
+    """Time the full query stream per kernel against the seed path.
+
+    All overlay kernels must agree hop-for-hop with ``flat`` (and flat
+    with the seed); any divergence makes the script exit nonzero.
+    """
     nodes = net.nodes()
     pairs = [(s, t) for s in nodes for t in nodes if s != t]
 
     seed_router = LiangShenRouter(net, heap="binary", overlay=False)
-    hot_router = LiangShenRouter(net)  # overlay + flat
-    hot_router.layered_graph()  # warm the shared G' before timing
+    flat_router = LiangShenRouter(net)  # overlay + flat
+    bucket_router = LiangShenRouter(net, heap="bucket")
+    flat_router.layered_graph()  # warm the shared G' before timing
+    bucket_router.layered_graph()
+    batch_router = BatchRouter(net)  # G_all built here, outside the timing
 
     start = time.perf_counter()
-    seed_results = [_try(seed_router, s, t) for s, t in pairs]
+    seed_results = [_view(_try(seed_router, s, t)) for s, t in pairs]
     t_seed = time.perf_counter() - start
 
     start = time.perf_counter()
-    hot_results = [_try(hot_router, s, t) for s, t in pairs]
-    t_hot = time.perf_counter() - start
+    flat_results = [_view(_try(flat_router, s, t)) for s, t in pairs]
+    t_flat = time.perf_counter() - start
+
+    start = time.perf_counter()
+    bucket_results = [_view(_try(bucket_router, s, t)) for s, t in pairs]
+    t_bucket = time.perf_counter() - start
+
+    # The batched mode serves the same stream source-major: one exhausted
+    # kernel run per source, every answer a lazy decode off its forest.
+    start = time.perf_counter()
+    batched_results = [_view(_try(batch_router, s, t)) for s, t in pairs]
+    t_batched = time.perf_counter() - start
 
     errors: list[str] = []
-    for (s, t), seed, hot in zip(pairs, seed_results, hot_results):
-        if (seed is None) != (hot is None):
-            errors.append(f"{name}: reachability differs for {s}->{t}")
-        elif seed is not None:
-            if hot.cost != seed.cost:
-                errors.append(
-                    f"{name}: cost differs for {s}->{t}: "
-                    f"{seed.cost!r} vs {hot.cost!r}"
-                )
-            elif hot.path.hops != seed.path.hops:
-                errors.append(f"{name}: hop sequence differs for {s}->{t}")
+    _check_identity(name, "overlay_flat", pairs, seed_results, flat_results, errors)
+    _check_identity(name, "overlay_bucket", pairs, flat_results, bucket_results, errors)
+    _check_identity(name, "forest_batched", pairs, flat_results, batched_results, errors)
 
+    bucket_scale = bucket_router.layered_graph().graph.lattice_scale()
+    us = 1e6 / len(pairs)
     return {
         "topology": name,
         "nodes": len(nodes),
         "wavelengths": net.num_wavelengths,
         "queries": len(pairs),
         "seed_rebuild_binary_seconds": t_seed,
-        "overlay_flat_seconds": t_hot,
-        "speedup": t_seed / t_hot if t_hot > 0 else float("inf"),
-        "seed_us_per_query": t_seed / len(pairs) * 1e6,
-        "hot_us_per_query": t_hot / len(pairs) * 1e6,
+        "overlay_flat_seconds": t_flat,
+        "speedup": t_seed / t_flat if t_flat > 0 else float("inf"),
+        "seed_us_per_query": t_seed * us,
+        "hot_us_per_query": t_flat * us,
+        "bucket_scale": bucket_scale,
+        "kernels": {
+            "seed_rebuild_binary": {"us_per_query": t_seed * us},
+            "overlay_flat": {
+                "us_per_query": t_flat * us,
+                "speedup_vs_seed": t_seed / t_flat if t_flat > 0 else float("inf"),
+            },
+            "overlay_bucket": {
+                "us_per_query": t_bucket * us,
+                "speedup_vs_seed": t_seed / t_bucket if t_bucket > 0 else float("inf"),
+                "bucket_active": bucket_scale is not None,
+            },
+            "forest_batched": {
+                "us_per_query": t_batched * us,
+                "speedup_vs_seed": t_seed / t_batched
+                if t_batched > 0
+                else float("inf"),
+                "forests": batch_router.cache_misses,
+            },
+        },
     }, errors
 
 
@@ -134,6 +200,71 @@ def bench_all_pairs(net, name: str, workers: int) -> tuple[dict, list[str]]:
         "serial_seconds": t_serial,
         "parallel_seconds": t_parallel,
         "parallel_speedup": t_serial / t_parallel if t_parallel > 0 else 0.0,
+    }, errors
+
+
+def bench_restricted_crossover(
+    n: int, k: int, k0_values: tuple[int, ...], seed: int = 7
+) -> tuple[dict, list[str]]:
+    """Theorem 4 sweep: terminal-free ``G'`` trees vs ``G_all`` trees.
+
+    Fixed ``n`` and a large universe ``k``; ``k₀`` (the per-link
+    wavelength bound) sweeps across the crossover.  Per point both
+    routers answer every one-to-all query (construction excluded — the
+    build-time gap is reported separately) and the trees are compared
+    hop-for-hop.
+    """
+    errors: list[str] = []
+    rows = []
+    for k0 in k0_values:
+        net = restricted_wan(n, k, k0, seed=seed)
+        fast = LiangShenRouter(net, restricted=True)
+        general = LiangShenRouter(net, restricted=False)
+
+        start = time.perf_counter()
+        fast.layered_graph()
+        t_build_fast = time.perf_counter() - start
+        start = time.perf_counter()
+        general.all_pairs_graph()
+        t_build_general = time.perf_counter() - start
+
+        nodes = net.nodes()
+        start = time.perf_counter()
+        general_trees = [general.route_tree(s) for s in nodes]
+        t_general = time.perf_counter() - start
+        start = time.perf_counter()
+        fast_trees = [fast.route_tree(s) for s in nodes]
+        t_fast = time.perf_counter() - start
+
+        for s, ref, got in zip(nodes, general_trees, fast_trees):
+            if ref.keys() != got.keys():
+                errors.append(f"restricted k0={k0}: tree targets differ from {s}")
+                continue
+            for t in ref:
+                if ref[t].hops != got[t].hops:
+                    errors.append(
+                        f"restricted k0={k0}: hops differ for {s}->{t}"
+                    )
+                    break
+
+        rows.append(
+            {
+                "k0": k0,
+                "measured_k0": net.max_link_wavelengths,
+                "aux_nodes_restricted": fast.layered_graph().graph.num_nodes,
+                "aux_nodes_general": general.all_pairs_graph().graph.num_nodes,
+                "build_restricted_seconds": t_build_fast,
+                "build_general_seconds": t_build_general,
+                "restricted_us_per_tree": t_fast / len(nodes) * 1e6,
+                "general_us_per_tree": t_general / len(nodes) * 1e6,
+                "tree_speedup": t_general / t_fast if t_fast > 0 else float("inf"),
+            }
+        )
+    return {
+        "n": n,
+        "k": k,
+        "crossover_constant": RESTRICTED_K0_CROSSOVER,
+        "rows": rows,
     }, errors
 
 
@@ -323,10 +454,12 @@ def main(argv: list[str] | None = None) -> int:
         single_sizes = [24, 32]
         all_pairs_sizes = [32]
         churn_sizes = [32]
+        crossover = (24, 16, (1, 2, 4))
     else:
         single_sizes = [32, 48, 64]
         all_pairs_sizes = [48, 64]
         churn_sizes = [48, 64]
+        crossover = (32, 32, (1, 2, 3, 4, 6, 8))
 
     report = {
         "machine": {
@@ -346,11 +479,14 @@ def main(argv: list[str] | None = None) -> int:
         row, errs = bench_single_pair(sparse_wan(n, seed=n), name)
         report["single_pair"].append(row)
         errors.extend(errs)
+        kernels = row["kernels"]
         print(
             f"{name}: {row['queries']} warm queries  "
             f"seed {row['seed_us_per_query']:8.1f} us/q  "
-            f"hot {row['hot_us_per_query']:8.1f} us/q  "
-            f"speedup {row['speedup']:.1f}x"
+            f"flat {kernels['overlay_flat']['us_per_query']:8.1f} us/q  "
+            f"bucket {kernels['overlay_bucket']['us_per_query']:8.1f} us/q  "
+            f"batched {kernels['forest_batched']['us_per_query']:8.1f} us/q  "
+            f"(best {max(k['speedup_vs_seed'] for k in kernels.values() if 'speedup_vs_seed' in k):.1f}x)"
         )
 
     for n in all_pairs_sizes:
@@ -370,6 +506,19 @@ def main(argv: list[str] | None = None) -> int:
         report["fault_churn"].append(row)
         errors.extend(errs)
         _print_churn_row(row)
+
+    cx_n, cx_k, cx_k0s = crossover
+    section, errs = bench_restricted_crossover(cx_n, cx_k, cx_k0s)
+    report["restricted_crossover"] = section
+    errors.extend(errs)
+    for row in section["rows"]:
+        print(
+            f"restricted n={cx_n} k={cx_k} k0={row['k0']}: "
+            f"G' {row['restricted_us_per_tree']:8.1f} us/tree  "
+            f"G_all {row['general_us_per_tree']:8.1f} us/tree  "
+            f"({row['tree_speedup']:.2f}x; "
+            f"{row['aux_nodes_restricted']} vs {row['aux_nodes_general']} aux nodes)"
+        )
 
     report["verified"] = not errors
     report["errors"] = errors

@@ -13,10 +13,18 @@ contract — there is deliberately no invalidation machinery; the
 epoch-versioned :class:`~repro.service.cache.EpochRouterCache` is the
 mutable-network counterpart).
 
-The tree cache keeps hit/miss/eviction counters, and ``max_cached_trees``
-bounds its memory with LRU eviction — for all-to-one sweeps over huge
-node sets where caching every source tree would dominate the footprint.
-The counters are deliberately plain attributes so
+Per source the router caches a :class:`~repro.core.forest.LazyForest`:
+one kernel run to exhaustion, with each target's path decoded on first
+lookup and memoized (see :mod:`repro.core.forest` for the lifetime
+contract).  Point queries on a fresh source therefore pay one search
+plus *one* decode instead of one search plus ``n`` decodes;
+:meth:`BatchRouter.tree` materializes the rest on demand.
+
+The forest cache keeps hit/miss/eviction counters, and
+``max_cached_trees`` bounds its memory with LRU eviction — for
+all-to-one sweeps over huge node sets where caching every source tree
+would dominate the footprint.  The counters are deliberately plain
+attributes so
 :meth:`repro.service.metrics.MetricsRegistry.bind_batch_router` can
 publish them without this module depending on the service layer.
 """
@@ -27,6 +35,7 @@ import math
 from collections import OrderedDict
 from typing import Hashable
 
+from repro.core.forest import LazyForest, run_forest
 from repro.core.routing import LiangShenRouter
 from repro.core.semilightpath import Semilightpath
 from repro.exceptions import NoPathError
@@ -70,61 +79,60 @@ class BatchRouter:
         if max_cached_trees is not None and max_cached_trees < 1:
             raise ValueError("max_cached_trees must be positive (or None)")
         self.network = network
+        self.heap = heap
         self.max_cached_trees = max_cached_trees
         self._inner = LiangShenRouter(network, heap=heap)
         self._aux = self._inner.all_pairs_graph()
-        self._trees: OrderedDict[NodeId, dict[NodeId, Semilightpath]] = OrderedDict()
+        self._forests: OrderedDict[NodeId, LazyForest] = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_evictions = 0
 
     @property
     def cached_sources(self) -> int:
-        """Number of sources whose full tree is cached."""
-        return len(self._trees)
+        """Number of sources whose forest is cached."""
+        return len(self._forests)
 
     def cache_counters(self) -> dict[str, int]:
-        """Hit/miss/eviction counts of the per-source tree cache."""
+        """Hit/miss/eviction counts of the per-source forest cache."""
         return {
             "hits": self.cache_hits,
             "misses": self.cache_misses,
             "evictions": self.cache_evictions,
         }
 
-    def _tree(self, source: NodeId) -> dict[NodeId, Semilightpath]:
-        tree = self._trees.get(source)
-        if tree is not None:
+    def _forest(self, source: NodeId) -> LazyForest:
+        forest = self._forests.get(source)
+        if forest is not None:
             self.cache_hits += 1
-            self._trees.move_to_end(source)
-            return tree
+            self._forests.move_to_end(source)
+            return forest
         self.cache_misses += 1
-        tree, _run = self._inner._tree_from(self._aux, source)
-        self._trees[source] = tree
+        forest = run_forest(self._aux, source, heap=self.heap)
+        self._forests[source] = forest
         if (
             self.max_cached_trees is not None
-            and len(self._trees) > self.max_cached_trees
+            and len(self._forests) > self.max_cached_trees
         ):
-            self._trees.popitem(last=False)
+            self._forests.popitem(last=False)
             self.cache_evictions += 1
-        return tree
+        return forest
 
     def route(self, source: NodeId, target: NodeId) -> Semilightpath:
         """Optimal semilightpath (raises :class:`NoPathError` if none)."""
         if source == target:
             raise ValueError("source and target must differ")
-        tree = self._tree(source)
-        path = tree.get(target)
+        path = self._forest(source).path_to(target)
         if path is None:
             raise NoPathError(source, target)
         return path
 
     def cost(self, source: NodeId, target: NodeId) -> float:
-        """Optimal cost, ``math.inf`` when unreachable."""
+        """Optimal cost, ``math.inf`` when unreachable (no decode at all)."""
         if source == target:
             return 0.0
-        path = self._tree(source).get(target)
-        return math.inf if path is None else path.total_cost
+        return self._forest(source).cost(target)
 
     def tree(self, source: NodeId) -> dict[NodeId, Semilightpath]:
-        """The full shortest-path tree from *source* (cached)."""
-        return dict(self._tree(source))
+        """The full shortest-path tree from *source* (cached, materialized)."""
+        return self._forest(source).materialize()

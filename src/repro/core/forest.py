@@ -1,0 +1,125 @@
+"""Lazy path decoding from one shortest-path parent forest.
+
+:func:`~repro.core.routing.run_tree` answers a same-source batch by
+running one Dijkstra over ``G_all`` and eagerly decoding **every**
+reachable target — the right call when the whole tree will be read, but
+wasteful when a coalesced batch asks for 3 of 60 targets: decoding is a
+Python-level walk per target (path reconstruction, hop mapping,
+``Semilightpath`` construction) and dominates once the search itself is
+amortized.
+
+:class:`LazyForest` splits the two costs.  One kernel run to exhaustion
+produces the parent forest; each target's path is decoded on first
+request and memoized.  A batch of q same-source queries therefore costs
+one search plus exactly q decodes — never n — and repeated targets are
+dictionary hits.
+
+Lifetime contract (the "batched-decoding" contract)
+---------------------------------------------------
+Because decoding is deferred, the forest must outlive the kernel's
+result arrays.  :func:`run_forest` therefore always runs the kernel on
+**private** buffers — never a router's shared scratch — so a forest and
+every path it decodes stay valid indefinitely: after the next query, the
+next epoch, or the originating router being dropped.  This is the
+difference from the eager :func:`~repro.core.routing.run_tree`, which may
+borrow reusable scratch precisely because it finishes all decoding
+before returning.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+from repro.core.auxiliary import AllPairsGraph
+from repro.core.routing import _decode
+from repro.core.semilightpath import Semilightpath
+from repro.shortestpath import resolve_kernel
+from repro.shortestpath.dijkstra import DijkstraResult
+from repro.shortestpath.paths import reconstruct_path
+
+__all__ = ["LazyForest", "run_forest"]
+
+NodeId = Hashable
+
+_MISSING = object()
+
+
+class LazyForest:
+    """One exhausted same-source run over ``G_all``, decoded on demand.
+
+    Produced by :func:`run_forest`; not constructed directly.  Paths are
+    hop-identical to :func:`~repro.core.routing.run_tree`'s — both decode
+    the same parent forest, this one just later.
+    """
+
+    __slots__ = ("aux", "source", "run", "_paths")
+
+    def __init__(
+        self, aux: AllPairsGraph, source: NodeId, run: DijkstraResult
+    ) -> None:
+        self.aux = aux
+        self.source = source
+        self.run = run
+        self._paths: dict[NodeId, Semilightpath | None] = {}
+
+    @property
+    def decoded_targets(self) -> int:
+        """How many targets have been decoded so far (memoization probe)."""
+        return len(self._paths)
+
+    def path_to(self, target: NodeId) -> Semilightpath | None:
+        """The optimal semilightpath to *target*, ``None`` if unreachable.
+
+        The source itself maps to ``None`` (a tree has no path to its own
+        root — matching its absence from :func:`run_tree` trees); unknown
+        targets raise ``KeyError`` like any tree lookup.
+        """
+        cached = self._paths.get(target, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        path: Semilightpath | None = None
+        sink_id = self.aux.sink_ids[target]
+        if target != self.source and self.run.dist[sink_id] != math.inf:
+            aux_path = reconstruct_path(self.run.parent, sink_id)
+            path = _decode(self.aux.decode, aux_path, self.run.dist[sink_id])
+        self._paths[target] = path
+        return path
+
+    def cost(self, target: NodeId) -> float:
+        """Optimal cost to *target* straight off the distance array.
+
+        No decode happens — ``dist[sink]`` already is the Eq. (1) total —
+        so cost probes stay O(1) even on never-decoded targets.
+        """
+        if target == self.source:
+            return 0.0
+        return self.run.dist[self.aux.sink_ids[target]]
+
+    def materialize(self) -> dict[NodeId, Semilightpath]:
+        """Decode every reachable target; same shape as :func:`run_tree`.
+
+        Already-decoded paths are reused, so materializing after a few
+        lookups costs only the remaining targets.
+        """
+        tree: dict[NodeId, Semilightpath] = {}
+        for target in self.aux.sink_ids:
+            path = self.path_to(target)
+            if path is not None:
+                tree[target] = path
+        return tree
+
+
+def run_forest(
+    aux: AllPairsGraph,
+    source: NodeId,
+    heap: str = "flat",
+) -> LazyForest:
+    """One Corollary 1 run from *source*, packaged for lazy decoding.
+
+    Always runs on private buffers (see the module docstring's lifetime
+    contract), so callers may cache the forest across queries and epochs.
+    """
+    source_id = aux.source_ids[source]
+    run = resolve_kernel(heap)(aux.graph, source_id, scratch=None)
+    return LazyForest(aux, source, run)

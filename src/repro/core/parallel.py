@@ -67,11 +67,11 @@ def _route_chunk(
     fault_hook = _SHARED.get("fault_hook")
     if fault_hook is not None:
         fault_hook(index)  # chaos layer: may raise inside this worker
-    scratch = None
-    if heap == "flat":
-        scratch = _SHARED.get("scratch")
-        if scratch is None:
-            scratch = _SHARED["scratch"] = ScratchBuffers(aux.graph.num_nodes)
+    # Scratch is reused across this worker's chunks; kernels that manage
+    # their own per-query state (the addressable heaps) simply ignore it.
+    scratch = _SHARED.get("scratch")
+    if scratch is None:
+        scratch = _SHARED["scratch"] = ScratchBuffers(aux.graph.num_nodes)
     trees: list[tuple[NodeId, dict[NodeId, Semilightpath]]] = []
     settled = relaxations = 0
     heap_totals: dict[str, int] = {}
@@ -149,9 +149,7 @@ def route_all_pairs_parallel(
         paths: dict[tuple[NodeId, NodeId], Semilightpath] = {}
         settled = relaxations = 0
         heap_totals: dict[str, int] = {}
-        scratch = (
-            ScratchBuffers(aux.graph.num_nodes) if heap == "flat" else None
-        )
+        scratch = ScratchBuffers(aux.graph.num_nodes)
         for source in sources:
             tree, run = run_tree(aux, source, heap=heap, scratch=scratch)
             for target, path in tree.items():

@@ -54,8 +54,9 @@ from repro.core.auxiliary import (
 from repro.core.instrumentation import QueryStats
 from repro.core.semilightpath import Hop, Semilightpath
 from repro.exceptions import InvalidPathError, NoPathError, UnknownNodeError
-from repro.shortestpath.dijkstra import DijkstraResult, dijkstra
-from repro.shortestpath.flat import ScratchBuffers, ScratchPool, flat_dijkstra
+from repro.shortestpath import resolve_kernel
+from repro.shortestpath.dijkstra import DijkstraResult
+from repro.shortestpath.flat import ScratchBuffers, ScratchPool
 from repro.shortestpath.heaps import AddressableHeap
 from repro.shortestpath.paths import reconstruct_path
 
@@ -114,17 +115,32 @@ class LiangShenRouter:
         as frozen: the auxiliary graphs are cached per router instance
         (see :meth:`invalidate`).
     heap:
-        Shortest-path kernel: ``"flat"`` (default — heapq + lazy deletion
-        over CSR arrays with reusable scratch buffers, the serving fast
-        path), ``"binary"``, ``"pairing"``, ``"fibonacci"`` (the
-        addressable structures Theorem 1's complexity accounting uses;
-        Fibonacci is the one the bound cites), or a factory callable
-        returning an addressable heap.
+        Shortest-path kernel name, resolved once through the registry in
+        :mod:`repro.shortestpath`: ``"flat"`` (default — heapq + lazy
+        deletion over CSR arrays with reusable scratch buffers, the
+        serving fast path), ``"bucket"`` (Dial bucket queue on
+        integer-lattice weights, transparent flat fallback otherwise),
+        ``"binary"``, ``"pairing"``, ``"fibonacci"`` (the addressable
+        structures Theorem 1's complexity accounting uses; Fibonacci is
+        the one the bound cites), or a factory callable returning an
+        addressable heap.
     overlay:
         When True (default), single-pair queries run on the shared
         layered graph ``G'`` (built once, never mutated).  When False,
         every query rebuilds ``G_{s,t}`` — Theorem 1's literal
         construction, kept for tests and complexity accounting.
+    restricted:
+        The Theorem 4 fast path for networks with small per-link
+        wavelength counts.  ``"auto"`` (default) enables it when
+        :func:`repro.shortestpath.restricted.restricted_applicable`
+        holds (measured ``k₀`` at or below the benched crossover and
+        strictly below ``k``); ``True`` / ``False`` force it.  When
+        active, ``G'`` comes from the fused restricted builder
+        (CSR-identical to the general one) and one-to-all queries run
+        terminal-free on ``G'`` instead of ``G_all`` — hop-identical
+        trees in time independent of ``k``.  :meth:`route_all_pairs` is
+        unaffected either way: it stays on the shared ``G_all`` so
+        serial and process-parallel runs remain byte-identical.
 
     Example
     -------
@@ -141,10 +157,22 @@ class LiangShenRouter:
         network: "WDMNetwork",
         heap: str | Callable[[], AddressableHeap] = "flat",
         overlay: bool = True,
+        restricted: bool | str = "auto",
     ) -> None:
         self.network = network
         self.heap = heap
+        self._kernel = resolve_kernel(heap)
         self.overlay = overlay
+        if restricted == "auto":
+            # Runtime-lazy import: repro.core's package init pulls this
+            # module in, and repro.shortestpath.restricted imports
+            # repro.core.auxiliary — a top-level import here would leave
+            # one side partially initialized depending on entry point.
+            from repro.shortestpath.restricted import restricted_applicable
+
+            self.restricted = restricted_applicable(network)
+        else:
+            self.restricted = bool(restricted)
         self._layered: LayeredGraph | None = None
         self._all_pairs: AllPairsGraph | None = None
         self._pool = ScratchPool()
@@ -152,9 +180,20 @@ class LiangShenRouter:
     # -- cached auxiliary graphs ---------------------------------------------
 
     def layered_graph(self) -> LayeredGraph:
-        """The shared ``G'`` overlay (built lazily, cached)."""
+        """The shared ``G'`` overlay (built lazily, cached).
+
+        With :attr:`restricted` active the fused Theorem 4 builder is
+        used; its output is CSR-identical to
+        :func:`~repro.core.auxiliary.build_layered_graph`, so queries
+        (and their tie-breaking) are unaffected by the choice.
+        """
         if self._layered is None:
-            self._layered = build_layered_graph(self.network)
+            if self.restricted:
+                from repro.shortestpath.restricted import build_restricted_graph
+
+                self._layered = build_restricted_graph(self.network)
+            else:
+                self._layered = build_layered_graph(self.network)
         return self._layered
 
     def all_pairs_graph(self) -> AllPairsGraph:
@@ -250,13 +289,40 @@ class LiangShenRouter:
     def tree_from(
         self, source: NodeId
     ) -> tuple[dict[NodeId, Semilightpath], DijkstraResult]:
-        """One Corollary 1 tree plus the run it took (for stats callers)."""
+        """One Corollary 1 tree plus the run it took (for stats callers).
+
+        With :attr:`restricted` active the tree runs terminal-free on
+        ``G'`` (Theorem 4): hop-identical paths, but the run's
+        settled/relaxation counts exclude the ``2n`` virtual terminals
+        ``G_all`` would also have visited.
+        """
         if not self.network.has_node(source):
             raise UnknownNodeError(source)
+        if self.restricted:
+            return self._restricted_tree(source)
         aux = self.all_pairs_graph()
         return run_tree(
             aux, source, heap=self.heap, scratch=self._pool.get(aux.graph.num_nodes)
         )
+
+    def _restricted_tree(
+        self, source: NodeId
+    ) -> tuple[dict[NodeId, Semilightpath], DijkstraResult]:
+        """Theorem 4 one-to-all: terminal-free over ``G'``."""
+        from repro.shortestpath.restricted import run_restricted_tree
+
+        aux = self.layered_graph()
+        run, best = run_restricted_tree(
+            aux,
+            source,
+            self._kernel,
+            scratch=self._pool.get(aux.graph.num_nodes),
+        )
+        tree: dict[NodeId, Semilightpath] = {}
+        for target, x in best.items():
+            aux_path = reconstruct_path(run.parent, x)
+            tree[target] = _decode(aux.decode, aux_path, run.dist[x])
+        return tree, run
 
     def route_all_pairs(self, workers: int | None = None) -> AllPairsResult:
         """Corollary 1: optimal semilightpaths for all ordered pairs.
@@ -307,15 +373,13 @@ class LiangShenRouter:
     # -- kernel dispatch -----------------------------------------------------
 
     def _run(self, graph, sources, target=None, targets=None) -> DijkstraResult:
-        if self.heap == "flat":
-            return flat_dijkstra(
-                graph,
-                sources,
-                target=target,
-                targets=targets,
-                scratch=self._pool.get(graph.num_nodes),
-            )
-        return dijkstra(graph, sources, target=target, targets=targets, heap=self.heap)
+        return self._kernel(
+            graph,
+            sources,
+            target=target,
+            targets=targets,
+            scratch=self._pool.get(graph.num_nodes),
+        )
 
 
 def run_tree(
@@ -332,10 +396,7 @@ def run_tree(
     safe to pass.
     """
     source_id = aux.source_ids[source]
-    if heap == "flat":
-        run = flat_dijkstra(aux.graph, source_id, scratch=scratch)
-    else:
-        run = dijkstra(aux.graph, source_id, heap=heap)
+    run = resolve_kernel(heap)(aux.graph, source_id, scratch=scratch)
     tree: dict[NodeId, Semilightpath] = {}
     for target, sink_id in aux.sink_ids.items():
         if target == source or run.dist[sink_id] == math.inf:

@@ -506,6 +506,25 @@ class EpochRouterCache:
             raise NoPathError(source, target)
         return path, epoch
 
+    def route_batch(
+        self, source: NodeId, targets: "list[NodeId]"
+    ) -> list[tuple["Semilightpath | None", int]]:
+        """Answer a same-source batch under **one** lock acquisition.
+
+        The engine's coalesced dispatch uses this to serve a claimed
+        batch with one refresh check and one tree fetch instead of
+        re-entering the lock (and re-walking the refresh logic) per
+        request.  Returns ``(path, built_epoch)`` per target in order,
+        with ``None`` for unreachable targets — the caller maps those to
+        :class:`~repro.exceptions.NoPathError` per request.  Callers must
+        filter out ``target == source`` entries first (they are a request
+        error, not an unreachability answer).
+        """
+        with self._lock:
+            tree = self._tree(source)
+            epoch = self._built_epoch
+            return [(tree.get(target), epoch) for target in targets]
+
     def route_rebuild(
         self, source: NodeId, target: NodeId
     ) -> tuple[Semilightpath, "WDMNetwork"]:

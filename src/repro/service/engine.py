@@ -27,7 +27,13 @@
 * **Same-source coalescing** — when a worker dequeues a request it also
   claims every other pending request with the same source, answering the
   whole group from one shortest-path tree.  Under bursty fan-out from one
-  ingress node this collapses N Dijkstra runs into one.
+  ingress node this collapses N Dijkstra runs into one.  When no guard is
+  configured (no retry, breaker, or fault hook), the claimed batch is
+  served through **one** :meth:`EpochRouterCache.route_batch` backend
+  call — one cache-lock acquisition and one tree fetch for the whole
+  group (counted under ``engine.batched``) — instead of re-entering the
+  cache per request; guarded serving keeps the per-request path so every
+  request gets its own admission check and backoff schedule.
 
 Results are delivered through :class:`QueryFuture`, a minimal
 event-based future (no ``concurrent.futures`` dependency so the engine
@@ -348,10 +354,77 @@ class QueryEngine:
         )
 
     def _serve_batch(self, batch: list[_Request]) -> None:
-        for request in batch:
-            self._serve(request)
+        if (
+            len(batch) > 1
+            and self.retry is None
+            and self.breaker is None
+            and self.fault_hook is None
+        ):
+            self._serve_coalesced(batch)
+        else:
+            # Guarded serving (retry/breaker/fault injection) keeps the
+            # per-request path: each request gets its own admission check,
+            # hook invocation, and backoff schedule.
+            for request in batch:
+                self._serve(request)
         if self._metrics is not None:
             self._metrics.gauge("engine.queue_depth").set(self.queue_depth)
+
+    def _serve_coalesced(self, batch: list[_Request]) -> None:
+        """Serve a claimed same-source batch from one backend call.
+
+        One :meth:`EpochRouterCache.route_batch` call — one lock
+        acquisition, one refresh check, one tree fetch — answers every
+        live request; per-request outcomes (expiry, ``source == target``
+        validation, unreachability) keep exactly the semantics of the
+        per-request path.  Counted under ``engine.batched``.
+        """
+        now = time.monotonic()
+        live: list[_Request] = []
+        for request in batch:
+            if request.deadline is not None and now > request.deadline:
+                if self._metrics is not None:
+                    self._metrics.counter("engine.expired").inc()
+                    self._metrics.counter("engine.deadline_exceeded").inc()
+                request.future._fail(
+                    DeadlineExceeded(
+                        request.source,
+                        request.target,
+                        elapsed=now - request.enqueued_at,
+                    )
+                )
+            elif request.source == request.target:
+                # A request error, not an unreachability answer — let the
+                # per-request path raise the cache's ValueError verbatim.
+                self._serve(request)
+            else:
+                live.append(request)
+        if not live:
+            return
+        try:
+            answers = self.cache.route_batch(
+                live[0].source, [request.target for request in live]
+            )
+        except BaseException as exc:  # noqa: BLE001 - forwarded to the callers
+            for request in live:
+                request.future._fail(exc)
+            return
+        if self._metrics is not None:
+            self._metrics.counter("engine.batched").inc(len(live))
+        for request, (path, epoch) in zip(live, answers):
+            if path is None:
+                if self._metrics is not None:
+                    self._metrics.counter("engine.no_path").inc()
+                request.future._fail(
+                    NoPathError(request.source, request.target)
+                )
+                continue
+            if self._metrics is not None:
+                self._metrics.counter("engine.served").inc()
+                self._metrics.histogram("engine.latency_ms").observe(
+                    (time.monotonic() - request.enqueued_at) * 1e3
+                )
+            request.future._resolve(path, epoch)
 
     def _worker_loop(self) -> None:
         while True:

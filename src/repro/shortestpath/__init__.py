@@ -13,11 +13,40 @@ routers.  It provides:
 * Dijkstra with a pluggable heap and early target stop,
 * a flat-array Dijkstra fast path (:mod:`repro.shortestpath.flat`) —
   heapq with lazy deletion over the CSR arrays, with scratch buffers
-  reusable across queries (the routers' default kernel), and
+  reusable across queries (the routers' default kernel),
+* a Dial bucket-queue kernel (:mod:`repro.shortestpath.bucket`) that
+  activates on integer-lattice weights and falls back to the flat
+  kernel otherwise, and
 * Bellman–Ford (both classic synchronous rounds and SPFA queue forms).
+
+Kernel registry
+---------------
+Every single-source kernel the routers can dispatch to is registered
+here under a short name (``"flat"``, ``"bucket"``, ``"binary"``,
+``"pairing"``, ``"fibonacci"``).  All registered kernels share one
+uniform signature::
+
+    kernel(graph, sources, target=None, targets=None, scratch=None)
+        -> DijkstraResult
+
+and the ``(dist, node)`` tie-break contract — identical parent forests,
+hence identical decoded hop sequences.  Routers resolve a ``heap=`` value
+once via :func:`resolve_kernel` instead of string-matching at every call
+site; new kernels register once with :func:`register_kernel` and become
+available everywhere (routers, trees, the parallel all-pairs workers).
+A callable ``heap`` (an addressable-heap factory) keeps working: it is
+wrapped into the same uniform signature.
+
+The Theorem-4 restricted-case machinery
+(:mod:`repro.shortestpath.restricted`) is *not* a kernel — it is an
+auxiliary-structure specialization layered on top of whichever kernel is
+selected — and therefore lives outside the registry.
 """
 
+from typing import Callable
+
 from repro.shortestpath.bellman_ford import bellman_ford, spfa
+from repro.shortestpath.bucket import bucket_dijkstra
 from repro.shortestpath.delta import DeltaOverlay, MaterializedOverlay
 from repro.shortestpath.dijkstra import DijkstraResult, dijkstra
 from repro.shortestpath.fibonacci import FibonacciHeap
@@ -31,6 +60,65 @@ from repro.shortestpath.heaps import BinaryHeap, PairingHeap
 from repro.shortestpath.paths import ShortestPathTree, reconstruct_path
 from repro.shortestpath.structures import GraphBuilder, StaticGraph
 
+_KernelFn = Callable[..., DijkstraResult]
+
+_KERNELS: dict[str, _KernelFn] = {}
+
+
+def register_kernel(name: str, kernel: _KernelFn) -> None:
+    """Register *kernel* under *name* for ``heap=`` dispatch.
+
+    The kernel must honor the uniform signature and the ``(dist, node)``
+    tie-break contract (see the module docstring).  Re-registering a name
+    is an error — kernels are process-global and resolved by routers that
+    may already hold the old one.
+    """
+    if name in _KERNELS:
+        raise ValueError(f"kernel {name!r} is already registered")
+    _KERNELS[name] = kernel
+
+
+def kernel_names() -> tuple[str, ...]:
+    """Registered kernel names, in registration order."""
+    return tuple(_KERNELS)
+
+
+def _addressable_kernel(heap) -> _KernelFn:
+    """Wrap an addressable-heap name/factory into the uniform signature.
+
+    Addressable heaps allocate their own per-query state, so the
+    *scratch* argument is accepted and ignored.
+    """
+
+    def kernel(graph, sources, target=None, targets=None, scratch=None):
+        return dijkstra(graph, sources, target=target, targets=targets, heap=heap)
+
+    return kernel
+
+
+def resolve_kernel(heap: "str | Callable") -> _KernelFn:
+    """Resolve a router ``heap=`` value to a registered kernel callable.
+
+    Strings look up the registry; a callable is treated as an
+    addressable-heap factory (the pre-registry extension point) and
+    wrapped.  Unknown names raise ``ValueError`` eagerly so a typo fails
+    at router construction, not mid-query.
+    """
+    if callable(heap):
+        return _addressable_kernel(heap)
+    try:
+        return _KERNELS[heap]
+    except KeyError:
+        known = ", ".join(sorted(_KERNELS))
+        raise ValueError(f"unknown kernel {heap!r}; registered: {known}") from None
+
+
+register_kernel("flat", flat_dijkstra)
+register_kernel("bucket", bucket_dijkstra)
+for _name in ("binary", "pairing", "fibonacci"):
+    register_kernel(_name, _addressable_kernel(_name))
+del _name
+
 __all__ = [
     "BinaryHeap",
     "PairingHeap",
@@ -40,6 +128,10 @@ __all__ = [
     "dijkstra",
     "DijkstraResult",
     "flat_dijkstra",
+    "bucket_dijkstra",
+    "register_kernel",
+    "resolve_kernel",
+    "kernel_names",
     "ScratchBuffers",
     "ScratchPool",
     "WarmRun",

@@ -1,0 +1,191 @@
+"""Dial-style bucket-queue Dijkstra for integer-lattice edge weights.
+
+The verify subsystem constrains scenario costs to a quarter-integer
+lattice (:mod:`repro.verify.scenarios`), and production WDM cost models
+are routinely quantized.  On such instances every tentative distance is a
+multiple of ``1 / scale`` for a small power-of-two ``scale``, so a Dial
+bucket queue replaces the ``heapq`` sift with an O(1) list append per
+push: bucket ``b`` holds the frontier nodes whose tentative distance is
+exactly ``b / scale``, and a monotone cursor drains buckets in ascending
+index order.
+
+Applicability is decided by :meth:`StaticGraph.lattice_scale` — detected
+once per graph (hence once per overlay epoch, since the routers rebuild
+their auxiliary graphs per epoch) and memoized.  Off-lattice weights,
+delta-masked graphs probed while degraded, and absurd bucket spans all
+report "no lattice", and :func:`bucket_dijkstra` transparently falls back
+to :func:`~repro.shortestpath.flat.flat_dijkstra` — same signature, same
+result, just comparison-based.
+
+Tie-break parity
+----------------
+Within one bucket the pending nodes are kept as a min-heap of **bare node
+ids**, so equal-distance nodes settle in ascending id order — exactly the
+``(dist, node)`` order every other kernel uses.  Because power-of-two
+scaling is exact float arithmetic (an exponent shift), ``int(alt * scale)``
+and ``bucket_index / scale`` round-trip bit-for-bit: the kernel performs
+the *identical* float additions in the *identical* order as the flat
+kernel, so ``dist`` / ``parent`` / ``parent_tag`` — and therefore decoded
+hop sequences — are byte-identical, not merely equivalent.  The property
+suite (``tests/property/test_bucket_lattice.py``) pins this.
+
+Stale entries: pushes happen only on strict improvement, so a node holds
+at most one entry per distinct distance value; an entry whose bucket index
+no longer matches ``dist[u] * scale`` is skipped, mirroring the flat
+kernel's lazy deletion.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heapify, heappop, heappush
+from typing import Iterable
+
+from repro.shortestpath.dijkstra import DijkstraResult
+from repro.shortestpath.flat import ScratchBuffers, ScratchPool, flat_dijkstra
+from repro.shortestpath.structures import StaticGraph
+
+__all__ = ["bucket_dijkstra"]
+
+INF = math.inf
+
+
+def bucket_dijkstra(
+    graph: StaticGraph,
+    sources: int | Iterable[int],
+    target: int | None = None,
+    targets: Iterable[int] | None = None,
+    scratch: ScratchBuffers | ScratchPool | None = None,
+) -> DijkstraResult:
+    """Drop-in :func:`flat_dijkstra` replacement using a Dial bucket queue.
+
+    Activates only when ``graph.lattice_scale()`` detects an integer
+    lattice; otherwise delegates to the flat kernel unchanged.  The
+    returned result is byte-identical to the flat kernel's either way;
+    when the bucket path ran, ``heap_stats`` carries a ``bucket_scale``
+    entry recording the detected scale (tests and benchmarks use it to
+    tell the two paths apart).
+
+    See :func:`flat_dijkstra` for parameter semantics, including the
+    scratch-buffer lifetime contract.
+    """
+    scale = graph.lattice_scale()
+    if scale is None:
+        return flat_dijkstra(
+            graph, sources, target=target, targets=targets, scratch=scratch
+        )
+
+    if isinstance(sources, int):
+        source_tuple: tuple[int, ...] = (sources,)
+    else:
+        source_tuple = tuple(sources)
+    if not source_tuple:
+        raise ValueError("at least one source is required")
+    n = graph.num_nodes
+    for s in source_tuple:
+        if not 0 <= s < n:
+            raise IndexError(f"source {s} out of range [0, {n})")
+    if target is not None and targets is not None:
+        raise ValueError("pass either target or targets, not both")
+    if target is not None and not 0 <= target < n:
+        raise IndexError(f"target {target} out of range [0, {n})")
+    target_set: frozenset[int] | None = None
+    if targets is not None:
+        target_set = frozenset(targets)
+        for t in target_set:
+            if not 0 <= t < n:
+                raise IndexError(f"target {t} out of range [0, {n})")
+
+    if scratch is None:
+        buffers = ScratchBuffers(n)
+    elif isinstance(scratch, ScratchPool):
+        buffers = scratch.get(n)
+    else:
+        buffers = scratch
+        if buffers.num_nodes != n:
+            raise ValueError(
+                f"scratch sized for {buffers.num_nodes} nodes, graph has {n}"
+            )
+    buffers.reset()
+    dist = buffers.dist
+    parent = buffers.parent
+    parent_tag = buffers.parent_tag
+    touched = buffers.touched
+
+    offsets, heads, weights, tags = graph.csr()
+    fscale = float(scale)
+    inv_scale = 1.0 / fscale  # power of two: exact
+    pushes = pops = stale = relaxations = 0
+    stopped_at = -1
+
+    seeds: list[int] = []
+    for s in source_tuple:
+        if dist[s] != 0.0:
+            dist[s] = 0.0
+            touched.append(s)
+            seeds.append(s)
+            pushes += 1
+    # buckets[b] holds frontier nodes at tentative distance b / scale; the
+    # cursor only moves forward, so the directory grows to the largest
+    # *reached* distance, not the detection-time span bound.
+    buckets: list[list[int]] = [seeds]
+    cur = 0
+    done = False
+
+    while not done:
+        while cur < len(buckets) and not buckets[cur]:
+            cur += 1
+        if cur >= len(buckets):
+            break
+        frontier = buckets[cur]
+        buckets[cur] = []
+        heapify(frontier)
+        du = cur * inv_scale  # exact: recovers the float distance bit-for-bit
+        while frontier:
+            u = heappop(frontier)
+            if dist[u] != du:
+                stale += 1
+                continue
+            pops += 1
+            if target is not None and u == target:
+                stopped_at = u
+                done = True
+                break
+            if target_set is not None and u in target_set:
+                stopped_at = u
+                done = True
+                break
+            for i in range(offsets[u], offsets[u + 1]):
+                v = heads[i]
+                relaxations += 1
+                alt = du + weights[i]
+                if alt < dist[v]:
+                    if dist[v] == INF:
+                        touched.append(v)
+                    dist[v] = alt
+                    parent[v] = u
+                    parent_tag[v] = tags[i]
+                    b = int(alt * fscale)  # exact integer on the lattice
+                    if b == cur:
+                        heappush(frontier, v)
+                    else:
+                        if b >= len(buckets):
+                            buckets.extend([] for _ in range(b + 1 - len(buckets)))
+                        buckets[b].append(v)
+                    pushes += 1
+
+    return DijkstraResult(
+        source=source_tuple,
+        dist=dist,
+        parent=parent,
+        parent_tag=parent_tag,
+        settled=pops,
+        relaxations=relaxations,
+        heap_stats={
+            "pushes": pushes,
+            "pops": pops,
+            "stale": stale,
+            "bucket_scale": scale,
+        },
+        stopped_at=stopped_at,
+    )

@@ -104,7 +104,7 @@ class TestEdgeCases:
         # An unknown heap name is only resolved inside the worker (run_tree
         # dispatch), so the raise happens mid-chunk in a child process.  The
         # pool must surface it to the caller and release its workers.
-        with pytest.raises(KeyError, match="bogus"):
+        with pytest.raises(ValueError, match="bogus"):
             route_all_pairs_parallel(
                 paper_figure1_network(), workers=2, heap="bogus"
             )

@@ -1,0 +1,199 @@
+"""Theorem 4 restricted fast path: fused builder identity, tree parity."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.auxiliary import build_layered_graph
+from repro.core.conversion import (
+    FixedCostConversion,
+    MatrixConversion,
+    NoConversion,
+    RangeLimitedConversion,
+)
+from repro.core.network import WDMNetwork
+from repro.core.routing import LiangShenRouter
+from repro.shortestpath.restricted import (
+    RESTRICTED_K0_CROSSOVER,
+    build_restricted_graph,
+    restricted_applicable,
+)
+from repro.topology.generators import waxman_network
+from repro.topology.reference import paper_figure1_network
+from tests.strategies import wdm_networks
+
+
+def mixed_models_network():
+    """Small network exercising every specialized conversion emitter."""
+    net = WDMNetwork(num_wavelengths=3, default_conversion=FixedCostConversion(0.5))
+    for v in range(5):
+        net.add_node(v)
+    net.set_conversion(1, NoConversion())
+    net.set_conversion(2, RangeLimitedConversion(1, cost_per_step=0.25))
+    net.set_conversion(
+        3, MatrixConversion({(0, 1): 1.0, (1, 2): 1.0, (2, 0): 2.0, (1, 1): 0.0})
+    )
+    net.add_link(0, 1, {0: 1.0, 1: 2.0})
+    net.add_link(1, 2, {1: 1.0, 2: 0.5})
+    net.add_link(2, 3, {0: 0.25, 2: 1.0})
+    net.add_link(3, 4, {1: 1.5})
+    net.add_link(4, 0, {0: 2.0, 1: 0.5})
+    net.add_link(1, 3, {2: 3.0})
+    return net
+
+
+NETWORKS = {
+    "fig1": paper_figure1_network,
+    "waxman": lambda: waxman_network(18, 4, seed=11),
+    "mixed": mixed_models_network,
+}
+
+
+@pytest.mark.parametrize("name", sorted(NETWORKS))
+class TestBuilderIdentity:
+    def test_csr_byte_identical(self, name):
+        net = NETWORKS[name]()
+        gen = build_layered_graph(net)
+        res = build_restricted_graph(net)
+        for a, b in zip(gen.graph.csr(), res.graph.csr()):
+            assert list(a) == list(b)
+        assert gen.graph.num_nodes == res.graph.num_nodes
+
+    def test_decode_tables_identical(self, name):
+        net = NETWORKS[name]()
+        gen = build_layered_graph(net)
+        res = build_restricted_graph(net)
+        assert gen.decode == res.decode
+        assert gen.x_ids == res.x_ids
+        assert gen.y_ids == res.y_ids
+        assert gen.x_by_node == res.x_by_node
+        assert gen.y_by_node == res.y_by_node
+
+    def test_size_accounting_identical(self, name):
+        net = NETWORKS[name]()
+        assert build_layered_graph(net).sizes == build_restricted_graph(net).sizes
+
+
+class TestApplicability:
+    def test_requires_genuine_restriction(self):
+        net = WDMNetwork(num_wavelengths=2)
+        net.add_node(0)
+        net.add_node(1)
+        net.add_link(0, 1, {0: 1.0, 1: 1.0})  # k0 == k: nothing to gain
+        assert not restricted_applicable(net)
+
+    def test_requires_links(self):
+        net = WDMNetwork(num_wavelengths=4)
+        net.add_node(0)
+        assert not restricted_applicable(net)
+
+    def test_small_k0_below_k_applies(self):
+        net = WDMNetwork(num_wavelengths=8)
+        net.add_node(0)
+        net.add_node(1)
+        net.add_link(0, 1, {3: 1.0})
+        assert restricted_applicable(net)
+
+    def test_crossover_is_the_cutoff(self):
+        net = WDMNetwork(num_wavelengths=RESTRICTED_K0_CROSSOVER + 2)
+        net.add_node(0)
+        net.add_node(1)
+        costs = {w: 1.0 for w in range(RESTRICTED_K0_CROSSOVER + 1)}
+        net.add_link(0, 1, costs)
+        assert not restricted_applicable(net)
+        assert restricted_applicable(net, crossover=RESTRICTED_K0_CROSSOVER + 1)
+
+    def test_paper_example_is_restricted(self):
+        assert restricted_applicable(paper_figure1_network())
+
+
+@pytest.mark.parametrize("name", sorted(NETWORKS))
+class TestTreeParity:
+    def test_trees_hop_identical_to_general(self, name):
+        net = NETWORKS[name]()
+        general = LiangShenRouter(net, restricted=False)
+        fast = LiangShenRouter(net, restricted=True)
+        for source in net.nodes():
+            reference = general.route_tree(source)
+            tree = fast.route_tree(source)
+            assert tree.keys() == reference.keys()
+            for target in reference:
+                assert tree[target].hops == reference[target].hops
+                assert tree[target].total_cost == reference[target].total_cost
+
+    def test_single_pair_unaffected(self, name):
+        net = NETWORKS[name]()
+        general = LiangShenRouter(net, restricted=False)
+        fast = LiangShenRouter(net, restricted=True)
+        for source in net.nodes():
+            for target in net.nodes():
+                if source == target:
+                    continue
+                try:
+                    a = general.route(source, target)
+                except Exception as exc:
+                    with pytest.raises(type(exc)):
+                        fast.route(source, target)
+                    continue
+                b = fast.route(source, target)
+                assert a.path.hops == b.path.hops
+                assert a.stats.settled == b.stats.settled
+
+
+class TestRouterPlumbing:
+    def test_auto_matches_applicability(self):
+        net = paper_figure1_network()
+        assert LiangShenRouter(net).restricted == restricted_applicable(net)
+
+    def test_forced_off(self):
+        assert LiangShenRouter(paper_figure1_network(), restricted=False).restricted is False
+
+    def test_restricted_tree_avoids_g_all(self):
+        router = LiangShenRouter(paper_figure1_network(), restricted=True)
+        router.route_tree(1)
+        assert router._all_pairs is None  # terminal-free: no G_all build
+
+    def test_source_without_output_wavelengths(self):
+        net = WDMNetwork(num_wavelengths=4)
+        for v in range(3):
+            net.add_node(v)
+        net.add_link(0, 1, {0: 1.0})  # node 2 emits nothing
+        router = LiangShenRouter(net, restricted=True)
+        assert router.route_tree(2) == {}
+
+    def test_all_pairs_stays_on_g_all(self):
+        # Serial/parallel byte-parity requires the all-pairs sweep to keep
+        # using the shared G_all whatever the restricted setting.
+        net = paper_figure1_network()
+        fast = LiangShenRouter(net, restricted=True)
+        general = LiangShenRouter(net, restricted=False)
+        a = fast.route_all_pairs()
+        b = general.route_all_pairs()
+        assert a.stats.settled == b.stats.settled
+        assert {p: path.hops for p, path in a.paths.items()} == {
+            p: path.hops for p, path in b.paths.items()
+        }
+
+
+@given(net=wdm_networks())
+@settings(max_examples=40, deadline=None)
+def test_fused_builder_identity_property(net):
+    gen = build_layered_graph(net)
+    res = build_restricted_graph(net)
+    for a, b in zip(gen.graph.csr(), res.graph.csr()):
+        assert list(a) == list(b)
+    assert gen.decode == res.decode
+    assert gen.sizes == res.sizes
+
+
+@given(net=wdm_networks(max_nodes=5))
+@settings(max_examples=30, deadline=None)
+def test_restricted_tree_parity_property(net):
+    general = LiangShenRouter(net, restricted=False)
+    fast = LiangShenRouter(net, restricted=True)
+    for source in net.nodes():
+        reference = general.route_tree(source)
+        tree = fast.route_tree(source)
+        assert tree.keys() == reference.keys()
+        for target in reference:
+            assert tree[target].hops == reference[target].hops
+            assert tree[target].total_cost == reference[target].total_cost

@@ -1,0 +1,126 @@
+"""Properties of the Dial bucket-queue kernel.
+
+Two claims make ``heap="bucket"`` safe to enable blindly:
+
+1. On lattice weights the bucket kernel is **byte-identical** to the
+   flat reference — same distances (bit-for-bit floats, thanks to
+   power-of-two scales), same parent forest, same hop sequences.
+2. Off the lattice it transparently falls back to ``flat``, so results
+   never depend on whether detection succeeded.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conversion import FixedCostConversion, NoConversion
+from repro.core.network import WDMNetwork
+from repro.core.routing import LiangShenRouter
+from repro.exceptions import NoPathError
+from repro.shortestpath.bucket import bucket_dijkstra
+from repro.shortestpath.flat import flat_dijkstra
+from repro.shortestpath.structures import GraphBuilder
+
+# Quarter-integer lattice costs, like the verification scenario corpus.
+lattice_costs = st.integers(0, 16).map(lambda i: i / 4)
+# Values a power-of-two scale <= 64 cannot make integral.
+off_lattice_costs = st.sampled_from([0.1, 0.3, 1.0 / 3.0, 2.7, 1.0 / 192.0])
+
+
+@st.composite
+def lattice_graphs(draw, max_nodes=12):
+    n = draw(st.integers(2, max_nodes))
+    b = GraphBuilder(n)
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1), lattice_costs
+            ),
+            max_size=4 * n,
+        )
+    )
+    for tail, head, cost in edges:
+        b.add_edge(tail, head, cost)
+    return b.build()
+
+
+@st.composite
+def lattice_networks(draw, max_nodes=6, max_wavelengths=3):
+    n = draw(st.integers(2, max_nodes))
+    k = draw(st.integers(1, max_wavelengths))
+    model = draw(
+        st.sampled_from(
+            [NoConversion(), FixedCostConversion(0.25), FixedCostConversion(1.0)]
+        )
+    )
+    net = WDMNetwork(num_wavelengths=k, default_conversion=model)
+    for v in range(n):
+        net.add_node(v)
+    arcs = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            unique=True,
+            max_size=3 * n,
+        )
+    )
+    for tail, head in arcs:
+        if tail == head:
+            continue
+        wavelengths = draw(
+            st.lists(st.integers(0, k - 1), unique=True, max_size=k)
+        )
+        net.add_link(tail, head, {w: draw(lattice_costs) for w in wavelengths})
+    return net
+
+
+@given(graph=lattice_graphs())
+@settings(max_examples=80, deadline=None)
+def test_bucket_byte_identical_on_lattice(graph):
+    flat = flat_dijkstra(graph, 0)
+    bucket = bucket_dijkstra(graph, 0)
+    assert "bucket_scale" in bucket.heap_stats  # the bucket queue really ran
+    assert list(bucket.dist) == list(flat.dist)
+    assert list(bucket.parent) == list(flat.parent)
+    assert list(bucket.parent_tag) == list(flat.parent_tag)
+    assert bucket.settled == flat.settled
+
+
+@given(graph=lattice_graphs(max_nodes=8), bad=off_lattice_costs)
+@settings(max_examples=40, deadline=None)
+def test_off_lattice_falls_back_and_stays_identical(graph, bad):
+    b = GraphBuilder(graph.num_nodes + 1)
+    offsets, heads, weights, tags = graph.csr()
+    for u in range(graph.num_nodes):
+        for i in range(offsets[u], offsets[u + 1]):
+            b.add_edge(u, heads[i], weights[i], tag=tags[i])
+    b.add_edge(graph.num_nodes - 1, graph.num_nodes, bad)
+    poisoned = b.build()
+    assert poisoned.lattice_scale() is None
+    bucket = bucket_dijkstra(poisoned, 0)
+    assert "bucket_scale" not in bucket.heap_stats  # fell back to flat
+    flat = flat_dijkstra(poisoned, 0)
+    assert list(bucket.dist) == list(flat.dist)
+    assert list(bucket.parent) == list(flat.parent)
+
+
+@given(case=lattice_networks())
+@settings(max_examples=50, deadline=None)
+def test_router_hops_identical_on_lattice_networks(case):
+    net = case
+    flat_router = LiangShenRouter(net, heap="flat")
+    bucket_router = LiangShenRouter(net, heap="bucket")
+    for s in net.nodes():
+        for t in net.nodes():
+            if s == t:
+                continue
+            try:
+                reference = flat_router.route(s, t)
+            except NoPathError:
+                try:
+                    bucket_router.route(s, t)
+                except NoPathError:
+                    continue
+                raise AssertionError(f"bucket found a path flat did not: {s}->{t}")
+            result = bucket_router.route(s, t)
+            assert result.path.hops == reference.path.hops
+            assert result.cost == reference.cost
+            assert result.stats.settled == reference.stats.settled

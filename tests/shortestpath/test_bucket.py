@@ -1,0 +1,136 @@
+"""Unit tests for the Dial bucket-queue kernel and lattice detection."""
+
+import math
+import random
+
+import pytest
+
+from repro.shortestpath.bucket import bucket_dijkstra
+from repro.shortestpath.flat import ScratchBuffers, flat_dijkstra
+from repro.shortestpath.structures import (
+    MAX_LATTICE_SCALE,
+    GraphBuilder,
+    _detect_lattice_scale,
+)
+
+
+def lattice_graph(trial, max_nodes=40):
+    """A random graph whose weights live on the quarter-integer lattice."""
+    rng = random.Random(trial)
+    n = rng.randint(2, max_nodes)
+    b = GraphBuilder(n)
+    for _ in range(rng.randint(0, 5 * n)):
+        b.add_edge(rng.randrange(n), rng.randrange(n), rng.randint(0, 16) / 4)
+    return b.build()
+
+
+def assert_identical(a, b):
+    assert list(a.dist) == list(b.dist)
+    assert list(a.parent) == list(b.parent)
+    assert list(a.parent_tag) == list(b.parent_tag)
+    assert a.stopped_at == b.stopped_at
+    assert a.settled == b.settled
+
+
+class TestLatticeDetection:
+    def test_quarter_lattice_detected(self):
+        b = GraphBuilder(3)
+        b.add_edge(0, 1, 0.25)
+        b.add_edge(1, 2, 1.5)
+        assert b.build().lattice_scale() == 4
+
+    def test_integer_weights_scale_one(self):
+        b = GraphBuilder(2)
+        b.add_edge(0, 1, 3.0)
+        assert b.build().lattice_scale() == 1
+
+    def test_off_lattice_rejected(self):
+        b = GraphBuilder(2)
+        b.add_edge(0, 1, 0.1)  # no power-of-two scale makes 0.1 integral
+        assert b.build().lattice_scale() is None
+
+    def test_scale_cap(self):
+        b = GraphBuilder(2)
+        b.add_edge(0, 1, 1.0 / (2 * MAX_LATTICE_SCALE))
+        assert b.build().lattice_scale() is None
+
+    def test_span_cap(self):
+        b = GraphBuilder(2)
+        b.add_edge(0, 1, 2.0**21)
+        assert b.build().lattice_scale() is None
+
+    def test_empty_graph_is_lattice(self):
+        assert GraphBuilder(3).build().lattice_scale() == 1
+
+    def test_memoized(self):
+        g = GraphBuilder(2).build()
+        assert g.lattice_scale() is g.lattice_scale()
+
+    def test_detect_rejects_inf(self):
+        assert _detect_lattice_scale([1.0, math.inf], 2) is None
+
+
+class TestBucketKernel:
+    def test_marker_present_on_lattice(self):
+        b = GraphBuilder(2)
+        b.add_edge(0, 1, 0.5)
+        run = bucket_dijkstra(b.build(), 0)
+        assert run.heap_stats["bucket_scale"] == 2
+
+    def test_fallback_off_lattice(self):
+        b = GraphBuilder(2)
+        b.add_edge(0, 1, 0.1)
+        run = bucket_dijkstra(b.build(), 0)
+        assert "bucket_scale" not in run.heap_stats
+        assert run.dist[1] == pytest.approx(0.1)
+
+    @pytest.mark.parametrize("trial", range(30))
+    def test_byte_identical_to_flat(self, trial):
+        g = lattice_graph(trial)
+        assert_identical(bucket_dijkstra(g, 0), flat_dijkstra(g, 0))
+
+    @pytest.mark.parametrize("trial", range(10))
+    def test_target_early_stop_parity(self, trial):
+        g = lattice_graph(trial)
+        t = g.num_nodes - 1
+        assert_identical(
+            bucket_dijkstra(g, 0, target=t), flat_dijkstra(g, 0, target=t)
+        )
+
+    @pytest.mark.parametrize("trial", range(10))
+    def test_targets_set_parity(self, trial):
+        g = lattice_graph(trial)
+        ts = list(range(1, g.num_nodes, 2))
+        if not ts:
+            return
+        assert_identical(
+            bucket_dijkstra(g, 0, targets=ts), flat_dijkstra(g, 0, targets=ts)
+        )
+
+    def test_multi_source_parity(self):
+        g = lattice_graph(7)
+        assert_identical(bucket_dijkstra(g, [0, 1]), flat_dijkstra(g, [0, 1]))
+
+    def test_zero_weight_edges(self):
+        b = GraphBuilder(3)
+        b.add_edge(0, 1, 0.0)
+        b.add_edge(1, 2, 0.0)
+        run = bucket_dijkstra(b.build(), 0)
+        assert list(run.dist) == [0.0, 0.0, 0.0]
+        assert run.heap_stats["bucket_scale"] == 1
+
+    def test_scratch_reuse(self):
+        g = lattice_graph(3)
+        scratch = ScratchBuffers(g.num_nodes)
+        first = list(bucket_dijkstra(g, 0, scratch=scratch).dist)
+        assert list(bucket_dijkstra(g, 0, scratch=scratch).dist) == first
+
+    def test_no_sources_rejected(self):
+        with pytest.raises(ValueError):
+            bucket_dijkstra(lattice_graph(1), [])
+
+    def test_dispatch_through_dijkstra_entry_point(self):
+        from repro.shortestpath.dijkstra import dijkstra
+
+        g = lattice_graph(5)
+        assert_identical(dijkstra(g, 0, heap="bucket"), bucket_dijkstra(g, 0))
