@@ -8,6 +8,8 @@ python -m repro all-pairs net.json --workers 4
 python -m repro sizes net.json
 python -m repro provision net.json --load 30 --requests 500 --policy first-fit
 python -m repro serve-bench net.json --requests 1000 --workers 4
+python -m repro serve net.json --workers 4 --host 127.0.0.1 --port 4500
+python -m repro serve net.json --uds "" --bench --requests 200
 python -m repro multicast net.json --source 1 --member 4 --member 6
 python -m repro multicast --seconds 60 --seed 1998
 python -m repro dot net.json --figure fig3 --node 3
@@ -40,6 +42,7 @@ from repro.io.dot import (
     routing_graph_to_dot,
 )
 from repro.io.serialization import network_from_json, network_to_json, path_to_json
+from repro.server.protocol import valid_ip, valid_port
 
 from repro import __version__
 
@@ -290,64 +293,236 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _oracle_matrix(args: argparse.Namespace):
+    """The oracle tuple for verify/fuzz, plus the live-server manager.
+
+    With ``--server`` the matrix gains ``liang:server``: every scenario
+    is also answered by a live UDS router server (net-zero PATCH churn
+    included) and must match byte-for-byte.  The caller owns closing the
+    returned manager and auditing shared segments afterwards.
+    """
+    if not getattr(args, "server", False):
+        return None, None
+    from repro.verify.oracles import (
+        ServerOracleManager,
+        default_oracles,
+        server_oracle,
+    )
+
+    manager = ServerOracleManager(workers=1)
+    return default_oracles() + (server_oracle(manager),), manager
+
+
+def _audit_segments(before: set[str]) -> int:
+    """Nonzero (EXIT_VIOLATION) when a run left shared segments behind."""
+    from repro.shortestpath.shared import leaked_segments
+
+    leaked = sorted(set(leaked_segments()) - before)
+    if leaked:
+        print(
+            f"error: leaked shared-memory segment(s): {', '.join(leaked)}",
+            file=sys.stderr,
+        )
+        return EXIT_VIOLATION
+    return EXIT_OK
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.shortestpath.shared import leaked_segments
     from repro.verify import DifferentialHarness, random_scenario, replay_corpus
     from repro.verify.scenarios import ScenarioLimits
 
-    harness = DifferentialHarness()
+    segments_before = set(leaked_segments())
+    oracles, manager = _oracle_matrix(args)
+    harness = DifferentialHarness(oracles)
     failures = 0
     replayed = 0
-    for case, report in replay_corpus(args.corpus, harness):
-        replayed += 1
-        if not report.ok:
-            failures += 1
-            print(f"corpus case {case.name} FAILED:")
-            print(report.format())
-    limits = ScenarioLimits(max_nodes=args.max_nodes)
     checked = 0
-    for index in range(args.scenarios):
-        report = harness.run(random_scenario(args.seed + index, limits=limits))
-        checked += report.queries_checked
-        if not report.ok:
-            failures += 1
-            print(report.format())
+    try:
+        for case, report in replay_corpus(args.corpus, harness):
+            replayed += 1
+            if not report.ok:
+                failures += 1
+                print(f"corpus case {case.name} FAILED:")
+                print(report.format())
+        limits = ScenarioLimits(max_nodes=args.max_nodes)
+        for index in range(args.scenarios):
+            report = harness.run(
+                random_scenario(args.seed + index, limits=limits)
+            )
+            checked += report.queries_checked
+            if not report.ok:
+                failures += 1
+                print(report.format())
+    finally:
+        if manager is not None:
+            manager.close()
     print(
         f"verify: {replayed} corpus case(s) replayed, {args.scenarios} seeded "
         f"scenario(s) ({checked} queries) through {len(harness.oracles)} oracles; "
         f"{failures} failure(s)"
     )
-    return EXIT_OK if failures == 0 else EXIT_DISAGREEMENT
+    leak_status = _audit_segments(segments_before)
+    if failures:
+        return EXIT_DISAGREEMENT
+    return leak_status
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.shortestpath.shared import leaked_segments
     from repro.verify import DifferentialHarness, save_case, shrink_scenario
     from repro.verify.scenarios import ScenarioLimits
 
     if args.seconds <= 0:
         print("--seconds must be > 0", file=sys.stderr)
         return EXIT_ERROR
-    harness = DifferentialHarness()
+    segments_before = set(leaked_segments())
+    oracles, manager = _oracle_matrix(args)
+    harness = DifferentialHarness(oracles)
     limits = ScenarioLimits(max_nodes=args.max_nodes)
-    result = harness.fuzz(seconds=args.seconds, seed=args.seed, limits=limits)
+    try:
+        result = harness.fuzz(
+            seconds=args.seconds, seed=args.seed, limits=limits
+        )
+        matrix = (
+            f"{len(harness.oracles)} oracles (incl. liang:server)"
+            if manager is not None
+            else f"{len(harness.oracles)} oracles"
+        )
+        print(
+            f"fuzz: {result.scenarios_run} scenario(s), {result.queries_checked} "
+            f"queries through {matrix} in "
+            f"{result.elapsed:.1f}s (seed {result.seed}); "
+            f"{len(result.failures)} failure(s)"
+        )
+        for report in result.failures:
+            print()
+            print(report.format())
+            scenario = report.scenario
+            if not args.no_shrink:
+                scenario = shrink_scenario(
+                    scenario, lambda s: not harness.run(s).ok
+                )
+                print(f"shrunk to {scenario!r}")
+            disagreements = [
+                d.summary() for d in harness.run(scenario).disagreements
+            ]
+            path = save_case(args.corpus, scenario, disagreements)
+            print(f"persisted to {path}")
+    finally:
+        if manager is not None:
+            manager.close()
+    leak_status = _audit_segments(segments_before)
+    if not result.ok:
+        return EXIT_DISAGREEMENT
+    return leak_status
+
+
+def _serve_bench(server, network: WDMNetwork, args: argparse.Namespace) -> int:
+    """``repro serve --bench``: latency probe + identity check, then exit.
+
+    Drives *requests* single-pair queries and one full
+    ``route_all_pairs`` through a live client, requires byte-identical
+    answers to the in-process router, and audits shared segments after
+    shutdown.  Exit codes: 4 on any mismatch, 5 on a leaked segment.
+    """
+    import random
+    import time
+
+    from repro.server import RouterClient
+    from repro.shortestpath.shared import leaked_segments
+
+    segments_before = set(leaked_segments())
+    server.start()
+    router = LiangShenRouter(network)
+    mismatches = 0
+    with RouterClient(server.address) as client:
+        nodes = client.snapshot()["sources"]
+        rng = random.Random(args.seed)
+        pairs = [
+            tuple(rng.sample(nodes, 2)) for _ in range(max(0, args.requests))
+        ]
+        latencies: list[float] = []
+        for source, target in pairs:
+            begin = time.perf_counter()
+            try:
+                remote = client.route(source, target)
+            except NoPathError:
+                remote = None
+            latencies.append(time.perf_counter() - begin)
+            try:
+                local = router.route(source, target).path
+            except NoPathError:
+                local = None
+            if remote != local:
+                mismatches += 1
+        begin = time.perf_counter()
+        remote_all = client.route_all_pairs()
+        all_pairs_seconds = time.perf_counter() - begin
+        serial_all = router.route_all_pairs()
+        if (
+            remote_all.paths != serial_all.paths
+            or list(remote_all.paths) != list(serial_all.paths)
+            or remote_all.stats != serial_all.stats
+        ):
+            mismatches += 1
+        client.shutdown()
+    server.close()
+    if latencies:
+        ordered = sorted(latencies)
+        p50 = ordered[len(ordered) // 2]
+        p99 = ordered[min(len(ordered) - 1, (len(ordered) * 99) // 100)]
+        print(
+            f"serve-bench: {len(pairs)} routes, p50 {p50 * 1e6:.0f}us, "
+            f"p99 {p99 * 1e6:.0f}us"
+        )
     print(
-        f"fuzz: {result.scenarios_run} scenario(s), {result.queries_checked} "
-        f"queries through {len(harness.oracles)} oracles in "
-        f"{result.elapsed:.1f}s (seed {result.seed}); "
-        f"{len(result.failures)} failure(s)"
+        f"serve-bench: all-pairs over the wire in {all_pairs_seconds:.3f}s "
+        f"({len(remote_all.paths)} paths)"
     )
-    for report in result.failures:
-        print()
-        print(report.format())
-        scenario = report.scenario
-        if not args.no_shrink:
-            scenario = shrink_scenario(
-                scenario, lambda s: not harness.run(s).ok
-            )
-            print(f"shrunk to {scenario!r}")
-        disagreements = [d.summary() for d in harness.run(scenario).disagreements]
-        path = save_case(args.corpus, scenario, disagreements)
-        print(f"persisted to {path}")
-    return EXIT_OK if result.ok else EXIT_DISAGREEMENT
+    print(f"serve-bench: {mismatches} mismatch(es) vs in-process router")
+    leak_status = _audit_segments(segments_before)
+    if mismatches:
+        return EXIT_DISAGREEMENT
+    return leak_status
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import RouterServer
+
+    network = _load_network(args.network)
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return EXIT_ERROR
+    if args.uds is not None:
+        server = RouterServer(
+            network, workers=args.workers, uds=args.uds, heap=args.heap
+        )
+    else:
+        server = RouterServer(
+            network,
+            workers=args.workers,
+            host=args.host,
+            port=args.port,
+            heap=args.heap,
+        )
+    if args.bench:
+        return _serve_bench(server, network, args)
+    server.start()
+    address = server.address
+    shown = address if isinstance(address, str) else f"{address[0]}:{address[1]}"
+    print(f"router server listening on {shown}")
+    print(
+        f"segment {server.segment_name}: {server._shared.num_nodes} aux "
+        f"nodes, {server._shared.num_edges} edges, {args.workers} worker(s)"
+    )
+    try:
+        server.join()
+    except KeyboardInterrupt:
+        print("interrupted; shutting down")
+    finally:
+        server.close()
+    return EXIT_OK
 
 
 def _chaos_networks(args: argparse.Namespace) -> list[tuple[str, WDMNetwork]]:
@@ -777,6 +952,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.set_defaults(fn=_cmd_serve_bench)
 
+    p_srv = sub.add_parser(
+        "serve",
+        help="persistent shared-memory router server (TCP or UDS)",
+    )
+    p_srv.add_argument("network")
+    p_srv.add_argument(
+        "--host", type=valid_ip, default="127.0.0.1",
+        help="TCP bind address (IPv4)",
+    )
+    p_srv.add_argument(
+        "--port", type=valid_port, default=0,
+        help="TCP port (0 = ephemeral)",
+    )
+    p_srv.add_argument(
+        "--uds", default=None, metavar="PATH",
+        help="serve on a unix-domain socket instead of TCP "
+        "('' = a generated temp path)",
+    )
+    p_srv.add_argument(
+        "--workers", type=int, default=2, help="warm worker processes"
+    )
+    p_srv.add_argument("--heap", default="flat", help="tree-run kernel name")
+    p_srv.add_argument(
+        "--bench", action="store_true",
+        help="start, drive a latency/identity probe, shut down, and audit "
+        "shared segments (exit 4 on mismatch, 5 on a leaked segment)",
+    )
+    p_srv.add_argument(
+        "--requests", type=int, default=200,
+        help="--bench: number of single-pair probes",
+    )
+    p_srv.add_argument("--seed", type=int, default=0)
+    p_srv.set_defaults(fn=_cmd_serve)
+
     p_verify = sub.add_parser(
         "verify",
         help="replay the golden corpus and a seeded scenario sweep "
@@ -793,6 +1002,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--seed", type=int, default=0)
     p_verify.add_argument(
         "--max-nodes", type=int, default=9, help="scenario size ceiling"
+    )
+    p_verify.add_argument(
+        "--server", action="store_true",
+        help="add the liang:server oracle: every scenario is also routed "
+        "through a live UDS router server (PATCH churn included) and must "
+        "answer byte-identically; leaked segments exit 5",
     )
     p_verify.set_defaults(fn=_cmd_verify)
 
@@ -813,6 +1028,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument(
         "--no-shrink", action="store_true",
         help="persist failing scenarios unshrunk (faster triage loop)",
+    )
+    p_fuzz.add_argument(
+        "--server", action="store_true",
+        help="add the liang:server oracle (live UDS server per scenario, "
+        "byte-identical answers required; leaked segments exit 5)",
     )
     p_fuzz.set_defaults(fn=_cmd_fuzz)
 

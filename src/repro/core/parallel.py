@@ -6,15 +6,20 @@ mutable state, so they partition perfectly across OS processes — the only
 engineering problem is getting ``G_all`` into the workers without paying
 a per-task serialization bill.
 
-:func:`route_all_pairs_parallel` ships ``G_all`` exactly once per worker:
+:func:`route_all_pairs_parallel` gets ``G_all`` into the workers two ways:
 
-* With the **fork** start method (Linux default) the parent stores
-  ``G_all`` in a module global before creating the pool; forked children
-  inherit the already-built object through copy-on-write memory — zero
-  pickling, even for networks whose conversion models (closures) cannot
-  be pickled at all.
-* With **spawn**/**forkserver** the graph is passed through the pool
-  initializer, so it is pickled once per worker instead of once per task.
+* **Shared memory (default, ``shared=True``):** the parent publishes the
+  CSR arrays once into a :class:`~repro.shortestpath.shared.SharedCSR`
+  segment and each worker *attaches* through the pool initializer — a
+  header parse plus one small metadata unpickle, independent of graph
+  size.  No worker ever pickles or copies the arrays, under any start
+  method; the segment is unlinked when the pool finishes.
+* **Legacy (``shared=False``):** with the **fork** start method the
+  parent stores ``G_all`` in a module global and forked children inherit
+  it through copy-on-write memory; with **spawn**/**forkserver** the
+  graph is pickled once per worker through the initializer.  This is the
+  path whose per-worker cost motivated the shared segment — the bench
+  records both so the regression stays visible.
 
 Sources are grouped into contiguous chunks (several per worker, for load
 balance against uneven tree sizes) and each worker returns its decoded
@@ -55,6 +60,22 @@ def _worker_init(payload: tuple[AllPairsGraph, str, object] | None) -> None:
     """
     if payload is not None:
         _SHARED["aux"], _SHARED["heap"], _SHARED["fault_hook"] = payload
+
+
+def _worker_init_shared(payload: tuple[str, str, object]) -> None:
+    """Pool initializer for the shared-memory path: attach by name.
+
+    The payload carries only the segment *name* — deliberately, even
+    under fork (where the worker could inherit the parent's handle), so
+    every worker exercises the same zero-copy attach that spawned
+    workers and the router server's pool rely on.
+    """
+    from repro.shortestpath.shared import attach_all_pairs_graph
+
+    segment, heap, fault_hook = payload
+    _SHARED["aux"] = attach_all_pairs_graph(segment)
+    _SHARED["heap"] = heap
+    _SHARED["fault_hook"] = fault_hook
 
 
 def _route_chunk(
@@ -105,6 +126,7 @@ def route_all_pairs_parallel(
     aux: AllPairsGraph | None = None,
     chunks_per_worker: int = 4,
     fault_hook=None,
+    shared: bool = True,
 ) -> AllPairsResult:
     """Corollary 1 with the ``n`` tree runs fanned across a process pool.
 
@@ -131,6 +153,12 @@ def route_all_pairs_parallel(
         only on the pool path (``workers > 1``); a hook that raises
         surfaces the exception through the pool exactly like a real
         worker crash.
+    shared:
+        When True (default) the CSR arrays are published once into a
+        shared-memory segment and workers attach zero-copy views; when
+        False the legacy fork-inherit / pickle-per-worker path runs.
+        Falls back to the legacy path automatically if the platform has
+        no usable shared memory.
 
     Returns
     -------
@@ -170,26 +198,43 @@ def route_all_pairs_parallel(
 
     methods = multiprocessing.get_all_start_methods()
     ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
-    # Fork children inherit _SHARED through copy-on-write — no pickling at
-    # all.  Other start methods get the graph through the initializer,
-    # pickled once per worker rather than once per task.
-    payload = (
-        None if ctx.get_start_method() == "fork" else (aux, heap, fault_hook)
-    )
-    _SHARED["aux"] = aux
-    _SHARED["heap"] = heap
-    _SHARED["fault_hook"] = fault_hook
+    segment = None
+    if shared:
+        try:
+            from repro.shortestpath.shared import share_all_pairs_graph
+
+            segment = share_all_pairs_graph(aux)
+        except Exception:
+            segment = None  # no /dev/shm (or equivalent): legacy path
+    if segment is not None:
+        initializer = _worker_init_shared
+        payload = (segment.name, heap, fault_hook)
+    else:
+        initializer = _worker_init
+        # Fork children inherit _SHARED through copy-on-write — no
+        # pickling at all.  Other start methods get the graph through the
+        # initializer, pickled once per worker rather than once per task.
+        payload = (
+            None
+            if ctx.get_start_method() == "fork"
+            else (aux, heap, fault_hook)
+        )
+        _SHARED["aux"] = aux
+        _SHARED["heap"] = heap
+        _SHARED["fault_hook"] = fault_hook
     jobs = list(enumerate(_chunk(sources, workers * chunks_per_worker)))
     try:
         with ProcessPoolExecutor(
             max_workers=workers,
             mp_context=ctx,
-            initializer=_worker_init,
+            initializer=initializer,
             initargs=(payload,),
         ) as pool:
             results = list(pool.map(_route_chunk, jobs))
     finally:
         _SHARED.clear()
+        if segment is not None:
+            segment.unlink()
 
     paths = {}
     settled = relaxations = 0

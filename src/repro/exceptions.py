@@ -31,6 +31,10 @@ __all__ = [
     "InjectedFaultError",
     "CircuitOpenError",
     "DeltaParityError",
+    "SharedSegmentError",
+    "ProtocolError",
+    "WorkerCrashError",
+    "RemoteRouterError",
 ]
 
 
@@ -213,6 +217,39 @@ class DeltaParityError(SemilightError):
     byte-identical to an overlay built fresh from the degraded network.
     Either means the in-place patching machinery corrupted the CSR.
     """
+
+
+class SharedSegmentError(SemilightError):
+    """A shared-memory CSR segment is malformed or was misused.
+
+    Raised by :mod:`repro.shortestpath.shared` on bad magic/version,
+    attach to a missing segment, unbalanced seqlock brackets, or a read
+    that never stabilized against a writer.
+    """
+
+
+class ProtocolError(SemilightError):
+    """A router-server wire frame violated the protocol.
+
+    Base class for the framing errors in :mod:`repro.server.protocol`
+    (bad magic, oversized length, truncation mid-frame, undecodable
+    payload).  The connection that produced it cannot be trusted and is
+    closed.
+    """
+
+
+class WorkerCrashError(TransientBackendError):
+    """A router-server worker died while holding the request.
+
+    Subclasses :class:`TransientBackendError`: the pool respawns the
+    worker and the request had no side effects, so clients (and the
+    existing :class:`~repro.faults.resilience.RetryPolicy`) may simply
+    re-issue it.
+    """
+
+
+class RemoteRouterError(ServiceError):
+    """The router server reported a non-retryable failure for a request."""
 
 
 class CircuitOpenError(ServiceError):

@@ -1,0 +1,285 @@
+"""Socket client for the router server.
+
+:class:`RouterClient` speaks the :mod:`repro.server.protocol` frames over
+one persistent connection (TCP or UDS).  Its ``route`` matches the
+in-process router contract — returns a
+:class:`~repro.core.semilightpath.Semilightpath`, raises
+:class:`~repro.exceptions.NoPathError` on unreachable pairs — so it can
+stand in wherever a routing backend is expected (e.g. behind the service
+cache).  Transient failures (a worker crashing mid-request surfaces as
+:class:`~repro.exceptions.WorkerCrashError`) are retried through the
+existing :class:`~repro.faults.resilience.RetryPolicy`; everything else
+maps to :class:`~repro.exceptions.RemoteRouterError`.
+
+``route_all_pairs(workers=)`` reproduces the serial
+:meth:`~repro.core.routing.LiangShenRouter.route_all_pairs` result
+byte-identically: sources are split into the same contiguous chunks as
+:func:`repro.core.parallel.route_all_pairs_parallel`, fanned over
+*workers* client connections (the server's pool parallelizes only across
+in-flight requests), and merged in chunk order.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from queue import Empty, Queue
+from typing import Any, Hashable
+
+from repro.core.instrumentation import QueryStats
+from repro.core.routing import AllPairsResult
+from repro.core.semilightpath import Semilightpath
+from repro.exceptions import (
+    NoPathError,
+    ProtocolError,
+    RemoteRouterError,
+    WorkerCrashError,
+)
+from repro.faults.resilience import RetryPolicy
+from repro.server import protocol
+from repro.server.protocol import Op
+
+__all__ = ["RouterClient"]
+
+NodeId = Hashable
+
+#: Error names the server may send that map back to *retryable* errors.
+_TRANSIENT_ERRORS = {"WorkerCrashError", "TransientBackendError"}
+
+
+def _map_error(payload: Any) -> Exception:
+    """Turn an ``ERR`` payload ``(type_name, message)`` into an exception."""
+    try:
+        name, message = payload
+    except (TypeError, ValueError):
+        return ProtocolError(f"malformed ERR payload: {payload!r}")
+    if name in _TRANSIENT_ERRORS:
+        return WorkerCrashError(message)
+    if name == "ProtocolError":
+        return ProtocolError(message)
+    return RemoteRouterError(f"{name}: {message}")
+
+
+class RouterClient:
+    """A client for one :class:`~repro.server.server.RouterServer`.
+
+    Parameters
+    ----------
+    address:
+        A ``(host, port)`` tuple (TCP) or a UDS path string — exactly
+        what ``RouterServer.address`` returns.
+    retry:
+        Policy for transient failures; ``None`` installs the default
+        3-attempt policy.  Pass ``RetryPolicy(max_attempts=1)`` to see
+        raw :class:`WorkerCrashError`\\ s (the kill tests do).
+    timeout:
+        Socket timeout per frame exchange, seconds.
+    """
+
+    def __init__(
+        self,
+        address,
+        *,
+        retry: RetryPolicy | None = None,
+        timeout: float = 120.0,
+    ) -> None:
+        self._address = address
+        self._timeout = timeout
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._sock: socket.socket | None = None
+        self._lock = threading.Lock()
+
+    # -- connection management ------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        if isinstance(self._address, str):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.settimeout(self._timeout)
+        try:
+            sock.connect(
+                self._address
+                if isinstance(self._address, str)
+                else tuple(self._address)
+            )
+        except OSError as exc:
+            sock.close()
+            raise RemoteRouterError(
+                f"cannot connect to router server at {self._address!r}: {exc}"
+            ) from exc
+        return sock
+
+    def _drop(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        """Close the connection (idempotent; the server keeps running)."""
+        with self._lock:
+            self._drop()
+
+    def __enter__(self) -> "RouterClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- frame exchange -------------------------------------------------------
+
+    def _call(self, op: Op, payload: Any = None):
+        """One request/reply exchange; raises the mapped server error."""
+        with self._lock:
+            if self._sock is None:
+                self._sock = self._connect()
+            try:
+                protocol.send_frame(self._sock, op, payload)
+                reply = protocol.read_frame(self._sock)
+            except ProtocolError as exc:
+                self._drop()
+                raise ProtocolError(f"reply stream corrupted: {exc}") from exc
+            except OSError as exc:
+                self._drop()
+                raise RemoteRouterError(
+                    f"connection to router server lost: {exc}"
+                ) from exc
+            if reply is None:
+                self._drop()
+                raise RemoteRouterError("server closed the connection")
+        rop, rpayload = reply
+        if rop == Op.OK:
+            return rpayload
+        if rop == Op.ERR:
+            raise _map_error(rpayload)
+        raise ProtocolError(f"unexpected reply opcode {int(rop):#04x}")
+
+    def _call_retrying(self, op: Op, payload: Any = None):
+        return self._retry.call(lambda: self._call(op, payload))
+
+    # -- routing API ----------------------------------------------------------
+
+    def route(self, source: NodeId, target: NodeId) -> Semilightpath:
+        """Optimal semilightpath, or :class:`NoPathError` — router contract."""
+        reply = self._call_retrying(Op.ROUTE, (source, target))
+        path = protocol.decode_path(reply["path"])
+        if path is None:
+            raise NoPathError(source, target)
+        return path
+
+    def route_batch(
+        self, pairs: list[tuple[NodeId, NodeId]]
+    ) -> list[Semilightpath | None]:
+        """Paths for *pairs* in order; ``None`` marks unreachable pairs."""
+        reply = self._call_retrying(Op.ROUTE_BATCH, list(pairs))
+        return [protocol.decode_path(wire) for wire in reply["paths"]]
+
+    def route_all_pairs(
+        self,
+        workers: int | None = None,
+        chunks_per_worker: int = 4,
+    ) -> AllPairsResult:
+        """All ``n(n-1)`` pairs via chunked requests; serial-identical.
+
+        *workers* counts client-side connections issuing chunks
+        concurrently (defaults to the server's worker count); the
+        server's pool does the actual tree runs.
+        """
+        from repro.core.parallel import _chunk
+
+        snapshot = self.snapshot()
+        sources = snapshot["sources"]
+        if workers is None:
+            workers = snapshot["workers"]
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        chunks = _chunk(sources, workers * chunks_per_worker)
+        jobs: Queue = Queue()
+        for index, chunk in enumerate(chunks):
+            jobs.put((index, chunk))
+        results: list[Any] = [None] * len(chunks)
+        errors: list[Exception] = []
+
+        def drain() -> None:
+            client = RouterClient(
+                self._address, retry=self._retry, timeout=self._timeout
+            )
+            try:
+                while not errors:
+                    try:
+                        index, chunk = jobs.get_nowait()
+                    except Empty:
+                        return
+                    reply = client._call_retrying(
+                        Op.ALL_PAIRS_CHUNK, (index, chunk)
+                    )
+                    results[index] = reply["chunk"]
+            except Exception as exc:  # noqa: BLE001 - re-raised in the caller
+                errors.append(exc)
+            finally:
+                client.close()
+
+        threads = [
+            threading.Thread(target=drain, name=f"all-pairs-{i}", daemon=True)
+            for i in range(min(workers, len(chunks)))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+
+        paths: dict[tuple[NodeId, NodeId], Semilightpath] = {}
+        settled = relaxations = 0
+        heap_totals: dict[str, int] = {}
+        for chunk_reply in results:
+            _index, trees, chunk_settled, chunk_relax, chunk_heap = chunk_reply
+            for source, tree in trees:
+                for target, wire in tree:
+                    paths[(source, target)] = protocol.decode_path(wire)
+            settled += chunk_settled
+            relaxations += chunk_relax
+            for key, value in chunk_heap.items():
+                heap_totals[key] = heap_totals.get(key, 0) + value
+        return AllPairsResult(
+            paths=paths,
+            stats=QueryStats(
+                sizes=snapshot["sizes"],
+                settled=settled,
+                relaxations=relaxations,
+                heap=heap_totals,
+            ),
+        )
+
+    # -- control plane --------------------------------------------------------
+
+    def patch(self, ops: list[tuple[str, tuple]]) -> dict[str, Any]:
+        """Apply a fault batch: ``[("fail_link", (u, v)), ...]``.
+
+        Not retried: a PATCH is not idempotent (events bump the delta
+        epoch), so transient failures surface to the caller.
+        """
+        return self._call(Op.PATCH, list(ops))
+
+    def snapshot(self) -> dict[str, Any]:
+        """Static facts: segment name/sizes, sources, epoch, worker count."""
+        return self._call_retrying(Op.SNAPSHOT)
+
+    def stats(self) -> dict[str, Any]:
+        """Live counters: per-worker pid/liveness, respawns, pending jobs."""
+        return self._call_retrying(Op.STATS)
+
+    def sleep(self, seconds: float) -> dict[str, Any]:
+        """Debug servers only: pin a worker in ``time.sleep`` (kill tests)."""
+        return self._call(Op.SLEEP, seconds)
+
+    def shutdown(self) -> dict[str, Any]:
+        """Ask the server to shut down cleanly (unlinks its segment)."""
+        try:
+            return self._call(Op.SHUTDOWN)
+        finally:
+            self.close()

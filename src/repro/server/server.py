@@ -1,0 +1,626 @@
+"""The persistent router server: warm workers over one shared segment.
+
+:class:`RouterServer` publishes ``G_all`` exactly once into a
+:class:`~repro.shortestpath.shared.SharedCSR` segment, then forks a pool
+of worker processes that *attach* (header parse + small metadata
+unpickle — no graph pickling, see docs/serving.md) and stay warm across
+requests, each holding a per-source :class:`~repro.core.forest.LazyForest`
+cache that is dropped whenever the segment's seqlock epoch moves.
+
+Request flow::
+
+    client ──frame──▶ listener thread ──▶ per-connection handler thread
+        ──job──▶ task queue ──▶ worker process (claims, computes under
+        read_stable) ──▶ result queue ──▶ collector thread ──▶ handler
+        replies OK/ERR
+
+``PATCH`` never touches the workers: the server process owns a
+:class:`~repro.shortestpath.delta.DeltaOverlay` bound to the *shared*
+weights array, so fault events write through to the segment inside a
+``SharedCSR.patch()`` seqlock bracket; workers notice the epoch bump and
+invalidate their forest caches on the next request.
+
+Crash handling: a monitor thread polls worker liveness.  When a worker
+dies, every job it had claimed (announced on the result queue before
+computing) fails with :class:`~repro.exceptions.WorkerCrashError` — a
+*transient* error the client's RetryPolicy will retry — and a fresh
+worker is spawned into the dead slot.  The claim announcement leaves a
+microscopic window (between dequeue and claim) where a crash could
+strand a job; the per-request timeout bounds that to an error, never a
+hang.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import socket
+import tempfile
+import threading
+import time
+from queue import Empty
+from typing import TYPE_CHECKING, Any, Hashable
+
+from repro.core.auxiliary import build_all_pairs_graph
+from repro.exceptions import (
+    ProtocolError,
+    RemoteRouterError,
+    SemilightError,
+    WorkerCrashError,
+)
+from repro.server import protocol
+from repro.server.protocol import Op
+from repro.shortestpath.delta import DeltaOverlay
+from repro.shortestpath.shared import (
+    attach_all_pairs_graph,
+    share_all_pairs_graph,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.network import WDMNetwork
+
+__all__ = ["RouterServer"]
+
+NodeId = Hashable
+
+#: DeltaOverlay events a PATCH frame may invoke, by name.
+PATCH_EVENTS = frozenset(
+    {
+        "fail_channel",
+        "recover_channel",
+        "fail_link",
+        "recover_link",
+        "fail_converter",
+        "recover_converter",
+    }
+)
+
+
+def _worker_main(segment: str, heap: str, index: int, tasks, results) -> None:
+    """Worker process body: attach once, serve jobs until the poison pill.
+
+    Every computation runs under ``SharedCSR.read_stable`` so a PATCH
+    racing the tree run forces a retry instead of returning answers from
+    a half-written weights array; the forest cache is keyed to the even
+    epoch the last stable read observed and cleared whenever it moves.
+    """
+    aux = attach_all_pairs_graph(segment)
+    shared = aux.shared_csr
+    state: dict[str, Any] = {"epoch": shared.epoch, "forests": {}}
+
+    def refresh() -> None:
+        epoch = shared.epoch
+        if epoch != state["epoch"]:
+            state["forests"].clear()
+            state["epoch"] = epoch
+
+    def route_one(source: NodeId, target: NodeId):
+        forest = state["forests"].get(source)
+        if forest is None:
+            from repro.core.forest import run_forest
+
+            forest = state["forests"][source] = run_forest(aux, source, heap=heap)
+        return protocol.encode_path(forest.path_to(target))
+
+    def execute(op: int, payload: Any):
+        if op == Op.ROUTE:
+            source, target = payload
+
+            def compute():
+                refresh()
+                return route_one(source, target)
+
+            value, epoch = shared.read_stable(compute)
+            return {"path": value, "epoch": epoch}
+        if op == Op.ROUTE_BATCH:
+
+            def compute():
+                refresh()
+                return [route_one(s, t) for s, t in payload]
+
+            value, epoch = shared.read_stable(compute)
+            return {"paths": value, "epoch": epoch}
+        if op == Op.ALL_PAIRS_CHUNK:
+            index_, sources = payload
+
+            def compute():
+                refresh()
+                from repro.core.routing import run_tree
+                from repro.shortestpath.flat import ScratchBuffers
+
+                scratch = state.get("scratch")
+                if scratch is None:
+                    scratch = state["scratch"] = ScratchBuffers(
+                        aux.graph.num_nodes
+                    )
+                trees = []
+                settled = relaxations = 0
+                heap_totals: dict[str, int] = {}
+                for s in sources:
+                    tree, run = run_tree(aux, s, heap=heap, scratch=scratch)
+                    trees.append(
+                        (
+                            s,
+                            [
+                                (t, protocol.encode_path(p))
+                                for t, p in tree.items()
+                            ],
+                        )
+                    )
+                    settled += run.settled
+                    relaxations += run.relaxations
+                    for key, value in run.heap_stats.items():
+                        heap_totals[key] = heap_totals.get(key, 0) + value
+                return (index_, trees, settled, relaxations, heap_totals)
+
+            value, epoch = shared.read_stable(compute)
+            return {"chunk": value, "epoch": epoch}
+        if op == Op.SLEEP:
+            time.sleep(float(payload))
+            return {"slept": float(payload)}
+        raise RemoteRouterError(f"worker cannot execute opcode {op:#04x}")
+
+    while True:
+        job = tasks.get()
+        if job is None:
+            break
+        job_id, op, payload = job
+        results.put(("claim", job_id, index))
+        try:
+            value = execute(op, payload)
+        except Exception as exc:  # noqa: BLE001 - serialized back to the client
+            results.put(
+                ("done", job_id, False, (type(exc).__name__, str(exc)))
+            )
+        else:
+            results.put(("done", job_id, True, value))
+    shared.close()
+
+
+class _Job:
+    """One in-flight request handed to the worker pool."""
+
+    __slots__ = ("id", "op", "event", "ok", "value", "worker")
+
+    def __init__(self, job_id: int, op: int) -> None:
+        self.id = job_id
+        self.op = op
+        self.event = threading.Event()
+        self.ok = False
+        self.value: Any = None
+        self.worker: int | None = None
+
+    def fail(self, name: str, message: str) -> None:
+        self.ok = False
+        self.value = (name, message)
+        self.event.set()
+
+
+class RouterServer:
+    """A TCP/UDS router server over one shared ``G_all`` segment.
+
+    Parameters
+    ----------
+    network:
+        The network to serve; ``G_all`` is built and published once.
+    workers:
+        Warm worker processes (>= 1).
+    host / port:
+        TCP bind address; ``port=0`` picks an ephemeral port.  Mutually
+        exclusive with *uds*.
+    uds:
+        Unix-domain socket path; generated under a temp dir when ``""``.
+    heap:
+        Kernel name workers run trees with (must be a name, it crosses a
+        process boundary).
+    debug:
+        Enables the ``SLEEP`` opcode (tests pin a worker to kill it).
+    request_timeout:
+        Seconds a handler waits on the pool before failing the request.
+    """
+
+    def __init__(
+        self,
+        network: "WDMNetwork",
+        *,
+        workers: int = 2,
+        host: str | None = None,
+        port: int = 0,
+        uds: str | None = None,
+        heap: str = "flat",
+        debug: bool = False,
+        request_timeout: float = 120.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if not isinstance(heap, str):
+            raise TypeError("the server requires a heap name, not a factory")
+        if uds is not None and host is not None:
+            raise ValueError("pass either a TCP host or a UDS path, not both")
+        self._network = network
+        self._heap = heap
+        self._debug = debug
+        self._request_timeout = request_timeout
+        self._num_workers = workers
+        self._uds = uds
+        self._host = host if host is not None else "127.0.0.1"
+        self._port = port
+        self._started = False
+        self._closing = threading.Event()
+        self._closed = threading.Event()
+        self._lock = threading.Lock()
+        self._jobs: dict[int, _Job] = {}
+        self._job_ids = itertools.count(1)
+        self._threads: list[threading.Thread] = []
+        self._connections: set[socket.socket] = set()
+        self._respawns = 0
+        self._requests = 0
+
+        base_aux = build_all_pairs_graph(network)
+        self._shared = share_all_pairs_graph(base_aux)
+        # Rebind the aux graph over the segment's own arrays so the
+        # DeltaOverlay's weight writes land in shared memory, where every
+        # attached worker sees them.
+        self._aux = attach_all_pairs_graph(self._shared)
+        self._delta = DeltaOverlay(self._aux)
+        self._sources = list(self._aux.source_ids)
+
+        ctx_name = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        self._ctx = multiprocessing.get_context(ctx_name)
+        self._tasks = self._ctx.Queue()
+        self._results = self._ctx.Queue()
+        self._workers: list[multiprocessing.process.BaseProcess] = []
+        self._listener: socket.socket | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "RouterServer":
+        """Bind, spawn the pool, and begin serving; returns ``self``."""
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        if self._uds is not None:
+            if self._uds == "":
+                self._uds = os.path.join(
+                    tempfile.mkdtemp(prefix="repro_serve_"), "router.sock"
+                )
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(self._uds)
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self._host, self._port))
+            self._port = listener.getsockname()[1]
+        listener.listen(64)
+        listener.settimeout(0.2)
+        self._listener = listener
+        for index in range(self._num_workers):
+            self._workers.append(self._spawn_worker(index))
+        for name, fn in (
+            ("collector", self._collector_loop),
+            ("monitor", self._monitor_loop),
+            ("acceptor", self._accept_loop),
+        ):
+            thread = threading.Thread(
+                target=fn, name=f"router-{name}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    @property
+    def address(self):
+        """The bound address: a UDS path string or a ``(host, port)`` pair."""
+        if self._uds is not None:
+            return self._uds
+        return (self._host, self._port)
+
+    @property
+    def segment_name(self) -> str:
+        """The shared segment's name (``/dev/shm/<name>`` on Linux)."""
+        return self._shared.name
+
+    def worker_pids(self) -> list[int]:
+        """Live worker PIDs (test hook for the kill/respawn suite)."""
+        return [p.pid for p in self._workers if p.pid is not None]
+
+    def join(self, timeout: float | None = None) -> bool:
+        """Block until the server closes (a SHUTDOWN frame or ``close()``)."""
+        return self._closing.wait(timeout)
+
+    def close(self) -> None:
+        """Stop serving, reap the pool, unlink the segment (idempotent).
+
+        A second caller (e.g. a ``with`` block racing a SHUTDOWN frame)
+        blocks until the first finishes, so "close returned" always
+        means "segment unlinked".
+        """
+        if self._closing.is_set():
+            self._closed.wait(timeout=10.0)
+            return
+        self._closing.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            conns = list(self._connections)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for _ in self._workers:
+            self._tasks.put(None)
+        deadline = time.monotonic() + 5.0
+        for proc in self._workers:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        with self._lock:
+            jobs = list(self._jobs.values())
+            self._jobs.clear()
+        for job in jobs:
+            job.fail("RemoteRouterError", "server shut down")
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        self._tasks.close()
+        self._results.close()
+        self._shared.unlink()
+        if self._uds is not None and os.path.exists(self._uds):
+            try:
+                os.unlink(self._uds)
+            except OSError:
+                pass
+        self._closed.set()
+
+    def __enter__(self) -> "RouterServer":
+        return self.start() if not self._started else self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- worker pool ----------------------------------------------------------
+
+    def _spawn_worker(self, index: int):
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                self._shared.name,
+                self._heap,
+                index,
+                self._tasks,
+                self._results,
+            ),
+            daemon=True,
+            name=f"router-worker-{index}",
+        )
+        proc.start()
+        return proc
+
+    def _collector_loop(self) -> None:
+        while not self._closing.is_set():
+            try:
+                message = self._results.get(timeout=0.1)
+            except (Empty, OSError, EOFError):
+                continue
+            kind = message[0]
+            if kind == "claim":
+                _, job_id, worker_index = message
+                with self._lock:
+                    job = self._jobs.get(job_id)
+                    if job is not None:
+                        job.worker = worker_index
+            elif kind == "done":
+                _, job_id, ok, value = message
+                with self._lock:
+                    job = self._jobs.pop(job_id, None)
+                if job is not None:
+                    job.ok = ok
+                    job.value = value
+                    job.event.set()
+
+    def _monitor_loop(self) -> None:
+        while not self._closing.is_set():
+            for index, proc in enumerate(self._workers):
+                if proc.is_alive() or self._closing.is_set():
+                    continue
+                # Reap, fail everything the dead worker had claimed with
+                # a *retryable* error, and refill the slot.
+                proc.join(timeout=0.1)
+                with self._lock:
+                    stranded = [
+                        job
+                        for job in self._jobs.values()
+                        if job.worker == index
+                    ]
+                    for job in stranded:
+                        del self._jobs[job.id]
+                    self._respawns += 1
+                for job in stranded:
+                    job.fail(
+                        "WorkerCrashError",
+                        f"worker {index} (pid {proc.pid}) died mid-request",
+                    )
+                self._workers[index] = self._spawn_worker(index)
+            time.sleep(0.05)
+
+    def _submit(self, op: int, payload: Any):
+        """Queue one job on the pool and wait for its result."""
+        job = _Job(next(self._job_ids), op)
+        with self._lock:
+            self._jobs[job.id] = job
+        self._tasks.put((job.id, op, payload))
+        if not job.event.wait(timeout=self._request_timeout):
+            with self._lock:
+                self._jobs.pop(job.id, None)
+            raise RemoteRouterError(
+                f"request timed out after {self._request_timeout}s"
+            )
+        if job.ok:
+            return job.value
+        name, message = job.value
+        if name == "WorkerCrashError":
+            raise WorkerCrashError(message)
+        raise RemoteRouterError(f"{name}: {message}")
+
+    # -- request dispatch -----------------------------------------------------
+
+    def _apply_patch(self, ops) -> dict[str, Any]:
+        """Apply a fault batch write-through under the seqlock bracket."""
+        if not isinstance(ops, (list, tuple)):
+            raise ProtocolError("PATCH payload must be a list of (event, args)")
+        for entry in ops:
+            if (
+                not isinstance(entry, (list, tuple))
+                or len(entry) != 2
+                or entry[0] not in PATCH_EVENTS
+            ):
+                raise ProtocolError(f"invalid PATCH op: {entry!r}")
+        changed = 0
+        inexpressible: list[str] = []
+        with self._lock:
+            with self._shared.patch():
+                for name, args in ops:
+                    slots = getattr(self._delta, name)(*args)
+                    if slots is None:
+                        # Applied ops stay applied; the caller must treat
+                        # the overlay as needing a rebuild (mirrors the
+                        # in-process EpochRouterCache degrade path).
+                        inexpressible.append(name)
+                    else:
+                        changed += len(slots)
+        return {
+            "epoch": self._shared.epoch,
+            "delta_epoch": self._delta.delta_epoch,
+            "changed_slots": changed,
+            "masked_edges": self._delta.masked_edges,
+            "inexpressible": inexpressible,
+        }
+
+    def _snapshot(self) -> dict[str, Any]:
+        return {
+            "segment": self._shared.name,
+            "nodes": self._shared.num_nodes,
+            "edges": self._shared.num_edges,
+            "epoch": self._shared.epoch,
+            "delta_epoch": self._delta.delta_epoch,
+            "masked_edges": self._delta.masked_edges,
+            "sizes": self._aux.sizes,
+            "sources": list(self._sources),
+            "workers": self._num_workers,
+            "heap": self._heap,
+        }
+
+    def _stats(self) -> dict[str, Any]:
+        with self._lock:
+            pending = len(self._jobs)
+        return {
+            "workers": [
+                {"index": i, "pid": p.pid, "alive": p.is_alive()}
+                for i, p in enumerate(self._workers)
+            ],
+            "respawns": self._respawns,
+            "requests": self._requests,
+            "pending": pending,
+            "epoch": self._shared.epoch,
+            "delta_epoch": self._delta.delta_epoch,
+        }
+
+    def _dispatch(self, op: Op, payload: Any):
+        self._requests += 1
+        if op in (Op.ROUTE, Op.ROUTE_BATCH, Op.ALL_PAIRS_CHUNK):
+            return self._submit(op, payload)
+        if op == Op.SLEEP:
+            if not self._debug:
+                raise ProtocolError("SLEEP requires a debug server")
+            return self._submit(op, payload)
+        if op == Op.PATCH:
+            return self._apply_patch(payload)
+        if op == Op.SNAPSHOT:
+            return self._snapshot()
+        if op == Op.STATS:
+            return self._stats()
+        if op == Op.SHUTDOWN:
+            return {"closing": True}
+        raise ProtocolError(f"server cannot handle opcode {int(op):#04x}")
+
+    # -- socket plumbing ------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closing.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            conn.settimeout(None)
+            with self._lock:
+                self._connections.add(conn)
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="router-conn",
+                daemon=True,
+            )
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            while not self._closing.is_set():
+                try:
+                    frame = protocol.read_frame(conn)
+                except ProtocolError as exc:
+                    # The stream framing can no longer be trusted: answer
+                    # once (best effort) and drop the connection.
+                    try:
+                        protocol.send_frame(
+                            conn, Op.ERR, ("ProtocolError", str(exc))
+                        )
+                    except OSError:
+                        pass
+                    return
+                except OSError:
+                    return
+                if frame is None:
+                    return
+                op, payload = frame
+                try:
+                    reply = self._dispatch(op, payload)
+                except SemilightError as exc:
+                    protocol.send_frame(
+                        conn, Op.ERR, (type(exc).__name__, str(exc))
+                    )
+                    continue
+                except Exception as exc:  # noqa: BLE001 - never kill the server
+                    protocol.send_frame(
+                        conn, Op.ERR, (type(exc).__name__, str(exc))
+                    )
+                    continue
+                protocol.send_frame(conn, Op.OK, reply)
+                if op == Op.SHUTDOWN:
+                    threading.Thread(
+                        target=self.close, name="router-shutdown", daemon=True
+                    ).start()
+                    return
+        except OSError:
+            pass
+        finally:
+            with self._lock:
+                self._connections.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass

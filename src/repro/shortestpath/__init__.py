@@ -58,6 +58,12 @@ from repro.shortestpath.flat import (
 )
 from repro.shortestpath.heaps import BinaryHeap, PairingHeap
 from repro.shortestpath.paths import ShortestPathTree, reconstruct_path
+from repro.shortestpath.shared import (
+    SharedCSR,
+    attach_all_pairs_graph,
+    leaked_segments,
+    share_all_pairs_graph,
+)
 from repro.shortestpath.structures import GraphBuilder, StaticGraph
 
 _KernelFn = Callable[..., DijkstraResult]
@@ -137,6 +143,10 @@ __all__ = [
     "WarmRun",
     "DeltaOverlay",
     "MaterializedOverlay",
+    "SharedCSR",
+    "share_all_pairs_graph",
+    "attach_all_pairs_graph",
+    "leaked_segments",
     "bellman_ford",
     "spfa",
     "reconstruct_path",

@@ -16,6 +16,7 @@ oracle                                hop-exact  applicability
 ``liang:delta:churn``                 yes        always
 ``cache:incremental``                 yes        always
 ``batch:lazy-forest``                 yes        always
+``liang:server``                      yes        opt-in (``--server``)
 ``cfz:{dense,heap}``                  no         chain-free conversion only
 ``brute-force``                       no         small state spaces
 ``distributed:bellman-ford``          no         small state spaces
@@ -65,7 +66,14 @@ from repro.verify.scenarios import Scenario
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.network import WDMNetwork
 
-__all__ = ["Oracle", "RouteFn", "default_oracles", "KERNELS"]
+__all__ = [
+    "Oracle",
+    "RouteFn",
+    "ServerOracleManager",
+    "default_oracles",
+    "server_oracle",
+    "KERNELS",
+]
 
 NodeId = Hashable
 RouteFn = Callable[[NodeId, NodeId], "Semilightpath | None"]
@@ -289,6 +297,87 @@ def _batch_lazy_forest(network: "WDMNetwork") -> RouteFn:
 
     router = BatchRouter(network)
     return _none_on_nopath(lambda s, t: router.route(s, t))
+
+
+class ServerOracleManager:
+    """Serve scenarios through a live router server (``liang:server``).
+
+    ``prepare`` starts a fresh UDS :class:`~repro.server.RouterServer`
+    for each scenario network (stopping the previous one), optionally
+    drives the same deterministic *net-zero* fail/recover churn as
+    ``liang:delta:churn`` — but through wire-level ``PATCH`` frames, so
+    the shared-memory write-through path is what gets checked — and
+    hands out the client's route closure.  The returned paths must be
+    byte-identical to every in-process hop-exact oracle.
+
+    The manager outlives the harness run; the caller owns ``close()``
+    (the CLI wraps fuzz/verify in ``try/finally``) and should assert
+    :func:`repro.shortestpath.shared.leaked_segments` is empty after.
+    """
+
+    def __init__(self, workers: int = 1, churn: bool = True) -> None:
+        self._workers = workers
+        self._churn = churn
+        self._server = None
+        self._client = None
+        #: Scenario servers started so far (smoke-test observability).
+        self.scenarios = 0
+
+    def prepare(self, network: "WDMNetwork") -> RouteFn:
+        from repro.server import RouterClient, RouterServer
+
+        self.close()
+        self._server = RouterServer(
+            network, workers=self._workers, uds=""
+        ).start()
+        self._client = RouterClient(self._server.address)
+        self.scenarios += 1
+        if self._churn:
+            channels, links, converters = _churn_resources(network)
+            fail = (
+                [("fail_channel", c) for c in channels]
+                + [("fail_link", link) for link in links]
+                + [("fail_converter", (n,)) for n in converters]
+            )
+            recover = (
+                [("recover_converter", (n,)) for n in converters]
+                + [("recover_link", link) for link in links]
+                + [("recover_channel", c) for c in channels]
+            )
+            if fail:
+                self._client.patch(fail)
+                self._client.patch(recover)
+            residue = self._client.snapshot()["masked_edges"]
+            if residue:
+                raise DeltaParityError(
+                    f"server-side net-zero churn left {residue} edge(s) masked"
+                )
+        return _none_on_nopath(self._client.route)
+
+    def close(self) -> None:
+        """Shut the current scenario's server down (idempotent)."""
+        client, self._client = self._client, None
+        server, self._server = self._server, None
+        if client is not None:
+            try:
+                client.shutdown()
+            except Exception:
+                pass
+        if server is not None:
+            server.close()
+
+
+def server_oracle(manager: ServerOracleManager) -> Oracle:
+    """The ``liang:server`` oracle over *manager*'s live servers.
+
+    Not part of :func:`default_oracles` — starting a server per scenario
+    is too heavy for the tier-1 suite; the CLI adds it behind
+    ``repro fuzz/verify --server`` and CI's server-smoke job runs it for
+    60 seconds at seed 1998.
+    """
+    return Oracle(
+        name="liang:server", prepare=manager.prepare, exact_hops=True
+    )
 
 
 def _brute_force(network: "WDMNetwork") -> RouteFn:

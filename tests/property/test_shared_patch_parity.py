@@ -1,0 +1,147 @@
+"""Property parity for fault patches written through shared memory.
+
+The companion to ``test_delta_properties.py``: the same churn events,
+but applied to a :class:`~repro.shortestpath.DeltaOverlay` bound to a
+*shared-memory* ``G_all`` under ``SharedCSR.patch()`` seqlock brackets.
+The promises pinned here are the ones the router server's workers rely
+on:
+
+* every masked/restored slot an in-process overlay would touch is
+  touched identically through the segment (byte-level weights parity
+  observed by an independently *attached* reader);
+* routes off the attached view match a graph built fresh from the
+  degraded network, hop for hop;
+* the epoch advances by exactly 2 per patch bracket and rests even, so
+  ``read_stable`` consumers can trust the seqlock arithmetic.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.auxiliary import build_all_pairs_graph
+from repro.core.routing import run_tree
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent
+from repro.shortestpath import DeltaOverlay
+from repro.shortestpath.shared import (
+    attach_all_pairs_graph,
+    leaked_segments,
+    share_all_pairs_graph,
+)
+from tests.property.test_delta_properties import _apply_to_delta
+from tests.strategies import wdm_networks
+
+
+def _expressible(delta, base, kind, kw):
+    """True when *delta* can patch the event without a rebuild.
+
+    Probed *without mutating*: ``_apply_to_delta`` applies fiber events
+    direction by direction and only reports ``None`` after the first
+    direction already landed, so using it to discover inexpressibility
+    would leave the mirror partially patched and out of lockstep with
+    the shared overlay.  White-box by design — it reads the overlay's
+    resource indexes, which both deltas share (same build, same CSR).
+    """
+    if kind == "channel_recover":
+        key = (kw["tail"], kw["head"], kw["wavelength"])
+        return key in delta._channel_slots
+    if kind == "converter_recover":
+        return kw["node"] in delta._down_converters
+    if kind == "link_recover":
+        return all(
+            (t, h) in delta._link_channels
+            for t, h in ((kw["tail"], kw["head"]), (kw["head"], kw["tail"]))
+            if base.has_link(t, h)
+        )
+    return True  # fails are always expressible (worst case a no-op)
+
+
+@st.composite
+def shared_churn_cases(draw):
+    """A network plus fail events, then recoveries of a failed subset.
+
+    Unlike ``churn_cases`` this keeps the sequence *expressible* by
+    construction (recoveries only target earlier failures), because the
+    shared segment has no rebuild escape hatch — inexpressible events
+    are the caller's problem (the server reports them; here the mirror
+    skips them in lockstep, which a couple of duplicate fails still
+    exercise).
+    """
+    net = draw(wdm_networks(max_nodes=6, max_wavelengths=3))
+    channels = [
+        (link.tail, link.head, w)
+        for link in net.links()
+        for w in sorted(link.costs)
+    ]
+    links = sorted({(t, h) for t, h, _ in channels})
+    nodes = net.nodes()
+    fails = []
+    for _ in range(draw(st.integers(1, 6))):
+        kind = draw(st.sampled_from(["channel", "link", "converter"]))
+        if kind == "channel" and channels:
+            tail, head, w = draw(st.sampled_from(channels))
+            fails.append(
+                ("channel_fail", {"tail": tail, "head": head, "wavelength": w})
+            )
+        elif kind == "link" and links:
+            tail, head = draw(st.sampled_from(links))
+            fails.append(("link_fail", {"tail": tail, "head": head}))
+        else:
+            fails.append(("converter_fail", {"node": draw(st.sampled_from(nodes))}))
+    recovers = [
+        (kind.replace("_fail", "_recover"), kw)
+        for kind, kw in fails
+        if draw(st.booleans())
+    ]
+    return net, fails + recovers
+
+
+@given(case=shared_churn_cases())
+@settings(max_examples=15, deadline=None)
+def test_shared_patches_match_in_process_overlay_and_fresh_build(case):
+    net, ops = case
+    aux = build_all_pairs_graph(net)
+    shared = share_all_pairs_graph(aux)
+    reader = None
+    try:
+        owner = attach_all_pairs_graph(shared)
+        reader = attach_all_pairs_graph(shared.name)
+        delta = DeltaOverlay(owner)
+        mirror_aux = build_all_pairs_graph(net)
+        mirror = DeltaOverlay(mirror_aux)
+        injector = FaultInjector(net)
+        brackets = 0
+        for kind, kw in ops:
+            if not _expressible(mirror, net, kind, kw):
+                # Inexpressible for both overlays: skip in lockstep
+                # (the server would report it and demand a rebuild).
+                continue
+            expected_slots = _apply_to_delta(mirror, net, kind, kw)
+            assert expected_slots is not None
+            injector.apply(FaultEvent(0.5, kind, **kw))
+            with shared.patch():
+                slots = _apply_to_delta(delta, net, kind, kw)
+            brackets += 1
+            assert slots == expected_slots, (kind, kw)
+
+        # Seqlock arithmetic: +2 per bracket, resting even.
+        assert shared.epoch == 2 * brackets
+        assert shared.epoch % 2 == 0
+
+        # Byte-level parity: the independently attached reader observes
+        # exactly the weights the in-process overlay produced.
+        assert list(reader.graph.csr()[2]) == list(mirror_aux.graph.csr()[2])
+        assert delta.masked_edges == mirror.masked_edges
+
+        # Routing parity: the attached view answers like a graph built
+        # fresh from the degraded network.
+        fresh = build_all_pairs_graph(injector.network_view())
+        for source in net.nodes():
+            tree_shared, _ = run_tree(reader, source)
+            tree_fresh, _ = run_tree(fresh, source)
+            assert tree_shared == tree_fresh, source
+    finally:
+        if reader is not None:
+            reader.shared_csr.close()
+        shared.unlink()
+    assert shared.name not in leaked_segments()

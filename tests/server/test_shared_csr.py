@@ -1,0 +1,271 @@
+"""Shared-memory CSR lifecycle: publish, attach, patch, epoch, cleanup.
+
+Everything the zero-copy layer promises is pinned here: attached graphs
+route byte-identically to the originals, double attaches are safe, the
+seqlock epoch brackets are enforced, DeltaOverlay writes through the
+segment to every attached view, and — the part that keeps ``/dev/shm``
+clean — segments never outlive their owner, even when the owner forgets
+to unlink or an attaching process dies.
+"""
+
+import pickle
+import struct
+import subprocess
+import sys
+import textwrap
+
+import pytest
+from multiprocessing import shared_memory
+
+from repro.core.auxiliary import build_all_pairs_graph
+from repro.core.routing import run_tree
+from repro.exceptions import SharedSegmentError
+from repro.shortestpath import DeltaOverlay
+from repro.shortestpath.shared import (
+    SEGMENT_PREFIX,
+    SharedCSR,
+    active_segments,
+    attach_all_pairs_graph,
+    leaked_segments,
+    share_all_pairs_graph,
+)
+
+
+@pytest.fixture
+def shared_aux(paper_net):
+    aux = build_all_pairs_graph(paper_net)
+    shared = share_all_pairs_graph(aux)
+    yield aux, shared
+    shared.unlink()
+
+
+def test_attach_routes_byte_identically(shared_aux, paper_net):
+    aux, shared = shared_aux
+    attached = attach_all_pairs_graph(shared.name)
+    for source in paper_net.nodes():
+        original, run_a = run_tree(aux, source)
+        remote, run_b = run_tree(attached, source)
+        assert original == remote
+        assert run_a.settled == run_b.settled
+        assert run_a.relaxations == run_b.relaxations
+    attached.shared_csr.close()
+
+
+def test_attach_rebuilds_exact_id_maps(shared_aux):
+    aux, shared = shared_aux
+    attached = attach_all_pairs_graph(shared.name)
+    assert attached.source_ids == aux.source_ids
+    assert attached.sink_ids == aux.sink_ids
+    assert attached.x_ids == aux.x_ids
+    assert attached.y_ids == aux.y_ids
+    assert list(attached.decode) == list(aux.decode)
+    assert attached.sizes == aux.sizes
+    attached.shared_csr.close()
+
+
+def test_double_attach_is_safe(shared_aux, paper_net):
+    _aux, shared = shared_aux
+    first = attach_all_pairs_graph(shared.name)
+    second = attach_all_pairs_graph(shared.name)
+    source = paper_net.nodes()[0]
+    tree_one, _ = run_tree(first, source)
+    first.shared_csr.close()
+    # Closing one attached handle must not disturb the other's views.
+    tree_two, _ = run_tree(second, source)
+    assert tree_one == tree_two
+    second.shared_csr.close()
+
+
+def test_attach_unknown_name_raises():
+    with pytest.raises(SharedSegmentError, match="no shared segment"):
+        SharedCSR.attach("repro_does_not_exist_123")
+
+
+def test_attach_rejects_garbage_segment():
+    shm = shared_memory.SharedMemory(
+        name=f"{SEGMENT_PREFIX}garbage_test", create=True, size=256
+    )
+    try:
+        shm.buf[:8] = b"NOTMAGIC"
+        with pytest.raises(SharedSegmentError, match="bad magic"):
+            SharedCSR.attach(shm.name)
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+def test_attach_rejects_wrong_version(shared_aux):
+    _aux, shared = shared_aux
+    # Corrupt the version field in place; restore before teardown.
+    struct.pack_into("<I", shared._shm.buf, 8, 99)
+    try:
+        with pytest.raises(SharedSegmentError, match="version"):
+            SharedCSR.attach(shared.name)
+    finally:
+        struct.pack_into("<I", shared._shm.buf, 8, 1)
+
+
+def test_meta_blob_round_trips():
+    from repro.shortestpath.structures import GraphBuilder
+
+    builder = GraphBuilder(2)
+    builder.add_edge(0, 1, 1.5, 0)
+    graph = builder.build()
+    meta = pickle.dumps({"hello": "world"})
+    with SharedCSR.create(graph, meta=meta) as shared:
+        assert pickle.loads(shared.meta) == {"hello": "world"}
+        assert shared.num_nodes == 2
+        assert shared.num_edges == 1
+
+
+# -- seqlock epoch -----------------------------------------------------------
+
+
+def test_patch_bracket_bumps_epoch_twice(shared_aux):
+    _aux, shared = shared_aux
+    assert shared.epoch == 0
+    with shared.patch():
+        assert shared.epoch == 1  # odd while in flight
+    assert shared.epoch == 2
+    with shared.patch():
+        pass
+    assert shared.epoch == 4
+
+
+def test_patch_bracket_misuse_raises(shared_aux):
+    _aux, shared = shared_aux
+    with pytest.raises(SharedSegmentError, match="without begin_patch"):
+        shared.end_patch()
+    shared.begin_patch()
+    with pytest.raises(SharedSegmentError, match="already open"):
+        shared.begin_patch()
+    shared.end_patch()
+
+
+def test_only_owner_may_patch(shared_aux):
+    _aux, shared = shared_aux
+    attached = SharedCSR.attach(shared.name)
+    try:
+        with pytest.raises(SharedSegmentError, match="owner"):
+            attached.begin_patch()
+    finally:
+        attached.close()
+
+
+def test_read_stable_retries_through_a_patch(shared_aux):
+    _aux, shared = shared_aux
+    calls = []
+
+    def reader():
+        calls.append(len(calls))
+        if len(calls) == 1:
+            # Simulate a racing writer: the epoch moves mid-computation,
+            # so the first result must be discarded and recomputed.
+            shared._set_epoch(shared.epoch + 2)
+        return "value"
+
+    value, epoch = shared.read_stable(reader)
+    assert value == "value"
+    assert len(calls) == 2
+    assert epoch == shared.epoch
+
+
+def test_read_stable_gives_up_while_patch_held_open(shared_aux):
+    _aux, shared = shared_aux
+    shared.begin_patch()
+    try:
+        with pytest.raises(SharedSegmentError, match="no stable read"):
+            shared.read_stable(lambda: None, retries=3, pause=0.0)
+    finally:
+        shared.end_patch()
+
+
+def test_delta_overlay_writes_through_to_attached_views(shared_aux, paper_net):
+    _aux, shared = shared_aux
+    owner_view = attach_all_pairs_graph(shared)
+    reader = attach_all_pairs_graph(shared.name)
+    delta = DeltaOverlay(owner_view)
+    link = next(iter(paper_net.links()))
+    wavelength = sorted(link.costs)[0]
+    baseline, _ = run_tree(reader, link.tail)
+    with shared.patch():
+        slots = delta.fail_channel(link.tail, link.head, wavelength)
+    assert slots, "the first channel of a real link must be maskable"
+    weights = reader.graph.csr()[2]
+    assert all(weights[slot] == float("inf") for slot in slots)
+    with shared.patch():
+        delta.recover_channel(link.tail, link.head, wavelength)
+    recovered, _ = run_tree(reader, link.tail)
+    assert recovered == baseline
+    reader.shared_csr.close()
+
+
+# -- lifecycle ---------------------------------------------------------------
+
+
+def test_unlink_removes_segment_and_registry(paper_net):
+    aux = build_all_pairs_graph(paper_net)
+    shared = share_all_pairs_graph(aux)
+    name = shared.name
+    assert name in active_segments()
+    assert name in leaked_segments()
+    shared.unlink()
+    assert name not in active_segments()
+    assert name not in leaked_segments()
+    shared.unlink()  # idempotent
+
+
+def test_context_manager_unlinks_owner(paper_net):
+    aux = build_all_pairs_graph(paper_net)
+    with share_all_pairs_graph(aux) as shared:
+        name = shared.name
+        assert name in leaked_segments()
+    assert name not in leaked_segments()
+
+
+def test_attacher_process_death_does_not_unlink(shared_aux, paper_net):
+    """A worker exiting (cleanly or not) must never tear the segment down."""
+    _aux, shared = shared_aux
+    source = paper_net.nodes()[0]
+    child = textwrap.dedent(
+        f"""
+        from repro.shortestpath.shared import attach_all_pairs_graph
+        from repro.core.routing import run_tree
+        aux = attach_all_pairs_graph({shared.name!r})
+        tree, _ = run_tree(aux, {source!r})
+        raise SystemExit(0 if tree else 3)
+        """
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", child], capture_output=True, text=True
+    )
+    assert result.returncode == 0, result.stderr
+    assert "Error" not in result.stderr  # no BufferError/KeyError noise
+    assert shared.name in leaked_segments()
+    probe = attach_all_pairs_graph(shared.name)
+    tree, _ = run_tree(probe, source)
+    assert tree
+    probe.shared_csr.close()
+
+
+def test_owner_atexit_cleans_forgotten_segments(paper_net):
+    """An owner that exits without unlink must still leave /dev/shm clean."""
+    child = textwrap.dedent(
+        """
+        from repro.core.auxiliary import build_all_pairs_graph
+        from repro.shortestpath.shared import share_all_pairs_graph
+        from repro.topology.reference import paper_figure1_network
+        shared = share_all_pairs_graph(
+            build_all_pairs_graph(paper_figure1_network())
+        )
+        print(shared.name)
+        # ... and exit without unlinking: the atexit hook must cover us.
+        """
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", child], capture_output=True, text=True
+    )
+    assert result.returncode == 0, result.stderr
+    name = result.stdout.strip()
+    assert name.startswith(SEGMENT_PREFIX)
+    assert name not in leaked_segments()

@@ -266,3 +266,62 @@ class TestChaos:
     def test_rejects_bad_fault_count(self, capsys):
         assert main(["chaos", "--faults", "0"]) == 1
         assert "--faults" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_serve_bench_round_trip_over_uds(self, fig1_file, capsys):
+        assert main([
+            "serve", fig1_file, "--uds", "", "--bench", "--requests", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 mismatch(es) vs in-process router" in out
+        assert "all-pairs over the wire" in out
+
+    def test_serve_bench_over_tcp(self, fig1_file, capsys):
+        assert main([
+            "serve", fig1_file, "--host", "127.0.0.1", "--port", "0",
+            "--bench", "--requests", "3", "--workers", "1",
+        ]) == 0
+        assert "0 mismatch(es)" in capsys.readouterr().out
+
+    def test_rejects_bad_ip(self, fig1_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", fig1_file, "--host", "not-an-ip"])
+        assert excinfo.value.code == 2
+        assert "not a valid IPv4 address" in capsys.readouterr().err
+
+    def test_rejects_bad_port(self, fig1_file, capsys):
+        for bad in ("65536", "-1", "http"):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["serve", fig1_file, "--port", bad])
+            assert excinfo.value.code == 2
+
+    def test_rejects_zero_workers(self, fig1_file, capsys):
+        assert main(["serve", fig1_file, "--workers", "0", "--bench"]) == 1
+        assert "--workers" in capsys.readouterr().err
+
+    def test_serve_missing_file(self, capsys):
+        assert main(["serve", "/nonexistent.json", "--bench"]) == 1
+
+
+class TestServerOracleFlag:
+    def test_fuzz_with_live_server_oracle(self, tmp_path, capsys):
+        assert main([
+            "fuzz", "--seconds", "2", "--seed", "1998", "--server",
+            "--corpus", str(tmp_path / "corpus"), "--max-nodes", "6",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "liang:server" in out
+        assert "0 failure(s)" in out
+        from repro.shortestpath.shared import leaked_segments
+
+        assert leaked_segments() == []
+
+    def test_verify_with_live_server_oracle(self, tmp_path, capsys):
+        assert main([
+            "verify", "--corpus", str(tmp_path / "empty"),
+            "--scenarios", "2", "--seed", "0", "--max-nodes", "6",
+            "--server",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 failure(s)" in out
