@@ -12,6 +12,8 @@ from __future__ import annotations
 import os
 import time
 
+import pytest
+
 from repro.core.parallel import route_all_pairs_parallel
 from repro.core.routing import LiangShenRouter
 from repro.exceptions import NoPathError
@@ -57,8 +59,11 @@ def test_all_pairs_beats_pairwise_rebuilds(benchmark, report):
 def test_all_pairs_worker_scaling(benchmark, report):
     """Serial vs process-parallel all-pairs over one shared ``G_all``.
 
-    Asserts only result identity; whether more workers help is a property
-    of the machine (this records ``os.cpu_count()`` alongside the table).
+    Always asserts result identity.  The speedup floor (2 workers must
+    not lose to serial by more than fork overhead allows) is only
+    meaningful with real parallelism, so it is skipped — not failed — on
+    a 1-CPU box; ``os.cpu_count()`` is recorded alongside the table so a
+    multi-core machine re-measures cleanly.
     """
     net = sparse_wan(48, seed=12)
     router = LiangShenRouter(net)
@@ -90,6 +95,15 @@ def test_all_pairs_worker_scaling(benchmark, report):
         benchmark.extra_info[f"workers_{workers}_seconds"] = seconds
     benchmark.extra_info["cpu_count"] = os.cpu_count()
     benchmark(lambda: route_all_pairs_parallel(net, workers=1, aux=aux))
+
+    if (os.cpu_count() or 1) == 1:
+        pytest.skip("speedup floor needs >1 CPU; identity already verified")
+    # With real cores, 2 workers must at least roughly hold their own
+    # against serial (generous floor: fork + shm-attach overhead).
+    assert timings[2] < 2.0 * timings[1], (
+        f"2-worker run lost badly to serial on a "
+        f"{os.cpu_count()}-CPU box: {timings}"
+    )
 
 
 def test_all_pairs_results_complete(benchmark):

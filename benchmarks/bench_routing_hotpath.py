@@ -449,6 +449,7 @@ def bench_fault_churn(
         "topology": name,
         "nodes": len(net.nodes()),
         "wavelengths": net.num_wavelengths,
+        "cpu_count": os.cpu_count(),
         "fault_events": fault_count,
         "queries": len(full_answers),
         "full_invalidation_seconds": t_full,
@@ -518,12 +519,20 @@ def main(argv: list[str] | None = None) -> int:
         help="CI mode: one chunked all-pairs sweep against a live UDS "
         "router server, failing on any serial mismatch or leaked segment",
     )
+    parser.add_argument(
+        "--serving-smoke",
+        action="store_true",
+        help="CI mode: identity probe of a 2x2 sharded tier against the "
+        "in-process router, failing on any mismatch or leaked segment",
+    )
     args = parser.parse_args(argv)
 
     if args.churn_smoke:
         return churn_smoke(args.churn_seconds)
     if args.server_smoke:
         return server_smoke()
+    if args.serving_smoke:
+        return serving_smoke()
 
     if args.quick:
         single_sizes = [24, 32]
@@ -653,6 +662,63 @@ def server_smoke() -> int:
             print(f"MISMATCH: {line}", file=sys.stderr)
         return 1
     print("server smoke: wire == serial, no leaked segments")
+    return 0
+
+
+def serving_smoke() -> int:
+    """Identity probe against a live sharded tier.
+
+    Boots a 2-shard × 2-replica :class:`~repro.cluster.ShardManager`,
+    routes every ordered pair through the
+    :class:`~repro.cluster.FrontendRouter` (consistent-hash placement +
+    replica failover in the loop), and demands byte-identical answers to
+    an in-process :class:`LiangShenRouter` — then audits ``/dev/shm``.
+    Timings are printed but never gate the exit code.
+    """
+    from repro.cluster import ClosedLoopLoadGenerator, FrontendRouter
+    from repro.cluster import ShardManager, all_pairs_workload
+    from repro.shortestpath.shared import leaked_segments
+
+    net = sparse_wan(24, seed=24)
+    before = set(leaked_segments())
+    router = LiangShenRouter(net)
+    failures = []
+    with ShardManager(net, shards=2, replicas=2, workers=1) as manager:
+        frontend = FrontendRouter(manager)
+        pairs = all_pairs_workload(net, seed=24)
+        start = time.perf_counter()
+        for source, target in pairs:
+            try:
+                remote = frontend.route(source, target)
+            except NoPathError:
+                remote = None
+            local = _try(router, source, target)
+            local_path = None if local is None else local.path
+            if remote != local_path:
+                failures.append(
+                    f"tier answer differs for {source}->{target}"
+                )
+        t_probe = time.perf_counter() - start
+        report = ClosedLoopLoadGenerator(
+            frontend, pairs, concurrency=2, batch_size=32, total_queries=2000
+        ).run()
+        frontend.close()
+    print(
+        f"serving smoke: {len(pairs)} identity probes in "
+        f"{t_probe * 1e3:.1f} ms; closed loop {report.queries} queries at "
+        f"{report.throughput:.0f} q/s "
+        f"(p50 {report.latency['p50']:.2f} ms, "
+        f"p999 {report.latency['p999']:.2f} ms, "
+        f"{os.cpu_count()} CPU(s))"
+    )
+    leaked = sorted(set(leaked_segments()) - before)
+    if leaked:
+        failures.append(f"leaked shared-memory segment(s): {', '.join(leaked)}")
+    if failures:
+        for line in failures:
+            print(f"MISMATCH: {line}", file=sys.stderr)
+        return 1
+    print("serving smoke: tier == in-process router, no leaked segments")
     return 0
 
 

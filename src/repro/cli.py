@@ -509,6 +509,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.bench:
         return _serve_bench(server, network, args)
     server.start()
+    # SIGTERM/SIGINT drain claimed jobs, unlink the segment, and let
+    # join() return — a supervisor's TERM leaves no /dev/shm residue.
+    server.install_signal_handlers()
     address = server.address
     shown = address if isinstance(address, str) else f"{address[0]}:{address[1]}"
     print(f"router server listening on {shown}")
@@ -547,6 +550,56 @@ def _chaos_networks(args: argparse.Namespace) -> list[tuple[str, WDMNetwork]]:
     ]
 
 
+def _chaos_cluster(
+    args: argparse.Namespace,
+    networks: "list[tuple[str, WDMNetwork]]",
+    budget: float,
+) -> int:
+    """``repro chaos --cluster``: soak the sharded tier instead of the
+    in-process service stack.  Exit 5 on any violation or leaked segment."""
+    from repro.cluster import ClusterSoak
+    from repro.shortestpath.shared import leaked_segments
+
+    segments_before = set(leaked_segments())
+    total_violations = 0
+    for index, (name, network) in enumerate(networks):
+        soak = ClusterSoak(
+            network,
+            shards=args.shards,
+            replicas=args.replicas,
+            workers=1,
+            seconds=budget,
+            num_faults=args.faults,
+            seed=args.seed + index,
+        )
+        report = soak.run()
+        print(f"[{name}] tier {args.shards}x{args.replicas}:")
+        summary = report.to_dict()
+        for key in (
+            "events_applied", "queries", "verified", "mismatches",
+            "certificate_failures", "convergence_failures",
+            "parity_failures", "gossip",
+        ):
+            print(f"  {key}: {summary[key]}")
+        for violation in report.violations:
+            print(f"  VIOLATION: {violation}")
+        total_violations += len(report.violations)
+        print()
+    leak_status = _audit_segments(segments_before)
+    if total_violations:
+        print(
+            f"chaos --cluster: {total_violations} violation(s) across "
+            f"{len(networks)} network(s)",
+            file=sys.stderr,
+        )
+        return EXIT_VIOLATION
+    print(
+        f"chaos --cluster: all invariants held across {len(networks)} "
+        f"network(s)"
+    )
+    return leak_status
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults import ChaosSoak
 
@@ -558,6 +611,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         return EXIT_ERROR
     networks = _chaos_networks(args)
     budget = args.seconds / len(networks)
+    if args.cluster:
+        if args.inject_cost_bug:
+            print(
+                "--inject-cost-bug targets the in-process service stack; "
+                "it cannot be combined with --cluster",
+                file=sys.stderr,
+            )
+            return EXIT_ERROR
+        return _chaos_cluster(args, networks, budget)
     perturbation = 0.125 if args.inject_cost_bug else 0.0
     total_violations = 0
     caught = persisted = 0
@@ -603,6 +665,177 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         return EXIT_VIOLATION
     print(f"chaos: all invariants held across {len(networks)} network(s)")
     return EXIT_OK
+
+
+def _cluster_network(args: argparse.Namespace) -> "tuple[str, WDMNetwork]":
+    """The tier's network: an explicit file, else a generated sparse WAN."""
+    if args.network:
+        return args.network, _load_network(args.network)
+    from repro.topology.generators import degree_bounded_network
+
+    return (
+        f"degree-bounded-{args.nodes}",
+        degree_bounded_network(args.nodes, args.wavelengths, seed=args.seed),
+    )
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """``repro cluster bench|smoke``: the sharded serving tier.
+
+    ``bench`` runs the closed-loop load harness (a concurrency sweep
+    totalling ``--queries`` queries on one live tier), prefixed by a
+    byte-identity probe against the in-process router, and writes the
+    latency/saturation results to ``--output``.  ``smoke`` runs the
+    fault-storm soak (:class:`~repro.cluster.chaos.ClusterSoak`).  Exit
+    codes: 4 when the identity probe disagrees, 5 on a soak violation
+    or a leaked shared segment.
+    """
+    from repro.shortestpath.shared import leaked_segments
+
+    if args.shards < 1 or args.replicas < 1 or args.workers < 1:
+        print("--shards/--replicas/--workers must be >= 1", file=sys.stderr)
+        return EXIT_ERROR
+    segments_before = set(leaked_segments())
+    name, network = _cluster_network(args)
+
+    if args.mode == "smoke":
+        from repro.cluster import ClusterSoak
+
+        soak = ClusterSoak(
+            network,
+            shards=args.shards,
+            replicas=args.replicas,
+            workers=args.workers,
+            seconds=args.seconds,
+            num_faults=args.faults,
+            seed=args.seed,
+        )
+        report = soak.run()
+        summary = report.to_dict()
+        print(
+            f"cluster smoke [{name}] {args.shards}x{args.replicas}: "
+            f"{summary['events_applied']} event(s), "
+            f"{summary['queries']} queries, {summary['verified']} verified"
+        )
+        for violation in report.violations:
+            print(f"VIOLATION: {violation}", file=sys.stderr)
+        leak_status = _audit_segments(segments_before)
+        if report.violations:
+            return EXIT_VIOLATION
+        print("cluster smoke: all invariants held")
+        return leak_status
+
+    # bench
+    import datetime
+    import os
+    import random
+    import time
+
+    from repro.cluster import (
+        ClosedLoopLoadGenerator,
+        FrontendRouter,
+        ShardManager,
+        all_pairs_workload,
+    )
+
+    sweep = [int(c) for c in args.concurrency.split(",") if c]
+    if not sweep or any(c < 1 for c in sweep):
+        print("--concurrency must be positive integers", file=sys.stderr)
+        return EXIT_ERROR
+    if args.queries < 1:
+        print("--queries must be >= 1", file=sys.stderr)
+        return EXIT_ERROR
+    per_point = -(-args.queries // len(sweep))  # ceil: total >= --queries
+    pairs = all_pairs_workload(network, seed=args.seed)
+    router = LiangShenRouter(network, heap=args.heap)
+    runs = []
+    mismatches = 0
+    begin = time.perf_counter()
+    with ShardManager(
+        network,
+        shards=args.shards,
+        replicas=args.replicas,
+        workers=args.workers,
+        heap=args.heap,
+    ) as manager:
+        frontend = FrontendRouter(manager)
+        # Identity probe: the tier must answer byte-identically to the
+        # in-process router before any throughput number means anything.
+        rng = random.Random(args.seed)
+        probe_pairs = [
+            pairs[rng.randrange(len(pairs))] for _ in range(args.probes)
+        ]
+        for source, target in probe_pairs:
+            try:
+                remote = frontend.route(source, target)
+            except NoPathError:
+                remote = None
+            try:
+                local = router.route(source, target).path
+            except NoPathError:
+                local = None
+            if remote != local:
+                mismatches += 1
+        print(
+            f"cluster bench [{name}] {args.shards}x{args.replicas} "
+            f"(workers={args.workers}): identity probe "
+            f"{len(probe_pairs)} pair(s), {mismatches} mismatch(es)"
+        )
+        for concurrency in sweep:
+            frontend.metrics.reset()
+            generator = ClosedLoopLoadGenerator(
+                frontend,
+                pairs,
+                concurrency=concurrency,
+                batch_size=args.batch,
+                total_queries=per_point,
+            )
+            report = generator.run()
+            runs.append(report.to_dict())
+            latency = report.latency
+            print(
+                f"  concurrency {concurrency}: {report.queries} queries in "
+                f"{report.elapsed:.1f}s = {report.throughput:.0f} q/s, "
+                f"p50 {latency['p50']}ms p99 {latency['p99']}ms "
+                f"p999 {latency['p999']}ms, shed {report.shed}"
+            )
+        frontend.close()
+    elapsed = time.perf_counter() - begin
+    saturation = max((run["throughput_qps"] for run in runs), default=0.0)
+    total_queries = sum(run["queries"] for run in runs)
+    document = {
+        "generated": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "cpu_count": os.cpu_count(),
+        "network": {
+            "name": name,
+            "nodes": len(network.nodes()),
+            "wavelengths": network.num_wavelengths,
+        },
+        "tier": {
+            "shards": args.shards,
+            "replicas": args.replicas,
+            "workers_per_replica": args.workers,
+            "heap": args.heap,
+        },
+        "identity_probe": {
+            "pairs": len(probe_pairs),
+            "mismatches": mismatches,
+        },
+        "total_queries": total_queries,
+        "elapsed_s": round(elapsed, 1),
+        "saturation_qps": saturation,
+        "runs": runs,
+    }
+    if args.output:
+        Path(args.output).write_text(json.dumps(document, indent=2) + "\n")
+        print(
+            f"cluster bench: {total_queries} queries total, saturation "
+            f"{saturation:.0f} q/s; wrote {args.output}"
+        )
+    leak_status = _audit_segments(segments_before)
+    if mismatches:
+        return EXIT_DISAGREEMENT
+    return leak_status
 
 
 def _cmd_multicast(args: argparse.Namespace) -> int:
@@ -1076,7 +1309,87 @@ def build_parser() -> argparse.ArgumentParser:
         help="self-test: run with an intentionally mispricing backend and "
         "succeed only if the soak catches and persists it",
     )
+    p_chaos.add_argument(
+        "--cluster", action="store_true",
+        help="soak the sharded serving tier (live RouterServer replicas "
+        "with gossip) instead of the in-process service stack",
+    )
+    p_chaos.add_argument(
+        "--shards", type=int, default=2, help="--cluster: shard count"
+    )
+    p_chaos.add_argument(
+        "--replicas", type=int, default=2,
+        help="--cluster: replicas per shard",
+    )
     p_chaos.set_defaults(fn=_cmd_chaos)
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="sharded, replicated serving tier: closed-loop load bench "
+        "or fault-storm smoke",
+    )
+    sub_cluster = p_cluster.add_subparsers(dest="mode", required=True)
+    for mode, mode_help in (
+        ("bench", "closed-loop load sweep + identity probe, results to JSON"),
+        ("smoke", "fault storm with exact oracles against a live tier"),
+    ):
+        p_mode = sub_cluster.add_parser(mode, help=mode_help)
+        p_mode.add_argument(
+            "network", nargs="?", default=None,
+            help="network JSON file (default: a generated degree-bounded "
+            "WAN, see --nodes/--wavelengths)",
+        )
+        p_mode.add_argument(
+            "--shards", type=int, default=2, help="shard count"
+        )
+        p_mode.add_argument(
+            "--replicas", type=int, default=2, help="replicas per shard"
+        )
+        p_mode.add_argument(
+            "--workers", type=int, default=1,
+            help="worker processes per replica",
+        )
+        p_mode.add_argument(
+            "--nodes", type=int, default=32,
+            help="generated-network node count",
+        )
+        p_mode.add_argument(
+            "--wavelengths", type=int, default=4,
+            help="generated-network wavelength count",
+        )
+        p_mode.add_argument("--seed", type=int, default=1998)
+        p_mode.add_argument("--heap", default="flat", help="tree-run kernel")
+        if mode == "bench":
+            p_mode.add_argument(
+                "--queries", type=int, default=1_000_000,
+                help="minimum total queries across the sweep",
+            )
+            p_mode.add_argument(
+                "--concurrency", default="1,2,4,8",
+                help="comma-separated closed-loop concurrency sweep",
+            )
+            p_mode.add_argument(
+                "--batch", type=int, default=64,
+                help="queries per ROUTE_BATCH frame",
+            )
+            p_mode.add_argument(
+                "--probes", type=int, default=200,
+                help="identity-probe pairs vs the in-process router",
+            )
+            p_mode.add_argument(
+                "--output", default="BENCH_serving.json",
+                help="result JSON path ('' = don't write)",
+            )
+        else:
+            p_mode.add_argument(
+                "--seconds", type=float, default=30.0,
+                help="storm wall-clock budget",
+            )
+            p_mode.add_argument(
+                "--faults", type=int, default=8,
+                help="faults in the seeded plan (recoveries implied)",
+            )
+        p_mode.set_defaults(fn=_cmd_cluster, mode=mode)
 
     p_mc = sub.add_parser(
         "multicast",

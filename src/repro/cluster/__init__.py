@@ -1,0 +1,41 @@
+"""The sharded, replicated serving tier.
+
+Composition, bottom-up (see ``docs/serving.md`` → "Sharded tier"):
+
+* :class:`~repro.cluster.ring.HashRing` — consistent-hash placement of
+  query load (by source node) across shards;
+* :class:`~repro.cluster.shards.ShardManager` — boots N shards × R
+  replicas of :class:`~repro.server.server.RouterServer` and wires each
+  shard's gossip full mesh;
+* :class:`~repro.cluster.frontend.FrontendRouter` — the client:
+  placement, replica failover, per-replica circuit breakers, admission
+  control, load shedding;
+* :class:`~repro.cluster.loadgen.ClosedLoopLoadGenerator` — the
+  million-query closed-loop harness behind ``repro cluster bench``;
+* :class:`~repro.cluster.chaos.ClusterSoak` — the fault-storm soak with
+  epoch-indexed exact oracles behind ``repro cluster smoke`` and
+  ``repro chaos --cluster``.
+"""
+
+from repro.cluster.chaos import ClusterSoak, ClusterSoakReport, event_to_patch_ops
+from repro.cluster.frontend import FrontendRouter
+from repro.cluster.loadgen import (
+    ClosedLoopLoadGenerator,
+    LoadReport,
+    all_pairs_workload,
+)
+from repro.cluster.ring import HashRing, stable_hash64
+from repro.cluster.shards import ShardManager
+
+__all__ = [
+    "ClosedLoopLoadGenerator",
+    "ClusterSoak",
+    "ClusterSoakReport",
+    "FrontendRouter",
+    "HashRing",
+    "LoadReport",
+    "ShardManager",
+    "all_pairs_workload",
+    "event_to_patch_ops",
+    "stable_hash64",
+]

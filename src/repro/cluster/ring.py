@@ -1,0 +1,130 @@
+"""Consistent-hash ring for partitioning query load across shards.
+
+The front tier routes every query by its **source node**: all queries
+for one source land on one shard, so that shard's workers keep the
+per-source :class:`~repro.core.forest.LazyForest` warm and nobody else
+pays to build it.  The ring gives that mapping the two properties a
+serving tier needs:
+
+* **spread** — each shard owns many small arcs of the hash space
+  (``vnodes`` virtual nodes per shard), so source load balances even
+  for a handful of shards;
+* **minimal movement** — adding or removing a shard only remaps the
+  keys on the arcs that shard gains or loses (≈ ``1/N`` of the space),
+  so a resize does not cold-start every forest cache in the tier.
+
+Placement must agree *across processes* (the load generator, the CLI,
+and any frontend replica must all send source ``s`` to the same shard),
+so hashing uses :func:`hashlib.blake2b` over ``repr(key)`` — stable
+across runs and interpreters, unlike the salted builtin ``hash``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Hashable, Iterable, Sequence
+
+__all__ = ["HashRing", "stable_hash64"]
+
+
+def stable_hash64(value: object) -> int:
+    """A 64-bit process-independent hash of ``repr(value)``.
+
+    ``repr`` (not ``str``) so ``1`` and ``"1"`` land on different
+    points; blake2b (not ``hash``) because Python salts string hashing
+    per process and cross-process placement must agree byte-for-byte.
+    """
+    digest = hashlib.blake2b(
+        repr(value).encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent hashing with virtual nodes.
+
+    Parameters
+    ----------
+    shards:
+        Initial shard identifiers (any hashable with a stable ``repr`` —
+        the tier uses shard indices).
+    vnodes:
+        Virtual nodes per shard; more vnodes → tighter spread at the
+        cost of a larger (still tiny) sorted point table.
+    """
+
+    def __init__(
+        self, shards: Iterable[Hashable] = (), *, vnodes: int = 64
+    ) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self._vnodes = vnodes
+        self._shards: list[Hashable] = []
+        self._points: list[tuple[int, str, Hashable]] = []
+        self._hashes: list[int] = []
+        for shard in shards:
+            self.add_shard(shard)
+
+    # -- membership -----------------------------------------------------------
+
+    @property
+    def shards(self) -> tuple[Hashable, ...]:
+        return tuple(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard: Hashable) -> bool:
+        return shard in self._shards
+
+    def add_shard(self, shard: Hashable) -> None:
+        if shard in self._shards:
+            raise ValueError(f"shard already on the ring: {shard!r}")
+        self._shards.append(shard)
+        self._rebuild()
+
+    def remove_shard(self, shard: Hashable) -> None:
+        try:
+            self._shards.remove(shard)
+        except ValueError:
+            raise ValueError(f"shard not on the ring: {shard!r}") from None
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        # Point positions depend only on (shard, vnode index), so the
+        # surviving shards' arcs are identical before and after a
+        # membership change — that is the minimal-movement guarantee.
+        # Ties (astronomically unlikely) break on the repr so placement
+        # stays deterministic regardless of insertion order.
+        points = [
+            (stable_hash64((repr(shard), i)), repr(shard), shard)
+            for shard in self._shards
+            for i in range(self._vnodes)
+        ]
+        points.sort(key=lambda p: (p[0], p[1]))
+        self._points = points
+        self._hashes = [p[0] for p in points]
+
+    # -- placement ------------------------------------------------------------
+
+    def shard_for(self, key: Hashable) -> Hashable:
+        """The shard owning *key*: first point clockwise of its hash."""
+        if not self._points:
+            raise ValueError("ring has no shards")
+        index = bisect.bisect_right(self._hashes, stable_hash64(key))
+        return self._points[index % len(self._points)][2]
+
+    def spread(self, keys: Sequence[Hashable]) -> dict[Hashable, int]:
+        """Placement counts per shard for *keys* (every shard reported,
+        including ones that received nothing)."""
+        counts: dict[Hashable, int] = {shard: 0 for shard in self._shards}
+        for key in keys:
+            counts[self.shard_for(key)] += 1
+        return counts
+
+    def __repr__(self) -> str:
+        return (
+            f"HashRing(shards={len(self._shards)}, vnodes={self._vnodes}, "
+            f"points={len(self._points)})"
+        )

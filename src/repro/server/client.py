@@ -170,6 +170,18 @@ class RouterClient:
             raise NoPathError(source, target)
         return path
 
+    def route_with_epoch(
+        self, source: NodeId, target: NodeId
+    ) -> tuple[Semilightpath | None, int]:
+        """Like :meth:`route`, plus the segment epoch the answer saw.
+
+        Returns ``(path, epoch)`` with ``None`` for unreachable pairs
+        instead of raising — the cluster soak uses the epoch to pick the
+        fault-state oracle each answer must match byte-for-byte.
+        """
+        reply = self._call_retrying(Op.ROUTE, (source, target))
+        return protocol.decode_path(reply["path"]), reply["epoch"]
+
     def route_batch(
         self, pairs: list[tuple[NodeId, NodeId]]
     ) -> list[Semilightpath | None]:
@@ -257,13 +269,29 @@ class RouterClient:
 
     # -- control plane --------------------------------------------------------
 
-    def patch(self, ops: list[tuple[str, tuple]]) -> dict[str, Any]:
+    def patch(
+        self,
+        ops: list[tuple[str, tuple]],
+        *,
+        origin: str | None = None,
+        seq: int | None = None,
+    ) -> dict[str, Any]:
         """Apply a fault batch: ``[("fail_link", (u, v)), ...]``.
 
         Not retried: a PATCH is not idempotent (events bump the delta
-        epoch), so transient failures surface to the caller.
+        epoch), so transient failures surface to the caller.  With
+        *origin* and *seq* the batch is sent as a gossip envelope — the
+        server dedups on ``(origin, seq)`` and answers ``duplicate``
+        for a re-delivery, which is what makes replica flooding (and a
+        frontend re-sending a patch to a second replica) idempotent.
         """
-        return self._call(Op.PATCH, list(ops))
+        if origin is None:
+            return self._call(Op.PATCH, list(ops))
+        if seq is None:
+            raise ValueError("a gossip-enveloped patch needs both origin and seq")
+        return self._call(
+            Op.PATCH, {"ops": list(ops), "origin": origin, "seq": seq}
+        )
 
     def snapshot(self) -> dict[str, Any]:
         """Static facts: segment name/sizes, sources, epoch, worker count."""

@@ -20,6 +20,14 @@ weights array, so fault events write through to the segment inside a
 ``SharedCSR.patch()`` seqlock bracket; workers notice the epoch bump and
 invalidate their forest caches on the next request.
 
+Replica gossip: a server given *peers* (the other replicas of its shard
+in a :class:`~repro.cluster.ShardManager` tier) floods every accepted
+``PATCH`` to them over the same wire protocol, tagged with an
+``(origin, seq)`` envelope.  Peers deduplicate on the envelope — a
+re-delivered patch is acknowledged as ``duplicate`` without touching the
+overlay — so flooding converges for any replica count without loops and
+a fault accepted at *any* replica reaches all of them without a rebuild.
+
 Crash handling: a monitor thread polls worker liveness.  When a worker
 dies, every job it had claimed (announced on the result queue before
 computing) fails with :class:`~repro.exceptions.WorkerCrashError` — a
@@ -35,6 +43,7 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
+import secrets
 import socket
 import tempfile
 import threading
@@ -49,6 +58,7 @@ from repro.exceptions import (
     SemilightError,
     WorkerCrashError,
 )
+from repro.faults.resilience import RetryPolicy
 from repro.server import protocol
 from repro.server.protocol import Op
 from repro.shortestpath.delta import DeltaOverlay
@@ -85,6 +95,12 @@ def _worker_main(segment: str, heap: str, index: int, tasks, results) -> None:
     a half-written weights array; the forest cache is keyed to the even
     epoch the last stable read observed and cleared whenever it moves.
     """
+    import signal
+
+    # Terminal Ctrl-C delivers SIGINT to the whole process group; the
+    # parent's graceful-shutdown path reaps workers via poison pills, so
+    # workers must not race it by dying on the signal themselves.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
     aux = attach_all_pairs_graph(segment)
     shared = aux.shared_csr
     state: dict[str, Any] = {"epoch": shared.epoch, "forests": {}}
@@ -218,6 +234,14 @@ class RouterServer:
         Enables the ``SLEEP`` opcode (tests pin a worker to kill it).
     request_timeout:
         Seconds a handler waits on the pool before failing the request.
+    peers:
+        Addresses of the other replicas of this server's shard; every
+        accepted ``PATCH`` is flooded to them (see the module docstring).
+        Usually wired after ``start()`` via :meth:`add_peer` because
+        ephemeral addresses are only known then.
+    drain_timeout:
+        Seconds ``close()`` waits for claimed jobs to finish (and their
+        replies to flush) before tearing the pool down.
     """
 
     def __init__(
@@ -231,6 +255,8 @@ class RouterServer:
         heap: str = "flat",
         debug: bool = False,
         request_timeout: float = 120.0,
+        peers: "list | None" = None,
+        drain_timeout: float = 2.0,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -242,6 +268,7 @@ class RouterServer:
         self._heap = heap
         self._debug = debug
         self._request_timeout = request_timeout
+        self._drain_timeout = drain_timeout
         self._num_workers = workers
         self._uds = uds
         self._host = host if host is not None else "127.0.0.1"
@@ -249,13 +276,28 @@ class RouterServer:
         self._started = False
         self._closing = threading.Event()
         self._closed = threading.Event()
+        self._close_guard = threading.Lock()
+        self._close_started = False
         self._lock = threading.Lock()
         self._jobs: dict[int, _Job] = {}
+        self._active = 0  # dispatches between frame read and reply sent
         self._job_ids = itertools.count(1)
         self._threads: list[threading.Thread] = []
         self._connections: set[socket.socket] = set()
         self._respawns = 0
         self._requests = 0
+        #: Gossip identity and flood bookkeeping (replica tiers).
+        self.gossip_id = f"g{secrets.token_hex(6)}"
+        self._gossip_seq = itertools.count(1)
+        self._gossip_seen: dict[str, set[int]] = {}
+        self._gossip_lock = threading.Lock()
+        self._peers: list[Any] = []
+        self._peer_clients: dict[Any, Any] = {}
+        self._gossip_forwarded = 0
+        self._gossip_failed = 0
+        self._gossip_duplicates = 0
+        for peer in peers or ():
+            self.add_peer(peer)
 
         base_aux = build_all_pairs_graph(network)
         self._shared = share_all_pairs_graph(base_aux)
@@ -330,24 +372,126 @@ class RouterServer:
         return [p.pid for p in self._workers if p.pid is not None]
 
     def join(self, timeout: float | None = None) -> bool:
-        """Block until the server closes (a SHUTDOWN frame or ``close()``)."""
-        return self._closing.wait(timeout)
+        """Block until the server closes (a SHUTDOWN frame or ``close()``).
+
+        Polls rather than parking in a single untimed wait: the kernel
+        may deliver a process-directed SIGTERM to *any* thread, and a
+        main thread stuck in an untimed ``sem_wait`` never reaches a
+        bytecode boundary to run the Python-level handler.  Waking every
+        200 ms guarantees :meth:`install_signal_handlers`'s handler
+        actually fires.
+        """
+        if timeout is not None:
+            deadline = time.monotonic() + timeout
+            while not self._closing.is_set():
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._closing.wait(min(0.2, remaining))
+            return True
+        while not self._closing.wait(0.2):
+            pass
+        return True
+
+    def add_peer(self, address) -> None:
+        """Register a replica peer to flood accepted PATCH frames to.
+
+        *address* is a UDS path string or ``(host, port)`` pair — exactly
+        what ``RouterServer.address`` returns.  Safe to call after
+        ``start()`` (a shard manager wires the full replica mesh once
+        every replica has bound its ephemeral address).
+        """
+        key = address if isinstance(address, str) else tuple(address)
+        with self._gossip_lock:
+            if key not in self._peers:
+                self._peers.append(key)
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT into the graceful ``close()`` path.
+
+        Must be called from the main thread (CPython delivers signals
+        there).  The handler drains claimed jobs, reaps the pool, and
+        unlinks the shared segment, so a supervisor's TERM leaves no
+        ``/dev/shm`` residue; ``join()`` returns once the handler runs.
+        """
+        import signal
+
+        def _handle(signum, frame):  # noqa: ARG001 - signal signature
+            self.close()
+
+        signal.signal(signal.SIGTERM, _handle)
+        signal.signal(signal.SIGINT, _handle)
 
     def close(self) -> None:
-        """Stop serving, reap the pool, unlink the segment (idempotent).
+        """Drain, stop serving, reap the pool, unlink the segment.
 
-        A second caller (e.g. a ``with`` block racing a SHUTDOWN frame)
-        blocks until the first finishes, so "close returned" always
-        means "segment unlinked".
+        Idempotent; a second caller (e.g. a ``with`` block racing a
+        SHUTDOWN frame) blocks until the first finishes, so "close
+        returned" always means "segment unlinked".  In-flight jobs get
+        up to ``drain_timeout`` seconds to finish and flush their
+        replies before the pool is torn down — a SIGTERM mid-request
+        drains instead of stranding clients.
         """
-        if self._closing.is_set():
-            self._closed.wait(timeout=10.0)
+        with self._close_guard:
+            first = not self._close_started
+            self._close_started = True
+        if not first:
+            self._closed.wait(timeout=15.0)
             return
-        self._closing.set()
+        # 1) Stop accepting new connections, but first adopt anything
+        #    already sitting in the listen backlog — a client that
+        #    connected (and possibly wrote a frame) before the signal
+        #    landed would be RST by closing the listener, never having
+        #    been accepted.  Adopted connections join the drain like any
+        #    other.  The acceptor keeps the collector and the live
+        #    connections running during the drain.
         if self._listener is not None:
+            try:
+                self._listener.settimeout(0)
+                while True:
+                    conn, _addr = self._listener.accept()
+                    conn.settimeout(None)
+                    with self._lock:
+                        self._connections.add(conn)
+                    threading.Thread(
+                        target=self._serve_connection,
+                        args=(conn,),
+                        name="router-conn",
+                        daemon=True,
+                    ).start()
+            except OSError:
+                pass
             try:
                 self._listener.close()
             except OSError:
+                pass
+        # 2) Drain: wait for queued jobs AND in-flight dispatches to
+        #    finish.  Quiescence must hold for a short stable window —
+        #    a frame already buffered on a connection when the signal
+        #    landed may not have been *read* yet, so a single empty
+        #    check would tear the socket down under its reply.
+        deadline = time.monotonic() + max(0.0, self._drain_timeout)
+        quiet_since: float | None = None
+        while time.monotonic() < deadline:
+            with self._lock:
+                busy = bool(self._jobs) or self._active > 0
+            now = time.monotonic()
+            if busy:
+                quiet_since = None
+            elif quiet_since is None:
+                quiet_since = now
+            elif now - quiet_since >= 0.1:
+                break
+            time.sleep(0.01)
+        # 3) Tear down.
+        self._closing.set()
+        with self._gossip_lock:
+            peer_clients = list(self._peer_clients.values())
+            self._peer_clients.clear()
+        for peer_client in peer_clients:
+            try:
+                peer_client.close()
+            except Exception:  # noqa: BLE001 - best-effort cleanup
                 pass
         with self._lock:
             conns = list(self._connections)
@@ -477,8 +621,39 @@ class RouterServer:
 
     # -- request dispatch -----------------------------------------------------
 
-    def _apply_patch(self, ops) -> dict[str, Any]:
-        """Apply a fault batch write-through under the seqlock bracket."""
+    def _apply_patch(self, payload) -> dict[str, Any]:
+        """Apply a fault batch write-through under the seqlock bracket.
+
+        Two payload shapes:
+
+        * the legacy list form ``[("fail_link", (u, v)), ...]`` — a
+          locally-originated patch; the server stamps it with its own
+          gossip identity and floods it to every registered peer;
+        * the envelope ``{"ops": [...], "origin": str, "seq": int}`` —
+          a gossiped patch from a peer; applied once (``(origin, seq)``
+          dedup) and re-flooded so the patch reaches the whole replica
+          mesh even when peers are not fully connected.
+
+        A duplicate envelope is acknowledged with ``{"duplicate": True}``
+        and does **not** touch the overlay — flooding may deliver the
+        same patch along several paths and the delta epoch must count
+        each fault event exactly once per replica.
+        """
+        origin = self.gossip_id
+        seq: int | None = None
+        if isinstance(payload, dict):
+            try:
+                ops = payload["ops"]
+                origin = payload["origin"]
+                seq = payload["seq"]
+            except (KeyError, TypeError) as exc:
+                raise ProtocolError(
+                    "PATCH envelope needs 'ops', 'origin', 'seq'"
+                ) from exc
+            if not isinstance(origin, str) or not isinstance(seq, int):
+                raise ProtocolError("PATCH envelope origin/seq malformed")
+        else:
+            ops = payload
         if not isinstance(ops, (list, tuple)):
             raise ProtocolError("PATCH payload must be a list of (event, args)")
         for entry in ops:
@@ -488,6 +663,24 @@ class RouterServer:
                 or entry[0] not in PATCH_EVENTS
             ):
                 raise ProtocolError(f"invalid PATCH op: {entry!r}")
+        with self._gossip_lock:
+            if seq is None:
+                # Locally originated: stamp and pre-mark our own id as
+                # seen so the flood cannot bounce back and re-apply.
+                seq = next(self._gossip_seq)
+                self._gossip_seen.setdefault(origin, set()).add(seq)
+            else:
+                seen = self._gossip_seen.setdefault(origin, set())
+                if origin == self.gossip_id or seq in seen:
+                    self._gossip_duplicates += 1
+                    return {
+                        "duplicate": True,
+                        "origin": origin,
+                        "seq": seq,
+                        "epoch": self._shared.epoch,
+                        "delta_epoch": self._delta.delta_epoch,
+                    }
+                seen.add(seq)
         changed = 0
         inexpressible: list[str] = []
         with self._lock:
@@ -501,13 +694,67 @@ class RouterServer:
                         inexpressible.append(name)
                     else:
                         changed += len(slots)
+        forwarded, failed = self._forward_patch(ops, origin, seq)
         return {
             "epoch": self._shared.epoch,
             "delta_epoch": self._delta.delta_epoch,
             "changed_slots": changed,
             "masked_edges": self._delta.masked_edges,
             "inexpressible": inexpressible,
+            "origin": origin,
+            "seq": seq,
+            "forwarded": forwarded,
+            "failed": failed,
         }
+
+    def _forward_patch(self, ops, origin: str, seq: int) -> tuple[int, int]:
+        """Flood an accepted patch to every peer (outside all locks).
+
+        Runs synchronously in the handler thread *after* the local apply
+        so "PATCH acknowledged" means "every reachable replica has it".
+        Each peer's dedup makes re-flooding terminate: a peer that has
+        already seen ``(origin, seq)`` acknowledges without forwarding.
+        A dead peer costs one failed send (counted, never fatal) — the
+        tier's fault model is that replicas crash and the survivors keep
+        answering.
+        """
+        with self._gossip_lock:
+            peers = list(self._peers)
+        if not peers:
+            return 0, 0
+        from repro.server.client import RouterClient
+
+        envelope = {"ops": [tuple(op) for op in ops], "origin": origin,
+                    "seq": seq}
+        forwarded = failed = 0
+        for peer in peers:
+            with self._gossip_lock:
+                client = self._peer_clients.get(peer)
+                if client is None and not self._closing.is_set():
+                    client = RouterClient(
+                        peer,
+                        retry=RetryPolicy(max_attempts=1),
+                        timeout=self._request_timeout,
+                    )
+                    self._peer_clients[peer] = client
+            if client is None:
+                failed += 1
+                continue
+            try:
+                client.patch(list(envelope["ops"]), origin=origin, seq=seq)
+                forwarded += 1
+            except Exception:  # noqa: BLE001 - peer down is not our failure
+                failed += 1
+                with self._gossip_lock:
+                    self._peer_clients.pop(peer, None)
+                try:
+                    client.close()
+                except Exception:  # noqa: BLE001 - best-effort cleanup
+                    pass
+        with self._gossip_lock:
+            self._gossip_forwarded += forwarded
+            self._gossip_failed += failed
+        return forwarded, failed
 
     def _snapshot(self) -> dict[str, Any]:
         return {
@@ -526,6 +773,14 @@ class RouterServer:
     def _stats(self) -> dict[str, Any]:
         with self._lock:
             pending = len(self._jobs)
+        with self._gossip_lock:
+            gossip = {
+                "id": self.gossip_id,
+                "peers": len(self._peers),
+                "forwarded": self._gossip_forwarded,
+                "failed": self._gossip_failed,
+                "duplicates": self._gossip_duplicates,
+            }
         return {
             "workers": [
                 {"index": i, "pid": p.pid, "alive": p.is_alive()}
@@ -536,6 +791,7 @@ class RouterServer:
             "pending": pending,
             "epoch": self._shared.epoch,
             "delta_epoch": self._delta.delta_epoch,
+            "gossip": gossip,
         }
 
     def _dispatch(self, op: Op, payload: Any):
@@ -597,19 +853,25 @@ class RouterServer:
                 if frame is None:
                     return
                 op, payload = frame
+                with self._lock:
+                    self._active += 1
                 try:
-                    reply = self._dispatch(op, payload)
-                except SemilightError as exc:
-                    protocol.send_frame(
-                        conn, Op.ERR, (type(exc).__name__, str(exc))
-                    )
-                    continue
-                except Exception as exc:  # noqa: BLE001 - never kill the server
-                    protocol.send_frame(
-                        conn, Op.ERR, (type(exc).__name__, str(exc))
-                    )
-                    continue
-                protocol.send_frame(conn, Op.OK, reply)
+                    try:
+                        reply = self._dispatch(op, payload)
+                    except SemilightError as exc:
+                        protocol.send_frame(
+                            conn, Op.ERR, (type(exc).__name__, str(exc))
+                        )
+                        continue
+                    except Exception as exc:  # noqa: BLE001 - never kill the server
+                        protocol.send_frame(
+                            conn, Op.ERR, (type(exc).__name__, str(exc))
+                        )
+                        continue
+                    protocol.send_frame(conn, Op.OK, reply)
+                finally:
+                    with self._lock:
+                        self._active -= 1
                 if op == Op.SHUTDOWN:
                     threading.Thread(
                         target=self.close, name="router-shutdown", daemon=True

@@ -1,0 +1,148 @@
+"""Graceful SIGTERM/SIGINT shutdown of a serving process.
+
+The SHUTDOWN-frame path was already clean; these tests cover the
+supervisor path: a ``python -m repro serve`` process killed with TERM
+(or INT) must drain, unlink its shared segment and socket, and exit 0 —
+``leaked_segments()`` is the ground truth, scanning ``/dev/shm`` after
+the process is gone.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.io import network_to_json
+from repro.server import RouterClient, RouterServer
+from repro.server.protocol import Op
+from repro.shortestpath.shared import leaked_segments
+from repro.topology.reference import paper_figure1_network
+
+_SRC = str(Path(repro.__file__).resolve().parent.parent)
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(signal, "SIGTERM"), reason="POSIX signals required"
+)
+
+
+@pytest.fixture
+def network_file(tmp_path):
+    path = tmp_path / "net.json"
+    path.write_text(network_to_json(paper_figure1_network()))
+    return path
+
+
+def _spawn_server(network_file, uds_path):
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", str(network_file),
+            "--uds", str(uds_path), "--workers", "1",
+        ],
+        env={**os.environ, "PYTHONPATH": _SRC},
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise AssertionError(
+                f"server died during startup:\n{process.stdout.read()}"
+            )
+        if os.path.exists(uds_path):
+            try:
+                with RouterClient(str(uds_path)) as probe:
+                    probe.snapshot()
+                return process
+            except Exception:
+                pass
+        time.sleep(0.05)
+    process.kill()
+    raise AssertionError("server did not come up in 30s")
+
+
+@pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+def test_signal_shutdown_is_clean(network_file, tmp_path, signum):
+    before = set(leaked_segments())
+    uds_path = tmp_path / "router.sock"
+    process = _spawn_server(network_file, uds_path)
+    try:
+        process.send_signal(signum)
+        code = process.wait(timeout=30.0)
+    finally:
+        if process.poll() is None:
+            process.kill()
+    output = process.stdout.read()
+    assert code == 0, f"exit {code}:\n{output}"
+    assert set(leaked_segments()) - before == set(), output
+    assert not os.path.exists(uds_path)
+
+
+def test_sigterm_drains_inflight_requests(network_file, tmp_path):
+    """A request in flight when TERM lands still gets its answer."""
+    before = set(leaked_segments())
+    uds_path = tmp_path / "router.sock"
+    process = _spawn_server(network_file, uds_path)
+    try:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(30.0)
+        sock.connect(str(uds_path))
+        from repro.server import protocol
+
+        protocol.send_frame(sock, Op.ROUTE, (1, 7))
+        process.send_signal(signal.SIGTERM)
+        # The drain window must flush the reply before teardown.
+        reply = protocol.read_frame(sock)
+        assert reply is not None
+        op, payload = reply
+        assert op == Op.OK
+        assert payload["path"] is not None
+        sock.close()
+        code = process.wait(timeout=30.0)
+    finally:
+        if process.poll() is None:
+            process.kill()
+    assert code == 0
+    assert set(leaked_segments()) - before == set()
+
+
+def test_in_process_close_drains_claimed_jobs(paper_net):
+    """``close()`` waits for a claimed job instead of stranding it.
+
+    Uses a debug server's SLEEP job (pins a worker) to guarantee a job
+    is in flight when close() begins.
+    """
+    server = RouterServer(
+        paper_net, workers=1, uds="", debug=True, drain_timeout=5.0
+    ).start()
+    client = RouterClient(server.address)
+    result: dict = {}
+
+    import threading
+
+    def sleeper():
+        result["sleep"] = client.sleep(0.5)
+
+    thread = threading.Thread(target=sleeper, daemon=True)
+    thread.start()
+    # Wait until the worker has claimed the job.
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        with server._lock:
+            if any(job.worker is not None for job in server._jobs.values()):
+                break
+        time.sleep(0.01)
+    server.close()
+    thread.join(timeout=10.0)
+    assert not thread.is_alive()
+    assert result["sleep"]["slept"] == 0.5
+    client.close()
+    assert server.segment_name not in leaked_segments()

@@ -267,6 +267,48 @@ class TestChaos:
         assert main(["chaos", "--faults", "0"]) == 1
         assert "--faults" in capsys.readouterr().err
 
+    def test_cluster_flag_rejects_cost_bug_combo(self, fig1_file, capsys):
+        assert main([
+            "chaos", fig1_file, "--cluster", "--inject-cost-bug",
+        ]) == 1
+        assert "--inject-cost-bug" in capsys.readouterr().err
+
+
+class TestCluster:
+    def test_bench_writes_report(self, fig1_file, tmp_path, capsys):
+        out_file = tmp_path / "serving.json"
+        assert main([
+            "cluster", "bench", fig1_file, "--queries", "400",
+            "--concurrency", "2", "--batch", "16", "--probes", "20",
+            "--output", str(out_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 mismatch(es)" in out
+        document = json.loads(out_file.read_text())
+        assert document["total_queries"] >= 400
+        assert document["identity_probe"]["mismatches"] == 0
+        assert document["tier"] == {
+            "shards": 2, "replicas": 2, "workers_per_replica": 1,
+            "heap": "flat",
+        }
+        run = document["runs"][0]
+        assert {"p50", "p99", "p999"} <= set(run["latency_ms"])
+        assert document["cpu_count"] >= 1
+
+    def test_smoke_holds_invariants(self, fig1_file, capsys):
+        assert main([
+            "cluster", "smoke", fig1_file, "--seconds", "1.5",
+            "--faults", "2", "--seed", "1998",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "all invariants held" in out
+
+    def test_rejects_bad_queries(self, fig1_file, capsys):
+        assert main([
+            "cluster", "bench", fig1_file, "--queries", "0",
+        ]) == 1
+        assert "--queries" in capsys.readouterr().err
+
 
 class TestServe:
     def test_serve_bench_round_trip_over_uds(self, fig1_file, capsys):
